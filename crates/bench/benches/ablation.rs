@@ -1,0 +1,69 @@
+//! Runtime cost of PROP's design knobs: refinement iterations, top-k
+//! refresh width, probability floor, and seeding method. The *quality*
+//! side of the same sweep is produced by the `ablation` experiment
+//! binary.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prop_bench::circuit;
+use prop_core::{BalanceConstraint, GainInit, Partitioner, Prop, PropConfig};
+
+fn bench_ablation(c: &mut Criterion) {
+    let graph = circuit("struct");
+    let balance = BalanceConstraint::bisection(graph.num_nodes());
+    let mut group = c.benchmark_group("ablation");
+    group.sample_size(10);
+
+    let variants: Vec<(String, PropConfig)> = vec![
+        ("paper".into(), PropConfig::default()),
+        ("calibrated".into(), PropConfig::calibrated()),
+        (
+            "refine0".into(),
+            PropConfig {
+                refine_iterations: 0,
+                ..PropConfig::calibrated()
+            },
+        ),
+        (
+            "refine4".into(),
+            PropConfig {
+                refine_iterations: 4,
+                ..PropConfig::calibrated()
+            },
+        ),
+        (
+            "topk0".into(),
+            PropConfig {
+                top_k_refresh: 0,
+                ..PropConfig::calibrated()
+            },
+        ),
+        (
+            "topk20".into(),
+            PropConfig {
+                top_k_refresh: 20,
+                ..PropConfig::calibrated()
+            },
+        ),
+        (
+            "det-init".into(),
+            PropConfig {
+                init: GainInit::Deterministic,
+                ..PropConfig::calibrated()
+            },
+        ),
+    ];
+    for (name, config) in variants {
+        let prop = Prop::new(config);
+        group.bench_with_input(BenchmarkId::new("PROP", &name), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                prop.run_seeded(g, balance, seed).expect("valid").cut_cost
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

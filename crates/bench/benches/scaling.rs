@@ -1,0 +1,44 @@
+//! §3.5 complexity claims: PROP's per-run time against circuit size.
+//!
+//! The paper derives Θ(m log n) per pass with Θ(m) space. This bench
+//! sweeps geometrically growing synthetic circuits with constant average
+//! degree, so per-run time should grow slightly super-linearly in m.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_fm::FmBucket;
+use prop_netlist::generate::{generate, GeneratorConfig};
+
+fn bench_scaling(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scaling");
+    group.sample_size(10);
+    for nodes in [500usize, 1000, 2000, 4000, 8000] {
+        let nets = nodes * 11 / 10;
+        let pins = nets * 7 / 2; // q ≈ 3.5, matching the suite
+        let graph = generate(&GeneratorConfig::new(nodes, nets, pins).with_seed(77))
+            .expect("valid scaling config");
+        let balance = BalanceConstraint::bisection(nodes);
+        group.throughput(Throughput::Elements(pins as u64));
+
+        let prop = Prop::new(PropConfig::calibrated());
+        group.bench_with_input(BenchmarkId::new("PROP", nodes), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                prop.run_seeded(g, balance, seed).expect("valid").cut_cost
+            });
+        });
+        let fm = FmBucket::default();
+        group.bench_with_input(BenchmarkId::new("FM-bucket", nodes), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fm.run_seeded(g, balance, seed).expect("valid").cut_cost
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Table-2 methods: per-run cost of the iterative improvers under the
+//! 50-50% balance criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prop_bench::circuit;
+use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_fm::{FmBucket, FmTree, La};
+
+fn bench_iterative(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2");
+    group.sample_size(10);
+    for name in ["balu", "struct"] {
+        let graph = circuit(name);
+        let balance = BalanceConstraint::bisection(graph.num_nodes());
+        let methods: Vec<(&str, Box<dyn Partitioner>)> = vec![
+            ("FM-bucket", Box::new(FmBucket::default())),
+            ("FM-tree", Box::new(FmTree::default())),
+            ("LA-2", Box::new(La::new(2))),
+            ("LA-3", Box::new(La::new(3))),
+            ("PROP", Box::new(Prop::new(PropConfig::calibrated()))),
+        ];
+        for (method, partitioner) in methods {
+            group.bench_with_input(
+                BenchmarkId::new(method, name),
+                &graph,
+                |b, graph| {
+                    let mut seed = 0u64;
+                    b.iter(|| {
+                        seed += 1;
+                        partitioner
+                            .run_seeded(graph, balance, seed)
+                            .expect("non-empty graph")
+                            .cut_cost
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_iterative);
+criterion_main!(benches);

@@ -1,0 +1,37 @@
+//! Table-3 methods: per-invocation cost of the clustering/spectral
+//! partitioners under the 45-55% balance criterion.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prop_bench::circuit;
+use prop_core::BalanceConstraint;
+use prop_spectral::{Eig1, GlobalPartitioner, MeloStyle, ParaboliStyle, WindowStyle};
+
+fn bench_clustering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3");
+    group.sample_size(10);
+    for name in ["balu", "struct"] {
+        let graph = circuit(name);
+        let balance =
+            BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+        let methods: Vec<(&str, Box<dyn GlobalPartitioner>)> = vec![
+            ("EIG1", Box::new(Eig1::default())),
+            ("MELO", Box::new(MeloStyle::default())),
+            ("PARABOLI", Box::new(ParaboliStyle::default())),
+            ("WINDOW-5", Box::new(WindowStyle { runs: 5, seed: 0 })),
+        ];
+        for (method, partitioner) in methods {
+            group.bench_with_input(BenchmarkId::new(method, name), &graph, |b, graph| {
+                b.iter(|| {
+                    partitioner
+                        .partition(graph, balance)
+                        .expect("non-empty graph")
+                        .cut_cost
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_clustering);
+criterion_main!(benches);

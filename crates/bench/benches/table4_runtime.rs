@@ -1,0 +1,53 @@
+//! Table-4: one benchmark per (method, circuit) pair — the per-run CPU
+//! time table. Two representative circuits keep `cargo bench` quick; the
+//! `table4` experiment binary covers the full suite.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prop_bench::circuit;
+use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_fm::{FmBucket, La};
+use prop_spectral::{Eig1, GlobalPartitioner};
+
+fn bench_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4");
+    group.sample_size(10);
+    for name in ["bm1", "t3"] {
+        let graph = circuit(name);
+        let b5050 = BalanceConstraint::bisection(graph.num_nodes());
+        let b4555 =
+            BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+
+        let fm = FmBucket::default();
+        group.bench_with_input(BenchmarkId::new("FM-bucket", name), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                fm.run_seeded(g, b5050, seed).expect("valid").cut_cost
+            });
+        });
+        let la2 = La::new(2);
+        group.bench_with_input(BenchmarkId::new("LA-2", name), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                la2.run_seeded(g, b5050, seed).expect("valid").cut_cost
+            });
+        });
+        let prop = Prop::new(PropConfig::calibrated());
+        group.bench_with_input(BenchmarkId::new("PROP", name), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                prop.run_seeded(g, b4555, seed).expect("valid").cut_cost
+            });
+        });
+        let eig1 = Eig1::default();
+        group.bench_with_input(BenchmarkId::new("EIG1", name), &graph, |b, g| {
+            b.iter(|| eig1.partition(g, b4555).expect("valid").cut_cost);
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_runtime);
+criterion_main!(benches);

@@ -1,0 +1,571 @@
+//! Implementation of the `prop` command-line tool.
+//!
+//! Subcommands:
+//!
+//! * `prop stats <file>` — parse a netlist and print its size parameters.
+//! * `prop generate --nodes N --nets E --pins P [--seed S] [--out F]` —
+//!   synthesise a clustered circuit; `--circuit <name>` instead
+//!   instantiates a Table-1 proxy.
+//! * `prop convert <in> <out>` — convert between `.hgr` and `.netd`.
+//! * `prop partition <file> [--method M] [--r1 X --r2 Y] [--runs N]
+//!   [--seed S] [--assign F]` — bipartition a netlist and report the cut;
+//!   methods: `prop` (default), `prop-paper`, `fm`, `fm-tree`, `la2`,
+//!   `la3`, `kl`, `sa`, `eig1`, `melo`, `paraboli`, `window`, `ml`.
+//!
+//! The library half exists so the argument handling and command logic are
+//! unit-testable; `main.rs` is a thin wrapper.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use prop_core::{
+    BalanceConstraint, GlobalPartitioner, Partitioner, Prop, PropConfig, RunResult, Side,
+};
+use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
+use prop_multilevel::Multilevel;
+use prop_netlist::{format, generate, suite, Hypergraph};
+use prop_spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
+use std::fmt;
+use std::path::Path;
+
+/// A CLI failure: message plus exit code.
+#[derive(Debug)]
+pub struct CliError {
+    /// Human-readable message.
+    pub message: String,
+    /// Process exit code (2 = usage, 1 = runtime failure).
+    pub code: i32,
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.message)
+    }
+}
+
+impl std::error::Error for CliError {}
+
+fn usage(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 2,
+    }
+}
+
+fn failure(message: impl Into<String>) -> CliError {
+    CliError {
+        message: message.into(),
+        code: 1,
+    }
+}
+
+/// Parsed command line.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Command {
+    /// `prop stats <file>`
+    Stats {
+        /// Netlist path.
+        file: String,
+    },
+    /// `prop generate ...`
+    Generate {
+        /// Explicit sizes, or a named Table-1 circuit.
+        source: GenerateSource,
+        /// Seed for the explicit-size form.
+        seed: u64,
+        /// Output path (stdout if `None`); extension selects the format.
+        out: Option<String>,
+    },
+    /// `prop convert <in> <out>`
+    Convert {
+        /// Input path.
+        input: String,
+        /// Output path.
+        output: String,
+    },
+    /// `prop partition <file> ...`
+    Partition {
+        /// Netlist path.
+        file: String,
+        /// Method name.
+        method: String,
+        /// Balance ratios.
+        r1: f64,
+        /// Balance ratios.
+        r2: f64,
+        /// Runs for iterative methods.
+        runs: usize,
+        /// Base seed.
+        seed: u64,
+        /// Optional path for the node→side assignment output.
+        assign: Option<String>,
+    },
+    /// `prop help`
+    Help,
+}
+
+/// What `prop generate` generates.
+#[derive(Clone, PartialEq, Debug)]
+pub enum GenerateSource {
+    /// Explicit node/net/pin counts.
+    Sizes {
+        /// Node count.
+        nodes: usize,
+        /// Net count.
+        nets: usize,
+        /// Exact pin count.
+        pins: usize,
+    },
+    /// A named Table-1 proxy circuit.
+    Circuit(String),
+}
+
+/// The usage text printed by `prop help` and on argument errors.
+pub const USAGE: &str = "\
+prop — PROP probabilistic min-cut partitioning suite (DAC-96 reproduction)
+
+USAGE:
+  prop stats <file>
+  prop generate (--circuit <name> | --nodes N --nets E --pins P) [--seed S] [--out FILE]
+  prop convert <in> <out>
+  prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S] [--assign FILE]
+  prop help
+
+Formats are chosen by extension: .hgr (hMETIS) or .netd (named).
+Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
+sa, eig1, melo, paraboli, window, ml.";
+
+/// Parses a full argument list (without the program name).
+///
+/// # Errors
+///
+/// Returns a usage-level [`CliError`] for unknown commands, flags, or
+/// malformed values.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let mut it = args.iter();
+    let Some(cmd) = it.next() else {
+        return Ok(Command::Help);
+    };
+    let rest: Vec<&String> = it.collect();
+    match cmd.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "stats" => {
+            let [file] = rest.as_slice() else {
+                return Err(usage("stats takes exactly one file argument"));
+            };
+            Ok(Command::Stats {
+                file: (*file).clone(),
+            })
+        }
+        "convert" => {
+            let [input, output] = rest.as_slice() else {
+                return Err(usage("convert takes exactly <in> <out>"));
+            };
+            Ok(Command::Convert {
+                input: (*input).clone(),
+                output: (*output).clone(),
+            })
+        }
+        "generate" => parse_generate(&rest),
+        "partition" => parse_partition(&rest),
+        other => Err(usage(format!("unknown command {other:?}"))),
+    }
+}
+
+fn take_value<'a>(
+    flag: &str,
+    it: &mut std::slice::Iter<'a, &'a String>,
+) -> Result<&'a str, CliError> {
+    it.next()
+        .map(|s| s.as_str())
+        .ok_or_else(|| usage(format!("{flag} needs a value")))
+}
+
+fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliError> {
+    value
+        .parse()
+        .map_err(|_| usage(format!("bad value {value:?} for {flag}")))
+}
+
+fn parse_generate(rest: &[&String]) -> Result<Command, CliError> {
+    let mut nodes = None;
+    let mut nets = None;
+    let mut pins = None;
+    let mut circuit = None;
+    let mut seed = 0u64;
+    let mut out = None;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--nodes" => nodes = Some(parse_num("--nodes", take_value("--nodes", &mut it)?)?),
+            "--nets" => nets = Some(parse_num("--nets", take_value("--nets", &mut it)?)?),
+            "--pins" => pins = Some(parse_num("--pins", take_value("--pins", &mut it)?)?),
+            "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+            "--circuit" => circuit = Some(take_value("--circuit", &mut it)?.to_string()),
+            "--out" => out = Some(take_value("--out", &mut it)?.to_string()),
+            other => return Err(usage(format!("unknown generate flag {other:?}"))),
+        }
+    }
+    let source = match (circuit, nodes, nets, pins) {
+        (Some(name), None, None, None) => GenerateSource::Circuit(name),
+        (None, Some(nodes), Some(nets), Some(pins)) => GenerateSource::Sizes { nodes, nets, pins },
+        _ => {
+            return Err(usage(
+                "generate needs either --circuit <name> or all of --nodes/--nets/--pins",
+            ))
+        }
+    };
+    Ok(Command::Generate { source, seed, out })
+}
+
+fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
+    let mut it = rest.iter();
+    let Some(file) = it.next() else {
+        return Err(usage("partition needs a netlist file"));
+    };
+    let mut method = "prop".to_string();
+    let mut r1 = 0.45;
+    let mut r2 = 0.55;
+    let mut runs = 20usize;
+    let mut seed = 0u64;
+    let mut assign = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--method" => method = take_value("--method", &mut it)?.to_string(),
+            "--r1" => r1 = parse_num("--r1", take_value("--r1", &mut it)?)?,
+            "--r2" => r2 = parse_num("--r2", take_value("--r2", &mut it)?)?,
+            "--runs" => runs = parse_num("--runs", take_value("--runs", &mut it)?)?,
+            "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+            "--assign" => assign = Some(take_value("--assign", &mut it)?.to_string()),
+            other => return Err(usage(format!("unknown partition flag {other:?}"))),
+        }
+    }
+    Ok(Command::Partition {
+        file: (*file).clone(),
+        method,
+        r1,
+        r2,
+        runs,
+        seed,
+        assign,
+    })
+}
+
+/// Loads a netlist, choosing the parser by file extension.
+///
+/// # Errors
+///
+/// Fails on I/O errors, unknown extensions, and parse errors.
+pub fn load_netlist(path: &str) -> Result<Hypergraph, CliError> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+    match extension(path) {
+        "hgr" => format::parse_hgr(&text).map_err(|e| failure(format!("{path}: {e}"))),
+        "netd" => format::parse_netd(&text).map_err(|e| failure(format!("{path}: {e}"))),
+        other => Err(usage(format!(
+            "unknown netlist extension {other:?} (use .hgr or .netd)"
+        ))),
+    }
+}
+
+/// Serialises a netlist, choosing the writer by file extension.
+///
+/// # Errors
+///
+/// Fails on unknown extensions.
+pub fn render_netlist(graph: &Hypergraph, path: &str) -> Result<String, CliError> {
+    match extension(path) {
+        "hgr" => Ok(format::write_hgr(graph)),
+        "netd" => Ok(format::write_netd(graph)),
+        other => Err(usage(format!(
+            "unknown netlist extension {other:?} (use .hgr or .netd)"
+        ))),
+    }
+}
+
+fn extension(path: &str) -> &str {
+    Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("")
+}
+
+/// Runs the named method on a graph.
+///
+/// # Errors
+///
+/// Fails on unknown method names or partitioner errors.
+pub fn run_method(
+    method: &str,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    seed: u64,
+) -> Result<RunResult, CliError> {
+    let iterative: Option<Box<dyn Partitioner>> = match method {
+        "prop" => Some(Box::new(Prop::new(PropConfig::calibrated()))),
+        "prop-paper" => Some(Box::new(Prop::new(PropConfig::default()))),
+        "fm" => Some(Box::new(FmBucket::default())),
+        "fm-tree" => Some(Box::new(FmTree::default())),
+        "la2" => Some(Box::new(La::new(2))),
+        "la3" => Some(Box::new(La::new(3))),
+        "kl" => Some(Box::new(Kl::default())),
+        "sa" => Some(Box::new(SimulatedAnnealing::default())),
+        _ => None,
+    };
+    if let Some(p) = iterative {
+        return p
+            .run_multi(graph, balance, runs, seed)
+            .map_err(|e| failure(e.to_string()));
+    }
+    let global: Box<dyn GlobalPartitioner> = match method {
+        "eig1" => Box::new(Eig1::default()),
+        "melo" => Box::new(MeloStyle::default()),
+        "paraboli" => Box::new(ParaboliStyle::default()),
+        "window" => Box::new(WindowStyle { runs, seed }),
+        "ml" => Box::new(Multilevel::new(Prop::new(PropConfig::calibrated()))),
+        other => return Err(usage(format!("unknown method {other:?}"))),
+    };
+    global
+        .partition(graph, balance)
+        .map_err(|e| failure(e.to_string()))
+}
+
+/// Renders the node→side assignment (one `<node-or-name> <A|B>` line per
+/// node).
+pub fn render_assignment(graph: &Hypergraph, result: &RunResult) -> String {
+    let mut out = String::new();
+    for v in graph.nodes() {
+        let name = graph
+            .node_name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string());
+        let side = match result.partition.side(v) {
+            Side::A => 'A',
+            Side::B => 'B',
+        };
+        out.push_str(&format!("{name} {side}\n"));
+    }
+    out
+}
+
+/// Executes a parsed command, writing human output via `println!`.
+///
+/// # Errors
+///
+/// Propagates usage and runtime failures for `main` to exit with.
+pub fn run(command: Command) -> Result<(), CliError> {
+    match command {
+        Command::Help => {
+            println!("{USAGE}");
+            Ok(())
+        }
+        Command::Stats { file } => {
+            let graph = load_netlist(&file)?;
+            println!("{}", graph.stats());
+            println!(
+                "unit net costs: {}; unit node sizes: {}",
+                graph.has_unit_weights(),
+                graph.has_unit_node_weights()
+            );
+            Ok(())
+        }
+        Command::Convert { input, output } => {
+            let graph = load_netlist(&input)?;
+            let text = render_netlist(&graph, &output)?;
+            std::fs::write(&output, text)
+                .map_err(|e| failure(format!("cannot write {output}: {e}")))?;
+            println!("wrote {} ({})", output, graph.stats());
+            Ok(())
+        }
+        Command::Generate { source, seed, out } => {
+            let graph = match source {
+                GenerateSource::Circuit(name) => suite::by_name(&name)
+                    .ok_or_else(|| usage(format!("unknown circuit {name:?}")))?
+                    .instantiate()
+                    .map_err(|e| failure(e.to_string()))?,
+                GenerateSource::Sizes { nodes, nets, pins } => generate::generate(
+                    &generate::GeneratorConfig::new(nodes, nets, pins).with_seed(seed),
+                )
+                .map_err(|e| failure(e.to_string()))?,
+            };
+            match out {
+                Some(path) => {
+                    let text = render_netlist(&graph, &path)?;
+                    std::fs::write(&path, text)
+                        .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                    println!("wrote {} ({})", path, graph.stats());
+                }
+                None => print!("{}", format::write_hgr(&graph)),
+            }
+            Ok(())
+        }
+        Command::Partition {
+            file,
+            method,
+            r1,
+            r2,
+            runs,
+            seed,
+            assign,
+        } => {
+            let graph = load_netlist(&file)?;
+            let balance = BalanceConstraint::weighted(r1, r2, &graph)
+                .map_err(|e| usage(e.to_string()))?;
+            let result = run_method(&method, &graph, balance, runs, seed)?;
+            println!(
+                "method={method} cut={} sides={}A/{}B passes={}",
+                result.cut_cost,
+                result.partition.count(Side::A),
+                result.partition.count(Side::B),
+                result.total_passes
+            );
+            if let Some(path) = assign {
+                std::fs::write(&path, render_assignment(&graph, &result))
+                    .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                println!("assignment written to {path}");
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parse_help_and_empty() {
+        assert_eq!(parse_args(&[]).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&argv(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_stats_and_convert() {
+        assert_eq!(
+            parse_args(&argv(&["stats", "a.hgr"])).unwrap(),
+            Command::Stats { file: "a.hgr".into() }
+        );
+        assert!(parse_args(&argv(&["stats"])).is_err());
+        assert_eq!(
+            parse_args(&argv(&["convert", "a.hgr", "b.netd"])).unwrap(),
+            Command::Convert {
+                input: "a.hgr".into(),
+                output: "b.netd".into()
+            }
+        );
+    }
+
+    #[test]
+    fn parse_generate_variants() {
+        let cmd = parse_args(&argv(&[
+            "generate", "--nodes", "10", "--nets", "12", "--pins", "40", "--seed", "7",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Generate {
+                source: GenerateSource::Sizes {
+                    nodes: 10,
+                    nets: 12,
+                    pins: 40
+                },
+                seed: 7,
+                out: None,
+            }
+        );
+        let cmd = parse_args(&argv(&["generate", "--circuit", "balu", "--out", "x.hgr"])).unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Generate {
+                source: GenerateSource::Circuit(ref n),
+                ..
+            } if n == "balu"
+        ));
+        // Mixing or missing selectors is an error.
+        assert!(parse_args(&argv(&["generate", "--nodes", "10"])).is_err());
+        assert!(parse_args(&argv(&[
+            "generate", "--circuit", "balu", "--nodes", "10", "--nets", "2", "--pins", "5"
+        ]))
+        .is_err());
+        assert!(parse_args(&argv(&["generate", "--nodes", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_partition_defaults_and_flags() {
+        let cmd = parse_args(&argv(&["partition", "c.hgr"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Partition {
+                file: "c.hgr".into(),
+                method: "prop".into(),
+                r1: 0.45,
+                r2: 0.55,
+                runs: 20,
+                seed: 0,
+                assign: None,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "partition", "c.hgr", "--method", "fm", "--r1", "0.5", "--r2", "0.5", "--runs", "3",
+            "--assign", "out.txt",
+        ]))
+        .unwrap();
+        assert!(matches!(cmd, Command::Partition { ref method, runs: 3, .. } if method == "fm"));
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["partition"])).is_err());
+    }
+
+    #[test]
+    fn unknown_command_is_usage_error() {
+        let err = parse_args(&argv(&["frobnicate"])).unwrap_err();
+        assert_eq!(err.code, 2);
+    }
+
+    #[test]
+    fn run_method_covers_all_names() {
+        let graph = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(40, 48, 160).with_seed(1),
+        )
+        .unwrap();
+        let balance = BalanceConstraint::new(0.45, 0.55, 40).unwrap();
+        for method in [
+            "prop", "prop-paper", "fm", "fm-tree", "la2", "la3", "kl", "sa", "eig1", "melo",
+            "paraboli", "window", "ml",
+        ] {
+            let result = run_method(method, &graph, balance, 2, 0).unwrap();
+            assert!(result.partition.is_balanced(balance), "{method}");
+        }
+        assert!(run_method("nope", &graph, balance, 1, 0).is_err());
+    }
+
+    #[test]
+    fn assignment_lists_every_node() {
+        let graph = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(10, 12, 40).with_seed(2),
+        )
+        .unwrap();
+        let balance = BalanceConstraint::bisection(10);
+        let result = run_method("fm", &graph, balance, 1, 0).unwrap();
+        let text = render_assignment(&graph, &result);
+        assert_eq!(text.lines().count(), 10);
+        assert!(text.lines().all(|l| l.ends_with(" A") || l.ends_with(" B")));
+    }
+
+    #[test]
+    fn extension_dispatch() {
+        assert!(load_netlist("/definitely/missing.hgr").is_err());
+        let g = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(6, 6, 20).with_seed(3),
+        )
+        .unwrap();
+        assert!(render_netlist(&g, "x.hgr").is_ok());
+        assert!(render_netlist(&g, "x.netd").is_ok());
+        assert!(render_netlist(&g, "x.xml").is_err());
+    }
+}

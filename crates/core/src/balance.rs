@@ -1,0 +1,351 @@
+//! The (r1, r2) balance criterion of the paper.
+
+use crate::error::PartitionError;
+use crate::partition::Side;
+
+/// An `(r1, r2)`-balance constraint for a 2-way partition of `n` nodes:
+/// each side must hold between `r1·n` and `r2·n` nodes.
+///
+/// The constraint is materialised as integral bounds `min_part..=max_part`
+/// with `min_part = n − max_part`, where `max_part` is `floor(r2 · n)`
+/// raised to at least `ceil(n / 2)` so near-equal bisections of odd-sized
+/// circuits remain feasible (the paper's "equal (or almost equal) sized
+/// subsets").
+///
+/// During a pass, partitioners may let a side exceed `max_part` by one
+/// node (the *pass slack*, see [`pass_max`]) when the constraint demands
+/// exact bisection; only states satisfying the strict bound may be
+/// committed.
+///
+/// ```
+/// use prop_core::BalanceConstraint;
+///
+/// # fn main() -> Result<(), prop_core::PartitionError> {
+/// let b = BalanceConstraint::new(0.45, 0.55, 100)?;
+/// assert_eq!(b.max_part(), 55);
+/// assert_eq!(b.min_part(), 45);
+/// assert!(b.is_feasible_counts(50, 50));
+/// assert!(!b.is_feasible_counts(60, 40));
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`pass_max`]: BalanceConstraint::pass_max
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct BalanceConstraint {
+    num_nodes: usize,
+    min_part: usize,
+    max_part: usize,
+    /// The `(r1, r2)` ratios the constraint was built from, kept so
+    /// multilevel schemes can re-derive equivalent constraints for
+    /// coarsened graphs.
+    ratios: (f64, f64),
+    /// Weight-based bounds for graphs with non-unit node sizes
+    /// ("the balance criterion is easily changed to reflect size
+    /// constraints", §1). `None` = pure count constraint.
+    weighted: Option<WeightedBounds>,
+}
+
+/// Weight bounds of a size-constrained balance criterion.
+#[derive(Clone, Copy, PartialEq, Debug)]
+struct WeightedBounds {
+    /// Largest committed weight of either side.
+    max_weight: f64,
+    /// Pass slack: a side may transiently exceed `max_weight` by less
+    /// than the largest node size, mirroring the one-node slack of the
+    /// unit-size case.
+    slack: f64,
+}
+
+/// Comparison tolerance for accumulated side weights.
+const WEIGHT_EPS: f64 = 1e-9;
+
+impl BalanceConstraint {
+    /// Builds the constraint for `num_nodes` nodes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidBalance`] unless
+    /// `0 < r1 ≤ 0.5 ≤ r2 < 1` (with `r1 ≤ r2`), the satisfiable regime
+    /// for 2-way partitions.
+    pub fn new(r1: f64, r2: f64, num_nodes: usize) -> Result<Self, PartitionError> {
+        if !(r1.is_finite() && r2.is_finite()) || r1 <= 0.0 || r2 >= 1.0 || r1 > 0.5 || r2 < 0.5 {
+            return Err(PartitionError::InvalidBalance { r1, r2 });
+        }
+        let n = num_nodes;
+        let floor_r2 = (r2 * n as f64).floor() as usize;
+        let max_part = floor_r2.max(n.div_ceil(2)).min(n);
+        Ok(BalanceConstraint {
+            num_nodes: n,
+            min_part: n - max_part,
+            max_part,
+            ratios: (r1, r2),
+            weighted: None,
+        })
+    }
+
+    /// The `(r1, r2)` ratios this constraint was built from.
+    #[inline]
+    pub fn ratios(&self) -> (f64, f64) {
+        self.ratios
+    }
+
+    /// Builds a *size-constrained* balance for `graph`: each side's total
+    /// node weight must stay within `[r1·W, r2·W]` (W = total weight),
+    /// relaxed just enough that a bisection exists even with one node
+    /// heavier than the slack (`max_weight ≥ (W + w_max)/2`).
+    ///
+    /// For a graph with unit node sizes this degrades exactly to
+    /// [`BalanceConstraint::new`].
+    ///
+    /// # Errors
+    ///
+    /// Same ratio validation as [`BalanceConstraint::new`].
+    pub fn weighted(
+        r1: f64,
+        r2: f64,
+        graph: &prop_netlist::Hypergraph,
+    ) -> Result<Self, PartitionError> {
+        if graph.has_unit_node_weights() {
+            return Self::new(r1, r2, graph.num_nodes());
+        }
+        // Validate ratios through the count constructor.
+        let base = Self::new(r1, r2, graph.num_nodes())?;
+        let total = graph.total_node_weight();
+        let w_max = graph.max_node_weight();
+        let max_weight = (r2 * total).max((total + w_max) / 2.0).min(total);
+        Ok(BalanceConstraint {
+            weighted: Some(WeightedBounds {
+                max_weight,
+                slack: w_max,
+            }),
+            ..base
+        })
+    }
+
+    /// Whether this constraint bounds side *weights* rather than counts.
+    #[inline]
+    pub fn is_weighted(&self) -> bool {
+        self.weighted.is_some()
+    }
+
+    /// Largest committed weight of either side (total weight for a pure
+    /// count constraint, where weights are unconstrained).
+    pub fn max_part_weight(&self) -> f64 {
+        match self.weighted {
+            Some(w) => w.max_weight,
+            None => self.max_part as f64,
+        }
+    }
+
+    /// Whether a committed state with the given side counts *and* weights
+    /// satisfies the strict constraint.
+    #[inline]
+    pub fn is_feasible(&self, counts: [usize; 2], weights: [f64; 2]) -> bool {
+        match self.weighted {
+            Some(w) => weights[0].max(weights[1]) <= w.max_weight + WEIGHT_EPS,
+            None => self.is_feasible_counts(counts[0], counts[1]),
+        }
+    }
+
+    /// Whether a node of weight `moving_weight` may move from `from`
+    /// given the current side counts and weights, under the pass-relaxed
+    /// bound.
+    #[inline]
+    pub fn allows_node_move(
+        &self,
+        from: Side,
+        counts: [usize; 2],
+        weights: [f64; 2],
+        moving_weight: f64,
+    ) -> bool {
+        match self.weighted {
+            Some(w) => {
+                let dest = weights[from.other().index()];
+                dest + moving_weight <= w.max_weight + w.slack + WEIGHT_EPS
+            }
+            None => self.allows_move(from, counts[0], counts[1]),
+        }
+    }
+
+    /// The exact-bisection constraint (`r1 = r2 = 0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Never panics; `(0.5, 0.5)` is always valid.
+    pub fn bisection(num_nodes: usize) -> Self {
+        Self::new(0.5, 0.5, num_nodes).expect("0.5/0.5 is always a valid balance")
+    }
+
+    /// Number of nodes the constraint was built for.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Smallest committed size of either side.
+    #[inline]
+    pub fn min_part(&self) -> usize {
+        self.min_part
+    }
+
+    /// Largest committed size of either side.
+    #[inline]
+    pub fn max_part(&self) -> usize {
+        self.max_part
+    }
+
+    /// Largest size a side may reach *during* a pass: `max_part`, plus one
+    /// node of slack when the constraint demands exact bisection (otherwise
+    /// no single move is ever legal from a committed state).
+    #[inline]
+    pub fn pass_max(&self) -> usize {
+        if self.min_part == self.max_part {
+            (self.max_part + 1).min(self.num_nodes)
+        } else {
+            self.max_part
+        }
+    }
+
+    /// Whether a committed state with the given side sizes satisfies the
+    /// strict constraint.
+    #[inline]
+    pub fn is_feasible_counts(&self, count_a: usize, count_b: usize) -> bool {
+        debug_assert_eq!(count_a + count_b, self.num_nodes);
+        count_a.max(count_b) <= self.max_part
+    }
+
+    /// Whether a single node may move *to* the destination side whose
+    /// current size is `dest_count`, under the pass-relaxed bound.
+    #[inline]
+    pub fn allows_move_to(&self, dest_count: usize) -> bool {
+        dest_count < self.pass_max()
+    }
+
+    /// Whether a single node may move from `from` given current side sizes.
+    #[inline]
+    pub fn allows_move(&self, from: Side, count_a: usize, count_b: usize) -> bool {
+        match from {
+            Side::A => self.allows_move_to(count_b),
+            Side::B => self.allows_move_to(count_a),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bisection_even() {
+        let b = BalanceConstraint::bisection(10);
+        assert_eq!(b.min_part(), 5);
+        assert_eq!(b.max_part(), 5);
+        assert_eq!(b.pass_max(), 6);
+        assert!(b.is_feasible_counts(5, 5));
+        assert!(!b.is_feasible_counts(6, 4));
+        assert!(b.allows_move_to(5));
+        assert!(!b.allows_move_to(6));
+    }
+
+    #[test]
+    fn bisection_odd() {
+        let b = BalanceConstraint::bisection(11);
+        assert_eq!(b.max_part(), 6);
+        assert_eq!(b.min_part(), 5);
+        // min != max: no extra slack needed.
+        assert_eq!(b.pass_max(), 6);
+        assert!(b.is_feasible_counts(6, 5));
+        assert!(!b.is_feasible_counts(7, 4));
+    }
+
+    #[test]
+    fn forty_five_fifty_five() {
+        let b = BalanceConstraint::new(0.45, 0.55, 801).unwrap();
+        assert_eq!(b.max_part(), 440); // floor(0.55 * 801)
+        assert_eq!(b.min_part(), 361);
+        assert_eq!(b.pass_max(), 440);
+        assert!(b.is_feasible_counts(440, 361));
+        assert!(!b.is_feasible_counts(441, 360));
+    }
+
+    #[test]
+    fn invalid_ratios_rejected() {
+        assert!(BalanceConstraint::new(0.0, 0.5, 10).is_err());
+        assert!(BalanceConstraint::new(0.5, 1.0, 10).is_err());
+        assert!(BalanceConstraint::new(0.6, 0.7, 10).is_err());
+        assert!(BalanceConstraint::new(0.3, 0.4, 10).is_err());
+        assert!(BalanceConstraint::new(f64::NAN, 0.5, 10).is_err());
+    }
+
+    #[test]
+    fn tiny_graphs() {
+        let b = BalanceConstraint::bisection(2);
+        assert_eq!(b.max_part(), 1);
+        assert_eq!(b.pass_max(), 2);
+        let b = BalanceConstraint::bisection(1);
+        assert_eq!(b.max_part(), 1);
+        assert_eq!(b.min_part(), 0);
+    }
+
+    #[test]
+    fn weighted_falls_back_to_counts_for_unit_sizes() {
+        let mut b = prop_netlist::HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        let g = b.build().unwrap();
+        let w = BalanceConstraint::weighted(0.45, 0.55, &g).unwrap();
+        assert!(!w.is_weighted());
+        assert_eq!(w, BalanceConstraint::new(0.45, 0.55, 4).unwrap());
+    }
+
+    #[test]
+    fn weighted_bounds_follow_node_sizes() {
+        let mut b = prop_netlist::HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1, 2, 3]).unwrap();
+        b.set_node_weights(vec![4.0, 2.0, 2.0, 2.0]).unwrap();
+        let g = b.build().unwrap();
+        // Total 10, w_max 4: r2 = 0.5 gives max_weight = max(5, 7) = 7.
+        let w = BalanceConstraint::weighted(0.5, 0.5, &g).unwrap();
+        assert!(w.is_weighted());
+        assert_eq!(w.max_part_weight(), 7.0);
+        assert!(w.is_feasible([1, 3], [4.0, 6.0]));
+        assert!(!w.is_feasible([1, 3], [8.0, 2.0]));
+        // Moves: B holds 6.0; node of weight 4 may enter (6 + 4 <= 7 + 4).
+        assert!(w.allows_node_move(Side::A, [2, 2], [4.0, 6.0], 4.0));
+        // But not if B already holds 8.
+        assert!(!w.allows_node_move(Side::A, [1, 3], [2.0, 8.0], 4.0));
+    }
+
+    #[test]
+    fn weighted_with_generous_window() {
+        let mut b = prop_netlist::HypergraphBuilder::new(3);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        b.set_node_weights(vec![1.0, 1.0, 8.0]).unwrap();
+        let g = b.build().unwrap();
+        // r2 = 0.9: max_weight = max(9, 9) = 9 of total 10.
+        let w = BalanceConstraint::weighted(0.1, 0.9, &g).unwrap();
+        assert_eq!(w.max_part_weight(), 9.0);
+        assert!(w.is_feasible([2, 1], [2.0, 8.0]));
+        assert!(!w.is_feasible([0, 3], [0.0, 10.0]));
+    }
+
+    #[test]
+    fn count_constraint_reports_total_as_weight_bound() {
+        let b = BalanceConstraint::bisection(10);
+        assert!(!b.is_weighted());
+        assert_eq!(b.max_part_weight(), 5.0);
+        assert!(b.is_feasible([5, 5], [5.0, 5.0]));
+        // Count path ignores weights entirely.
+        assert!(b.is_feasible([5, 5], [9.0, 1.0]));
+        assert!(b.allows_node_move(Side::A, [5, 5], [5.0, 5.0], 1.0));
+        assert!(!b.allows_node_move(Side::B, [6, 4], [6.0, 4.0], 1.0));
+    }
+
+    #[test]
+    fn allows_move_by_side() {
+        let b = BalanceConstraint::new(0.45, 0.55, 100).unwrap();
+        // A has 55, B has 45: nothing may move into A.
+        assert!(b.allows_move(Side::A, 55, 45)); // A -> B fine
+        assert!(!b.allows_move(Side::B, 55, 45)); // B -> A blocked
+    }
+}

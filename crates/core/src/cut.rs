@@ -1,0 +1,261 @@
+//! Incremental cutset bookkeeping.
+
+use crate::partition::{Bipartition, Side};
+use prop_netlist::{Hypergraph, NetId, NodeId};
+
+/// Per-net pin counts by side, with the cut cost maintained incrementally.
+///
+/// A net is *in the cutset* when it has at least one pin on each side; the
+/// cut cost is the sum of weights of cut nets. [`apply_move`] flips one
+/// node, updates all counts and the cost, and returns the exact immediate
+/// gain (cost decrease) of the move — the quantity whose prefix sums decide
+/// what a pass commits.
+///
+/// ```
+/// use prop_core::{Bipartition, CutState, Side};
+/// use prop_netlist::{HypergraphBuilder, NodeId};
+///
+/// # fn main() -> Result<(), prop_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::new(3);
+/// b.add_net(1.0, [0, 1])?;
+/// b.add_net(1.0, [1, 2])?;
+/// let g = b.build()?;
+/// let mut part = Bipartition::from_sides(vec![Side::A, Side::B, Side::B]);
+/// let mut cut = CutState::new(&g, &part);
+/// assert_eq!(cut.cut_cost(), 1.0);
+/// let gain = cut.apply_move(&g, &mut part, NodeId::new(0));
+/// assert_eq!(gain, 1.0);
+/// assert_eq!(cut.cut_cost(), 0.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// [`apply_move`]: CutState::apply_move
+#[derive(Clone, PartialEq, Debug)]
+pub struct CutState {
+    /// `pins_on[net][side]` — pins of `net` on each side.
+    pins_on: Vec<[u32; 2]>,
+    cut_cost: f64,
+    cut_nets: usize,
+}
+
+impl CutState {
+    /// Computes the cut state of `partition` over `graph`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition and graph disagree on the node count.
+    pub fn new(graph: &Hypergraph, partition: &Bipartition) -> Self {
+        assert_eq!(
+            graph.num_nodes(),
+            partition.len(),
+            "partition/graph node count mismatch"
+        );
+        let mut pins_on = vec![[0u32; 2]; graph.num_nets()];
+        for net in graph.nets() {
+            for &pin in graph.pins_of(net) {
+                pins_on[net.index()][partition.side(pin).index()] += 1;
+            }
+        }
+        let mut cut_cost = 0.0;
+        let mut cut_nets = 0;
+        for net in graph.nets() {
+            let [a, b] = pins_on[net.index()];
+            if a > 0 && b > 0 {
+                cut_cost += graph.net_weight(net);
+                cut_nets += 1;
+            }
+        }
+        CutState {
+            pins_on,
+            cut_cost,
+            cut_nets,
+        }
+    }
+
+    /// Total weight of cut nets.
+    #[inline]
+    pub fn cut_cost(&self) -> f64 {
+        self.cut_cost
+    }
+
+    /// Number of cut nets (equals the cut cost under unit weights).
+    #[inline]
+    pub fn cut_nets(&self) -> usize {
+        self.cut_nets
+    }
+
+    /// Pins of `net` on `side`.
+    #[inline]
+    pub fn pins_on(&self, net: NetId, side: Side) -> u32 {
+        self.pins_on[net.index()][side.index()]
+    }
+
+    /// Whether `net` currently crosses the partition.
+    #[inline]
+    pub fn is_cut(&self, net: NetId) -> bool {
+        let [a, b] = self.pins_on[net.index()];
+        a > 0 && b > 0
+    }
+
+    /// The immediate gain of moving `node` to the other side, *without*
+    /// applying the move. Equals the Eqn.-1 FM gain.
+    pub fn move_gain(&self, graph: &Hypergraph, partition: &Bipartition, node: NodeId) -> f64 {
+        let from = partition.side(node);
+        let to = from.other();
+        let mut gain = 0.0;
+        for &net in graph.nets_of(node) {
+            let on_from = self.pins_on(net, from);
+            let on_to = self.pins_on(net, to);
+            if on_from == 1 && on_to > 0 {
+                gain += graph.net_weight(net); // net leaves the cut
+            } else if on_to == 0 && on_from > 1 {
+                gain -= graph.net_weight(net); // net enters the cut
+            }
+        }
+        gain
+    }
+
+    /// Moves `node` to the other side, updating `partition`, all pin
+    /// counts, and the cut cost. Returns the immediate gain realised
+    /// (positive when the cut shrank).
+    ///
+    /// Applying the same move twice restores the original state exactly
+    /// (counts are integral; the cost is re-derived from weights on each
+    /// transition, so it does not drift).
+    pub fn apply_move(
+        &mut self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        node: NodeId,
+    ) -> f64 {
+        let from = partition.side(node);
+        let to = from.other();
+        let mut gain = 0.0;
+        for &net in graph.nets_of(node) {
+            let counts = &mut self.pins_on[net.index()];
+            let was_cut = counts[0] > 0 && counts[1] > 0;
+            counts[from.index()] -= 1;
+            counts[to.index()] += 1;
+            let is_cut = counts[0] > 0 && counts[1] > 0;
+            match (was_cut, is_cut) {
+                (true, false) => {
+                    let w = graph.net_weight(net);
+                    self.cut_cost -= w;
+                    self.cut_nets -= 1;
+                    gain += w;
+                }
+                (false, true) => {
+                    let w = graph.net_weight(net);
+                    self.cut_cost += w;
+                    self.cut_nets += 1;
+                    gain -= w;
+                }
+                _ => {}
+            }
+        }
+        partition.flip(node);
+        gain
+    }
+}
+
+/// Convenience: the cut cost of `partition` over `graph`, computed from
+/// scratch.
+pub fn cut_cost(graph: &Hypergraph, partition: &Bipartition) -> f64 {
+    CutState::new(graph, partition).cut_cost()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::HypergraphBuilder;
+
+    fn chain() -> Hypergraph {
+        // 0 -n0- 1 -n1- 2 -n2- 3, plus a 3-pin net {0,1,3} of weight 2.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [1, 2]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        b.add_net(2.0, [0, 1, 3]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn initial_cut() {
+        let g = chain();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let cut = CutState::new(&g, &p);
+        // Cut nets: n1 {1,2} and n3 {0,1,3} (weight 2).
+        assert_eq!(cut.cut_cost(), 3.0);
+        assert_eq!(cut.cut_nets(), 2);
+        assert!(cut.is_cut(NetId::new(1)));
+        assert!(!cut.is_cut(NetId::new(0)));
+        assert_eq!(cut.pins_on(NetId::new(3), Side::A), 2);
+        assert_eq!(cut.pins_on(NetId::new(3), Side::B), 1);
+    }
+
+    #[test]
+    fn move_gain_matches_apply() {
+        let g = chain();
+        let mut p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let mut cut = CutState::new(&g, &p);
+        for node in 0..4 {
+            let predicted = cut.move_gain(&g, &p, NodeId::new(node));
+            let before = cut.cut_cost();
+            let realised = cut.apply_move(&g, &mut p, NodeId::new(node));
+            assert_eq!(predicted, realised, "node {node}");
+            assert_eq!(before - realised, cut.cut_cost());
+            // Undo.
+            cut.apply_move(&g, &mut p, NodeId::new(node));
+            assert_eq!(cut.cut_cost(), before);
+        }
+    }
+
+    #[test]
+    fn apply_move_is_involutive() {
+        let g = chain();
+        let mut p = Bipartition::from_sides(vec![Side::A, Side::B, Side::A, Side::B]);
+        let reference = CutState::new(&g, &p);
+        let mut cut = reference.clone();
+        let g1 = cut.apply_move(&g, &mut p, NodeId::new(2));
+        let g2 = cut.apply_move(&g, &mut p, NodeId::new(2));
+        assert_eq!(g1, -g2);
+        assert_eq!(cut, reference);
+    }
+
+    #[test]
+    fn consistency_with_fresh_recount() {
+        let g = chain();
+        let mut p = Bipartition::from_sides(vec![Side::A, Side::A, Side::A, Side::B]);
+        let mut cut = CutState::new(&g, &p);
+        for node in [0usize, 3, 1, 2, 0, 1] {
+            cut.apply_move(&g, &mut p, NodeId::new(node));
+            let fresh = CutState::new(&g, &p);
+            assert_eq!(cut, fresh);
+        }
+    }
+
+    #[test]
+    fn all_one_side_has_zero_cut() {
+        let g = chain();
+        let p = Bipartition::from_sides(vec![Side::B; 4]);
+        let cut = CutState::new(&g, &p);
+        assert_eq!(cut.cut_cost(), 0.0);
+        assert_eq!(cut.cut_nets(), 0);
+    }
+
+    #[test]
+    fn free_function_matches() {
+        let g = chain();
+        let p = Bipartition::from_sides(vec![Side::A, Side::B, Side::A, Side::B]);
+        assert_eq!(cut_cost(&g, &p), CutState::new(&g, &p).cut_cost());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn mismatched_partition_panics() {
+        let g = chain();
+        let p = Bipartition::from_sides(vec![Side::A, Side::B]);
+        let _ = CutState::new(&g, &p);
+    }
+}

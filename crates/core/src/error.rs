@@ -1,0 +1,77 @@
+//! Error type for partitioning.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced by partitioner construction or execution.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum PartitionError {
+    /// The `(r1, r2)` ratios do not describe a satisfiable 2-way balance.
+    InvalidBalance {
+        /// Lower ratio.
+        r1: f64,
+        /// Upper ratio.
+        r2: f64,
+    },
+    /// A partitioner configuration parameter is out of range.
+    InvalidConfig {
+        /// Human-readable description of the offending parameter.
+        message: String,
+    },
+    /// The graph has no nodes to partition.
+    EmptyGraph,
+    /// A partition vector does not match the graph it is used with.
+    PartitionMismatch {
+        /// Nodes in the partition.
+        partition_nodes: usize,
+        /// Nodes in the graph.
+        graph_nodes: usize,
+    },
+}
+
+impl fmt::Display for PartitionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PartitionError::InvalidBalance { r1, r2 } => {
+                write!(f, "balance ratios ({r1}, {r2}) are not satisfiable for a 2-way partition")
+            }
+            PartitionError::InvalidConfig { message } => {
+                write!(f, "invalid partitioner configuration: {message}")
+            }
+            PartitionError::EmptyGraph => write!(f, "cannot partition an empty graph"),
+            PartitionError::PartitionMismatch {
+                partition_nodes,
+                graph_nodes,
+            } => write!(
+                f,
+                "partition over {partition_nodes} nodes used with a graph of {graph_nodes} nodes"
+            ),
+        }
+    }
+}
+
+impl Error for PartitionError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        assert!(PartitionError::EmptyGraph.to_string().contains("empty"));
+        let e = PartitionError::InvalidBalance { r1: 0.6, r2: 0.7 };
+        assert!(e.to_string().contains("0.6"));
+        let e = PartitionError::PartitionMismatch {
+            partition_nodes: 3,
+            graph_nodes: 5,
+        };
+        assert!(e.to_string().contains('3') && e.to_string().contains('5'));
+    }
+
+    #[test]
+    fn is_error_send_sync() {
+        fn check<T: Error + Send + Sync>() {}
+        check::<PartitionError>();
+    }
+}

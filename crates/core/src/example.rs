@@ -1,0 +1,205 @@
+//! Reconstruction of the paper's Figure-1 worked example.
+//!
+//! Figure 1 of the paper illustrates why probabilistic gains rank nodes
+//! better than FM or LA-3 gains: eleven `V1` nodes sit on seventeen nets,
+//! eleven of which (`n1`–`n11`) are in the cutset. Nodes 1, 2, and 3 all
+//! have FM gain 2, yet node 3 is intuitively the best move; PROP's second
+//! gain iteration produces exactly `g(1) = 2.0016`, `g(2) = 2.04`,
+//! `g(3) = 2.64`, separating them.
+//!
+//! The figure does not draw the `V2` side in full; this reconstruction
+//! gives every cut net three `V2` pins of probability 0 — equivalent to
+//! the paper's simplification of equal (and dropped) `p(n^{2→1})` terms,
+//! and heavy enough on the `V2` side that the LA-3 vectors of nodes 1–3
+//! match the printed `(2,0,0)` and `(2,0,1)`. The uncut nets `n12`–`n17`
+//! each connect one of nodes 4–9 to a phantom partner of probability 0.5,
+//! exactly as §3.3 assumes.
+//!
+//! ```
+//! use prop_core::example;
+//!
+//! let fig = example::figure1();
+//! let gains = fig.second_iteration_gains();
+//! assert!((gains[example::paper_node(3).index()] - 2.64).abs() < 1e-12);
+//! ```
+
+use crate::cut::CutState;
+use crate::gain::{fm_gains, probabilistic_gains};
+use crate::partition::{Bipartition, Side};
+use prop_netlist::{Hypergraph, HypergraphBuilder, NodeId};
+
+/// Number of `V1` circuit nodes in the figure (paper nodes 1–11).
+pub const V1_NODES: usize = 11;
+/// Phantom partners of nodes 4–9 on the uncut nets (also in `V1`).
+pub const PHANTOM_NODES: usize = 6;
+/// `V2` pins: three per cut net.
+pub const V2_NODES: usize = 33;
+
+/// The Figure-1 instance: hypergraph, partition, and the first-iteration
+/// node probabilities printed in Fig. 1(b).
+#[derive(Clone, Debug)]
+pub struct Figure1 {
+    /// The reconstructed hypergraph (50 nodes, 17 nets).
+    pub graph: Hypergraph,
+    /// `V1` = side A (paper nodes, phantoms), `V2` = side B.
+    pub partition: Bipartition,
+    /// Node probabilities after the first gain/probability iteration:
+    /// 1.0 for nodes 1–3, 0.8 for 10–11, 0.2 for 4–9, 0.5 for the
+    /// phantoms, 0 for the `V2` pins.
+    pub probabilities: Vec<f64>,
+}
+
+/// Maps a 1-based paper node number (1–11) to its [`NodeId`].
+///
+/// # Panics
+///
+/// Panics unless `1 <= paper_index <= 11`.
+pub fn paper_node(paper_index: usize) -> NodeId {
+    assert!(
+        (1..=V1_NODES).contains(&paper_index),
+        "paper nodes are numbered 1–11, got {paper_index}"
+    );
+    NodeId::new(paper_index - 1)
+}
+
+/// Builds the Figure-1 instance.
+pub fn figure1() -> Figure1 {
+    let total = V1_NODES + PHANTOM_NODES + V2_NODES;
+    let mut b = HypergraphBuilder::new(total);
+    // V2 pin trios are allocated sequentially per cut net.
+    let mut next_v2 = V1_NODES + PHANTOM_NODES;
+    let mut cut_net = |b: &mut HypergraphBuilder, v1_pins: &[usize]| {
+        let mut pins = v1_pins.to_vec();
+        pins.extend(next_v2..next_v2 + 3);
+        next_v2 += 3;
+        b.add_net(1.0, pins).expect("figure-1 net construction");
+    };
+    cut_net(&mut b, &[0]); // n1: node 1
+    cut_net(&mut b, &[0]); // n2: node 1
+    cut_net(&mut b, &[1]); // n3: node 2
+    cut_net(&mut b, &[1]); // n4: node 2
+    cut_net(&mut b, &[9]); // n5: node 10
+    cut_net(&mut b, &[2]); // n6: node 3
+    cut_net(&mut b, &[2]); // n7: node 3
+    cut_net(&mut b, &[10]); // n8: node 11
+    cut_net(&mut b, &[0, 3, 4, 5, 6]); // n9: nodes 1, 4–7
+    cut_net(&mut b, &[1, 7, 8]); // n10: nodes 2, 8, 9
+    cut_net(&mut b, &[2, 9, 10]); // n11: nodes 3, 10, 11
+    for i in 0..PHANTOM_NODES {
+        // n12–n17: node (4+i) with its phantom partner, uncut in V1.
+        b.add_net(1.0, [3 + i, V1_NODES + i])
+            .expect("figure-1 uncut net");
+    }
+    let graph = b.build().expect("figure-1 build");
+
+    let mut sides = vec![Side::A; total];
+    for s in sides.iter_mut().skip(V1_NODES + PHANTOM_NODES) {
+        *s = Side::B;
+    }
+    let partition = Bipartition::from_sides(sides);
+
+    let mut probabilities = vec![0.0; total];
+    for paper in 1..=3 {
+        probabilities[paper_node(paper).index()] = 1.0;
+    }
+    for paper in 4..=9 {
+        probabilities[paper_node(paper).index()] = 0.2;
+    }
+    for paper in 10..=11 {
+        probabilities[paper_node(paper).index()] = 0.8;
+    }
+    for i in 0..PHANTOM_NODES {
+        probabilities[V1_NODES + i] = 0.5;
+    }
+    Figure1 {
+        graph,
+        partition,
+        probabilities,
+    }
+}
+
+impl Figure1 {
+    /// The FM (Eqn.-1) gains of all nodes — Fig. 1(a): nodes 1–3 gain 2,
+    /// nodes 10–11 gain 1, nodes 4–9 gain −1.
+    pub fn fm_gains(&self) -> Vec<f64> {
+        let cut = CutState::new(&self.graph, &self.partition);
+        fm_gains(&self.graph, &self.partition, &cut)
+    }
+
+    /// The probabilistic gains of the second iteration — Fig. 1(c):
+    /// `g(1) = 2.0016`, `g(2) = 2.04`, `g(3) = 2.64`,
+    /// `g(10) = g(11) = 1.8`, `g(8) = g(9) = −0.3`,
+    /// `g(4) = … = g(7) = −0.492` (printed as −0.49).
+    pub fn second_iteration_gains(&self) -> Vec<f64> {
+        let locked = vec![false; self.graph.num_nodes()];
+        probabilistic_gains(&self.graph, &self.partition, &self.probabilities, &locked)
+    }
+}
+
+/// The paper-printed second-iteration gains, indexed by paper node 1–11.
+pub const EXPECTED_SECOND_ITERATION_GAINS: [f64; 11] = [
+    2.0016, 2.04, 2.64, -0.492, -0.492, -0.492, -0.492, -0.3, -0.3, 1.8, 1.8,
+];
+
+/// The paper-printed FM gains, indexed by paper node 1–11.
+pub const EXPECTED_FM_GAINS: [f64; 11] =
+    [2.0, 2.0, 2.0, -1.0, -1.0, -1.0, -1.0, -1.0, -1.0, 1.0, 1.0];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_figure() {
+        let fig = figure1();
+        assert_eq!(fig.graph.num_nodes(), 50);
+        assert_eq!(fig.graph.num_nets(), 17);
+        // Eleven cut nets, six uncut.
+        let cut = CutState::new(&fig.graph, &fig.partition);
+        assert_eq!(cut.cut_nets(), 11);
+        assert_eq!(cut.cut_cost(), 11.0);
+    }
+
+    #[test]
+    fn fm_gains_match_figure_1a() {
+        let fig = figure1();
+        let gains = fig.fm_gains();
+        for paper in 1..=11 {
+            assert_eq!(
+                gains[paper_node(paper).index()],
+                EXPECTED_FM_GAINS[paper - 1],
+                "paper node {paper}"
+            );
+        }
+    }
+
+    #[test]
+    fn probabilistic_gains_match_figure_1c() {
+        let fig = figure1();
+        let gains = fig.second_iteration_gains();
+        for paper in 1..=11 {
+            let got = gains[paper_node(paper).index()];
+            let want = EXPECTED_SECOND_ITERATION_GAINS[paper - 1];
+            assert!(
+                (got - want).abs() < 1e-12,
+                "paper node {paper}: got {got}, paper says {want}"
+            );
+        }
+    }
+
+    #[test]
+    fn node_3_is_the_unique_best_move() {
+        let fig = figure1();
+        let gains = fig.second_iteration_gains();
+        let best = (0..V1_NODES)
+            .max_by(|&a, &b| gains[a].partial_cmp(&gains[b]).unwrap())
+            .unwrap();
+        assert_eq!(NodeId::new(best), paper_node(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "numbered 1–11")]
+    fn paper_node_bounds() {
+        let _ = paper_node(12);
+    }
+}

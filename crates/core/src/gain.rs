@@ -1,0 +1,215 @@
+//! Gain functions: the deterministic FM gain (Eqn. 1) and a reference
+//! implementation of PROP's probabilistic gain (Eqns. 3–4).
+
+use crate::cut::CutState;
+use crate::partition::Bipartition;
+use prop_netlist::{Hypergraph, NodeId};
+
+/// The deterministic FM gain of `node` (Eqn. 1 of the paper): the immediate
+/// decrease in cut cost if the node moves to the other side.
+///
+/// `gain(u) = Σ_{n ∈ E(u)} c(n) − Σ_{n ∈ I(u)} c(n)` where `E(u)` are cut
+/// nets on which `u` is alone in its side and `I(u)` are nets lying
+/// entirely in `u`'s side.
+pub fn fm_gain(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    cut: &CutState,
+    node: NodeId,
+) -> f64 {
+    cut.move_gain(graph, partition, node)
+}
+
+/// The deterministic FM gains of all nodes.
+pub fn fm_gains(graph: &Hypergraph, partition: &Bipartition, cut: &CutState) -> Vec<f64> {
+    graph
+        .nodes()
+        .map(|v| cut.move_gain(graph, partition, v))
+        .collect()
+}
+
+/// Reference implementation of the probabilistic node gains of Eqns. 3–4,
+/// for an arbitrary probability assignment.
+///
+/// For node `u` on side `s` and incident net `n` of weight `c`:
+///
+/// * if `n` is cut: `g_n(u) = c·(Π_{x ∈ n∩s, x≠u} p(x) − Π_{y ∈ n∩s̄} p(y))`,
+/// * otherwise:     `g_n(u) = −c·(1 − Π_{x ∈ n∩s, x≠u} p(x))`,
+///
+/// and `g(u) = Σ_n g_n(u)`. Locked nodes contribute probability 0, which
+/// makes the general formulas subsume the locked-net special cases
+/// (Eqns. 5–6) — a locked pin on a side zeroes that side's product.
+///
+/// Locked nodes receive gain 0 (they are never move candidates).
+///
+/// This O(m·q) direct evaluation is the differential-testing oracle for the
+/// incremental product-based engine inside [`Prop`], and powers the
+/// Figure-1 worked example ([`crate::example`]).
+///
+/// # Panics
+///
+/// Panics if `probs` or `locked` disagree with the graph's node count, or
+/// if any unlocked probability is outside `[0, 1]`.
+///
+/// [`Prop`]: crate::Prop
+pub fn probabilistic_gains(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    probs: &[f64],
+    locked: &[bool],
+) -> Vec<f64> {
+    let n = graph.num_nodes();
+    assert_eq!(probs.len(), n, "probability vector length mismatch");
+    assert_eq!(locked.len(), n, "locked vector length mismatch");
+    for (i, &p) in probs.iter().enumerate() {
+        assert!(
+            locked[i] || (0.0..=1.0).contains(&p),
+            "probability {p} of node {i} outside [0, 1]"
+        );
+    }
+    let eff = |v: NodeId| -> f64 {
+        if locked[v.index()] {
+            0.0
+        } else {
+            probs[v.index()]
+        }
+    };
+    let mut gains = vec![0.0; n];
+    for u in graph.nodes() {
+        if locked[u.index()] {
+            continue;
+        }
+        let s = partition.side(u);
+        let mut g = 0.0;
+        for &net in graph.nets_of(u) {
+            let c = graph.net_weight(net);
+            let mut prod_same = 1.0;
+            let mut prod_other = 1.0;
+            let mut other_pins = 0usize;
+            for &x in graph.pins_of(net) {
+                if partition.side(x) == s {
+                    if x != u {
+                        prod_same *= eff(x);
+                    }
+                } else {
+                    other_pins += 1;
+                    prod_other *= eff(x);
+                }
+            }
+            if other_pins > 0 {
+                g += c * (prod_same - prod_other);
+            } else {
+                g -= c * (1.0 - prod_same);
+            }
+        }
+        gains[u.index()] = g;
+    }
+    gains
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Side;
+    use prop_netlist::HypergraphBuilder;
+
+    fn two_net_graph() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn fm_gain_matches_definition() {
+        let g = two_net_graph();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let cut = CutState::new(&g, &p);
+        // Node 2 is alone on side B of net 0 (cut), and net 1 is internal
+        // to B: gain = +1 − 1 = 0.
+        assert_eq!(fm_gain(&g, &p, &cut, NodeId::new(2)), 0.0);
+        // Node 3: net 1 internal: gain −1.
+        assert_eq!(fm_gain(&g, &p, &cut, NodeId::new(3)), -1.0);
+        let all = fm_gains(&g, &p, &cut);
+        assert_eq!(all.len(), 4);
+        assert_eq!(all[3], -1.0);
+    }
+
+    #[test]
+    fn unit_probabilities_reduce_to_certainty() {
+        // With p ≡ 1, a cut net's gain is 1 − 1 = 0 unless u is alone on
+        // its side (then 1 − 1 = 0 still, since the other side's product is
+        // 1)… and an uncut net contributes 0. The probabilistic gain is the
+        // *certain-future* gain, not the FM gain.
+        let g = two_net_graph();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let gains = probabilistic_gains(&g, &p, &[1.0; 4], &[false; 4]);
+        assert_eq!(gains, vec![0.0, 0.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn zero_probabilities_reduce_to_fm_gain() {
+        // With p ≡ 0 for every *other* node, the products vanish except for
+        // empty products: a cut net where u is alone on its side gives
+        // c·(1 − 0) = c, an uncut net gives −c·(1 − 0)... except when u is
+        // the only pin. That is exactly Eqn. 1 restricted to nets where the
+        // events are certain.
+        let g = two_net_graph();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let cut = CutState::new(&g, &p);
+        let gains = probabilistic_gains(&g, &p, &[0.0; 4], &[false; 4]);
+        for v in g.nodes() {
+            assert_eq!(gains[v.index()], fm_gain(&g, &p, &cut, v), "{v}");
+        }
+    }
+
+    #[test]
+    fn locked_pin_zeroes_side_product() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        let g = b.build().unwrap();
+        // Net cut: {0,1} in A, {2} in B. Node 2 locked (just moved there).
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B]);
+        let locked = [false, false, true];
+        let probs = [0.5, 0.5, 0.9];
+        let gains = probabilistic_gains(&g, &p, &probs, &locked);
+        // Eqn. 5: g(0) = c · Π_{x ∈ n∩A − {0}} p(x) = 0.5 (the other side's
+        // product is zeroed by the locked pin).
+        assert!((gains[0] - 0.5).abs() < 1e-12);
+        assert!((gains[1] - 0.5).abs() < 1e-12);
+        // Locked node has no gain.
+        assert_eq!(gains[2], 0.0);
+    }
+
+    #[test]
+    fn uncut_net_locked_in_side_gives_full_penalty() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(3.0, [0, 1]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A]);
+        // Node 1 locked in A: moving node 0 cuts the net forever: gain −c.
+        let gains = probabilistic_gains(&g, &p, &[0.7, 0.7], &[false, true]);
+        assert_eq!(gains[0], -3.0);
+    }
+
+    #[test]
+    fn single_pin_net_contributes_nothing() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(1.0, [0]).unwrap();
+        b.add_net(1.0, [0, 1]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::B]);
+        let gains = probabilistic_gains(&g, &p, &[0.5, 0.5], &[false, false]);
+        // Net 0 (single pin): empty same-side product = 1, net is uncut:
+        // −c(1−1) = 0. Net 1 is cut with u alone: 1 − 0.5 = 0.5.
+        assert!((gains[0] - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn out_of_range_probability_panics() {
+        let g = two_net_graph();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let _ = probabilistic_gains(&g, &p, &[1.5, 0.5, 0.5, 0.5], &[false; 4]);
+    }
+}

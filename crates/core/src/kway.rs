@@ -1,0 +1,310 @@
+//! Recursive k-way partitioning by repeated bisection.
+//!
+//! The paper's §1: "Each subset is further partitioned into two smaller
+//! subsets with a minimum cut, and so forth until we have recursively
+//! partitioned the circuit into either a prespecified number k of
+//! subsets…". This module drives any 2-way [`Partitioner`] through that
+//! recursion, splitting block targets as evenly as possible and applying
+//! the `(r1, r2)` balance at every level.
+
+use crate::balance::BalanceConstraint;
+use crate::error::PartitionError;
+use crate::partition::Side;
+use crate::partitioner::Partitioner;
+use prop_netlist::{Hypergraph, NetId, NodeId};
+
+/// An assignment of every node to one of `k` blocks.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct KwayPartition {
+    assignment: Vec<u32>,
+    blocks: usize,
+}
+
+impl KwayPartition {
+    /// The block of `node`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `node` is out of range.
+    #[inline]
+    pub fn block(&self, node: NodeId) -> usize {
+        self.assignment[node.index()] as usize
+    }
+
+    /// Number of blocks `k`.
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.blocks
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Returns `true` for the empty assignment.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.assignment.is_empty()
+    }
+
+    /// Node counts per block.
+    pub fn block_sizes(&self) -> Vec<usize> {
+        let mut sizes = vec![0usize; self.blocks];
+        for &b in &self.assignment {
+            sizes[b as usize] += 1;
+        }
+        sizes
+    }
+
+    /// Node weights per block.
+    pub fn block_weights(&self, graph: &Hypergraph) -> Vec<f64> {
+        let mut weights = vec![0.0; self.blocks];
+        for v in graph.nodes() {
+            weights[self.block(v)] += graph.node_weight(v);
+        }
+        weights
+    }
+
+    /// Whether `net` spans two or more blocks.
+    pub fn is_cut(&self, graph: &Hypergraph, net: NetId) -> bool {
+        let mut blocks = graph.pins_of(net).iter().map(|&v| self.block(v));
+        match blocks.next() {
+            None => false,
+            Some(first) => blocks.any(|b| b != first),
+        }
+    }
+
+    /// The k-way cutset cost: total weight of nets spanning ≥ 2 blocks.
+    pub fn cut_cost(&self, graph: &Hypergraph) -> f64 {
+        graph
+            .nets()
+            .filter(|&net| self.is_cut(graph, net))
+            .map(|net| graph.net_weight(net))
+            .sum()
+    }
+
+    /// Number of cut nets.
+    pub fn cut_nets(&self, graph: &Hypergraph) -> usize {
+        graph.nets().filter(|&net| self.is_cut(graph, net)).count()
+    }
+}
+
+/// Recursively bisects `graph` into `k` blocks with `partitioner`,
+/// running `runs` seeded 2-way runs per bisection under an `(r1, r2)`
+/// balance (adjusted for uneven block splits when `k` is not a power of
+/// two). Blocks of at most 3 nodes are not split further (§1).
+///
+/// # Errors
+///
+/// * [`PartitionError::EmptyGraph`] for a node-less graph.
+/// * [`PartitionError::InvalidConfig`] when `k == 0`, `k` exceeds the
+///   node count, or `runs == 0`.
+/// * [`PartitionError::InvalidBalance`] for unsatisfiable ratios.
+pub fn recursive_bisection<P: Partitioner + ?Sized>(
+    graph: &Hypergraph,
+    k: usize,
+    r1: f64,
+    r2: f64,
+    partitioner: &P,
+    runs: usize,
+    seed: u64,
+) -> Result<KwayPartition, PartitionError> {
+    let n = graph.num_nodes();
+    if n == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    if k == 0 || k > n {
+        return Err(PartitionError::InvalidConfig {
+            message: format!("cannot split {n} nodes into {k} blocks"),
+        });
+    }
+    if runs == 0 {
+        return Err(PartitionError::InvalidConfig {
+            message: "runs must be at least 1".into(),
+        });
+    }
+    // Validate the ratios once up front.
+    let _ = BalanceConstraint::new(r1, r2, n)?;
+
+    let mut assignment = vec![0u32; n];
+    let mut next_block = 0u32;
+    let all: Vec<NodeId> = graph.nodes().collect();
+    split(
+        graph,
+        all,
+        k,
+        r1,
+        r2,
+        partitioner,
+        runs,
+        seed,
+        &mut assignment,
+        &mut next_block,
+    )?;
+    Ok(KwayPartition {
+        assignment,
+        blocks: next_block as usize,
+    })
+}
+
+#[allow(clippy::too_many_arguments)]
+fn split<P: Partitioner + ?Sized>(
+    graph: &Hypergraph,
+    nodes: Vec<NodeId>,
+    blocks_wanted: usize,
+    r1: f64,
+    r2: f64,
+    partitioner: &P,
+    runs: usize,
+    seed: u64,
+    assignment: &mut [u32],
+    next_block: &mut u32,
+) -> Result<(), PartitionError> {
+    if blocks_wanted <= 1 || nodes.len() <= 3 {
+        let block = *next_block;
+        *next_block += 1;
+        for v in nodes {
+            assignment[v.index()] = block;
+        }
+        return Ok(());
+    }
+    let (sub, back) = graph.induced_subgraph(&nodes);
+    // Uneven k: one branch receives ceil(k/2) of the blocks. The balance
+    // constraint is symmetric, so the window is widened to admit the
+    // ideal larger-side fraction, and after the split the heavier side is
+    // handed the larger block budget.
+    let blocks_a = blocks_wanted.div_ceil(2);
+    let blocks_b = blocks_wanted - blocks_a;
+    let (r1_eff, r2_eff) = if blocks_a == blocks_b {
+        (r1, r2)
+    } else {
+        let target = blocks_a as f64 / blocks_wanted as f64;
+        let hi = r2.max(target + (r2 - r1) / 4.0).min(0.99);
+        ((1.0 - hi).max(0.01), hi)
+    };
+    let balance = BalanceConstraint::weighted(r1_eff, r2_eff, &sub)?;
+    let result = partitioner.run_multi(&sub, balance, runs, seed ^ nodes.len() as u64)?;
+
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    let mut weight = [0.0f64; 2];
+    for v in sub.nodes() {
+        weight[result.partition.side(v).index()] += sub.node_weight(v);
+        if result.partition.side(v) == Side::A {
+            left.push(back[v.index()]);
+        } else {
+            right.push(back[v.index()]);
+        }
+    }
+    let (big, small) = if weight[0] >= weight[1] {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    split(
+        graph, big, blocks_a, r1, r2, partitioner, runs, seed, assignment, next_block,
+    )?;
+    split(
+        graph, small, blocks_b, r1, r2, partitioner, runs, seed, assignment, next_block,
+    )?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prop::{Prop, PropConfig};
+    use prop_netlist::generate::{generate, GeneratorConfig};
+
+    fn circuit(seed: u64) -> Hypergraph {
+        generate(&GeneratorConfig::new(256, 280, 950).with_seed(seed)).unwrap()
+    }
+
+    fn prop() -> Prop {
+        Prop::new(PropConfig::calibrated())
+    }
+
+    #[test]
+    fn four_way_blocks_are_balanced() {
+        let g = circuit(1);
+        let kp = recursive_bisection(&g, 4, 0.45, 0.55, &prop(), 2, 0).unwrap();
+        assert_eq!(kp.num_blocks(), 4);
+        assert_eq!(kp.len(), 256);
+        let sizes = kp.block_sizes();
+        assert_eq!(sizes.iter().sum::<usize>(), 256);
+        for &s in &sizes {
+            // Each block within a generous window of n/k.
+            assert!((40..=90).contains(&s), "block sizes {sizes:?}");
+        }
+        assert!(kp.cut_cost(&g) > 0.0);
+        assert_eq!(kp.cut_cost(&g), kp.cut_nets(&g) as f64);
+    }
+
+    #[test]
+    fn non_power_of_two_k() {
+        let g = circuit(2);
+        let kp = recursive_bisection(&g, 5, 0.45, 0.55, &prop(), 1, 0).unwrap();
+        assert_eq!(kp.num_blocks(), 5);
+        let sizes = kp.block_sizes();
+        for &s in &sizes {
+            assert!((28..=80).contains(&s), "block sizes {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn k_equals_one_is_identity() {
+        let g = circuit(3);
+        let kp = recursive_bisection(&g, 1, 0.45, 0.55, &prop(), 1, 0).unwrap();
+        assert_eq!(kp.num_blocks(), 1);
+        assert_eq!(kp.cut_nets(&g), 0);
+        assert_eq!(kp.block_sizes(), vec![256]);
+    }
+
+    #[test]
+    fn more_blocks_cut_more_nets() {
+        let g = circuit(4);
+        let k2 = recursive_bisection(&g, 2, 0.45, 0.55, &prop(), 2, 0).unwrap();
+        let k8 = recursive_bisection(&g, 8, 0.45, 0.55, &prop(), 2, 0).unwrap();
+        assert!(k8.cut_cost(&g) >= k2.cut_cost(&g));
+    }
+
+    #[test]
+    fn invalid_arguments() {
+        let g = circuit(5);
+        assert!(recursive_bisection(&g, 0, 0.45, 0.55, &prop(), 1, 0).is_err());
+        assert!(recursive_bisection(&g, 300, 0.45, 0.55, &prop(), 1, 0).is_err());
+        assert!(recursive_bisection(&g, 2, 0.45, 0.55, &prop(), 0, 0).is_err());
+        assert!(recursive_bisection(&g, 2, 0.7, 0.8, &prop(), 1, 0).is_err());
+        let empty = prop_netlist::HypergraphBuilder::new(0).build().unwrap();
+        assert_eq!(
+            recursive_bisection(&empty, 2, 0.45, 0.55, &prop(), 1, 0),
+            Err(PartitionError::EmptyGraph)
+        );
+    }
+
+    #[test]
+    fn weighted_blocks_balance_by_area() {
+        let mut b = prop_netlist::HypergraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        b.set_node_weights(vec![4.0, 1.0, 1.0, 1.0, 4.0, 1.0, 1.0, 1.0])
+            .unwrap();
+        let g = b.build().unwrap();
+        let kp = recursive_bisection(&g, 2, 0.4, 0.6, &prop(), 3, 0).unwrap();
+        let w = kp.block_weights(&g);
+        assert_eq!(w.iter().sum::<f64>(), 14.0);
+        // Neither side may hoard both heavy nodes plus most light ones.
+        assert!(w.iter().all(|&x| x <= 10.0), "{w:?}");
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = circuit(6);
+        let a = recursive_bisection(&g, 4, 0.45, 0.55, &prop(), 2, 9).unwrap();
+        let b = recursive_bisection(&g, 4, 0.45, 0.55, &prop(), 2, 9).unwrap();
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,535 @@
+//! The per-pass PROP engine: probability refinement, product maintenance,
+//! move selection, and prefix commit.
+
+use crate::balance::BalanceConstraint;
+use crate::cut::CutState;
+use crate::gain::fm_gains;
+use crate::partition::{Bipartition, Side, SideWeights};
+use crate::prop::config::{GainInit, PropConfig};
+use prop_dstruct::{AvlTree, OrderedF64, PrefixTracker};
+use prop_netlist::{Hypergraph, NetId, NodeId};
+
+/// AVL key: gain first, then a monotonically increasing *recency stamp*,
+/// then the node id. `max()` is the paper's "node with the best gain";
+/// among equal gains the most recently (re)inserted node wins, matching
+/// the LIFO tie-breaking of the classic FM bucket structure — which is
+/// known to matter for cut quality.
+type GainKey = (OrderedF64, u64, u32);
+
+pub(crate) struct Engine<'a> {
+    graph: &'a Hypergraph,
+    config: &'a PropConfig,
+    balance: BalanceConstraint,
+    /// Node probabilities; 0 exactly when locked.
+    p: Vec<f64>,
+    /// Current probabilistic gains.
+    gain: Vec<f64>,
+    locked: Vec<bool>,
+    /// Per net and side: product of `p(x)` over *unlocked* pins.
+    prod: Vec<[f64; 2]>,
+    /// Per net and side: number of locked pins. A positive count zeroes
+    /// the side's effective product (locked probability is 0).
+    locked_cnt: Vec<[u32; 2]>,
+    /// Unlocked nodes of each side ranked by gain.
+    trees: [AvlTree<GainKey>; 2],
+    /// Epoch marks for neighbor de-duplication.
+    mark: Vec<u32>,
+    epoch: u32,
+    /// Per-node recency stamp of its current tree key.
+    stamp: Vec<u64>,
+    next_stamp: u64,
+    /// Running per-side node weights (size-constrained balance).
+    side_weights: SideWeights,
+    moves: Vec<NodeId>,
+    prefix: PrefixTracker,
+}
+
+impl<'a> Engine<'a> {
+    pub(crate) fn new(
+        graph: &'a Hypergraph,
+        config: &'a PropConfig,
+        balance: BalanceConstraint,
+    ) -> Self {
+        let n = graph.num_nodes();
+        let e = graph.num_nets();
+        Engine {
+            graph,
+            config,
+            balance,
+            p: vec![0.0; n],
+            gain: vec![0.0; n],
+            locked: vec![false; n],
+            prod: vec![[1.0; 2]; e],
+            locked_cnt: vec![[0; 2]; e],
+            trees: [AvlTree::new(), AvlTree::new()],
+            mark: vec![0; n],
+            epoch: 0,
+            stamp: vec![0; n],
+            next_stamp: 0,
+            side_weights: SideWeights::new(graph, &Bipartition::from_sides(vec![Side::A; n])),
+            moves: Vec::with_capacity(n),
+            prefix: PrefixTracker::with_capacity(n),
+        }
+    }
+
+    fn key_of(&self, v: NodeId) -> GainKey {
+        (
+            OrderedF64::new(self.gain[v.index()]),
+            self.stamp[v.index()],
+            v.index() as u32,
+        )
+    }
+
+    fn tree_insert(&mut self, v: NodeId, side_index: usize) {
+        self.next_stamp += 1;
+        self.stamp[v.index()] = self.next_stamp;
+        let key = self.key_of(v);
+        let inserted = self.trees[side_index].insert(key);
+        debug_assert!(inserted, "duplicate tree key");
+    }
+
+    /// Runs one pass (steps 3–10 of Fig. 2) and returns the committed gain
+    /// (0 when the pass found no improving prefix and was fully rolled
+    /// back, which terminates the run) plus the pass trace.
+    pub(crate) fn run_pass(
+        &mut self,
+        partition: &mut Bipartition,
+        cut: &mut CutState,
+    ) -> (f64, crate::prop::PassTrace) {
+        let n = self.graph.num_nodes();
+        if n == 0 {
+            return (0.0, crate::prop::PassTrace::default());
+        }
+        self.locked.iter_mut().for_each(|l| *l = false);
+        self.moves.clear();
+        self.prefix.clear();
+        self.side_weights = SideWeights::new(self.graph, partition);
+
+        self.seed_probabilities(partition, cut);
+        // Alternate gain and probability recomputation (step 4).
+        for _ in 0..self.config.refine_iterations {
+            self.rebuild_products(partition);
+            self.recompute_all_gains(partition, cut);
+            for v in 0..n {
+                self.p[v] = self.config.probability_of(self.gain[v]);
+            }
+        }
+        // Make gains and products consistent with the final probabilities.
+        self.rebuild_products(partition);
+        self.recompute_all_gains(partition, cut);
+
+        self.trees[0].clear();
+        self.trees[1].clear();
+        for v in self.graph.nodes() {
+            self.tree_insert(v, partition.side(v).index());
+        }
+
+        // Move phase (steps 5–8).
+        while let Some(u) = self.select_move(partition) {
+            self.apply_and_update(u, partition, cut);
+        }
+
+        // Commit the best feasible prefix (steps 9–10).
+        let best = self.prefix.best();
+        let commit = best.map_or(0, |b| b.moves);
+        for i in (commit..self.moves.len()).rev() {
+            cut.apply_move(self.graph, partition, self.moves[i]);
+        }
+        let committed_gain = best.map_or(0.0, |b| b.gain);
+
+        // Trace: how deep into negative territory the committed prefix
+        // travelled — the paper's "moving such a node at the present time,
+        // we expect that a future move will have a large immediate gain".
+        let mut running = 0.0f64;
+        let mut drawdown = 0.0f64;
+        for &g in &self.prefix.gains()[..commit] {
+            running += g;
+            drawdown = drawdown.min(running);
+        }
+        let trace = crate::prop::PassTrace {
+            tentative_moves: self.moves.len(),
+            committed_moves: commit,
+            committed_gain,
+            max_drawdown: drawdown,
+        };
+        (committed_gain, trace)
+    }
+
+    /// Step 3: seed probabilities uniformly or from deterministic gains.
+    fn seed_probabilities(&mut self, partition: &Bipartition, cut: &CutState) {
+        match self.config.init {
+            GainInit::Uniform => self.p.iter_mut().for_each(|p| *p = self.config.p_init),
+            GainInit::Deterministic => {
+                let det = fm_gains(self.graph, partition, cut);
+                for (p, g) in self.p.iter_mut().zip(det) {
+                    *p = self.config.probability_of(g);
+                }
+            }
+        }
+    }
+
+    /// Rebuilds every net's per-side unlocked products and locked counts.
+    fn rebuild_products(&mut self, partition: &Bipartition) {
+        for net in self.graph.nets() {
+            self.recompute_net(net, partition);
+        }
+    }
+
+    /// Exactly recomputes one net's products from current probabilities —
+    /// O(q); used for all nets incident to a moved node, avoiding
+    /// multiplicative drift entirely.
+    fn recompute_net(&mut self, net: NetId, partition: &Bipartition) {
+        let mut prod = [1.0f64; 2];
+        let mut cnt = [0u32; 2];
+        for &x in self.graph.pins_of(net) {
+            let s = partition.side(x).index();
+            if self.locked[x.index()] {
+                cnt[s] += 1;
+            } else {
+                prod[s] *= self.p[x.index()];
+            }
+        }
+        self.prod[net.index()] = prod;
+        self.locked_cnt[net.index()] = cnt;
+    }
+
+    fn recompute_all_gains(&mut self, partition: &Bipartition, cut: &CutState) {
+        for v in self.graph.nodes() {
+            if !self.locked[v.index()] {
+                self.gain[v.index()] = self.compute_gain(v, partition, cut);
+            }
+        }
+    }
+
+    /// Eqns. 3–4 through the per-net products: O(p(u)) per call.
+    fn compute_gain(&self, u: NodeId, partition: &Bipartition, cut: &CutState) -> f64 {
+        let s = partition.side(u);
+        let (si, oi) = (s.index(), s.other().index());
+        let pu = self.p[u.index()];
+        debug_assert!(pu > 0.0, "gain of a locked node requested");
+        let mut g = 0.0;
+        for &net in self.graph.nets_of(u) {
+            let ni = net.index();
+            let c = self.graph.net_weight(net);
+            let same = if self.locked_cnt[ni][si] > 0 {
+                0.0
+            } else {
+                (self.prod[ni][si] / pu).clamp(0.0, 1.0)
+            };
+            if cut.pins_on(net, s.other()) > 0 {
+                let other = if self.locked_cnt[ni][oi] > 0 {
+                    0.0
+                } else {
+                    self.prod[ni][oi].clamp(0.0, 1.0)
+                };
+                g += c * (same - other);
+            } else {
+                g -= c * (1.0 - same);
+            }
+        }
+        g
+    }
+
+    /// Step 6: the best-gain node over both sides whose move keeps the
+    /// destination within the pass-relaxed balance bound; when the global
+    /// best is blocked, the best node of the other side is taken. Under a
+    /// size-constrained balance the scan walks each tree in descending
+    /// gain order until a node that fits is found.
+    fn select_move(&self, partition: &Bipartition) -> Option<NodeId> {
+        let counts = [partition.count(Side::A), partition.count(Side::B)];
+        let weights = self.side_weights.as_array();
+        let mut best: Option<GainKey> = None;
+        for si in 0..2 {
+            let side = Side::from_index(si);
+            if !self.balance.is_weighted() {
+                // Count-based feasibility is per side, not per node.
+                if !self.balance.allows_move(side, counts[0], counts[1]) {
+                    continue;
+                }
+                if let Some(&key) = self.trees[si].max() {
+                    if best.is_none_or(|b| key > b) {
+                        best = Some(key);
+                    }
+                }
+                continue;
+            }
+            for &key in self.trees[si].iter_desc() {
+                let v = NodeId::new(key.2 as usize);
+                if self.balance.allows_node_move(
+                    side,
+                    counts,
+                    weights,
+                    self.graph.node_weight(v),
+                ) {
+                    if best.is_none_or(|b| key > b) {
+                        best = Some(key);
+                    }
+                    break;
+                }
+            }
+        }
+        best.map(|(_, _, id)| NodeId::new(id as usize))
+    }
+
+    /// Steps 7–8: move `u`, lock it, note the immediate gain, and update
+    /// the affected nets, its neighbors (gains *and* probabilities, per
+    /// §3.4), and the top-k of each side.
+    fn apply_and_update(
+        &mut self,
+        u: NodeId,
+        partition: &mut Bipartition,
+        cut: &mut CutState,
+    ) {
+        let from = partition.side(u);
+        let key = self.key_of(u);
+        let removed = self.trees[from.index()].remove(&key);
+        debug_assert!(removed, "selected node missing from its tree");
+
+        let immediate = cut.apply_move(self.graph, partition, u);
+        self.side_weights.apply_move(from, self.graph.node_weight(u));
+        self.locked[u.index()] = true;
+        self.p[u.index()] = 0.0;
+        for i in 0..self.graph.nets_of(u).len() {
+            let net = self.graph.nets_of(u)[i];
+            self.recompute_net(net, partition);
+        }
+        self.prefix.push(
+            immediate,
+            self.balance.is_feasible(
+                [partition.count(Side::A), partition.count(Side::B)],
+                self.side_weights.as_array(),
+            ),
+        );
+        self.moves.push(u);
+
+        // Refresh all unlocked neighbors (each once): new gain from the
+        // updated products, then a new probability from the new gain —
+        // propagated into the neighbor's nets' products. This is why §3.4
+        // speaks of neighbors-of-neighbors "whose probabilities have been
+        // updated": the top-k refresh below catches that second-order
+        // staleness without a full cascade.
+        self.epoch = self.epoch.wrapping_add(1);
+        if self.epoch == 0 {
+            self.mark.iter_mut().for_each(|m| *m = u32::MAX);
+            self.epoch = 1;
+        }
+        self.mark[u.index()] = self.epoch;
+        for i in 0..self.graph.nets_of(u).len() {
+            let net = self.graph.nets_of(u)[i];
+            for j in 0..self.graph.pins_of(net).len() {
+                let x = self.graph.pins_of(net)[j];
+                if !self.locked[x.index()] && self.mark[x.index()] != self.epoch {
+                    self.mark[x.index()] = self.epoch;
+                    self.refresh_node(x, partition, cut);
+                }
+            }
+        }
+
+        // §3.4: additionally refresh the few top-ranked nodes per side.
+        let k = self.config.top_k_refresh;
+        if k > 0 {
+            for si in 0..2 {
+                let top: Vec<u32> = self.trees[si]
+                    .iter_desc()
+                    .take(k)
+                    .map(|&(_, _, id)| id)
+                    .collect();
+                for id in top {
+                    self.refresh_node(NodeId::new(id as usize), partition, cut);
+                }
+            }
+        }
+    }
+
+    /// Recomputes one unlocked node's gain, repositions it in its tree,
+    /// and propagates its refreshed probability into its nets' products.
+    fn refresh_node(&mut self, x: NodeId, partition: &Bipartition, cut: &CutState) {
+        let new_gain = self.compute_gain(x, partition, cut);
+        let si = partition.side(x).index();
+        if new_gain != self.gain[x.index()] {
+            let old_key = self.key_of(x);
+            let removed = self.trees[si].remove(&old_key);
+            debug_assert!(removed, "refreshed node missing from its tree");
+            self.gain[x.index()] = new_gain;
+            self.tree_insert(x, si);
+        }
+        let new_p = self.config.probability_of(new_gain);
+        let old_p = self.p[x.index()];
+        if new_p != old_p {
+            // Incremental product update: x is unlocked and stays on its
+            // side, so only its own factor changes. Probabilities are
+            // bounded below by p_min > 0, making the division exact enough;
+            // the per-pass product rebuild resets any residual drift.
+            self.p[x.index()] = new_p;
+            let ratio = new_p / old_p;
+            for i in 0..self.graph.nets_of(x).len() {
+                let net = self.graph.nets_of(x)[i];
+                self.prod[net.index()][si] *= ratio;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gain::probabilistic_gains;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// The incremental product-based gains must match the naive Eqn. 3–4
+    /// oracle at the start of the move phase.
+    #[test]
+    fn product_gains_match_naive_oracle() {
+        let graph = generate(&GeneratorConfig::new(60, 70, 230).with_seed(21)).unwrap();
+        let config = PropConfig::default();
+        let balance = BalanceConstraint::bisection(60);
+        let mut rng = StdRng::seed_from_u64(5);
+        let partition = Bipartition::random(60, &mut rng);
+        let cut = CutState::new(&graph, &partition);
+
+        let mut engine = Engine::new(&graph, &config, balance);
+        engine.p.iter_mut().for_each(|p| *p = 0.7);
+        engine.rebuild_products(&partition);
+        engine.recompute_all_gains(&partition, &cut);
+
+        let oracle = probabilistic_gains(&graph, &partition, &vec![0.7; 60], &[false; 60]);
+        for v in 0..60 {
+            assert!(
+                (engine.gain[v] - oracle[v]).abs() < 1e-9,
+                "node {v}: {} vs {}",
+                engine.gain[v],
+                oracle[v]
+            );
+        }
+    }
+
+    /// After several locked moves, the engine's incremental gains must
+    /// match the oracle evaluated with the current locks. Probabilities
+    /// are pinned (`p_min == p_max`) so per-move probability refreshes are
+    /// no-ops and every refreshed gain is exactly oracle-comparable.
+    #[test]
+    fn incremental_gains_match_oracle_after_moves() {
+        let graph = generate(&GeneratorConfig::new(40, 48, 160).with_seed(33)).unwrap();
+        let mut config = PropConfig::default();
+        config.p_min = 0.7;
+        config.p_max = 0.7;
+        config.p_init = 0.7;
+        let balance = BalanceConstraint::bisection(40);
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut partition = Bipartition::random(40, &mut rng);
+        let mut cut = CutState::new(&graph, &partition);
+
+        let mut engine = Engine::new(&graph, &config, balance);
+        engine.seed_probabilities(&partition, &cut);
+        engine.rebuild_products(&partition);
+        engine.recompute_all_gains(&partition, &cut);
+        for v in graph.nodes() {
+            engine.tree_insert(v, partition.side(v).index());
+        }
+
+        for step in 0..10 {
+            let u = engine.select_move(&partition).expect("moves available");
+            engine.apply_and_update(u, &mut partition, &mut cut);
+            // Oracle gains under current probabilities and locks, for every
+            // node the engine refreshed (its up-to-date neighbors). Nodes
+            // the engine deliberately leaves stale are skipped — the paper
+            // only refreshes neighbors and the top-k.
+            let oracle = probabilistic_gains(&graph, &partition, &engine.p, &engine.locked);
+            let mut checked = 0;
+            for x in graph.nodes() {
+                if engine.locked[x.index()] || engine.mark[x.index()] != engine.epoch {
+                    continue;
+                }
+                assert!(
+                    (engine.gain[x.index()] - oracle[x.index()]).abs() < 1e-9,
+                    "step {step}, node {x}"
+                );
+                checked += 1;
+            }
+            assert!(checked > 0, "step {step} refreshed no neighbors");
+        }
+    }
+
+    /// With the default (probability-refreshing) configuration, the per-net
+    /// products must stay exactly consistent with a from-scratch rebuild
+    /// from the current probabilities after every move.
+    #[test]
+    fn products_stay_consistent_under_probability_refresh() {
+        let graph = generate(&GeneratorConfig::new(40, 48, 160).with_seed(34)).unwrap();
+        let config = PropConfig::default();
+        let balance = BalanceConstraint::bisection(40);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut partition = Bipartition::random(40, &mut rng);
+        let mut cut = CutState::new(&graph, &partition);
+
+        let mut engine = Engine::new(&graph, &config, balance);
+        engine.seed_probabilities(&partition, &cut);
+        engine.rebuild_products(&partition);
+        engine.recompute_all_gains(&partition, &cut);
+        for v in graph.nodes() {
+            engine.tree_insert(v, partition.side(v).index());
+        }
+        for _ in 0..12 {
+            let u = engine.select_move(&partition).expect("moves available");
+            engine.apply_and_update(u, &mut partition, &mut cut);
+            let (prod_snapshot, cnt_snapshot) =
+                (engine.prod.clone(), engine.locked_cnt.clone());
+            engine.rebuild_products(&partition);
+            for net in graph.nets() {
+                let i = net.index();
+                assert_eq!(cnt_snapshot[i], engine.locked_cnt[i], "net {net}");
+                for s in 0..2 {
+                    assert!(
+                        (prod_snapshot[i][s] - engine.prod[i][s]).abs() < 1e-12,
+                        "net {net} side {s}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// A full pass must leave the cut state exactly consistent with a
+    /// from-scratch recount, and the partition feasible.
+    #[test]
+    fn pass_leaves_consistent_state() {
+        let graph = generate(&GeneratorConfig::new(80, 96, 330).with_seed(55)).unwrap();
+        let config = PropConfig::default();
+        let balance = BalanceConstraint::bisection(80);
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut partition = Bipartition::random(80, &mut rng);
+        let mut cut = CutState::new(&graph, &partition);
+        let before = cut.cut_cost();
+
+        let mut engine = Engine::new(&graph, &config, balance);
+        let (committed, trace) = engine.run_pass(&mut partition, &mut cut);
+        assert_eq!(trace.committed_gain, committed);
+        assert!(trace.committed_moves <= trace.tentative_moves);
+        assert!(trace.max_drawdown <= 0.0);
+        let fresh = CutState::new(&graph, &partition);
+        assert_eq!(cut, fresh);
+        assert!((before - cut.cut_cost() - committed).abs() < 1e-9);
+        assert!(partition.is_balanced(balance));
+    }
+
+    /// Every tentative move of a pass touches each node at most once: the
+    /// pass locks nodes monotonically.
+    #[test]
+    fn pass_moves_each_node_at_most_once() {
+        let graph = generate(&GeneratorConfig::new(30, 36, 120).with_seed(77)).unwrap();
+        let config = PropConfig::default();
+        let balance = BalanceConstraint::bisection(30);
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut partition = Bipartition::random(30, &mut rng);
+        let mut cut = CutState::new(&graph, &partition);
+        let mut engine = Engine::new(&graph, &config, balance);
+        engine.run_pass(&mut partition, &mut cut);
+        let mut seen = [false; 30];
+        for &u in &engine.moves {
+            assert!(!seen[u.index()], "node {u} moved twice");
+            seen[u.index()] = true;
+        }
+        assert!(!engine.moves.is_empty());
+    }
+}

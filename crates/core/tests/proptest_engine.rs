@@ -1,0 +1,126 @@
+//! Property tests of the PROP engine and k-way driver on arbitrary
+//! hypergraphs.
+
+use proptest::prelude::*;
+use prop_core::{
+    probabilistic_gains, recursive_bisection, BalanceConstraint, Bipartition, CutState,
+    Partitioner, Prop, PropConfig, Side,
+};
+use prop_netlist::{Hypergraph, HypergraphBuilder};
+
+fn arb_graph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..36).prop_flat_map(|n| {
+        proptest::collection::vec(proptest::collection::vec(0..n, 2..5), 2..60).prop_map(
+            move |nets| {
+                let mut b = HypergraphBuilder::new(n);
+                for pins in nets {
+                    b.add_net(1.0, pins).expect("valid pins");
+                }
+                b.build().expect("valid graph")
+            },
+        )
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The locked-net special cases (Eqns. 5–6) are subsumed by the
+    /// general formulas with locked probability 0: zeroing a node's
+    /// probability and marking it locked yield identical gains for all
+    /// *other* nodes.
+    #[test]
+    fn locked_equals_zero_probability(
+        g in arb_graph(),
+        mask in any::<u64>(),
+        p in 0.1f64..0.95,
+    ) {
+        let n = g.num_nodes();
+        let sides: Vec<Side> = (0..n)
+            .map(|i| if i % 2 == 0 { Side::A } else { Side::B })
+            .collect();
+        let partition = Bipartition::from_sides(sides);
+        let locked: Vec<bool> = (0..n).map(|i| (mask >> (i % 64)) & 1 == 1).collect();
+        let probs = vec![p; n];
+        let with_locks = probabilistic_gains(&g, &partition, &probs, &locked);
+        // Same computation, expressing locks as probability-0 nodes.
+        let zeroed: Vec<f64> = probs
+            .iter()
+            .zip(&locked)
+            .map(|(&p, &l)| if l { 0.0 } else { p })
+            .collect();
+        let with_zeros = probabilistic_gains(&g, &partition, &zeroed, &vec![false; n]);
+        for v in 0..n {
+            if locked[v] {
+                continue; // locked nodes report 0 by convention
+            }
+            prop_assert!(
+                (with_locks[v] - with_zeros[v]).abs() < 1e-12,
+                "node {v}: {} vs {}",
+                with_locks[v],
+                with_zeros[v]
+            );
+        }
+    }
+
+    /// PROP's improve is idempotent: a partition at a local minimum
+    /// (Gmax ≤ 0) is left untouched by a second improve call.
+    #[test]
+    fn improve_is_idempotent(g in arb_graph(), seed in 0u64..500) {
+        use rand::SeedableRng;
+        let n = g.num_nodes();
+        let balance = BalanceConstraint::bisection(n);
+        let prop = Prop::new(PropConfig::calibrated());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut partition = Bipartition::random(n, &mut rng);
+        prop.improve(&g, &mut partition, balance);
+        let settled = partition.clone();
+        prop.improve(&g, &mut partition, balance);
+        prop_assert_eq!(partition, settled);
+    }
+
+    /// Pass traces are internally consistent and their committed gains
+    /// sum to the total improvement.
+    #[test]
+    fn traces_account_for_the_improvement(g in arb_graph(), seed in 0u64..500) {
+        use rand::SeedableRng;
+        let n = g.num_nodes();
+        let balance = BalanceConstraint::bisection(n);
+        let prop = Prop::new(PropConfig::calibrated());
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let mut partition = Bipartition::random(n, &mut rng);
+        let before = CutState::new(&g, &partition).cut_cost();
+        let (stats, traces) = prop.improve_traced(&g, &mut partition, balance);
+        let after = CutState::new(&g, &partition).cut_cost();
+        prop_assert_eq!(stats.cut_cost, after);
+        prop_assert_eq!(stats.passes, traces.len());
+        let total: f64 = traces.iter().map(|t| t.committed_gain).sum();
+        prop_assert!((before - after - total).abs() < 1e-9);
+        for t in &traces {
+            prop_assert!(t.committed_moves <= t.tentative_moves);
+            prop_assert!(t.max_drawdown <= 0.0);
+            prop_assert!(t.committed_gain >= 0.0);
+        }
+    }
+
+    /// Recursive bisection assigns every node to exactly one of k dense
+    /// block ids, and its k-way cut is consistent.
+    #[test]
+    fn kway_assignment_is_total(g in arb_graph(), k in 1usize..5) {
+        let n = g.num_nodes();
+        prop_assume!(k <= n / 2 || k == 1);
+        let prop = Prop::new(PropConfig::calibrated());
+        let kp = recursive_bisection(&g, k, 0.4, 0.6, &prop, 1, 0).unwrap();
+        prop_assert_eq!(kp.len(), n);
+        let sizes = kp.block_sizes();
+        prop_assert_eq!(sizes.iter().sum::<usize>(), n);
+        prop_assert!(sizes.iter().all(|&s| s > 0));
+        prop_assert!(kp.num_blocks() <= k);
+        // Cut nets counted two ways agree.
+        let by_filter = g
+            .nets()
+            .filter(|&net| kp.is_cut(&g, net))
+            .count();
+        prop_assert_eq!(by_filter, kp.cut_nets(&g));
+    }
+}

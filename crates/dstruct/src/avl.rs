@@ -1,0 +1,526 @@
+//! An arena-allocated AVL tree with set semantics.
+//!
+//! The DAC-96 paper stores nodes "according to their gains, in a balanced
+//! binary AVL tree" (§3.5), giving Θ(log n) per update and Θ(log n) to find
+//! the best node to move. This is that structure: keys are inserted at most
+//! once, traversal in descending order supports the balance-feasibility
+//! scan, and all rebalancing follows the classic height-balanced rules.
+
+const NIL: u32 = u32::MAX;
+
+#[derive(Clone, Debug)]
+struct Node<K> {
+    key: K,
+    left: u32,
+    right: u32,
+    height: u8,
+}
+
+/// A height-balanced (AVL) binary search tree over unique keys.
+///
+/// ```
+/// use prop_dstruct::AvlTree;
+///
+/// let mut t = AvlTree::new();
+/// assert!(t.insert((3, 'a')));
+/// assert!(t.insert((1, 'b')));
+/// assert!(!t.insert((3, 'a'))); // duplicate
+/// assert_eq!(t.max(), Some(&(3, 'a')));
+/// assert!(t.remove(&(3, 'a')));
+/// assert_eq!(t.max(), Some(&(1, 'b')));
+/// ```
+#[derive(Clone, Debug)]
+pub struct AvlTree<K> {
+    nodes: Vec<Node<K>>,
+    free: Vec<u32>,
+    root: u32,
+    len: usize,
+}
+
+impl<K: Ord> Default for AvlTree<K> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<K: Ord> AvlTree<K> {
+    /// Creates an empty tree.
+    pub fn new() -> Self {
+        AvlTree {
+            nodes: Vec::new(),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Creates an empty tree with capacity for `capacity` keys.
+    pub fn with_capacity(capacity: usize) -> Self {
+        AvlTree {
+            nodes: Vec::with_capacity(capacity),
+            free: Vec::new(),
+            root: NIL,
+            len: 0,
+        }
+    }
+
+    /// Number of stored keys.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Returns `true` if the tree stores no keys.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all keys, retaining allocation.
+    pub fn clear(&mut self) {
+        self.nodes.clear();
+        self.free.clear();
+        self.root = NIL;
+        self.len = 0;
+    }
+
+    fn height(&self, idx: u32) -> i32 {
+        if idx == NIL {
+            0
+        } else {
+            i32::from(self.nodes[idx as usize].height)
+        }
+    }
+
+    fn fix_height(&mut self, idx: u32) {
+        let h = 1 + self
+            .height(self.nodes[idx as usize].left)
+            .max(self.height(self.nodes[idx as usize].right));
+        self.nodes[idx as usize].height = u8::try_from(h).expect("tree height exceeds u8");
+    }
+
+    fn balance_factor(&self, idx: u32) -> i32 {
+        let n = &self.nodes[idx as usize];
+        self.height(n.left) - self.height(n.right)
+    }
+
+    fn rotate_right(&mut self, y: u32) -> u32 {
+        let x = self.nodes[y as usize].left;
+        let t2 = self.nodes[x as usize].right;
+        self.nodes[x as usize].right = y;
+        self.nodes[y as usize].left = t2;
+        self.fix_height(y);
+        self.fix_height(x);
+        x
+    }
+
+    fn rotate_left(&mut self, x: u32) -> u32 {
+        let y = self.nodes[x as usize].right;
+        let t2 = self.nodes[y as usize].left;
+        self.nodes[y as usize].left = x;
+        self.nodes[x as usize].right = t2;
+        self.fix_height(x);
+        self.fix_height(y);
+        y
+    }
+
+    fn rebalance(&mut self, idx: u32) -> u32 {
+        self.fix_height(idx);
+        let bf = self.balance_factor(idx);
+        if bf > 1 {
+            if self.balance_factor(self.nodes[idx as usize].left) < 0 {
+                let l = self.nodes[idx as usize].left;
+                self.nodes[idx as usize].left = self.rotate_left(l);
+            }
+            self.rotate_right(idx)
+        } else if bf < -1 {
+            if self.balance_factor(self.nodes[idx as usize].right) > 0 {
+                let r = self.nodes[idx as usize].right;
+                self.nodes[idx as usize].right = self.rotate_right(r);
+            }
+            self.rotate_left(idx)
+        } else {
+            idx
+        }
+    }
+
+    fn alloc(&mut self, key: K) -> u32 {
+        if let Some(idx) = self.free.pop() {
+            self.nodes[idx as usize] = Node {
+                key,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            };
+            idx
+        } else {
+            let idx = u32::try_from(self.nodes.len()).expect("tree size exceeds u32::MAX");
+            self.nodes.push(Node {
+                key,
+                left: NIL,
+                right: NIL,
+                height: 1,
+            });
+            idx
+        }
+    }
+
+    /// Inserts `key`; returns `false` (leaving the tree unchanged) if an
+    /// equal key is already present.
+    pub fn insert(&mut self, key: K) -> bool {
+        let (root, inserted) = self.insert_at(self.root, key);
+        self.root = root;
+        if inserted {
+            self.len += 1;
+        }
+        inserted
+    }
+
+    fn insert_at(&mut self, idx: u32, key: K) -> (u32, bool) {
+        if idx == NIL {
+            return (self.alloc(key), true);
+        }
+        use std::cmp::Ordering::*;
+        let inserted = match key.cmp(&self.nodes[idx as usize].key) {
+            Less => {
+                let (l, ins) = self.insert_at(self.nodes[idx as usize].left, key);
+                self.nodes[idx as usize].left = l;
+                ins
+            }
+            Greater => {
+                let (r, ins) = self.insert_at(self.nodes[idx as usize].right, key);
+                self.nodes[idx as usize].right = r;
+                ins
+            }
+            Equal => return (idx, false),
+        };
+        if inserted {
+            (self.rebalance(idx), true)
+        } else {
+            (idx, false)
+        }
+    }
+
+    /// Removes `key`; returns `false` if it was not present.
+    pub fn remove(&mut self, key: &K) -> bool {
+        let (root, removed) = self.remove_at(self.root, key);
+        self.root = root;
+        if removed {
+            self.len -= 1;
+        }
+        removed
+    }
+
+    fn remove_at(&mut self, idx: u32, key: &K) -> (u32, bool) {
+        if idx == NIL {
+            return (NIL, false);
+        }
+        use std::cmp::Ordering::*;
+        match key.cmp(&self.nodes[idx as usize].key) {
+            Less => {
+                let (l, rem) = self.remove_at(self.nodes[idx as usize].left, key);
+                self.nodes[idx as usize].left = l;
+                if rem {
+                    (self.rebalance(idx), true)
+                } else {
+                    (idx, false)
+                }
+            }
+            Greater => {
+                let (r, rem) = self.remove_at(self.nodes[idx as usize].right, key);
+                self.nodes[idx as usize].right = r;
+                if rem {
+                    (self.rebalance(idx), true)
+                } else {
+                    (idx, false)
+                }
+            }
+            Equal => {
+                let node = &self.nodes[idx as usize];
+                let (left, right) = (node.left, node.right);
+                let replacement = if left == NIL {
+                    self.free.push(idx);
+                    right
+                } else if right == NIL {
+                    self.free.push(idx);
+                    left
+                } else {
+                    // Two children: pull up the in-order successor.
+                    let (new_right, succ) = self.detach_min(right);
+                    self.nodes[succ as usize].left = left;
+                    self.nodes[succ as usize].right = new_right;
+                    self.free.push(idx);
+                    self.rebalance(succ)
+                };
+                (replacement, true)
+            }
+        }
+    }
+
+    /// Detaches the minimum node of the subtree at `idx`, returning the new
+    /// subtree root and the detached node index.
+    fn detach_min(&mut self, idx: u32) -> (u32, u32) {
+        if self.nodes[idx as usize].left == NIL {
+            return (self.nodes[idx as usize].right, idx);
+        }
+        let (new_left, min) = self.detach_min(self.nodes[idx as usize].left);
+        self.nodes[idx as usize].left = new_left;
+        (self.rebalance(idx), min)
+    }
+
+    /// Returns `true` if `key` is stored.
+    pub fn contains(&self, key: &K) -> bool {
+        let mut idx = self.root;
+        while idx != NIL {
+            use std::cmp::Ordering::*;
+            match key.cmp(&self.nodes[idx as usize].key) {
+                Less => idx = self.nodes[idx as usize].left,
+                Greater => idx = self.nodes[idx as usize].right,
+                Equal => return true,
+            }
+        }
+        false
+    }
+
+    /// The largest stored key.
+    pub fn max(&self) -> Option<&K> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        while self.nodes[idx as usize].right != NIL {
+            idx = self.nodes[idx as usize].right;
+        }
+        Some(&self.nodes[idx as usize].key)
+    }
+
+    /// The smallest stored key.
+    pub fn min(&self) -> Option<&K> {
+        let mut idx = self.root;
+        if idx == NIL {
+            return None;
+        }
+        while self.nodes[idx as usize].left != NIL {
+            idx = self.nodes[idx as usize].left;
+        }
+        Some(&self.nodes[idx as usize].key)
+    }
+
+    /// In-order (ascending) iterator over the keys.
+    pub fn iter(&self) -> Iter<'_, K> {
+        let mut it = Iter {
+            tree: self,
+            stack: Vec::new(),
+        };
+        it.push_left(self.root);
+        it
+    }
+
+    /// Reverse in-order (descending) iterator over the keys. This is the
+    /// feasibility-scan order: best gain first.
+    pub fn iter_desc(&self) -> IterDesc<'_, K> {
+        let mut it = IterDesc {
+            tree: self,
+            stack: Vec::new(),
+        };
+        it.push_right(self.root);
+        it
+    }
+
+    /// Validates AVL invariants (test support): returns the tree height or
+    /// panics on a violation.
+    #[doc(hidden)]
+    pub fn validate(&self) -> usize
+    where
+        K: std::fmt::Debug,
+    {
+        fn walk<K: Ord + std::fmt::Debug>(tree: &AvlTree<K>, idx: u32) -> (i32, usize) {
+            if idx == NIL {
+                return (0, 0);
+            }
+            let node = &tree.nodes[idx as usize];
+            let (lh, lc) = walk(tree, node.left);
+            let (rh, rc) = walk(tree, node.right);
+            assert!((lh - rh).abs() <= 1, "unbalanced at {:?}", node.key);
+            assert_eq!(i32::from(node.height), 1 + lh.max(rh), "stale height");
+            if node.left != NIL {
+                assert!(tree.nodes[node.left as usize].key < node.key, "bst order");
+            }
+            if node.right != NIL {
+                assert!(tree.nodes[node.right as usize].key > node.key, "bst order");
+            }
+            (1 + lh.max(rh), 1 + lc + rc)
+        }
+        let (h, count) = walk(self, self.root);
+        assert_eq!(count, self.len, "len out of sync");
+        h as usize
+    }
+}
+
+/// Ascending iterator over an [`AvlTree`]. Created by [`AvlTree::iter`].
+#[derive(Debug)]
+pub struct Iter<'a, K> {
+    tree: &'a AvlTree<K>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord> Iter<'a, K> {
+    fn push_left(&mut self, mut idx: u32) {
+        while idx != NIL {
+            self.stack.push(idx);
+            idx = self.tree.nodes[idx as usize].left;
+        }
+    }
+}
+
+impl<'a, K: Ord> Iterator for Iter<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        let idx = self.stack.pop()?;
+        let node = &self.tree.nodes[idx as usize];
+        self.push_left(node.right);
+        Some(&node.key)
+    }
+}
+
+/// Descending iterator over an [`AvlTree`]. Created by
+/// [`AvlTree::iter_desc`].
+#[derive(Debug)]
+pub struct IterDesc<'a, K> {
+    tree: &'a AvlTree<K>,
+    stack: Vec<u32>,
+}
+
+impl<'a, K: Ord> IterDesc<'a, K> {
+    fn push_right(&mut self, mut idx: u32) {
+        while idx != NIL {
+            self.stack.push(idx);
+            idx = self.tree.nodes[idx as usize].right;
+        }
+    }
+}
+
+impl<'a, K: Ord> Iterator for IterDesc<'a, K> {
+    type Item = &'a K;
+
+    fn next(&mut self) -> Option<&'a K> {
+        let idx = self.stack.pop()?;
+        let node = &self.tree.nodes[idx as usize];
+        self.push_right(node.left);
+        Some(&node.key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn insert_and_order() {
+        let mut t = AvlTree::new();
+        for k in [5, 1, 9, 3, 7, 2, 8] {
+            assert!(t.insert(k));
+        }
+        assert!(!t.insert(5));
+        assert_eq!(t.len(), 7);
+        let asc: Vec<i32> = t.iter().copied().collect();
+        assert_eq!(asc, vec![1, 2, 3, 5, 7, 8, 9]);
+        let desc: Vec<i32> = t.iter_desc().copied().collect();
+        assert_eq!(desc, vec![9, 8, 7, 5, 3, 2, 1]);
+        assert_eq!(t.max(), Some(&9));
+        assert_eq!(t.min(), Some(&1));
+        t.validate();
+    }
+
+    #[test]
+    fn remove_all_patterns() {
+        let mut t = AvlTree::new();
+        for k in 0..32 {
+            t.insert(k);
+        }
+        // Leaf, one-child, and two-child removals.
+        for k in [31, 0, 16, 8, 24, 15] {
+            assert!(t.remove(&k));
+            t.validate();
+        }
+        assert!(!t.remove(&16));
+        assert_eq!(t.len(), 26);
+        assert!(!t.contains(&16));
+        assert!(t.contains(&17));
+    }
+
+    #[test]
+    fn sequential_insert_stays_logarithmic() {
+        let mut t = AvlTree::new();
+        for k in 0..1024 {
+            t.insert(k);
+        }
+        let h = t.validate();
+        // AVL height bound: < 1.44 log2(n + 2).
+        assert!(h <= 15, "height {h} too large for 1024 keys");
+    }
+
+    #[test]
+    fn empty_tree_queries() {
+        let t: AvlTree<i32> = AvlTree::new();
+        assert!(t.is_empty());
+        assert_eq!(t.max(), None);
+        assert_eq!(t.min(), None);
+        assert_eq!(t.iter().count(), 0);
+        assert_eq!(t.iter_desc().count(), 0);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let mut t = AvlTree::with_capacity(8);
+        t.insert(1);
+        t.insert(2);
+        t.clear();
+        assert!(t.is_empty());
+        assert!(t.insert(1));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn tuple_keys_order_lexicographically() {
+        // The partitioners key trees by (gain, node) pairs.
+        let mut t = AvlTree::new();
+        t.insert((2, 10));
+        t.insert((2, 3));
+        t.insert((5, 1));
+        assert_eq!(t.max(), Some(&(5, 1)));
+        t.remove(&(5, 1));
+        assert_eq!(t.max(), Some(&(2, 10)));
+    }
+
+    #[test]
+    fn randomized_against_btreeset() {
+        let mut rng = StdRng::seed_from_u64(987);
+        let mut t = AvlTree::new();
+        let mut model = BTreeSet::new();
+        for step in 0..20_000 {
+            let k = rng.gen_range(0..256u32);
+            if rng.gen_bool(0.55) {
+                assert_eq!(t.insert(k), model.insert(k));
+            } else {
+                assert_eq!(t.remove(&k), model.remove(&k));
+            }
+            if step % 1000 == 0 {
+                t.validate();
+                assert_eq!(t.max(), model.iter().next_back());
+                assert_eq!(t.min(), model.iter().next());
+                let mine: Vec<u32> = t.iter().copied().collect();
+                let theirs: Vec<u32> = model.iter().copied().collect();
+                assert_eq!(mine, theirs);
+            }
+        }
+        t.validate();
+        let mine: Vec<u32> = t.iter_desc().copied().collect();
+        let theirs: Vec<u32> = model.iter().rev().copied().collect();
+        assert_eq!(mine, theirs);
+    }
+}

@@ -1,0 +1,112 @@
+//! A totally ordered wrapper for finite `f64` values.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// A finite `f64` with a total order, usable as a search-tree key.
+///
+/// Construction rejects NaN (and by policy any non-finite value), so the
+/// `Ord` implementation is sound. Gains in this suite are always finite:
+/// they are sums of products of probabilities in `[0, 1]` scaled by finite
+/// net weights.
+///
+/// ```
+/// use prop_dstruct::OrderedF64;
+///
+/// let a = OrderedF64::new(1.5);
+/// let b = OrderedF64::new(-0.25);
+/// assert!(a > b);
+/// assert_eq!(a.get(), 1.5);
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug, Default)]
+pub struct OrderedF64(f64);
+
+impl OrderedF64 {
+    /// Wraps a finite value.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is NaN or infinite — a gain computation bug
+    /// upstream, which must not be silently ordered.
+    #[inline]
+    pub fn new(value: f64) -> Self {
+        assert!(value.is_finite(), "gain value {value} is not finite");
+        OrderedF64(value)
+    }
+
+    /// Returns the wrapped value.
+    #[inline]
+    pub fn get(self) -> f64 {
+        self.0
+    }
+}
+
+impl Eq for OrderedF64 {}
+
+impl PartialOrd for OrderedF64 {
+    #[inline]
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrderedF64 {
+    #[inline]
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Finite-only invariant makes partial_cmp total.
+        self.0.partial_cmp(&other.0).expect("finite by construction")
+    }
+}
+
+impl From<OrderedF64> for f64 {
+    #[inline]
+    fn from(v: OrderedF64) -> f64 {
+        v.get()
+    }
+}
+
+impl fmt::Display for OrderedF64 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn total_order() {
+        let mut v = vec![
+            OrderedF64::new(0.5),
+            OrderedF64::new(-3.0),
+            OrderedF64::new(2.0),
+            OrderedF64::new(0.0),
+        ];
+        v.sort();
+        let raw: Vec<f64> = v.into_iter().map(f64::from).collect();
+        assert_eq!(raw, vec![-3.0, 0.0, 0.5, 2.0]);
+    }
+
+    #[test]
+    fn negative_zero_equals_zero() {
+        assert_eq!(OrderedF64::new(-0.0), OrderedF64::new(0.0));
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn nan_rejected() {
+        let _ = OrderedF64::new(f64::NAN);
+    }
+
+    #[test]
+    #[should_panic(expected = "not finite")]
+    fn infinity_rejected() {
+        let _ = OrderedF64::new(f64::INFINITY);
+    }
+
+    #[test]
+    fn display_matches_f64() {
+        assert_eq!(OrderedF64::new(1.25).to_string(), "1.25");
+    }
+}

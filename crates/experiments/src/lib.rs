@@ -1,0 +1,145 @@
+//! Experiment harness for the DAC-96 PROP reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper:
+//!
+//! | Binary    | Reproduces | Protocol |
+//! |-----------|------------|----------|
+//! | `figure1` | Figure 1   | FM gains, LA-3 vectors, PROP 2nd-iteration gains on the worked example |
+//! | `table1`  | Table 1    | node/net/pin characteristics of the 16 synthetic proxy circuits |
+//! | `table2`  | Table 2    | 50-50% cutsets: FM100/40/20, LA-2, LA-3, WINDOW, PROP(20) |
+//! | `table3`  | Table 3    | 45-55% cutsets: MELO, PARABOLI, EIG1, PROP(20) |
+//! | `table4`  | Table 4    | CPU seconds per run for every method |
+//! | `ablation`| (ours)     | PROP parameter sensitivity |
+//!
+//! All binaries accept `--quick` (smallest four circuits, reduced run
+//! counts) and `--circuit <name>` (a single circuit). Runs are entirely
+//! deterministic: circuits are seeded by name, initial partitions by the
+//! run index.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod methods;
+pub mod report;
+
+use prop_netlist::suite::{self, CircuitSpec};
+
+/// Command-line options shared by the experiment binaries.
+#[derive(Clone, Debug, Default)]
+pub struct Options {
+    /// Restrict to the four smallest circuits and scale run counts down.
+    pub quick: bool,
+    /// Restrict to a single named circuit.
+    pub circuit: Option<String>,
+    /// Override the number of PROP/FM20/LA runs (Table-2 columns scale
+    /// proportionally).
+    pub runs: Option<usize>,
+}
+
+impl Options {
+    /// Parses `--quick`, `--circuit <name>`, and `--runs <n>` from the
+    /// process arguments. Unknown arguments abort with a usage message.
+    pub fn from_args() -> Options {
+        let mut opts = Options::default();
+        let mut args = std::env::args().skip(1);
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => opts.quick = true,
+                "--circuit" => {
+                    opts.circuit = Some(args.next().unwrap_or_else(|| usage("--circuit <name>")));
+                }
+                "--runs" => {
+                    let v = args.next().unwrap_or_else(|| usage("--runs <n>"));
+                    opts.runs = Some(v.parse().unwrap_or_else(|_| usage("--runs <n>")));
+                }
+                other => usage(&format!("unknown argument {other:?}")),
+            }
+        }
+        opts
+    }
+
+    /// The circuits this invocation covers.
+    pub fn circuits(&self) -> Vec<CircuitSpec> {
+        if let Some(name) = &self.circuit {
+            match suite::by_name(name) {
+                Some(spec) => vec![spec],
+                None => usage(&format!(
+                    "unknown circuit {name:?}; known: {}",
+                    suite::table1()
+                        .iter()
+                        .map(|s| s.name)
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )),
+            }
+        } else if self.quick {
+            suite::small_suite()
+        } else {
+            suite::table1()
+        }
+    }
+
+    /// Scales a paper run count (e.g. 20) by the `--quick`/`--runs`
+    /// settings.
+    pub fn scaled_runs(&self, paper_runs: usize) -> usize {
+        let base = match self.runs {
+            Some(r) => r * paper_runs / 20,
+            None => paper_runs,
+        };
+        let base = if self.quick { base.div_ceil(4) } else { base };
+        base.max(1)
+    }
+}
+
+fn usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!("usage: <bin> [--quick] [--circuit <name>] [--runs <n>]");
+    std::process::exit(2)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_options_cover_full_suite() {
+        let o = Options::default();
+        assert_eq!(o.circuits().len(), 16);
+        assert_eq!(o.scaled_runs(20), 20);
+        assert_eq!(o.scaled_runs(100), 100);
+    }
+
+    #[test]
+    fn quick_scales_down() {
+        let o = Options {
+            quick: true,
+            ..Options::default()
+        };
+        assert_eq!(o.circuits().len(), 4);
+        assert_eq!(o.scaled_runs(20), 5);
+        assert_eq!(o.scaled_runs(100), 25);
+        // Never zero.
+        assert_eq!(o.scaled_runs(1), 1);
+    }
+
+    #[test]
+    fn runs_override_scales_proportionally() {
+        let o = Options {
+            runs: Some(10),
+            ..Options::default()
+        };
+        assert_eq!(o.scaled_runs(20), 10);
+        assert_eq!(o.scaled_runs(100), 50);
+    }
+
+    #[test]
+    fn named_circuit_selection() {
+        let o = Options {
+            circuit: Some("balu".into()),
+            ..Options::default()
+        };
+        let c = o.circuits();
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].name, "balu");
+    }
+}

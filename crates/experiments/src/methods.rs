@@ -1,0 +1,133 @@
+//! Timed method runners shared by the experiment binaries.
+
+use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig, RunResult};
+use prop_fm::{FmBucket, FmTree, La};
+use prop_netlist::Hypergraph;
+use prop_spectral::{Eig1, GlobalPartitioner, MeloStyle, ParaboliStyle, WindowStyle};
+use std::time::Instant;
+
+/// One method's outcome on one circuit.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MethodOutcome {
+    /// Method display name (e.g. `"FM100"`).
+    pub method: String,
+    /// Best cut over all runs.
+    pub cut: f64,
+    /// Wall-clock seconds per run.
+    pub seconds_per_run: f64,
+    /// Number of runs.
+    pub runs: usize,
+}
+
+fn outcome(method: impl Into<String>, result: &RunResult, secs: f64, runs: usize) -> MethodOutcome {
+    MethodOutcome {
+        method: method.into(),
+        cut: result.cut_cost,
+        seconds_per_run: secs / runs.max(1) as f64,
+        runs,
+    }
+}
+
+/// Runs an iterative improver for `runs` seeded runs and times it.
+pub fn run_iterative(
+    name: &str,
+    partitioner: &dyn Partitioner,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+) -> MethodOutcome {
+    let start = Instant::now();
+    let result = partitioner
+        .run_multi(graph, balance, runs, 0)
+        .expect("non-empty graph and runs >= 1");
+    outcome(name, &result, start.elapsed().as_secs_f64(), runs)
+}
+
+/// Runs a one-shot global partitioner and times it.
+pub fn run_global(
+    name: &str,
+    partitioner: &dyn GlobalPartitioner,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+) -> MethodOutcome {
+    let start = Instant::now();
+    let result = partitioner
+        .partition(graph, balance)
+        .expect("non-empty graph");
+    outcome(name, &result, start.elapsed().as_secs_f64(), 1)
+}
+
+/// The PROP instance used throughout the experiments: the paper's
+/// parameters with the calibrated probability floor (see
+/// [`PropConfig::calibrated`]).
+pub fn prop() -> Prop {
+    Prop::new(PropConfig::calibrated())
+}
+
+/// The paper's exact parameterisation (`p_min = 0.4`), used by the
+/// ablation experiment.
+pub fn prop_paper() -> Prop {
+    Prop::new(PropConfig::default())
+}
+
+/// FM with the bucket structure (the paper's baseline FM).
+pub fn fm() -> FmBucket {
+    FmBucket::default()
+}
+
+/// FM with the tree structure (the paper's weighted-cost variant).
+pub fn fm_tree() -> FmTree {
+    FmTree::default()
+}
+
+/// LA-k.
+pub fn la(k: usize) -> La {
+    La::new(k)
+}
+
+/// EIG1.
+pub fn eig1() -> Eig1 {
+    Eig1::default()
+}
+
+/// MELO-style.
+pub fn melo() -> MeloStyle {
+    MeloStyle::default()
+}
+
+/// PARABOLI-style.
+pub fn paraboli() -> ParaboliStyle {
+    ParaboliStyle::default()
+}
+
+/// WINDOW-style with the given number of ordering/FM runs.
+pub fn window(runs: usize) -> WindowStyle {
+    WindowStyle { runs, seed: 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn iterative_and_global_runners_report_consistent_outcomes() {
+        let g = generate(&GeneratorConfig::new(60, 66, 220).with_seed(5)).unwrap();
+        let balance = BalanceConstraint::bisection(60);
+        let fm_out = run_iterative("FM3", &fm(), &g, balance, 3);
+        assert_eq!(fm_out.runs, 3);
+        assert!(fm_out.cut >= 0.0);
+        assert!(fm_out.seconds_per_run >= 0.0);
+        let eig_out = run_global("EIG1", &eig1(), &g, balance);
+        assert_eq!(eig_out.runs, 1);
+        assert_eq!(eig_out.method, "EIG1");
+    }
+
+    #[test]
+    fn method_constructors_have_paper_settings() {
+        assert_eq!(prop().config().p_min, 0.85);
+        assert_eq!(prop_paper().config().p_min, 0.4);
+        assert_eq!(la(3).lookahead(), 3);
+        assert_eq!(window(20).runs, 20);
+    }
+}

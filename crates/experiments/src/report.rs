@@ -1,0 +1,171 @@
+//! Fixed-width table rendering and the paper's improvement metric.
+
+/// The paper's improvement percentage: `(theirs − ours) / max(·) × 100`
+/// ("cutset improvement / larger cut set"). Positive when `ours` is the
+/// smaller (better) cut.
+pub fn improvement_pct(ours: f64, theirs: f64) -> f64 {
+    let larger = ours.max(theirs);
+    if larger == 0.0 {
+        0.0
+    } else {
+        (theirs - ours) / larger * 100.0
+    }
+}
+
+/// A simple fixed-width table printer for experiment output.
+#[derive(Clone, Debug, Default)]
+pub struct Table {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl Table {
+    /// Creates a table with the given column headers.
+    pub fn new<I, S>(header: I) -> Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        Table {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row; short rows are padded with empty cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the row has more cells than the header has columns.
+    pub fn push_row<I, S>(&mut self, row: I)
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        assert!(
+            cells.len() <= self.header.len(),
+            "row has {} cells for {} columns",
+            cells.len(),
+            self.header.len()
+        );
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Renders the table: first column left-aligned, the rest right-aligned.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(String::len).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let render_row = |cells: &[String], out: &mut String| {
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    out.push_str("  ");
+                }
+                if i == 0 {
+                    out.push_str(&format!("{:<width$}", cell, width = widths[i]));
+                } else {
+                    out.push_str(&format!("{:>width$}", cell, width = widths[i]));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        render_row(&self.header, &mut out);
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            render_row(row, &mut out);
+        }
+        out
+    }
+}
+
+/// Formats a cut value: integral cuts print without decimals.
+pub fn fmt_cut(cut: f64) -> String {
+    if (cut - cut.round()).abs() < 1e-9 {
+        format!("{}", cut.round() as i64)
+    } else {
+        format!("{cut:.2}")
+    }
+}
+
+/// Formats a percentage with one decimal.
+pub fn fmt_pct(pct: f64) -> String {
+    format!("{pct:.1}")
+}
+
+/// Formats seconds with millisecond resolution.
+pub fn fmt_secs(secs: f64) -> String {
+    format!("{secs:.3}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn improvement_matches_paper_convention() {
+        // balu: MELO 28 vs PROP 27 → 3.6%.
+        let pct = improvement_pct(27.0, 28.0);
+        assert!((pct - 3.571).abs() < 0.01);
+        // Negative when PROP is worse: s15850 MELO 52 vs PROP 65 → −20.0%.
+        let pct = improvement_pct(65.0, 52.0);
+        assert!((pct + 20.0).abs() < 0.01);
+        assert_eq!(improvement_pct(0.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn table_renders_aligned() {
+        let mut t = Table::new(["Circuit", "FM", "PROP"]);
+        t.push_row(["balu", "49", "20"]);
+        t.push_row(["industry2", "1698", "242"]);
+        let text = t.render();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("Circuit"));
+        assert!(lines[1].chars().all(|c| c == '-'));
+        assert!(lines[3].starts_with("industry2"));
+        // Right alignment: the cut values end at the same column.
+        assert!(lines[2].ends_with("20"));
+        assert!(lines[3].ends_with("242"));
+        assert_eq!(t.num_rows(), 2);
+    }
+
+    #[test]
+    fn short_rows_are_padded() {
+        let mut t = Table::new(["a", "b", "c"]);
+        t.push_row(["x"]);
+        assert!(t.render().contains('x'));
+    }
+
+    #[test]
+    #[should_panic(expected = "cells for")]
+    fn long_rows_panic() {
+        let mut t = Table::new(["a"]);
+        t.push_row(["x", "y"]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(fmt_cut(27.0), "27");
+        assert_eq!(fmt_cut(27.25), "27.25");
+        assert_eq!(fmt_pct(3.571), "3.6");
+        assert_eq!(fmt_secs(0.8645), "0.865");
+        assert_eq!(fmt_secs(1.0), "1.000");
+    }
+}

@@ -1,0 +1,250 @@
+//! Simulated-annealing partitioning [Sechen 1988], the third class of
+//! approximate min-cut schemes cited in §1 of the paper.
+
+use prop_core::{
+    BalanceConstraint, Bipartition, CutState, ImproveStats, Partitioner, Side, SideWeights,
+};
+use prop_netlist::{Hypergraph, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A Metropolis simulated-annealing bipartitioner.
+///
+/// Single-node flips are proposed uniformly at random; a flip of cut-cost
+/// change `Δ` is accepted with probability `min(1, exp(−Δ/T))`, subject to
+/// the pass-relaxed balance bound. The temperature follows a geometric
+/// schedule calibrated from the initial cost scale, and the best
+/// balance-feasible state seen is returned (annealing may end above it).
+///
+/// The randomness is derived deterministically from the input partition,
+/// so the [`Partitioner`] multi-run protocol (different seeded initial
+/// partitions) explores different trajectories while staying reproducible.
+///
+/// Included as a reference point: the paper's framing is that move-based
+/// iterative improvement (FM, LA, PROP) dominates annealing at a fraction
+/// of the run time, which the Table-2 style comparisons here confirm.
+///
+/// ```
+/// use prop_core::{BalanceConstraint, Partitioner};
+/// use prop_fm::SimulatedAnnealing;
+/// use prop_netlist::generate::{generate, GeneratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = generate(&GeneratorConfig::new(60, 66, 220).with_seed(2))?;
+/// let balance = BalanceConstraint::bisection(graph.num_nodes());
+/// let result = SimulatedAnnealing::default().run_seeded(&graph, balance, 0)?;
+/// assert!(result.partition.is_balanced(balance));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct SimulatedAnnealing {
+    /// Geometric cooling factor per temperature step (0 < α < 1).
+    pub cooling: f64,
+    /// Proposed moves per temperature step, as a multiple of `n`.
+    pub moves_per_node: usize,
+    /// The run stops once `T` falls below this fraction of the initial
+    /// temperature.
+    pub freeze_ratio: f64,
+}
+
+impl Default for SimulatedAnnealing {
+    fn default() -> Self {
+        SimulatedAnnealing {
+            cooling: 0.9,
+            moves_per_node: 8,
+            freeze_ratio: 1e-3,
+        }
+    }
+}
+
+impl Partitioner for SimulatedAnnealing {
+    fn name(&self) -> &str {
+        "SA"
+    }
+
+    fn improve(
+        &self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        balance: BalanceConstraint,
+    ) -> ImproveStats {
+        let n = graph.num_nodes();
+        if n < 2 {
+            return ImproveStats {
+                passes: 0,
+                cut_cost: CutState::new(graph, partition).cut_cost(),
+            };
+        }
+        // Deterministic RNG from the input partition: multi-run gets
+        // distinct trajectories, repeated calls are reproducible.
+        let mut hash = 0xcbf2_9ce4_8422_2325u64;
+        for v in graph.nodes() {
+            hash ^= u64::from(partition.side(v) == Side::A) + 0x9e37_79b9;
+            hash = hash.wrapping_mul(0x100_0000_01b3);
+        }
+        let mut rng = StdRng::seed_from_u64(hash);
+
+        let mut cut = CutState::new(graph, partition);
+        let mut side_weights = SideWeights::new(graph, partition);
+
+        // Calibrate T0 to the mean uphill move size.
+        let mut uphill = 0.0;
+        let mut uphill_count = 0usize;
+        for _ in 0..(4 * n).min(2000) {
+            let v = NodeId::new(rng.gen_range(0..n));
+            let delta = -cut.move_gain(graph, partition, v);
+            if delta > 0.0 {
+                uphill += delta;
+                uphill_count += 1;
+            }
+        }
+        let t0 = if uphill_count > 0 {
+            2.0 * uphill / uphill_count as f64
+        } else {
+            1.0
+        };
+
+        let mut best: Option<(Bipartition, f64)> = None;
+        let mut consider_best =
+            |partition: &Bipartition,
+             cut: &CutState,
+             weights: &SideWeights,
+             best: &mut Option<(Bipartition, f64)>| {
+                let counts = [partition.count(Side::A), partition.count(Side::B)];
+                if balance.is_feasible(counts, weights.as_array())
+                    && best.as_ref().is_none_or(|&(_, b)| cut.cut_cost() < b)
+                {
+                    *best = Some((partition.clone(), cut.cut_cost()));
+                }
+            };
+        consider_best(partition, &cut, &side_weights, &mut best);
+
+        let mut temperature = t0;
+        let mut steps = 0usize;
+        while temperature > t0 * self.freeze_ratio {
+            steps += 1;
+            for _ in 0..self.moves_per_node * n {
+                let v = NodeId::new(rng.gen_range(0..n));
+                let from = partition.side(v);
+                let counts = [partition.count(Side::A), partition.count(Side::B)];
+                if !balance.allows_node_move(
+                    from,
+                    counts,
+                    side_weights.as_array(),
+                    graph.node_weight(v),
+                ) {
+                    continue;
+                }
+                let delta = -cut.move_gain(graph, partition, v);
+                let accept = delta <= 0.0 || rng.gen::<f64>() < (-delta / temperature).exp();
+                if accept {
+                    cut.apply_move(graph, partition, v);
+                    side_weights.apply_move(from, graph.node_weight(v));
+                    if delta < 0.0 {
+                        consider_best(partition, &cut, &side_weights, &mut best);
+                    }
+                }
+            }
+            consider_best(partition, &cut, &side_weights, &mut best);
+            temperature *= self.cooling;
+        }
+
+        // Land on the best feasible state seen.
+        if let Some((best_partition, best_cost)) = best {
+            if best_cost < cut.cut_cost()
+                || !balance.is_feasible(
+                    [partition.count(Side::A), partition.count(Side::B)],
+                    side_weights.as_array(),
+                )
+            {
+                *partition = best_partition;
+                cut = CutState::new(graph, partition);
+            }
+        }
+        ImproveStats {
+            passes: steps,
+            cut_cost: cut.cut_cost(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_core::cut_cost;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+    use prop_netlist::HypergraphBuilder;
+
+    #[test]
+    fn finds_the_two_clique_bisection() {
+        let mut b = HypergraphBuilder::new(8);
+        for i in 0..4 {
+            for j in (i + 1)..4 {
+                b.add_net(1.0, [i, j]).unwrap();
+                b.add_net(1.0, [i + 4, j + 4]).unwrap();
+            }
+        }
+        b.add_net(1.0, [0, 4]).unwrap();
+        let g = b.build().unwrap();
+        let balance = BalanceConstraint::bisection(8);
+        let res = SimulatedAnnealing::default()
+            .run_multi(&g, balance, 3, 0)
+            .unwrap();
+        assert_eq!(res.cut_cost, 1.0);
+    }
+
+    #[test]
+    fn result_is_feasible_and_consistent() {
+        let g = generate(&GeneratorConfig::new(90, 100, 330).with_seed(7)).unwrap();
+        for (r1, r2) in [(0.5, 0.5), (0.45, 0.55)] {
+            let balance = BalanceConstraint::new(r1, r2, 90).unwrap();
+            let res = SimulatedAnnealing::default()
+                .run_multi(&g, balance, 2, 1)
+                .unwrap();
+            assert!(res.partition.is_balanced(balance));
+            assert_eq!(res.cut_cost, cut_cost(&g, &res.partition));
+        }
+    }
+
+    #[test]
+    fn deterministic_for_the_same_start() {
+        let g = generate(&GeneratorConfig::new(50, 60, 200).with_seed(9)).unwrap();
+        let balance = BalanceConstraint::bisection(50);
+        let sa = SimulatedAnnealing::default();
+        let a = sa.run_multi(&g, balance, 2, 4).unwrap();
+        let b = sa.run_multi(&g, balance, 2, 4).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn handles_tiny_graphs() {
+        let mut b = HypergraphBuilder::new(1);
+        b.add_net(1.0, [0]).unwrap();
+        let g = b.build().unwrap();
+        let balance = BalanceConstraint::bisection(1);
+        let res = SimulatedAnnealing::default().run_seeded(&g, balance, 0).unwrap();
+        assert_eq!(res.cut_cost, 0.0);
+    }
+
+    #[test]
+    fn respects_weighted_balance() {
+        let mut b = HypergraphBuilder::new(10);
+        for i in 0..9 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        let mut w = vec![1.0; 10];
+        w[0] = 5.0;
+        b.set_node_weights(w).unwrap();
+        let g = b.build().unwrap();
+        let balance = BalanceConstraint::weighted(0.4, 0.6, &g).unwrap();
+        let res = SimulatedAnnealing::default()
+            .run_multi(&g, balance, 2, 0)
+            .unwrap();
+        let sw = SideWeights::new(&g, &res.partition);
+        assert!(balance.is_feasible(
+            [res.partition.count(Side::A), res.partition.count(Side::B)],
+            sw.as_array()
+        ));
+    }
+}

@@ -1,0 +1,143 @@
+//! Conjugate gradient for symmetric positive-definite systems.
+
+use crate::csr::CsrMatrix;
+use crate::vector::{axpy, dot, norm};
+
+/// Result of a [`conjugate_gradient`] solve.
+#[derive(Clone, PartialEq, Debug)]
+pub struct CgOutcome {
+    /// The (approximate) solution.
+    pub x: Vec<f64>,
+    /// Iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A·x‖`.
+    pub residual_norm: f64,
+    /// Whether the residual tolerance was reached.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` for symmetric positive-definite `A` by the conjugate
+/// gradient method, starting from `x = 0`.
+///
+/// Stops when `‖r‖ ≤ tolerance · ‖b‖` or after `max_iterations`.
+///
+/// # Panics
+///
+/// Panics if `A` is not square or `b` has the wrong length.
+///
+/// ```
+/// use prop_linalg::{conjugate_gradient, CsrMatrix};
+///
+/// let a = CsrMatrix::from_triplets(2, 2, &[(0, 0, 4.0), (1, 1, 3.0), (0, 1, 1.0), (1, 0, 1.0)]);
+/// let out = conjugate_gradient(&a, &[1.0, 2.0], 100, 1e-12);
+/// assert!(out.converged);
+/// assert!((4.0 * out.x[0] + out.x[1] - 1.0).abs() < 1e-9);
+/// ```
+pub fn conjugate_gradient(
+    a: &CsrMatrix,
+    b: &[f64],
+    max_iterations: usize,
+    tolerance: f64,
+) -> CgOutcome {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "CG needs a square matrix");
+    assert_eq!(b.len(), n, "right-hand side length mismatch");
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec();
+    let mut p = r.clone();
+    let mut ap = vec![0.0; n];
+    let b_norm = norm(b).max(f64::MIN_POSITIVE);
+    let mut rs_old = dot(&r, &r);
+    let mut iterations = 0;
+    while iterations < max_iterations {
+        if rs_old.sqrt() <= tolerance * b_norm {
+            break;
+        }
+        a.matvec_into(&p, &mut ap);
+        let p_ap = dot(&p, &ap);
+        if p_ap <= 0.0 {
+            // Not positive definite along p (or exact null direction);
+            // stop rather than diverge.
+            break;
+        }
+        let alpha = rs_old / p_ap;
+        axpy(alpha, &p, &mut x);
+        axpy(-alpha, &ap, &mut r);
+        let rs_new = dot(&r, &r);
+        let beta = rs_new / rs_old;
+        for (pi, ri) in p.iter_mut().zip(&r) {
+            *pi = ri + beta * *pi;
+        }
+        rs_old = rs_new;
+        iterations += 1;
+    }
+    let residual_norm = rs_old.sqrt();
+    CgOutcome {
+        x,
+        iterations,
+        residual_norm,
+        converged: residual_norm <= tolerance * b_norm,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_tridiagonal(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 4.0));
+            if i + 1 < n {
+                t.push((i, i + 1, -1.0));
+                t.push((i + 1, i, -1.0));
+            }
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn solves_small_system() {
+        let a = spd_tridiagonal(5);
+        let x_true = vec![1.0, -2.0, 3.0, 0.5, 1.5];
+        let b = a.matvec(&x_true);
+        let out = conjugate_gradient(&a, &b, 100, 1e-12);
+        assert!(out.converged);
+        for (got, want) in out.x.iter().zip(&x_true) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn exact_convergence_in_n_steps() {
+        let a = spd_tridiagonal(12);
+        let b = vec![1.0; 12];
+        let out = conjugate_gradient(&a, &b, 12, 1e-12);
+        assert!(out.converged, "CG must converge within n iterations");
+        assert!(out.iterations <= 12);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let a = spd_tridiagonal(4);
+        let out = conjugate_gradient(&a, &[0.0; 4], 10, 1e-12);
+        assert!(out.converged);
+        assert_eq!(out.x, vec![0.0; 4]);
+        assert_eq!(out.iterations, 0);
+    }
+
+    #[test]
+    fn iteration_cap_respected() {
+        let a = spd_tridiagonal(50);
+        let out = conjugate_gradient(&a, &[1.0; 50], 2, 1e-14);
+        assert_eq!(out.iterations, 2);
+        assert!(!out.converged);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn bad_rhs_panics() {
+        let a = spd_tridiagonal(3);
+        let _ = conjugate_gradient(&a, &[1.0], 10, 1e-9);
+    }
+}

@@ -1,0 +1,225 @@
+//! Compressed sparse row matrices.
+
+/// A sparse matrix in CSR form.
+///
+/// Built from (row, col, value) triplets; duplicates are summed, explicit
+/// zeros resulting from cancellation are kept (harmless for matvec).
+///
+/// ```
+/// use prop_linalg::CsrMatrix;
+///
+/// let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 2.0), (0, 1, 1.0), (1, 0, 1.0), (0, 0, 1.0)]);
+/// let y = m.matvec(&[1.0, 1.0]);
+/// assert_eq!(y, vec![4.0, 1.0]); // row 0: (2+1)·1 + 1·1
+/// ```
+#[derive(Clone, PartialEq, Debug)]
+pub struct CsrMatrix {
+    rows: usize,
+    cols: usize,
+    row_offsets: Vec<usize>,
+    col_indices: Vec<u32>,
+    values: Vec<f64>,
+}
+
+impl CsrMatrix {
+    /// Builds a matrix from triplets, summing duplicates.
+    ///
+    /// # Panics
+    ///
+    /// Panics on an out-of-range row or column index or a non-finite
+    /// value.
+    pub fn from_triplets(rows: usize, cols: usize, triplets: &[(usize, usize, f64)]) -> Self {
+        for &(r, c, v) in triplets {
+            assert!(r < rows, "row {r} out of range for {rows} rows");
+            assert!(c < cols, "col {c} out of range for {cols} cols");
+            assert!(v.is_finite(), "non-finite matrix entry {v}");
+        }
+        // Counting sort by row, then per-row sort and merge by column.
+        let mut counts = vec![0usize; rows + 1];
+        for &(r, _, _) in triplets {
+            counts[r + 1] += 1;
+        }
+        for r in 0..rows {
+            counts[r + 1] += counts[r];
+        }
+        let mut cursor = counts[..rows].to_vec();
+        let mut by_row: Vec<(u32, f64)> = vec![(0, 0.0); triplets.len()];
+        for &(r, c, v) in triplets {
+            by_row[cursor[r]] = (c as u32, v);
+            cursor[r] += 1;
+        }
+        let mut row_offsets = Vec::with_capacity(rows + 1);
+        let mut col_indices = Vec::new();
+        let mut values = Vec::new();
+        row_offsets.push(0);
+        for r in 0..rows {
+            let slice = &mut by_row[counts[r]..counts[r + 1]];
+            slice.sort_unstable_by_key(|&(c, _)| c);
+            let mut i = 0;
+            while i < slice.len() {
+                let col = slice[i].0;
+                let mut sum = 0.0;
+                while i < slice.len() && slice[i].0 == col {
+                    sum += slice[i].1;
+                    i += 1;
+                }
+                col_indices.push(col);
+                values.push(sum);
+            }
+            row_offsets.push(col_indices.len());
+        }
+        CsrMatrix {
+            rows,
+            cols,
+            row_offsets,
+            col_indices,
+            values,
+        }
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Number of stored entries.
+    #[inline]
+    pub fn nnz(&self) -> usize {
+        self.values.len()
+    }
+
+    /// The stored entries of one row as parallel (columns, values) slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range.
+    pub fn row(&self, row: usize) -> (&[u32], &[f64]) {
+        let lo = self.row_offsets[row];
+        let hi = self.row_offsets[row + 1];
+        (&self.col_indices[lo..hi], &self.values[lo..hi])
+    }
+
+    /// `y = A·x`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != cols`.
+    pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.rows];
+        self.matvec_into(x, &mut y);
+        y
+    }
+
+    /// `y = A·x` into a caller-provided buffer (no allocation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on dimension mismatches.
+    pub fn matvec_into(&self, x: &[f64], y: &mut [f64]) {
+        assert_eq!(x.len(), self.cols, "matvec input length mismatch");
+        assert_eq!(y.len(), self.rows, "matvec output length mismatch");
+        for (r, out) in y.iter_mut().enumerate() {
+            let (cols, vals) = self.row(r);
+            let mut acc = 0.0;
+            for (c, v) in cols.iter().zip(vals) {
+                acc += v * x[*c as usize];
+            }
+            *out = acc;
+        }
+    }
+
+    /// Returns `true` if the matrix is exactly symmetric (structure and
+    /// values). O(nnz log nnz) via a transposed scan; intended for tests
+    /// and assertions.
+    pub fn is_symmetric(&self) -> bool {
+        if self.rows != self.cols {
+            return false;
+        }
+        for r in 0..self.rows {
+            let (cols, vals) = self.row(r);
+            for (c, v) in cols.iter().zip(vals) {
+                if self.get(*c as usize, r) != *v {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// The entry at `(row, col)` (0.0 when not stored).
+    pub fn get(&self, row: usize, col: usize) -> f64 {
+        let (cols, vals) = self.row(row);
+        match cols.binary_search(&(col as u32)) {
+            Ok(i) => vals[i],
+            Err(_) => 0.0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triplets_merge_and_sort() {
+        let m = CsrMatrix::from_triplets(2, 3, &[(1, 2, 5.0), (0, 1, 1.0), (1, 2, -2.0), (1, 0, 4.0)]);
+        assert_eq!(m.nnz(), 3);
+        assert_eq!(m.get(1, 2), 3.0);
+        assert_eq!(m.get(1, 0), 4.0);
+        assert_eq!(m.get(0, 0), 0.0);
+        let (cols, _) = m.row(1);
+        assert_eq!(cols, &[0, 2]); // sorted
+    }
+
+    #[test]
+    fn matvec_identity_and_general() {
+        let eye = CsrMatrix::from_triplets(3, 3, &[(0, 0, 1.0), (1, 1, 1.0), (2, 2, 1.0)]);
+        assert_eq!(eye.matvec(&[4.0, 5.0, 6.0]), vec![4.0, 5.0, 6.0]);
+        let m = CsrMatrix::from_triplets(2, 2, &[(0, 0, 1.0), (0, 1, 2.0), (1, 0, 3.0)]);
+        assert_eq!(m.matvec(&[1.0, 1.0]), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn symmetry_check() {
+        let sym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0), (1, 0, 2.0), (0, 0, 1.0)]);
+        assert!(sym.is_symmetric());
+        let asym = CsrMatrix::from_triplets(2, 2, &[(0, 1, 2.0)]);
+        assert!(!asym.is_symmetric());
+        let rect = CsrMatrix::from_triplets(1, 2, &[]);
+        assert!(!rect.is_symmetric());
+    }
+
+    #[test]
+    fn empty_rows_are_fine() {
+        let m = CsrMatrix::from_triplets(3, 3, &[(2, 0, 1.0)]);
+        assert_eq!(m.matvec(&[1.0, 0.0, 0.0]), vec![0.0, 0.0, 1.0]);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn bad_triplet_panics() {
+        let _ = CsrMatrix::from_triplets(1, 1, &[(1, 0, 1.0)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-finite")]
+    fn nan_entry_panics() {
+        let _ = CsrMatrix::from_triplets(1, 1, &[(0, 0, f64::NAN)]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn matvec_length_mismatch_panics() {
+        let m = CsrMatrix::from_triplets(2, 2, &[]);
+        let _ = m.matvec(&[1.0]);
+    }
+}

@@ -1,0 +1,247 @@
+//! Lanczos iteration with full reorthogonalisation for the smallest
+//! eigenpairs of a symmetric matrix.
+
+use crate::csr::CsrMatrix;
+use crate::tridiag::tridiagonal_eigen;
+use crate::vector::{axpy, dot, normalize, orthogonalize};
+
+/// Options for [`lanczos_smallest`].
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct LanczosOptions {
+    /// How many of the smallest eigenpairs to return.
+    pub num_eigenpairs: usize,
+    /// Krylov subspace dimension cap (clamped to the matrix order).
+    pub max_iterations: usize,
+    /// Breakdown tolerance on the Lanczos β coefficients.
+    pub tolerance: f64,
+    /// Seed for the deterministic start vector.
+    pub seed: u64,
+}
+
+impl Default for LanczosOptions {
+    fn default() -> Self {
+        LanczosOptions {
+            num_eigenpairs: 2,
+            max_iterations: 120,
+            tolerance: 1e-10,
+            seed: 1,
+        }
+    }
+}
+
+/// Deterministic xorshift values in `(-0.5, 0.5)` for start vectors (this
+/// crate carries no RNG dependency).
+struct SplitMix(u64);
+
+impl SplitMix {
+    fn next_f64(&mut self) -> f64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        (z >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    }
+}
+
+/// Computes the `num_eigenpairs` smallest eigenpairs of the symmetric
+/// matrix `a` by the Lanczos method with full reorthogonalisation,
+/// followed by a dense solve of the projected tridiagonal problem.
+///
+/// Returns `(values, vectors)`, eigenvalues ascending, Ritz vectors of
+/// unit norm. Exact in exact arithmetic once the Krylov dimension reaches
+/// the matrix order; in practice the default 120 iterations resolve the
+/// low end of graph-Laplacian spectra to far better accuracy than the
+/// ordering-based partitioners require.
+///
+/// # Panics
+///
+/// Panics if `a` is not square, or `num_eigenpairs` exceeds the order.
+///
+/// ```
+/// use prop_linalg::{lanczos_smallest, CsrMatrix, LanczosOptions};
+///
+/// // Laplacian of the path 0-1-2.
+/// let l = CsrMatrix::from_triplets(3, 3, &[
+///     (0, 0, 1.0), (1, 1, 2.0), (2, 2, 1.0),
+///     (0, 1, -1.0), (1, 0, -1.0), (1, 2, -1.0), (2, 1, -1.0),
+/// ]);
+/// let (vals, _) = lanczos_smallest(&l, LanczosOptions::default());
+/// assert!(vals[0].abs() < 1e-9);          // λ0 = 0
+/// assert!((vals[1] - 1.0).abs() < 1e-9);  // λ1 = 1
+/// ```
+pub fn lanczos_smallest(a: &CsrMatrix, options: LanczosOptions) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = a.rows();
+    assert_eq!(n, a.cols(), "Lanczos needs a square matrix");
+    assert!(
+        options.num_eigenpairs <= n,
+        "requested {} eigenpairs of an order-{n} matrix",
+        options.num_eigenpairs
+    );
+    if options.num_eigenpairs == 0 || n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let m = options.max_iterations.clamp(options.num_eigenpairs, n);
+
+    let mut rng = SplitMix(options.seed ^ 0xdead_beef_cafe_f00d);
+    let mut basis: Vec<Vec<f64>> = Vec::with_capacity(m);
+    let mut alphas: Vec<f64> = Vec::with_capacity(m);
+    let mut betas: Vec<f64> = Vec::with_capacity(m);
+
+    let mut q = random_unit(n, &mut rng);
+    let mut w = vec![0.0; n];
+    loop {
+        a.matvec_into(&q, &mut w);
+        let alpha = dot(&q, &w);
+        axpy(-alpha, &q, &mut w);
+        if let Some(prev) = basis.last() {
+            let beta_prev = *betas.last().expect("beta recorded with basis");
+            axpy(-beta_prev, prev, &mut w);
+        }
+        // Full reorthogonalisation (twice is enough: Kahan–Parlett).
+        orthogonalize(&mut w, &basis);
+        orthogonalize(&mut w, std::slice::from_ref(&q));
+        orthogonalize(&mut w, &basis);
+        alphas.push(alpha);
+        basis.push(std::mem::take(&mut q));
+        if basis.len() == m {
+            break;
+        }
+        let beta = normalize(&mut w);
+        if beta <= options.tolerance {
+            // Invariant subspace found: restart with a fresh direction
+            // orthogonal to the current basis.
+            let mut fresh = random_unit(n, &mut rng);
+            orthogonalize(&mut fresh, &basis);
+            if normalize(&mut fresh) <= options.tolerance {
+                break; // the whole space is spanned
+            }
+            betas.push(0.0);
+            q = fresh;
+            w = vec![0.0; n];
+        } else {
+            betas.push(beta);
+            q = std::mem::replace(&mut w, vec![0.0; n]);
+        }
+    }
+
+    let k = basis.len();
+    let (theta, y) = tridiagonal_eigen(&alphas[..k], &betas[..k.saturating_sub(1)]);
+    let take = options.num_eigenpairs.min(k);
+    let mut values = Vec::with_capacity(take);
+    let mut vectors = Vec::with_capacity(take);
+    for i in 0..take {
+        values.push(theta[i]);
+        let mut x = vec![0.0; n];
+        for (j, qj) in basis.iter().enumerate() {
+            axpy(y[i][j], qj, &mut x);
+        }
+        normalize(&mut x);
+        vectors.push(x);
+    }
+    (values, vectors)
+}
+
+fn random_unit(n: usize, rng: &mut SplitMix) -> Vec<f64> {
+    let mut v: Vec<f64> = (0..n).map(|_| rng.next_f64()).collect();
+    if normalize(&mut v) == 0.0 && n > 0 {
+        v[0] = 1.0;
+    }
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Laplacian of a cycle C_n: eigenvalues 2 − 2cos(2πk/n).
+    fn cycle_laplacian(n: usize) -> CsrMatrix {
+        let mut t = Vec::new();
+        for i in 0..n {
+            t.push((i, i, 2.0));
+            t.push((i, (i + 1) % n, -1.0));
+            t.push(((i + 1) % n, i, -1.0));
+        }
+        CsrMatrix::from_triplets(n, n, &t)
+    }
+
+    #[test]
+    fn cycle_spectrum_low_end() {
+        let n = 24;
+        let l = cycle_laplacian(n);
+        let opts = LanczosOptions {
+            num_eigenpairs: 3,
+            ..LanczosOptions::default()
+        };
+        let (vals, vecs) = lanczos_smallest(&l, opts);
+        let lam1 = 2.0 - 2.0 * (2.0 * std::f64::consts::PI / n as f64).cos();
+        assert!(vals[0].abs() < 1e-8, "λ0 = {}", vals[0]);
+        assert!((vals[1] - lam1).abs() < 1e-7, "λ1 = {}", vals[1]);
+        assert!((vals[2] - lam1).abs() < 1e-7, "λ2 = {} (doubly degenerate)", vals[2]);
+        // Residual check ‖Lx − λx‖.
+        for (v, x) in vals.iter().zip(&vecs) {
+            let lx = l.matvec(x);
+            let res: f64 = lx
+                .iter()
+                .zip(x)
+                .map(|(a, b)| (a - v * b).powi(2))
+                .sum::<f64>()
+                .sqrt();
+            assert!(res < 1e-6, "residual {res}");
+        }
+    }
+
+    #[test]
+    fn two_components_have_two_zero_eigenvalues() {
+        // Two disjoint edges: Laplacian has a 2-dimensional null space.
+        let l = CsrMatrix::from_triplets(
+            4,
+            4,
+            &[
+                (0, 0, 1.0),
+                (1, 1, 1.0),
+                (0, 1, -1.0),
+                (1, 0, -1.0),
+                (2, 2, 1.0),
+                (3, 3, 1.0),
+                (2, 3, -1.0),
+                (3, 2, -1.0),
+            ],
+        );
+        let opts = LanczosOptions {
+            num_eigenpairs: 3,
+            ..LanczosOptions::default()
+        };
+        let (vals, _) = lanczos_smallest(&l, opts);
+        assert!(vals[0].abs() < 1e-9);
+        assert!(vals[1].abs() < 1e-9);
+        assert!((vals[2] - 2.0).abs() < 1e-8);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let l = cycle_laplacian(12);
+        let a = lanczos_smallest(&l, LanczosOptions::default());
+        let b = lanczos_smallest(&l, LanczosOptions::default());
+        assert_eq!(a.0, b.0);
+        assert_eq!(a.1, b.1);
+    }
+
+    #[test]
+    fn zero_requests() {
+        let l = cycle_laplacian(4);
+        let opts = LanczosOptions {
+            num_eigenpairs: 0,
+            ..LanczosOptions::default()
+        };
+        let (vals, vecs) = lanczos_smallest(&l, opts);
+        assert!(vals.is_empty() && vecs.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "square")]
+    fn rectangular_rejected() {
+        let m = CsrMatrix::from_triplets(2, 3, &[]);
+        let _ = lanczos_smallest(&m, LanczosOptions::default());
+    }
+}

@@ -1,0 +1,27 @@
+//! Sparse linear algebra for the spectral partitioning baselines.
+//!
+//! Everything is implemented from scratch on `f64`:
+//!
+//! * [`CsrMatrix`] — compressed sparse row matrices with duplicate-summing
+//!   triplet construction and matrix–vector products.
+//! * [`vector`] — dense vector kernels (dot, axpy, norms, orthogonalise).
+//! * [`tridiagonal_eigen`] — the implicit-shift QL eigensolver for
+//!   symmetric tridiagonal matrices (the EISPACK `tql2` algorithm).
+//! * [`lanczos_smallest`] — Lanczos with full reorthogonalisation for the
+//!   smallest eigenpairs of a symmetric matrix (graph Laplacians here).
+//! * [`conjugate_gradient`] — CG for symmetric positive-definite systems,
+//!   used by the PARABOLI-style quadratic placement baseline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod cg;
+mod csr;
+mod lanczos;
+mod tridiag;
+pub mod vector;
+
+pub use cg::{conjugate_gradient, CgOutcome};
+pub use csr::CsrMatrix;
+pub use lanczos::{lanczos_smallest, LanczosOptions};
+pub use tridiag::tridiagonal_eigen;

@@ -1,0 +1,221 @@
+//! Implicit-shift QL eigensolver for symmetric tridiagonal matrices
+//! (the classic EISPACK `tql2` algorithm).
+
+/// Computes all eigenvalues and eigenvectors of the symmetric tridiagonal
+/// matrix with diagonal `diag` and subdiagonal `offdiag`
+/// (`offdiag.len() == diag.len() − 1`; both empty for the 0×0 matrix).
+///
+/// Returns `(values, vectors)` with eigenvalues ascending and `vectors[i]`
+/// the unit eigenvector of `values[i]`.
+///
+/// # Panics
+///
+/// Panics on a length mismatch or if the QL iteration fails to converge
+/// (more than 50 sweeps per eigenvalue — numerically unreachable for
+/// finite input).
+///
+/// ```
+/// use prop_linalg::tridiagonal_eigen;
+///
+/// // [[2, 1], [1, 2]] has eigenvalues 1 and 3.
+/// let (vals, vecs) = tridiagonal_eigen(&[2.0, 2.0], &[1.0]);
+/// assert!((vals[0] - 1.0).abs() < 1e-12);
+/// assert!((vals[1] - 3.0).abs() < 1e-12);
+/// assert!((vecs[0][0] + vecs[0][1]).abs() < 1e-12); // (1,-1)/√2 direction
+/// ```
+pub fn tridiagonal_eigen(diag: &[f64], offdiag: &[f64]) -> (Vec<f64>, Vec<Vec<f64>>) {
+    let n = diag.len();
+    assert_eq!(
+        offdiag.len(),
+        n.saturating_sub(1),
+        "subdiagonal must have n-1 entries"
+    );
+    if n == 0 {
+        return (Vec::new(), Vec::new());
+    }
+    let mut d = diag.to_vec();
+    // e is shifted so e[i] couples d[i] and d[i+1]; e[n-1] is a sentinel 0.
+    let mut e = vec![0.0; n];
+    e[..n - 1].copy_from_slice(offdiag);
+    // v[k][i]: row k, column i of the accumulated transform (columns are
+    // eigenvectors).
+    let mut v = vec![vec![0.0; n]; n];
+    for (k, row) in v.iter_mut().enumerate() {
+        row[k] = 1.0;
+    }
+
+    let eps = f64::EPSILON;
+    let mut f = 0.0;
+    let mut tst1: f64 = 0.0;
+    for l in 0..n {
+        tst1 = tst1.max(d[l].abs() + e[l].abs());
+        let mut m = l;
+        while m < n {
+            if e[m].abs() <= eps * tst1 {
+                break;
+            }
+            m += 1;
+        }
+        if m > l {
+            let mut iter = 0;
+            loop {
+                iter += 1;
+                assert!(iter <= 50, "QL iteration failed to converge");
+                // Implicit shift.
+                let g = d[l];
+                let mut p = (d[l + 1] - g) / (2.0 * e[l]);
+                let mut r = p.hypot(1.0);
+                if p < 0.0 {
+                    r = -r;
+                }
+                d[l] = e[l] / (p + r);
+                d[l + 1] = e[l] * (p + r);
+                let dl1 = d[l + 1];
+                let h = g - d[l];
+                for item in d.iter_mut().take(n).skip(l + 2) {
+                    *item -= h;
+                }
+                f += h;
+                // QL sweep.
+                p = d[m];
+                let mut c = 1.0;
+                let mut c2 = c;
+                let mut c3 = c;
+                let el1 = e[l + 1];
+                let mut s = 0.0;
+                let mut s2 = 0.0;
+                for i in (l..m).rev() {
+                    c3 = c2;
+                    c2 = c;
+                    s2 = s;
+                    let g = c * e[i];
+                    let h = c * p;
+                    let r = p.hypot(e[i]);
+                    e[i + 1] = s * r;
+                    s = e[i] / r;
+                    c = p / r;
+                    p = c * d[i] - s * g;
+                    d[i + 1] = h + s * (c * g + s * d[i]);
+                    for row in v.iter_mut() {
+                        let h = row[i + 1];
+                        row[i + 1] = s * row[i] + c * h;
+                        row[i] = c * row[i] - s * h;
+                    }
+                }
+                p = -s * s2 * c3 * el1 * e[l] / dl1;
+                e[l] = s * p;
+                d[l] = c * p;
+                if e[l].abs() <= eps * tst1 {
+                    break;
+                }
+            }
+        }
+        d[l] += f;
+        e[l] = 0.0;
+    }
+
+    // Sort eigenpairs ascending.
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| d[a].partial_cmp(&d[b]).expect("finite eigenvalues"));
+    let values: Vec<f64> = order.iter().map(|&i| d[i]).collect();
+    let vectors: Vec<Vec<f64>> = order
+        .iter()
+        .map(|&i| (0..n).map(|k| v[k][i]).collect())
+        .collect();
+    (values, vectors)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn check_pairs(diag: &[f64], off: &[f64], tol: f64) {
+        let n = diag.len();
+        let (vals, vecs) = tridiagonal_eigen(diag, off);
+        assert_eq!(vals.len(), n);
+        for i in 0..n {
+            // Residual ||T x − λ x||.
+            let x = &vecs[i];
+            for r in 0..n {
+                let mut tx = diag[r] * x[r];
+                if r > 0 {
+                    tx += off[r - 1] * x[r - 1];
+                }
+                if r + 1 < n {
+                    tx += off[r] * x[r + 1];
+                }
+                assert!(
+                    (tx - vals[i] * x[r]).abs() < tol,
+                    "residual at ({i}, {r}): {} vs {}",
+                    tx,
+                    vals[i] * x[r]
+                );
+            }
+            // Unit norm.
+            let nrm: f64 = x.iter().map(|v| v * v).sum::<f64>().sqrt();
+            assert!((nrm - 1.0).abs() < 1e-10);
+        }
+        // Ascending order.
+        for w in vals.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+    }
+
+    #[test]
+    fn two_by_two() {
+        check_pairs(&[2.0, 2.0], &[1.0], 1e-12);
+    }
+
+    #[test]
+    fn diagonal_matrix() {
+        let (vals, _) = tridiagonal_eigen(&[3.0, 1.0, 2.0], &[0.0, 0.0]);
+        assert!((vals[0] - 1.0).abs() < 1e-14);
+        assert!((vals[1] - 2.0).abs() < 1e-14);
+        assert!((vals[2] - 3.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn path_laplacian_eigenvalues() {
+        // Laplacian of the path P4: diag [1,2,2,1], offdiag [-1,-1,-1].
+        // Eigenvalues are 2 − 2 cos(kπ/4), k = 0..3.
+        let (vals, vecs) = tridiagonal_eigen(&[1.0, 2.0, 2.0, 1.0], &[-1.0, -1.0, -1.0]);
+        for (k, &v) in vals.iter().enumerate() {
+            let expect = 2.0 - 2.0 * (std::f64::consts::PI * k as f64 / 4.0).cos();
+            assert!((v - expect).abs() < 1e-12, "k={k}: {v} vs {expect}");
+        }
+        // Smallest eigenvector is constant.
+        let x = &vecs[0];
+        for w in x.windows(2) {
+            assert!((w[0] - w[1]).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn random_tridiagonal_residuals() {
+        // Deterministic pseudo-random entries.
+        let n = 30;
+        let mut state = 0x1234_5678_u64;
+        let mut next = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let diag: Vec<f64> = (0..n).map(|_| next() * 4.0).collect();
+        let off: Vec<f64> = (0..n - 1).map(|_| next() * 2.0).collect();
+        check_pairs(&diag, &off, 1e-8);
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        let (vals, vecs) = tridiagonal_eigen(&[], &[]);
+        assert!(vals.is_empty() && vecs.is_empty());
+        let (vals, vecs) = tridiagonal_eigen(&[7.0], &[]);
+        assert_eq!(vals, vec![7.0]);
+        assert_eq!(vecs, vec![vec![1.0]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "n-1 entries")]
+    fn length_mismatch_panics() {
+        let _ = tridiagonal_eigen(&[1.0, 2.0], &[]);
+    }
+}

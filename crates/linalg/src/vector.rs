@@ -1,0 +1,102 @@
+//! Dense vector kernels.
+
+/// Dot product of two equal-length slices.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "dot of mismatched lengths");
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+/// Euclidean norm.
+pub fn norm(a: &[f64]) -> f64 {
+    dot(a, a).sqrt()
+}
+
+/// `y += alpha * x`.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn axpy(alpha: f64, x: &[f64], y: &mut [f64]) {
+    assert_eq!(x.len(), y.len(), "axpy of mismatched lengths");
+    for (yi, xi) in y.iter_mut().zip(x) {
+        *yi += alpha * xi;
+    }
+}
+
+/// `x *= alpha`.
+pub fn scale(alpha: f64, x: &mut [f64]) {
+    for xi in x.iter_mut() {
+        *xi *= alpha;
+    }
+}
+
+/// Normalises `x` to unit length; returns the original norm. A zero vector
+/// is left unchanged and 0 is returned.
+pub fn normalize(x: &mut [f64]) -> f64 {
+    let n = norm(x);
+    if n > 0.0 {
+        scale(1.0 / n, x);
+    }
+    n
+}
+
+/// Removes from `x` its components along each (unit-norm) vector in
+/// `basis` — one modified Gram–Schmidt sweep.
+pub fn orthogonalize(x: &mut [f64], basis: &[Vec<f64>]) {
+    for q in basis {
+        let c = dot(x, q);
+        axpy(-c, q, x);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dot_and_norm() {
+        assert_eq!(dot(&[1.0, 2.0], &[3.0, 4.0]), 11.0);
+        assert_eq!(norm(&[3.0, 4.0]), 5.0);
+        assert_eq!(dot(&[], &[]), 0.0);
+    }
+
+    #[test]
+    fn axpy_scale() {
+        let mut y = vec![1.0, 1.0];
+        axpy(2.0, &[1.0, -1.0], &mut y);
+        assert_eq!(y, vec![3.0, -1.0]);
+        scale(0.5, &mut y);
+        assert_eq!(y, vec![1.5, -0.5]);
+    }
+
+    #[test]
+    fn normalize_unit_and_zero() {
+        let mut x = vec![0.0, 3.0, 4.0];
+        assert_eq!(normalize(&mut x), 5.0);
+        assert!((norm(&x) - 1.0).abs() < 1e-15);
+        let mut z = vec![0.0, 0.0];
+        assert_eq!(normalize(&mut z), 0.0);
+        assert_eq!(z, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn orthogonalize_removes_components() {
+        let e1 = vec![1.0, 0.0, 0.0];
+        let e2 = vec![0.0, 1.0, 0.0];
+        let mut x = vec![2.0, 3.0, 4.0];
+        orthogonalize(&mut x, &[e1, e2]);
+        assert!((x[0]).abs() < 1e-15);
+        assert!((x[1]).abs() < 1e-15);
+        assert_eq!(x[2], 4.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatched")]
+    fn mismatched_dot_panics() {
+        let _ = dot(&[1.0], &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,264 @@
+//! Heavy-edge matching coarsening.
+
+use prop_core::{Bipartition, Side};
+use prop_netlist::{Hypergraph, HypergraphBuilder, NodeId};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+
+const UNMATCHED: u32 = u32::MAX;
+
+/// One coarsening level: the fine circuit, its coarsened image, and the
+/// node mapping between them.
+#[derive(Clone, Debug)]
+pub struct CoarseLevel {
+    fine: Hypergraph,
+    /// The coarsened circuit. Supernode weights are the summed weights of
+    /// their constituents; nets internal to a supernode are dropped and
+    /// identical coarse nets are merged with summed cost, which makes
+    /// coarsening *cut-exact* (see [`CoarseLevel::project`]).
+    pub coarse: Hypergraph,
+    /// `map[fine_node] = coarse_node`.
+    map: Vec<u32>,
+}
+
+impl CoarseLevel {
+    /// The circuit this level coarsened from.
+    pub fn fine_view(&self) -> &Hypergraph {
+        &self.fine
+    }
+
+    /// The coarse image of a fine node.
+    pub fn coarse_of(&self, fine: NodeId) -> NodeId {
+        NodeId::new(self.map[fine.index()] as usize)
+    }
+
+    /// Projects a partition of the coarse circuit onto the fine circuit:
+    /// every fine node takes its supernode's side. The projected partition
+    /// has **exactly** the same cut cost, because every dropped net was
+    /// internal to one supernode (hence internal to one side) and merged
+    /// nets are cut simultaneously.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the partition does not match the coarse circuit.
+    pub fn project(&self, coarse_partition: &Bipartition) -> Bipartition {
+        assert_eq!(
+            coarse_partition.len(),
+            self.coarse.num_nodes(),
+            "partition does not match the coarse circuit"
+        );
+        let sides: Vec<Side> = self
+            .map
+            .iter()
+            .map(|&c| coarse_partition.side(NodeId::new(c as usize)))
+            .collect();
+        Bipartition::from_sides(sides)
+    }
+}
+
+/// Coarsens `fine` by one level of heavy-edge matching: each node is
+/// matched with its most strongly connected unmatched neighbor
+/// (connectivity = Σ `w/(q−1)` over shared nets of size ≤ `max_match_net`),
+/// visiting nodes in a seeded random order. Unmatchable nodes survive as
+/// singleton supernodes.
+pub fn coarsen(fine: &Hypergraph, max_match_net: usize, seed: u64) -> CoarseLevel {
+    let n = fine.num_nodes();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x1357_9bdf_2468_ace0);
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+
+    let mut mate = vec![UNMATCHED; n];
+    // Scratch accumulation of connectivity scores, epoch-marked.
+    let mut score = vec![0.0f64; n];
+    let mut mark = vec![u32::MAX; n];
+    for (epoch, &u) in order.iter().enumerate() {
+        if mate[u] != UNMATCHED {
+            continue;
+        }
+        let epoch = epoch as u32;
+        let u_id = NodeId::new(u);
+        let mut best: Option<(f64, usize)> = None;
+        for &net in fine.nets_of(u_id) {
+            let q = fine.net_size(net);
+            if !(2..=max_match_net).contains(&q) {
+                continue;
+            }
+            let w = fine.net_weight(net) / (q as f64 - 1.0);
+            for &x in fine.pins_of(net) {
+                let xi = x.index();
+                if xi == u || mate[xi] != UNMATCHED {
+                    continue;
+                }
+                if mark[xi] != epoch {
+                    mark[xi] = epoch;
+                    score[xi] = 0.0;
+                }
+                score[xi] += w;
+                let candidate = (score[xi], xi);
+                let better = match best {
+                    None => true,
+                    Some((bs, bx)) => {
+                        candidate.0 > bs
+                            || (candidate.0 == bs && {
+                                // Tie-break: lighter combined supernode,
+                                // then smaller index — deterministic and
+                                // weight-balancing.
+                                let cw = fine.node_weight(x);
+                                let bw = fine.node_weight(NodeId::new(bx));
+                                cw < bw || (cw == bw && xi < bx)
+                            })
+                    }
+                };
+                if better {
+                    best = Some(candidate);
+                }
+            }
+        }
+        if let Some((_, v)) = best {
+            mate[u] = v as u32;
+            mate[v] = u as u32;
+        }
+    }
+
+    // Assign coarse ids: matched pairs share one id, singletons keep one.
+    let mut map = vec![UNMATCHED; n];
+    let mut coarse_weight: Vec<f64> = Vec::new();
+    for v in 0..n {
+        if map[v] != UNMATCHED {
+            continue;
+        }
+        let id = coarse_weight.len() as u32;
+        map[v] = id;
+        let mut w = fine.node_weight(NodeId::new(v));
+        if mate[v] != UNMATCHED {
+            let m = mate[v] as usize;
+            map[m] = id;
+            w += fine.node_weight(NodeId::new(m));
+        }
+        coarse_weight.push(w);
+    }
+    let coarse_n = coarse_weight.len();
+
+    // Coarse nets: drop nets internal to a supernode, merge identical
+    // pin sets with summed cost.
+    let mut merged: HashMap<Vec<u32>, f64> = HashMap::new();
+    let mut pins_scratch: Vec<u32> = Vec::new();
+    for net in fine.nets() {
+        pins_scratch.clear();
+        pins_scratch.extend(fine.pins_of(net).iter().map(|&v| map[v.index()]));
+        pins_scratch.sort_unstable();
+        pins_scratch.dedup();
+        if pins_scratch.len() < 2 {
+            continue;
+        }
+        *merged.entry(pins_scratch.clone()).or_insert(0.0) += fine.net_weight(net);
+    }
+    // Deterministic net order (hash maps iterate in arbitrary order).
+    let mut nets: Vec<(Vec<u32>, f64)> = merged.into_iter().collect();
+    nets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut builder = HypergraphBuilder::new(coarse_n);
+    builder
+        .set_node_weights(coarse_weight)
+        .expect("summed positive weights stay positive");
+    for (pins, weight) in nets {
+        builder
+            .add_net(weight, pins.iter().map(|&p| p as usize))
+            .expect("mapped pins are in range");
+    }
+    let coarse = builder.build().expect("coarse circuit is well-formed");
+    CoarseLevel {
+        fine: fine.clone(),
+        coarse,
+        map,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_core::CutState;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+
+    fn circuit(seed: u64) -> Hypergraph {
+        generate(&GeneratorConfig::new(200, 220, 740).with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn coarsening_shrinks_and_conserves_weight() {
+        let g = circuit(4);
+        let level = coarsen(&g, 32, 1);
+        assert!(level.coarse.num_nodes() < g.num_nodes());
+        assert!(level.coarse.num_nodes() >= g.num_nodes() / 2);
+        assert!(
+            (level.coarse.total_node_weight() - g.total_node_weight()).abs() < 1e-9,
+            "node weight must be conserved"
+        );
+    }
+
+    #[test]
+    fn matching_is_a_valid_pairing() {
+        let g = circuit(5);
+        let level = coarsen(&g, 32, 2);
+        // Every coarse node has 1 or 2 fine constituents.
+        let mut count = vec![0usize; level.coarse.num_nodes()];
+        for v in g.nodes() {
+            count[level.coarse_of(v).index()] += 1;
+        }
+        assert!(count.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    #[test]
+    fn projection_is_cut_exact() {
+        let g = circuit(6);
+        let level = coarsen(&g, 32, 3);
+        let mut rng = StdRng::seed_from_u64(9);
+        for _ in 0..5 {
+            let coarse_part = Bipartition::random(level.coarse.num_nodes(), &mut rng);
+            let coarse_cut = CutState::new(&level.coarse, &coarse_part).cut_cost();
+            let fine_part = level.project(&coarse_part);
+            let fine_cut = CutState::new(&g, &fine_part).cut_cost();
+            assert!(
+                (coarse_cut - fine_cut).abs() < 1e-9,
+                "coarse {coarse_cut} vs fine {fine_cut}"
+            );
+        }
+    }
+
+    #[test]
+    fn repeated_coarsening_terminates() {
+        let mut g = circuit(7);
+        for _ in 0..20 {
+            if g.num_nodes() <= 16 {
+                break;
+            }
+            let level = coarsen(&g, 32, 11);
+            assert!(level.coarse.num_nodes() <= g.num_nodes());
+            g = level.coarse;
+        }
+        assert!(g.num_nodes() <= 120);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let g = circuit(8);
+        let a = coarsen(&g, 32, 5);
+        let b = coarsen(&g, 32, 5);
+        assert_eq!(a.coarse, b.coarse);
+        let c = coarsen(&g, 32, 6);
+        // Different seed, almost surely different matching.
+        assert_ne!(a.coarse, c.coarse);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match")]
+    fn project_checks_sizes() {
+        let g = circuit(9);
+        let level = coarsen(&g, 32, 1);
+        let wrong = Bipartition::from_sides(vec![Side::A; level.coarse.num_nodes() + 1]);
+        let _ = level.project(&wrong);
+    }
+}

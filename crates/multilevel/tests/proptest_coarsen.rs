@@ -1,0 +1,65 @@
+//! Property tests of the coarsening invariants on arbitrary hypergraphs.
+
+use proptest::prelude::*;
+use prop_core::{Bipartition, CutState, Side};
+use prop_multilevel::coarsen::coarsen;
+use prop_netlist::{Hypergraph, HypergraphBuilder, NodeId};
+
+fn arb_graph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..50).prop_flat_map(|n| {
+        let nets = proptest::collection::vec(proptest::collection::vec(0..n, 2..5), 1..80);
+        let weights = proptest::collection::vec(1u32..5, n);
+        (nets, weights).prop_map(move |(nets, weights)| {
+            let mut b = HypergraphBuilder::new(n);
+            for pins in nets {
+                b.add_net(1.0, pins).expect("valid pins");
+            }
+            b.set_node_weights(weights.into_iter().map(f64::from).collect())
+                .expect("positive");
+            b.build().expect("valid graph")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Coarsening conserves total node weight, produces supernodes of
+    /// 1–2 constituents, and never grows the circuit.
+    #[test]
+    fn coarsening_invariants(g in arb_graph(), seed in any::<u64>()) {
+        let level = coarsen(&g, 32, seed);
+        prop_assert!(level.coarse.num_nodes() <= g.num_nodes());
+        prop_assert!(level.coarse.num_nodes() >= g.num_nodes().div_ceil(2));
+        prop_assert!(
+            (level.coarse.total_node_weight() - g.total_node_weight()).abs() < 1e-9
+        );
+        let mut constituents = vec![0usize; level.coarse.num_nodes()];
+        for v in g.nodes() {
+            constituents[level.coarse_of(v).index()] += 1;
+        }
+        prop_assert!(constituents.iter().all(|&c| (1..=2).contains(&c)));
+    }
+
+    /// Projection is cut-exact for every partition of the coarse circuit.
+    #[test]
+    fn projection_is_cut_exact(g in arb_graph(), seed in any::<u64>(), mask in any::<u64>()) {
+        let level = coarsen(&g, 32, seed);
+        let cn = level.coarse.num_nodes();
+        let sides: Vec<Side> = (0..cn)
+            .map(|i| if (mask >> (i % 64)) & 1 == 1 { Side::A } else { Side::B })
+            .collect();
+        let coarse_part = Bipartition::from_sides(sides);
+        let coarse_cut = CutState::new(&level.coarse, &coarse_part).cut_cost();
+        let fine_part = level.project(&coarse_part);
+        let fine_cut = CutState::new(&g, &fine_part).cut_cost();
+        prop_assert!((coarse_cut - fine_cut).abs() < 1e-9);
+        // Every fine node lands on its supernode's side.
+        for v in g.nodes() {
+            prop_assert_eq!(
+                fine_part.side(v),
+                coarse_part.side(NodeId::new(level.coarse_of(v).index()))
+            );
+        }
+    }
+}

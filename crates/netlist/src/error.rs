@@ -1,0 +1,92 @@
+//! Error type for netlist construction and parsing.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error produced while building, parsing, or generating a netlist.
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum NetlistError {
+    /// A net referenced a node index `>= num_nodes`.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes declared for the hypergraph.
+        num_nodes: usize,
+    },
+    /// A net weight was non-finite or not strictly positive.
+    InvalidNetWeight {
+        /// The offending weight value.
+        weight: f64,
+    },
+    /// A node size was non-finite or not strictly positive.
+    InvalidNodeWeight {
+        /// The offending size value.
+        weight: f64,
+    },
+    /// A net connected fewer than one node after de-duplication.
+    EmptyNet,
+    /// A parse failure, with a line number (1-based) and message.
+    Parse {
+        /// Line at which parsing failed.
+        line: usize,
+        /// Human-readable description of the failure.
+        message: String,
+    },
+    /// A generator configuration that cannot be satisfied.
+    InvalidGeneratorConfig {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::NodeOutOfRange { node, num_nodes } => {
+                write!(f, "node index {node} out of range for {num_nodes} nodes")
+            }
+            NetlistError::InvalidNetWeight { weight } => {
+                write!(f, "net weight {weight} is not finite and positive")
+            }
+            NetlistError::InvalidNodeWeight { weight } => {
+                write!(f, "node size {weight} is not finite and positive")
+            }
+            NetlistError::EmptyNet => write!(f, "net connects no nodes"),
+            NetlistError::Parse { line, message } => {
+                write!(f, "parse error at line {line}: {message}")
+            }
+            NetlistError::InvalidGeneratorConfig { message } => {
+                write!(f, "invalid generator configuration: {message}")
+            }
+        }
+    }
+}
+
+impl Error for NetlistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = NetlistError::NodeOutOfRange {
+            node: 9,
+            num_nodes: 4,
+        };
+        assert_eq!(e.to_string(), "node index 9 out of range for 4 nodes");
+        assert_eq!(NetlistError::EmptyNet.to_string(), "net connects no nodes");
+        let e = NetlistError::Parse {
+            line: 3,
+            message: "bad token".into(),
+        };
+        assert!(e.to_string().contains("line 3"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,445 @@
+//! Text formats for netlists.
+//!
+//! Two formats are supported:
+//!
+//! * **`.hgr`** — the hMETIS hypergraph format: a header line
+//!   `<#nets> <#nodes> [fmt]`, then one line per net listing its 1-based
+//!   node indices. `fmt = 1` prefixes each net line with an integer or
+//!   floating-point weight. Comment lines start with `%`.
+//! * **`.netd`** — a small named netlist format used by this suite:
+//!   `node <name>` lines declare nodes in order, `net <weight> <name...>`
+//!   lines declare nets over previously declared node names.
+//!
+//! ```
+//! use prop_netlist::format;
+//!
+//! # fn main() -> Result<(), prop_netlist::NetlistError> {
+//! let g = format::parse_hgr("2 3\n1 2\n2 3\n")?;
+//! assert_eq!(g.num_nets(), 2);
+//! let text = format::write_hgr(&g);
+//! let g2 = format::parse_hgr(&text)?;
+//! assert_eq!(g, g2);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::NetlistError;
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use std::collections::HashMap;
+use std::fmt::Write as _;
+
+/// Parses a hypergraph from hMETIS `.hgr` text.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on malformed input (bad header, bad
+/// token, wrong net count) and the builder's errors on semantic problems
+/// (out-of-range pins, non-positive weights).
+pub fn parse_hgr(text: &str) -> Result<Hypergraph, NetlistError> {
+    let mut lines = text
+        .lines()
+        .enumerate()
+        .map(|(i, l)| (i + 1, l.trim()))
+        .filter(|(_, l)| !l.is_empty() && !l.starts_with('%'));
+
+    let (header_line, header) = lines.next().ok_or(NetlistError::Parse {
+        line: 1,
+        message: "missing header line".into(),
+    })?;
+    let mut it = header.split_whitespace();
+    let nets: usize = parse_token(it.next(), header_line, "net count")?;
+    let nodes: usize = parse_token(it.next(), header_line, "node count")?;
+    let fmt: u32 = match it.next() {
+        None => 0,
+        Some(tok) => tok.parse().map_err(|_| NetlistError::Parse {
+            line: header_line,
+            message: format!("bad format flag {tok:?}"),
+        })?,
+    };
+    if ![0, 1, 10, 11].contains(&fmt) {
+        return Err(NetlistError::Parse {
+            line: header_line,
+            message: format!("unsupported hgr format flag {fmt} (only 0, 1, 10, 11)"),
+        });
+    }
+    let weighted = fmt == 1 || fmt == 11;
+    let node_weighted = fmt == 10 || fmt == 11;
+
+    let mut builder = HypergraphBuilder::new(nodes);
+    let mut read_nets = 0usize;
+    let mut node_weights: Vec<f64> = Vec::new();
+    for (line_no, line) in lines {
+        if read_nets == nets {
+            // hMETIS convention: after the net lines, one node-weight line
+            // per node when the format flag says so.
+            if !node_weighted || node_weights.len() == nodes {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("more than the declared {nets} nets"),
+                });
+            }
+            let tok = line.split_whitespace().next().ok_or(NetlistError::Parse {
+                line: line_no,
+                message: "empty node weight line".into(),
+            })?;
+            let w: f64 = tok.parse().map_err(|_| NetlistError::Parse {
+                line: line_no,
+                message: format!("bad node weight {tok:?}"),
+            })?;
+            node_weights.push(w);
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        let weight = if weighted {
+            let tok = toks.next().ok_or_else(|| NetlistError::Parse {
+                line: line_no,
+                message: "missing net weight".into(),
+            })?;
+            tok.parse::<f64>().map_err(|_| NetlistError::Parse {
+                line: line_no,
+                message: format!("bad net weight {tok:?}"),
+            })?
+        } else {
+            1.0
+        };
+        let mut pins = Vec::new();
+        for tok in toks {
+            let raw: usize = tok.parse().map_err(|_| NetlistError::Parse {
+                line: line_no,
+                message: format!("bad pin index {tok:?}"),
+            })?;
+            if raw == 0 {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: "pin indices are 1-based; found 0".into(),
+                });
+            }
+            pins.push(raw - 1);
+        }
+        builder.add_net(weight, pins)?;
+        read_nets += 1;
+    }
+    if read_nets != nets {
+        return Err(NetlistError::Parse {
+            line: 0,
+            message: format!("header declared {nets} nets but file has {read_nets}"),
+        });
+    }
+    if node_weighted {
+        if node_weights.len() != nodes {
+            return Err(NetlistError::Parse {
+                line: 0,
+                message: format!(
+                    "format flag {fmt} requires {nodes} node-weight lines, found {}",
+                    node_weights.len()
+                ),
+            });
+        }
+        builder.set_node_weights(node_weights)?;
+    }
+    builder.build()
+}
+
+/// Serialises a hypergraph to hMETIS `.hgr` text. The format flag is
+/// derived from the content: `1` for non-unit net weights, `10` for
+/// non-unit node sizes, `11` for both, omitted when everything is unit.
+pub fn write_hgr(graph: &Hypergraph) -> String {
+    let weighted = !graph.has_unit_weights();
+    let node_weighted = !graph.has_unit_node_weights();
+    let mut out = String::new();
+    match (weighted, node_weighted) {
+        (false, false) => {
+            let _ = writeln!(out, "{} {}", graph.num_nets(), graph.num_nodes());
+        }
+        (true, false) => {
+            let _ = writeln!(out, "{} {} 1", graph.num_nets(), graph.num_nodes());
+        }
+        (false, true) => {
+            let _ = writeln!(out, "{} {} 10", graph.num_nets(), graph.num_nodes());
+        }
+        (true, true) => {
+            let _ = writeln!(out, "{} {} 11", graph.num_nets(), graph.num_nodes());
+        }
+    }
+    for net in graph.nets() {
+        if weighted {
+            let _ = write!(out, "{} ", graph.net_weight(net));
+        }
+        let pins = graph.pins_of(net);
+        for (i, &pin) in pins.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            let _ = write!(out, "{}", pin.index() + 1);
+        }
+        out.push('\n');
+    }
+    if node_weighted {
+        for v in graph.nodes() {
+            let _ = writeln!(out, "{}", graph.node_weight(v));
+        }
+    }
+    out
+}
+
+/// Parses the named `.netd` format.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::Parse`] on unknown directives or undeclared node
+/// names, and the builder's errors on semantic problems.
+pub fn parse_netd(text: &str) -> Result<Hypergraph, NetlistError> {
+    let mut names: Vec<String> = Vec::new();
+    let mut node_weights: Vec<f64> = Vec::new();
+    let mut index_of: HashMap<String, usize> = HashMap::new();
+    let mut nets: Vec<(f64, Vec<usize>, usize)> = Vec::new();
+
+    for (line_no, raw) in text.lines().enumerate() {
+        let line_no = line_no + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut toks = line.split_whitespace();
+        match toks.next() {
+            Some("node") => {
+                let name = toks.next().ok_or_else(|| NetlistError::Parse {
+                    line: line_no,
+                    message: "node directive needs a name".into(),
+                })?;
+                if index_of.contains_key(name) {
+                    return Err(NetlistError::Parse {
+                        line: line_no,
+                        message: format!("duplicate node name {name:?}"),
+                    });
+                }
+                let weight = match toks.next() {
+                    None => 1.0,
+                    Some(tok) => tok.parse::<f64>().map_err(|_| NetlistError::Parse {
+                        line: line_no,
+                        message: format!("bad node weight {tok:?}"),
+                    })?,
+                };
+                index_of.insert(name.to_string(), names.len());
+                names.push(name.to_string());
+                node_weights.push(weight);
+            }
+            Some("net") => {
+                let wtok = toks.next().ok_or_else(|| NetlistError::Parse {
+                    line: line_no,
+                    message: "net directive needs a weight".into(),
+                })?;
+                let weight: f64 = wtok.parse().map_err(|_| NetlistError::Parse {
+                    line: line_no,
+                    message: format!("bad net weight {wtok:?}"),
+                })?;
+                let mut pins = Vec::new();
+                for name in toks {
+                    let &idx = index_of.get(name).ok_or_else(|| NetlistError::Parse {
+                        line: line_no,
+                        message: format!("undeclared node name {name:?}"),
+                    })?;
+                    pins.push(idx);
+                }
+                nets.push((weight, pins, line_no));
+            }
+            Some(other) => {
+                return Err(NetlistError::Parse {
+                    line: line_no,
+                    message: format!("unknown directive {other:?}"),
+                });
+            }
+            None => unreachable!("empty lines are filtered"),
+        }
+    }
+
+    let mut builder = HypergraphBuilder::new(names.len());
+    builder.set_node_names(names);
+    if node_weights.iter().any(|&w| w != 1.0) {
+        builder.set_node_weights(node_weights)?;
+    }
+    for (weight, pins, _line) in nets {
+        builder.add_net(weight, pins)?;
+    }
+    builder.build()
+}
+
+/// Serialises a hypergraph to the named `.netd` format. Nodes without names
+/// are written as `v<index>`; non-unit node sizes are appended to their
+/// `node` lines.
+pub fn write_netd(graph: &Hypergraph) -> String {
+    let mut out = String::new();
+    let name = |i: usize| -> String {
+        graph
+            .node_name(crate::NodeId::new(i))
+            .map(str::to_owned)
+            .unwrap_or_else(|| format!("v{i}"))
+    };
+    let node_weighted = !graph.has_unit_node_weights();
+    for i in 0..graph.num_nodes() {
+        if node_weighted {
+            let _ = writeln!(
+                out,
+                "node {} {}",
+                name(i),
+                graph.node_weight(crate::NodeId::new(i))
+            );
+        } else {
+            let _ = writeln!(out, "node {}", name(i));
+        }
+    }
+    for net in graph.nets() {
+        let _ = write!(out, "net {}", graph.net_weight(net));
+        for &pin in graph.pins_of(net) {
+            let _ = write!(out, " {}", name(pin.index()));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+fn parse_token<T: std::str::FromStr>(
+    tok: Option<&str>,
+    line: usize,
+    what: &str,
+) -> Result<T, NetlistError> {
+    let tok = tok.ok_or_else(|| NetlistError::Parse {
+        line,
+        message: format!("missing {what}"),
+    })?;
+    tok.parse().map_err(|_| NetlistError::Parse {
+        line,
+        message: format!("bad {what} {tok:?}"),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_simple_hgr() {
+        let g = parse_hgr("% comment\n3 4\n1 2\n2 3 4\n1 4\n").unwrap();
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_nets(), 3);
+        assert_eq!(g.num_pins(), 7);
+        assert!(g.has_unit_weights());
+    }
+
+    #[test]
+    fn parse_weighted_hgr() {
+        let g = parse_hgr("2 2 1\n3.5 1 2\n1 1 2\n").unwrap();
+        assert_eq!(g.net_weight(crate::NetId::new(0)), 3.5);
+        assert_eq!(g.net_weight(crate::NetId::new(1)), 1.0);
+    }
+
+    #[test]
+    fn hgr_roundtrip_unweighted() {
+        let g = parse_hgr("3 4\n1 2\n2 3 4\n1 4\n").unwrap();
+        let g2 = parse_hgr(&write_hgr(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn hgr_roundtrip_weighted() {
+        let g = parse_hgr("2 3 1\n2.25 1 2 3\n1.5 2 3\n").unwrap();
+        let text = write_hgr(&g);
+        assert!(text.starts_with("2 3 1"));
+        let g2 = parse_hgr(&text).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn hgr_node_weights_roundtrip() {
+        let src = "2 3 10\n1 2\n2 3\n2\n1\n4.5\n";
+        let g = parse_hgr(src).unwrap();
+        assert!(!g.has_unit_node_weights());
+        assert_eq!(g.node_weight(crate::NodeId::new(2)), 4.5);
+        let text = write_hgr(&g);
+        assert!(text.starts_with("2 3 10"));
+        assert_eq!(parse_hgr(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn hgr_both_weights_roundtrip() {
+        let src = "1 2 11\n2.5 1 2\n3\n1\n";
+        let g = parse_hgr(src).unwrap();
+        assert_eq!(g.net_weight(crate::NetId::new(0)), 2.5);
+        assert_eq!(g.node_weight(crate::NodeId::new(0)), 3.0);
+        let text = write_hgr(&g);
+        assert!(text.starts_with("1 2 11"));
+        assert_eq!(parse_hgr(&text).unwrap(), g);
+    }
+
+    #[test]
+    fn hgr_node_weight_errors() {
+        // Too few node-weight lines.
+        assert!(parse_hgr("1 2 10\n1 2\n1\n").is_err());
+        // Too many.
+        assert!(parse_hgr("1 2 10\n1 2\n1\n1\n1\n").is_err());
+        // Bad weight token.
+        assert!(parse_hgr("1 2 10\n1 2\nx\n1\n").is_err());
+        // Non-positive weight surfaces as a builder error.
+        assert!(matches!(
+            parse_hgr("1 2 10\n1 2\n0\n1\n"),
+            Err(NetlistError::InvalidNodeWeight { .. })
+        ));
+    }
+
+    #[test]
+    fn hgr_errors() {
+        assert!(matches!(parse_hgr(""), Err(NetlistError::Parse { .. })));
+        assert!(matches!(parse_hgr("x 3"), Err(NetlistError::Parse { .. })));
+        // Wrong number of nets.
+        assert!(parse_hgr("2 3\n1 2\n").is_err());
+        assert!(parse_hgr("1 3\n1 2\n1 3\n").is_err());
+        // Zero pin index.
+        assert!(parse_hgr("1 3\n0 1\n").is_err());
+        // Unsupported format flag.
+        assert!(parse_hgr("1 3 11\n1 2\n").is_err());
+        // Out-of-range pin surfaces as a builder error.
+        assert!(matches!(
+            parse_hgr("1 2\n1 3\n"),
+            Err(NetlistError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn netd_roundtrip_with_names() {
+        let src = "node a\nnode b\nnode c\nnet 1 a b\nnet 2.5 a b c\n";
+        let g = parse_netd(src).unwrap();
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.node_name(crate::NodeId::new(2)), Some("c"));
+        let g2 = parse_netd(&write_netd(&g)).unwrap();
+        assert_eq!(g, g2);
+    }
+
+    #[test]
+    fn netd_errors() {
+        assert!(parse_netd("node a\nnode a\n").is_err());
+        assert!(parse_netd("net 1 ghost\n").is_err());
+        assert!(parse_netd("frobnicate\n").is_err());
+        assert!(parse_netd("node a\nnet x a\n").is_err());
+        assert!(parse_netd("node\n").is_err());
+        assert!(parse_netd("node a\nnet\n").is_err());
+    }
+
+    #[test]
+    fn netd_node_weights_roundtrip() {
+        let src = "node a 2.5\nnode b\nnet 1 a b\n";
+        let g = parse_netd(src).unwrap();
+        assert_eq!(g.node_weight(crate::NodeId::new(0)), 2.5);
+        assert_eq!(g.node_weight(crate::NodeId::new(1)), 1.0);
+        let text = write_netd(&g);
+        assert!(text.contains("node a 2.5"));
+        assert_eq!(parse_netd(&text).unwrap(), g);
+        // Bad weight token.
+        assert!(parse_netd("node a x\n").is_err());
+    }
+
+    #[test]
+    fn netd_comments_and_blanks_ignored() {
+        let g = parse_netd("# hello\n\nnode a\nnode b\nnet 1 a b\n").unwrap();
+        assert_eq!(g.num_nets(), 1);
+    }
+}

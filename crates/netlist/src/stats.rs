@@ -1,0 +1,112 @@
+//! Hypergraph size statistics in the notation of the DAC-96 paper.
+
+use crate::hypergraph::Hypergraph;
+use std::fmt;
+
+/// Size parameters of a hypergraph, in the paper's notation:
+///
+/// * `n` — number of nodes,
+/// * `e` — number of nets,
+/// * `m` — total pins (`m = p·n = q·e`),
+/// * `p` — average nets per node,
+/// * `q` — average nodes per net,
+/// * `d = p(q − 1)` — average neighbors per node.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct Stats {
+    /// Number of nodes `n`.
+    pub nodes: usize,
+    /// Number of nets `e`.
+    pub nets: usize,
+    /// Total number of pins `m`.
+    pub pins: usize,
+    /// Average pins per node `p = m / n`.
+    pub avg_pins_per_node: f64,
+    /// Average pins per net `q = m / e`.
+    pub avg_pins_per_net: f64,
+    /// Average neighbors per node `d = p (q − 1)`.
+    pub avg_neighbors: f64,
+    /// Largest net size encountered.
+    pub max_net_size: usize,
+    /// Largest node degree encountered.
+    pub max_degree: usize,
+}
+
+impl Stats {
+    /// Computes the statistics of `graph`.
+    pub fn of(graph: &Hypergraph) -> Stats {
+        let nodes = graph.num_nodes();
+        let nets = graph.num_nets();
+        let pins = graph.num_pins();
+        let p = if nodes > 0 { pins as f64 / nodes as f64 } else { 0.0 };
+        let q = if nets > 0 { pins as f64 / nets as f64 } else { 0.0 };
+        let max_net_size = graph.nets().map(|e| graph.net_size(e)).max().unwrap_or(0);
+        let max_degree = graph.nodes().map(|v| graph.degree(v)).max().unwrap_or(0);
+        Stats {
+            nodes,
+            nets,
+            pins,
+            avg_pins_per_node: p,
+            avg_pins_per_net: q,
+            avg_neighbors: p * (q - 1.0).max(0.0),
+            max_net_size,
+            max_degree,
+        }
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n={} e={} m={} p={:.2} q={:.2} d={:.2}",
+            self.nodes,
+            self.nets,
+            self.pins,
+            self.avg_pins_per_node,
+            self.avg_pins_per_net,
+            self.avg_neighbors
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::hypergraph::HypergraphBuilder;
+
+    #[test]
+    fn stats_of_small_graph() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [1, 2, 3]).unwrap();
+        let g = b.build().unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.nets, 2);
+        assert_eq!(s.pins, 5);
+        assert!((s.avg_pins_per_node - 1.25).abs() < 1e-12);
+        assert!((s.avg_pins_per_net - 2.5).abs() < 1e-12);
+        assert!((s.avg_neighbors - 1.25 * 1.5).abs() < 1e-12);
+        assert_eq!(s.max_net_size, 3);
+        assert_eq!(s.max_degree, 2);
+    }
+
+    #[test]
+    fn stats_of_empty_graph() {
+        let g = HypergraphBuilder::new(0).build().unwrap();
+        let s = g.stats();
+        assert_eq!(s.nodes, 0);
+        assert_eq!(s.avg_pins_per_node, 0.0);
+        assert_eq!(s.avg_neighbors, 0.0);
+    }
+
+    #[test]
+    fn display_contains_counts() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(1.0, [0, 1]).unwrap();
+        let s = b.build().unwrap().stats();
+        let text = s.to_string();
+        assert!(text.contains("n=2"));
+        assert!(text.contains("e=1"));
+        assert!(text.contains("m=2"));
+    }
+}

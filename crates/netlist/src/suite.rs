@@ -1,0 +1,164 @@
+//! The Table-1 benchmark suite of the DAC-96 paper, realised as synthetic
+//! proxies.
+//!
+//! Each [`CircuitSpec`] carries the published node/net/pin counts of one
+//! ACM/SIGDA circuit; [`CircuitSpec::instantiate`] generates a deterministic
+//! synthetic proxy with exactly those counts (see [`crate::generate`] for
+//! why a substitution is necessary and what it preserves).
+//!
+//! ```
+//! use prop_netlist::suite;
+//!
+//! let specs = suite::table1();
+//! assert_eq!(specs.len(), 16);
+//! let balu = suite::by_name("balu").unwrap();
+//! let g = balu.instantiate().unwrap();
+//! assert_eq!(g.num_nodes(), 801);
+//! ```
+
+use crate::error::NetlistError;
+use crate::generate::{generate, GeneratorConfig};
+use crate::hypergraph::Hypergraph;
+
+/// Published characteristics of one benchmark circuit (Table 1).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct CircuitSpec {
+    /// Circuit name as printed in the paper.
+    pub name: &'static str,
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Number of nets.
+    pub nets: usize,
+    /// Number of pins.
+    pub pins: usize,
+}
+
+impl CircuitSpec {
+    /// Generator configuration for this circuit's synthetic proxy. The seed
+    /// is derived from the circuit name so every instantiation is identical
+    /// across processes and platforms.
+    pub fn generator_config(&self) -> GeneratorConfig {
+        GeneratorConfig::new(self.nodes, self.nets, self.pins).with_seed(name_seed(self.name))
+    }
+
+    /// Generates the deterministic synthetic proxy for this circuit.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`NetlistError::InvalidGeneratorConfig`] — which cannot
+    /// occur for the published Table-1 counts — so callers embedding custom
+    /// specs get proper validation.
+    pub fn instantiate(&self) -> Result<Hypergraph, NetlistError> {
+        generate(&self.generator_config())
+    }
+}
+
+/// FNV-1a hash of the circuit name, used as the per-circuit seed.
+fn name_seed(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Table 1 of the paper: the 16 ACM/SIGDA circuits with their published
+/// node, net, and pin counts.
+pub const TABLE1: [CircuitSpec; 16] = [
+    CircuitSpec { name: "balu", nodes: 801, nets: 735, pins: 2697 },
+    CircuitSpec { name: "bm1", nodes: 882, nets: 903, pins: 2910 },
+    CircuitSpec { name: "p1", nodes: 833, nets: 902, pins: 2908 },
+    CircuitSpec { name: "p2", nodes: 3014, nets: 3029, pins: 11219 },
+    CircuitSpec { name: "s13207", nodes: 8772, nets: 8651, pins: 20606 },
+    CircuitSpec { name: "s15850", nodes: 10470, nets: 10383, pins: 24712 },
+    CircuitSpec { name: "s9234", nodes: 5866, nets: 5844, pins: 14065 },
+    CircuitSpec { name: "struct", nodes: 1952, nets: 1920, pins: 5471 },
+    CircuitSpec { name: "19ks", nodes: 2844, nets: 3282, pins: 10547 },
+    CircuitSpec { name: "biomed", nodes: 6514, nets: 5742, pins: 21040 },
+    CircuitSpec { name: "industry2", nodes: 12637, nets: 13419, pins: 48404 },
+    CircuitSpec { name: "t2", nodes: 1663, nets: 1720, pins: 6134 },
+    CircuitSpec { name: "t3", nodes: 1607, nets: 1618, pins: 5807 },
+    CircuitSpec { name: "t4", nodes: 1515, nets: 1658, pins: 5975 },
+    CircuitSpec { name: "t5", nodes: 2595, nets: 2750, pins: 10076 },
+    CircuitSpec { name: "t6", nodes: 1752, nets: 1541, pins: 6638 },
+];
+
+/// Returns the full Table-1 suite in the paper's order.
+pub fn table1() -> Vec<CircuitSpec> {
+    TABLE1.to_vec()
+}
+
+/// A small subset of the suite (the four smallest circuits) for quick
+/// experiments and CI-friendly benchmark runs.
+pub fn small_suite() -> Vec<CircuitSpec> {
+    let mut v = table1();
+    v.sort_by_key(|s| s.nodes);
+    v.truncate(4);
+    v
+}
+
+/// Looks up a circuit spec by its paper name.
+pub fn by_name(name: &str) -> Option<CircuitSpec> {
+    TABLE1.iter().copied().find(|s| s.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_specs_published_counts() {
+        let industry2 = by_name("industry2").unwrap();
+        assert_eq!(industry2.nodes, 12637);
+        assert_eq!(industry2.nets, 13419);
+        assert_eq!(industry2.pins, 48404);
+        assert!(by_name("ghost").is_none());
+    }
+
+    #[test]
+    fn every_spec_instantiates_with_exact_counts() {
+        // Only the small circuits here to keep unit tests fast; integration
+        // tests cover the full sweep.
+        for spec in small_suite() {
+            let g = spec.instantiate().unwrap();
+            assert_eq!(g.num_nodes(), spec.nodes, "{}", spec.name);
+            assert_eq!(g.num_nets(), spec.nets, "{}", spec.name);
+            assert_eq!(g.num_pins(), spec.pins, "{}", spec.name);
+        }
+    }
+
+    #[test]
+    fn instantiation_is_deterministic() {
+        let spec = by_name("balu").unwrap();
+        assert_eq!(spec.instantiate().unwrap(), spec.instantiate().unwrap());
+    }
+
+    #[test]
+    fn seeds_differ_per_circuit() {
+        assert_ne!(name_seed("balu"), name_seed("bm1"));
+        assert_ne!(name_seed("t2"), name_seed("t3"));
+    }
+
+    #[test]
+    fn small_suite_is_smallest_four() {
+        let small = small_suite();
+        assert_eq!(small.len(), 4);
+        let max_small = small.iter().map(|s| s.nodes).max().unwrap();
+        let excluded_min = table1()
+            .iter()
+            .filter(|s| small.iter().all(|t| t.name != s.name))
+            .map(|s| s.nodes)
+            .min()
+            .unwrap();
+        assert!(max_small <= excluded_min);
+    }
+
+    #[test]
+    fn pin_ratios_are_circuit_like() {
+        for spec in TABLE1 {
+            let q = spec.pins as f64 / spec.nets as f64;
+            assert!((2.0..6.0).contains(&q), "{}: q={q}", spec.name);
+        }
+    }
+}

@@ -1,0 +1,129 @@
+//! Property tests for the netlist substrate: generator guarantees,
+//! format round-trips, and induced-subgraph structure.
+
+use proptest::prelude::*;
+use prop_netlist::generate::{generate, generate_with_info, GeneratorConfig};
+use prop_netlist::{format, HypergraphBuilder, NodeId};
+
+/// Valid generator configurations: pins always satisfiable.
+fn arb_config() -> impl Strategy<Value = GeneratorConfig> {
+    (8usize..200, 4usize..150, 0usize..3, any::<u64>(), 0.0f64..1.0).prop_map(
+        |(nodes, nets, extra_per_net, seed, locality)| {
+            let pins = 2 * nets + extra_per_net * nets;
+            GeneratorConfig::new(nodes, nets, pins)
+                .with_seed(seed)
+                .with_locality(locality)
+        },
+    )
+}
+
+/// An arbitrary hand-built hypergraph with mixed net and node weights.
+fn arb_weighted_graph() -> impl Strategy<Value = prop_netlist::Hypergraph> {
+    (3usize..30).prop_flat_map(|n| {
+        let nets = proptest::collection::vec(
+            (proptest::collection::vec(0..n, 1..5), 1u32..16),
+            1..40,
+        );
+        let weights = proptest::collection::vec(1u32..9, n);
+        (nets, weights).prop_map(move |(nets, weights)| {
+            let mut b = HypergraphBuilder::new(n);
+            for (pins, w) in nets {
+                // Quarter-step weights exercise the weighted hgr path.
+                b.add_net(f64::from(w) * 0.25, pins).expect("valid pins");
+            }
+            b.set_node_weights(weights.into_iter().map(|w| f64::from(w) * 0.5).collect())
+                .expect("positive weights");
+            b.build().expect("valid graph")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The generator hits the requested counts exactly, never leaves a
+    /// node isolated, and is deterministic in its config.
+    #[test]
+    fn generator_contract(config in arb_config()) {
+        let (g, info) = generate_with_info(&config).unwrap();
+        prop_assert_eq!(g.num_nodes(), config.nodes);
+        prop_assert_eq!(g.num_nets(), config.nets);
+        prop_assert_eq!(g.num_pins(), config.pins);
+        // Net sizes within [2, max] — pins >= 2·nets in arb_config.
+        for net in g.nets() {
+            prop_assert!((2..=config.max_net_size).contains(&g.net_size(net)));
+        }
+        prop_assert_eq!(info.mid, config.nodes / 2);
+        let again = generate(&config).unwrap();
+        prop_assert_eq!(g, again);
+    }
+
+    /// hgr round-trips preserve weighted graphs exactly (weights are
+    /// dyadic rationals, so text round-trips are lossless).
+    #[test]
+    fn weighted_hgr_roundtrip(g in arb_weighted_graph()) {
+        let text = format::write_hgr(&g);
+        let parsed = format::parse_hgr(&text).unwrap();
+        prop_assert_eq!(g, parsed);
+    }
+
+    /// netd round-trips preserve structure and weights (names are
+    /// synthesised on first write, then stable).
+    #[test]
+    fn netd_roundtrip(g in arb_weighted_graph()) {
+        let once = format::parse_netd(&format::write_netd(&g)).unwrap();
+        let twice = format::parse_netd(&format::write_netd(&once)).unwrap();
+        prop_assert_eq!(&once, &twice);
+        prop_assert_eq!(format::write_hgr(&g), format::write_hgr(&once));
+    }
+
+    /// Induced subgraphs keep exactly the nets with ≥ 2 member pins,
+    /// preserve weights, and the back-mapping is consistent.
+    #[test]
+    fn induced_subgraph_structure(g in arb_weighted_graph(), selector in any::<u64>()) {
+        let n = g.num_nodes();
+        let nodes: Vec<NodeId> = (0..n)
+            .filter(|i| (selector >> (i % 64)) & 1 == 1)
+            .map(NodeId::new)
+            .collect();
+        prop_assume!(!nodes.is_empty());
+        let (sub, back) = g.induced_subgraph(&nodes);
+        prop_assert_eq!(sub.num_nodes(), nodes.len());
+        prop_assert_eq!(&back, &nodes);
+        // Every surviving net's pin multiset equals the restriction of
+        // some original net.
+        let expected: usize = g
+            .nets()
+            .filter(|&net| {
+                g.pins_of(net)
+                    .iter()
+                    .filter(|v| nodes.contains(v))
+                    .count()
+                    >= 2
+            })
+            .count();
+        prop_assert_eq!(sub.num_nets(), expected);
+        for (i, &orig) in back.iter().enumerate() {
+            prop_assert_eq!(sub.node_weight(NodeId::new(i)), g.node_weight(orig));
+        }
+    }
+
+    /// Builder incidence is consistent in both directions for arbitrary
+    /// graphs (the CSR transpose is correct).
+    #[test]
+    fn incidence_consistency(g in arb_weighted_graph()) {
+        let mut pin_count = 0usize;
+        for net in g.nets() {
+            for &v in g.pins_of(net) {
+                prop_assert!(g.nets_of(v).contains(&net));
+                pin_count += 1;
+            }
+        }
+        prop_assert_eq!(pin_count, g.num_pins());
+        for v in g.nodes() {
+            for &net in g.nets_of(v) {
+                prop_assert!(g.pins_of(net).contains(&v));
+            }
+        }
+    }
+}

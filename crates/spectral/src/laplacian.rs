@@ -1,0 +1,97 @@
+//! Graph Laplacians of hypergraphs.
+
+use prop_linalg::CsrMatrix;
+use prop_netlist::Hypergraph;
+
+/// Builds the weighted graph Laplacian of the clique expansion of
+/// `graph`: every net of size `q ≥ 2` and weight `w` contributes a
+/// `q`-clique of edges with weight `w / (q − 1)` (the standard net model
+/// used by EIG1 [Hagen & Kahng 1991]). Nets larger than `max_clique_net`
+/// are skipped — their dense expansions add cost but almost no spectral
+/// signal.
+///
+/// The result is symmetric positive semi-definite with row sums zero.
+///
+/// ```
+/// use prop_netlist::HypergraphBuilder;
+/// use prop_spectral::laplacian::clique_laplacian;
+///
+/// # fn main() -> Result<(), prop_netlist::NetlistError> {
+/// let mut b = HypergraphBuilder::new(3);
+/// b.add_net(2.0, [0, 1, 2])?;
+/// let l = clique_laplacian(&b.build()?, 64);
+/// assert_eq!(l.get(0, 0), 2.0);   // two incident clique edges of weight 1
+/// assert_eq!(l.get(0, 1), -1.0);
+/// # Ok(())
+/// # }
+/// ```
+pub fn clique_laplacian(graph: &Hypergraph, max_clique_net: usize) -> CsrMatrix {
+    let n = graph.num_nodes();
+    let mut triplets: Vec<(usize, usize, f64)> = Vec::new();
+    for net in graph.nets() {
+        let pins = graph.pins_of(net);
+        let q = pins.len();
+        if !(2..=max_clique_net).contains(&q) {
+            continue;
+        }
+        let w = graph.net_weight(net) / (q as f64 - 1.0);
+        for i in 0..q {
+            for j in (i + 1)..q {
+                let (a, b) = (pins[i].index(), pins[j].index());
+                triplets.push((a, b, -w));
+                triplets.push((b, a, -w));
+                triplets.push((a, a, w));
+                triplets.push((b, b, w));
+            }
+        }
+    }
+    CsrMatrix::from_triplets(n, n, &triplets)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::HypergraphBuilder;
+
+    #[test]
+    fn two_pin_net_is_an_edge() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(3.0, [0, 1]).unwrap();
+        let l = clique_laplacian(&b.build().unwrap(), 64);
+        assert_eq!(l.get(0, 0), 3.0);
+        assert_eq!(l.get(1, 1), 3.0);
+        assert_eq!(l.get(0, 1), -3.0);
+        assert!(l.is_symmetric());
+    }
+
+    #[test]
+    fn row_sums_are_zero() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        b.add_net(2.0, [1, 2, 3]).unwrap();
+        b.add_net(1.0, [0, 3]).unwrap();
+        let l = clique_laplacian(&b.build().unwrap(), 64);
+        let ones = vec![1.0; 4];
+        for v in l.matvec(&ones) {
+            assert!(v.abs() < 1e-12);
+        }
+        assert!(l.is_symmetric());
+    }
+
+    #[test]
+    fn oversized_nets_skipped() {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_net(1.0, [0, 1, 2, 3, 4]).unwrap();
+        let l = clique_laplacian(&b.build().unwrap(), 4);
+        assert_eq!(l.nnz(), 0);
+    }
+
+    #[test]
+    fn single_pin_nets_ignored() {
+        let mut b = HypergraphBuilder::new(2);
+        b.add_net(1.0, [0]).unwrap();
+        b.add_net(1.0, [0, 1]).unwrap();
+        let l = clique_laplacian(&b.build().unwrap(), 64);
+        assert_eq!(l.get(0, 0), 1.0);
+    }
+}

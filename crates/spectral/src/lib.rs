@@ -1,0 +1,42 @@
+//! Clustering and spectral partitioning baselines from the paper's
+//! comparison set (Tables 3–4).
+//!
+//! The original tools (EIG1, MELO, PARABOLI, WINDOW) are reimplemented
+//! from their published algorithmic cores — see `DESIGN.md` §5 for the
+//! fidelity discussion:
+//!
+//! * [`Eig1`] — Hagen–Kahng spectral bipartitioning: order nodes by the
+//!   Fiedler vector of the clique-expanded Laplacian, split at the best
+//!   balance-feasible prefix.
+//! * [`MeloStyle`] — multiple-eigenvector linear orderings: candidate
+//!   orderings from each of the first few non-trivial eigenvectors (plus a
+//!   2-D angular ordering), best split over all of them.
+//! * [`ParaboliStyle`] — quadratic placement: anchored Laplacian solve by
+//!   conjugate gradient, ordering by the 1-D placement, best split, then
+//!   an FM polish (PARABOLI interleaves analytical placement with local
+//!   improvement).
+//! * [`WindowStyle`] — max-adjacency vertex orderings from several seeds,
+//!   best window split of each, followed by an FM final phase (the paper
+//!   notes WINDOW uses FM20 as its last stage).
+//!
+//! All four are one-shot *global* constructors rather than iterative
+//! improvers; they implement [`GlobalPartitioner`].
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eig1;
+pub mod laplacian;
+mod melo;
+pub mod ordering;
+mod paraboli;
+mod window;
+
+pub use eig1::Eig1;
+pub use melo::MeloStyle;
+pub use paraboli::ParaboliStyle;
+pub use window::WindowStyle;
+
+// The trait lives in prop-core (it only involves core types) and is
+// re-exported here where its implementors are defined.
+pub use prop_core::GlobalPartitioner;

@@ -1,0 +1,248 @@
+//! Linear orderings and their best balanced prefix splits.
+
+use prop_core::{BalanceConstraint, Bipartition, CutState, Side};
+use prop_netlist::{Hypergraph, NodeId};
+
+/// Splits a linear ordering of all nodes at the balance-feasible prefix
+/// with the smallest hypergraph cut: the first `k` nodes of `order` form
+/// side A, for the best `k` in `[min_part, max_part]`.
+///
+/// Runs in Θ(m) by sweeping the ordering once with incremental cut
+/// maintenance. Returns the partition and its cut cost.
+///
+/// # Panics
+///
+/// Panics unless `order` is a permutation of the graph's nodes and the
+/// balance window is non-empty for its size.
+///
+/// ```
+/// use prop_core::BalanceConstraint;
+/// use prop_netlist::{HypergraphBuilder, NodeId};
+/// use prop_spectral::ordering::best_prefix_split;
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut b = HypergraphBuilder::new(4);
+/// b.add_net(1.0, [0, 1])?;
+/// b.add_net(1.0, [2, 3])?;
+/// b.add_net(1.0, [1, 2])?;
+/// let g = b.build()?;
+/// let order: Vec<NodeId> = (0..4).map(NodeId::new).collect();
+/// let (part, cut) = best_prefix_split(&g, BalanceConstraint::bisection(4), &order);
+/// assert_eq!(cut, 1.0);
+/// assert!(part.is_balanced(BalanceConstraint::bisection(4)));
+/// # Ok(())
+/// # }
+/// ```
+pub fn best_prefix_split(
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    order: &[NodeId],
+) -> (Bipartition, f64) {
+    let n = graph.num_nodes();
+    assert_eq!(order.len(), n, "ordering must cover every node");
+    debug_assert!(
+        {
+            let mut seen = vec![false; n];
+            order.iter().all(|v| {
+                let fresh = !seen[v.index()];
+                seen[v.index()] = true;
+                fresh
+            })
+        },
+        "ordering must be a permutation"
+    );
+    let lo = balance.min_part().max(1);
+    let hi = balance.max_part().min(n.saturating_sub(1)).max(lo);
+    assert!(lo <= hi, "empty balance window");
+    let total_weight = graph.total_node_weight();
+
+    let mut partition = Bipartition::from_sides(vec![Side::B; n]);
+    let mut cut = CutState::new(graph, &partition);
+    let mut best_k = 0;
+    let mut best_cost = f64::INFINITY;
+    let mut prefix_weight = 0.0;
+    for (i, &v) in order.iter().enumerate() {
+        cut.apply_move(graph, &mut partition, v);
+        prefix_weight += graph.node_weight(v);
+        let k = i + 1;
+        let feasible = if balance.is_weighted() {
+            balance.is_feasible([k, n - k], [prefix_weight, total_weight - prefix_weight])
+        } else {
+            (lo..=hi).contains(&k)
+        };
+        if feasible && cut.cut_cost() < best_cost {
+            best_cost = cut.cut_cost();
+            best_k = k;
+        }
+        let past_window = if balance.is_weighted() {
+            prefix_weight > balance.max_part_weight()
+        } else {
+            k >= hi
+        };
+        if past_window {
+            break;
+        }
+    }
+    assert!(
+        best_cost.is_finite(),
+        "no balance-feasible prefix exists for this ordering"
+    );
+    let mut sides = vec![Side::B; n];
+    for &v in &order[..best_k] {
+        sides[v.index()] = Side::A;
+    }
+    let partition = Bipartition::from_sides(sides);
+    debug_assert_eq!(CutState::new(graph, &partition).cut_cost(), best_cost);
+    (partition, best_cost)
+}
+
+/// Orders nodes by ascending key, ties broken by node index (so orderings
+/// are deterministic even for degenerate key vectors).
+///
+/// # Panics
+///
+/// Panics if `keys.len()` differs from the graph's node count or any key
+/// is NaN.
+pub fn order_by_key(graph: &Hypergraph, keys: &[f64]) -> Vec<NodeId> {
+    assert_eq!(keys.len(), graph.num_nodes(), "key vector length mismatch");
+    let mut order: Vec<NodeId> = graph.nodes().collect();
+    order.sort_by(|a, b| {
+        keys[a.index()]
+            .partial_cmp(&keys[b.index()])
+            .expect("NaN ordering key")
+            .then(a.index().cmp(&b.index()))
+    });
+    order
+}
+
+/// A max-adjacency (maximum attraction) vertex ordering: starting from
+/// `start`, repeatedly appends the unvisited node with the largest total
+/// clique-expanded connection weight into the visited set. This is the
+/// ordering family behind window-based clustering approaches.
+///
+/// Isolated or unreachable nodes are appended in index order at the end.
+pub fn max_adjacency_order(graph: &Hypergraph, start: NodeId) -> Vec<NodeId> {
+    use prop_dstruct::OrderedF64;
+    use std::collections::BinaryHeap;
+
+    let n = graph.num_nodes();
+    let mut attraction = vec![0.0f64; n];
+    let mut visited = vec![false; n];
+    let mut order = Vec::with_capacity(n);
+    // Lazy max-heap of (attraction, node) snapshots; stale entries are
+    // skipped on pop.
+    let mut heap: BinaryHeap<(OrderedF64, u32)> = BinaryHeap::new();
+
+    fn absorb(
+        graph: &Hypergraph,
+        v: NodeId,
+        attraction: &mut [f64],
+        visited: &mut [bool],
+        heap: &mut BinaryHeap<(OrderedF64, u32)>,
+    ) {
+        visited[v.index()] = true;
+        for &net in graph.nets_of(v) {
+            let q = graph.net_size(net);
+            if q < 2 {
+                continue;
+            }
+            let w = graph.net_weight(net) / (q as f64 - 1.0);
+            for &x in graph.pins_of(net) {
+                if !visited[x.index()] {
+                    attraction[x.index()] += w;
+                    heap.push((OrderedF64::new(attraction[x.index()]), x.index() as u32));
+                }
+            }
+        }
+    }
+
+    order.push(start);
+    absorb(graph, start, &mut attraction, &mut visited, &mut heap);
+    while order.len() < n {
+        // Pop until a fresh (non-stale, unvisited) entry appears.
+        let mut next: Option<NodeId> = None;
+        while let Some((key, id)) = heap.pop() {
+            let v = id as usize;
+            if !visited[v] && key.get() == attraction[v] {
+                next = Some(NodeId::new(v));
+                break;
+            }
+        }
+        // Disconnected remainder: new seed = first unvisited node.
+        let v = next.unwrap_or_else(|| {
+            NodeId::new((0..n).find(|&v| !visited[v]).expect("order incomplete"))
+        });
+        order.push(v);
+        absorb(graph, v, &mut attraction, &mut visited, &mut heap);
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::HypergraphBuilder;
+
+    fn path(n: usize) -> Hypergraph {
+        let mut b = HypergraphBuilder::new(n);
+        for i in 0..n - 1 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn path_split_cuts_one_edge() {
+        let g = path(8);
+        let order: Vec<NodeId> = (0..8).map(NodeId::new).collect();
+        let (part, cut) = best_prefix_split(&g, BalanceConstraint::bisection(8), &order);
+        assert_eq!(cut, 1.0);
+        assert_eq!(part.count(Side::A), 4);
+    }
+
+    #[test]
+    fn split_respects_balance_window() {
+        let g = path(10);
+        // Reversed order: best prefix must still be within [min, max].
+        let order: Vec<NodeId> = (0..10).rev().map(NodeId::new).collect();
+        let balance = BalanceConstraint::new(0.45, 0.55, 10).unwrap();
+        let (part, _) = best_prefix_split(&g, balance, &order);
+        assert!(part.is_balanced(balance));
+    }
+
+    #[test]
+    fn order_by_key_sorts_ascending_with_ties() {
+        let g = path(4);
+        let order = order_by_key(&g, &[0.5, -1.0, 0.5, 0.0]);
+        let idx: Vec<usize> = order.iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![1, 3, 0, 2]);
+    }
+
+    #[test]
+    fn max_adjacency_walks_the_path() {
+        let g = path(6);
+        let order = max_adjacency_order(&g, NodeId::new(0));
+        let idx: Vec<usize> = order.iter().map(|v| v.index()).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3, 4, 5]);
+    }
+
+    #[test]
+    fn max_adjacency_covers_disconnected_graphs() {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [3, 4]).unwrap();
+        let g = b.build().unwrap();
+        let order = max_adjacency_order(&g, NodeId::new(3));
+        assert_eq!(order.len(), 5);
+        let mut seen: Vec<usize> = order.iter().map(|v| v.index()).collect();
+        seen.sort_unstable();
+        assert_eq!(seen, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cover every node")]
+    fn partial_ordering_rejected() {
+        let g = path(3);
+        let _ = best_prefix_split(&g, BalanceConstraint::bisection(3), &[NodeId::new(0)]);
+    }
+}

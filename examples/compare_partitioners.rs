@@ -1,0 +1,66 @@
+//! Head-to-head comparison of every partitioner in the suite on one
+//! circuit — a miniature of the paper's Tables 2 and 3.
+//!
+//! ```sh
+//! cargo run --release --example compare_partitioners [circuit-name]
+//! ```
+
+use prop_suite::core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_suite::fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
+use prop_suite::multilevel::Multilevel;
+use prop_suite::netlist::suite;
+use prop_suite::spectral::{Eig1, GlobalPartitioner, MeloStyle, ParaboliStyle, WindowStyle};
+use std::time::Instant;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "struct".into());
+    let spec = suite::by_name(&name)
+        .ok_or_else(|| format!("unknown circuit {name:?}; try `balu` or `struct`"))?;
+    let graph = spec.instantiate()?;
+    let balance = BalanceConstraint::bisection(graph.num_nodes());
+    println!("circuit {name}: {}", graph.stats());
+    println!("{:<12} {:>8} {:>10}", "method", "cut", "seconds");
+    println!("{}", "-".repeat(32));
+
+    let runs = 10;
+    let iterative: Vec<(&str, Box<dyn Partitioner>)> = vec![
+        ("FM-bucket", Box::new(FmBucket::default())),
+        ("FM-tree", Box::new(FmTree::default())),
+        ("LA-2", Box::new(La::new(2))),
+        ("LA-3", Box::new(La::new(3))),
+        ("KL", Box::new(Kl::default())),
+        ("SA", Box::new(SimulatedAnnealing::default())),
+        ("PROP", Box::new(Prop::new(PropConfig::calibrated()))),
+    ];
+    for (label, p) in iterative {
+        let start = Instant::now();
+        let result = p.run_multi(&graph, balance, runs, 0)?;
+        println!(
+            "{:<12} {:>8} {:>10.3}",
+            label,
+            result.cut_cost,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    let global: Vec<(&str, Box<dyn GlobalPartitioner>)> = vec![
+        ("EIG1", Box::new(Eig1::default())),
+        ("MELO", Box::new(MeloStyle::default())),
+        ("PARABOLI", Box::new(ParaboliStyle::default())),
+        ("WINDOW", Box::new(WindowStyle { runs, seed: 0 })),
+        (
+            "ML-PROP",
+            Box::new(Multilevel::new(Prop::new(PropConfig::calibrated()))),
+        ),
+    ];
+    for (label, p) in global {
+        let start = Instant::now();
+        let result = p.partition(&graph, balance)?;
+        println!(
+            "{:<12} {:>8} {:>10.3}",
+            label,
+            result.cut_cost,
+            start.elapsed().as_secs_f64()
+        );
+    }
+    Ok(())
+}

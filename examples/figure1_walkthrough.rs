@@ -1,0 +1,44 @@
+//! A guided walkthrough of the paper's Figure-1 example: why FM and LA-3
+//! cannot tell nodes 1, 2, 3 apart, and how PROP's probabilistic gains
+//! do.
+//!
+//! ```sh
+//! cargo run --example figure1_walkthrough
+//! ```
+
+use prop_suite::core::example::{figure1, paper_node, V1_NODES};
+
+fn main() {
+    let fig = figure1();
+    println!("Figure 1: 11 V1 nodes, 17 nets, nets n1-n11 in the cutset.");
+    println!();
+
+    let fm = fig.fm_gains();
+    println!("FM gains (Eqn. 1) — immediate cut change only:");
+    for paper in 1..=V1_NODES {
+        print!("  g({paper}) = {:+.0}", fm[paper_node(paper).index()]);
+        if paper % 4 == 0 {
+            println!();
+        }
+    }
+    println!();
+    println!("Nodes 1, 2, 3 tie at +2: FM may move node 1 first, although");
+    println!("moving 2 or 3 unlocks further gains through nets n10/n11.");
+    println!();
+
+    let gains = fig.second_iteration_gains();
+    println!("PROP gains after the second refinement iteration (Eqns. 3-4):");
+    for paper in 1..=V1_NODES {
+        println!(
+            "  g({paper:>2}) = {:+.4}   p = {:.2}",
+            gains[paper_node(paper).index()],
+            fig.probabilities[paper_node(paper).index()]
+        );
+    }
+    println!();
+    println!("The tie is broken: g(3) = 2.64 > g(2) = 2.04 > g(1) = 2.0016,");
+    println!("because node 3's companion movers (10, 11, at p = 0.8) are far");
+    println!("likelier to follow than node 2's (8, 9, at p = 0.2). Moving 3");
+    println!("then 10 and 11 removes nets n5, n8, and n11 from the cutset -");
+    println!("exactly the intuition the paper builds the method on.");
+}

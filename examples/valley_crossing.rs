@@ -1,0 +1,62 @@
+//! Valley crossing: *why* PROP beats FM.
+//!
+//! The paper argues (§3) that probabilistic gains let PROP move nodes
+//! whose immediate gain is small or negative because a future move will
+//! realise the payoff — the pass "rides through valleys" of the cut-cost
+//! landscape that FM's greedy immediate gains avoid. This example makes
+//! that visible: it traces every PROP pass and reports how deep the
+//! committed prefixes dipped below their starting cut before peaking.
+//!
+//! ```sh
+//! cargo run --release --example valley_crossing [circuit-name]
+//! ```
+
+use prop_suite::core::{BalanceConstraint, Bipartition, CutState, Prop, PropConfig};
+use prop_suite::netlist::suite;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let name = std::env::args().nth(1).unwrap_or_else(|| "struct".into());
+    let spec = suite::by_name(&name)
+        .ok_or_else(|| format!("unknown circuit {name:?}; try `balu` or `struct`"))?;
+    let graph = spec.instantiate()?;
+    let balance = BalanceConstraint::bisection(graph.num_nodes());
+    let prop = Prop::new(PropConfig::calibrated());
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mut partition = Bipartition::random(graph.num_nodes(), &mut rng);
+    let start_cut = CutState::new(&graph, &partition).cut_cost();
+    let (stats, traces) = prop.improve_traced(&graph, &mut partition, balance);
+
+    println!("circuit {name}: initial cut {start_cut}, final cut {}", stats.cut_cost);
+    println!();
+    println!(
+        "{:>4}  {:>9}  {:>9}  {:>9}  {:>9}",
+        "pass", "tentative", "committed", "gain", "drawdown"
+    );
+    let mut deepest: f64 = 0.0;
+    for (i, t) in traces.iter().enumerate() {
+        println!(
+            "{:>4}  {:>9}  {:>9}  {:>9.1}  {:>9.1}",
+            i + 1,
+            t.tentative_moves,
+            t.committed_moves,
+            t.committed_gain,
+            t.max_drawdown
+        );
+        deepest = deepest.min(t.max_drawdown);
+    }
+    println!();
+    if deepest < 0.0 {
+        println!(
+            "the committed prefixes dipped as far as {deepest:.0} below their \
+             starting cut before\npeaking — exactly the through-the-valley moves \
+             the probabilistic gain is designed\nto select, which greedy immediate \
+             gains would never take."
+        );
+    } else {
+        println!("no valley was needed on this run; try another circuit or seed.");
+    }
+    Ok(())
+}

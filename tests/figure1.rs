@@ -1,0 +1,70 @@
+//! Integration check: the Figure-1 worked example reproduces the paper's
+//! printed numbers end-to-end through the public API.
+
+use prop_suite::core::example::{
+    figure1, paper_node, EXPECTED_FM_GAINS, EXPECTED_SECOND_ITERATION_GAINS, V1_NODES,
+};
+use prop_suite::fm::La;
+
+#[test]
+fn fm_gains_match_figure_1a() {
+    let fig = figure1();
+    let gains = fig.fm_gains();
+    for paper in 1..=V1_NODES {
+        assert_eq!(
+            gains[paper_node(paper).index()],
+            EXPECTED_FM_GAINS[paper - 1],
+            "paper node {paper}"
+        );
+    }
+}
+
+#[test]
+fn prop_gains_match_figure_1c() {
+    let fig = figure1();
+    let gains = fig.second_iteration_gains();
+    for paper in 1..=V1_NODES {
+        let got = gains[paper_node(paper).index()];
+        let want = EXPECTED_SECOND_ITERATION_GAINS[paper - 1];
+        assert!(
+            (got - want).abs() < 1e-12,
+            "paper node {paper}: got {got}, paper prints {want}"
+        );
+    }
+}
+
+#[test]
+fn prop_separates_the_fm_tie_as_the_paper_argues() {
+    let fig = figure1();
+    let fm = fig.fm_gains();
+    let prob = fig.second_iteration_gains();
+    // FM ties nodes 1, 2, 3.
+    let (n1, n2, n3) = (
+        paper_node(1).index(),
+        paper_node(2).index(),
+        paper_node(3).index(),
+    );
+    assert_eq!(fm[n1], fm[n2]);
+    assert_eq!(fm[n2], fm[n3]);
+    // PROP orders 3 > 2 > 1.
+    assert!(prob[n3] > prob[n2]);
+    assert!(prob[n2] > prob[n1]);
+}
+
+#[test]
+fn la3_cannot_separate_nodes_2_and_3() {
+    // The paper: "increasing the lookahead of LA beyond 3 does not change
+    // this". LA-3 and LA-4 vectors of nodes 2 and 3 coincide.
+    let fig = figure1();
+    for k in [3, 4] {
+        let la = La::new(k);
+        let balance =
+            prop_suite::core::BalanceConstraint::new(0.45, 0.55, fig.graph.num_nodes()).unwrap();
+        // The partitioner API does not expose raw vectors; the unit tests
+        // in prop-fm assert them. Here we only require LA to run on the
+        // instance without violating balance.
+        use prop_suite::core::Partitioner;
+        let result = la.run_seeded(&fig.graph, balance, 0).unwrap();
+        assert!(result.partition.is_balanced(balance), "LA-{k}");
+    }
+}

@@ -1,0 +1,144 @@
+//! Property-based integration tests: random hypergraphs and partitions
+//! must uphold the core invariants across crates.
+
+use proptest::prelude::*;
+use prop_suite::core::{
+    probabilistic_gains, BalanceConstraint, Bipartition, CutState, Partitioner, Prop,
+    PropConfig, Side,
+};
+use prop_suite::fm::{FmBucket, FmTree, La};
+use prop_suite::netlist::{Hypergraph, HypergraphBuilder, NodeId};
+use prop_suite::spectral::ordering::{best_prefix_split, max_adjacency_order, order_by_key};
+
+/// Strategy: a random hypergraph with 4..=40 nodes and 2..=60 nets of
+/// size 2..=5 (unit weights, so every partitioner applies).
+fn arb_hypergraph() -> impl Strategy<Value = Hypergraph> {
+    (4usize..=40).prop_flat_map(|n| {
+        let net = proptest::collection::vec(0..n, 2..=5);
+        proptest::collection::vec(net, 2..=60).prop_map(move |nets| {
+            let mut b = HypergraphBuilder::new(n);
+            for pins in nets {
+                // Duplicates are de-duplicated; a net may collapse to one
+                // pin, which is legal.
+                b.add_net(1.0, pins).expect("in-range pins");
+            }
+            b.build().expect("builder is infallible here")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Incremental cut maintenance agrees with a from-scratch recount
+    /// after any move sequence.
+    #[test]
+    fn cut_state_matches_recount(graph in arb_hypergraph(), moves in proptest::collection::vec(0usize..40, 1..30)) {
+        let n = graph.num_nodes();
+        let mut partition = Bipartition::from_sides(vec![Side::A; n]);
+        let mut cut = CutState::new(&graph, &partition);
+        for m in moves {
+            let v = NodeId::new(m % n);
+            let before = cut.cut_cost();
+            let predicted = cut.move_gain(&graph, &partition, v);
+            let realised = cut.apply_move(&graph, &mut partition, v);
+            prop_assert_eq!(predicted, realised);
+            prop_assert_eq!(before - realised, cut.cut_cost());
+            let fresh = CutState::new(&graph, &partition);
+            prop_assert_eq!(&cut, &fresh);
+        }
+    }
+
+    /// Every iterative improver preserves feasibility and never worsens
+    /// the cut of a feasible starting partition.
+    #[test]
+    fn improvers_never_worsen(graph in arb_hypergraph(), seed in 0u64..1000) {
+        let n = graph.num_nodes();
+        let balance = BalanceConstraint::bisection(n);
+        let methods: Vec<Box<dyn Partitioner>> = vec![
+            Box::new(FmBucket::default()),
+            Box::new(FmTree::default()),
+            Box::new(La::new(2)),
+            Box::new(Prop::new(PropConfig::calibrated())),
+        ];
+        for method in methods {
+            use rand::SeedableRng;
+            let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+            let mut partition = Bipartition::random(n, &mut rng);
+            let before = CutState::new(&graph, &partition).cut_cost();
+            let stats = method.improve(&graph, &mut partition, balance);
+            let after = CutState::new(&graph, &partition).cut_cost();
+            prop_assert!(after <= before, "{} worsened {before} -> {after}", method.name());
+            prop_assert_eq!(stats.cut_cost, after);
+            prop_assert!(partition.is_balanced(balance), "{} unbalanced", method.name());
+        }
+    }
+
+    /// The probabilistic gain of Eqns. 3-4 is bounded by the weighted
+    /// degree, and locked nodes always report gain 0.
+    #[test]
+    fn probabilistic_gains_are_bounded(
+        graph in arb_hypergraph(),
+        seed in 0u64..1000,
+        p in 0.05f64..1.0,
+    ) {
+        use rand::SeedableRng;
+        let n = graph.num_nodes();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let partition = Bipartition::random(n, &mut rng);
+        let probs = vec![p; n];
+        let mut locked = vec![false; n];
+        if n > 2 {
+            locked[0] = true;
+            locked[n - 1] = true;
+        }
+        let gains = probabilistic_gains(&graph, &partition, &probs, &locked);
+        for v in graph.nodes() {
+            let degree_weight: f64 = graph
+                .nets_of(v)
+                .iter()
+                .map(|&net| graph.net_weight(net))
+                .sum();
+            prop_assert!(gains[v.index()].abs() <= degree_weight + 1e-9);
+            if locked[v.index()] {
+                prop_assert_eq!(gains[v.index()], 0.0);
+            }
+        }
+    }
+
+    /// Any permutation ordering yields a balance-feasible best-prefix
+    /// split whose reported cut matches a recount.
+    #[test]
+    fn ordering_splits_are_feasible(graph in arb_hypergraph(), key_seed in 0u64..1000) {
+        let n = graph.num_nodes();
+        let balance = BalanceConstraint::new(0.45, 0.55, n).unwrap();
+        // Pseudo-random keys from the seed.
+        let keys: Vec<f64> = (0..n)
+            .map(|i| {
+                let x = (key_seed
+                    .wrapping_mul(0x9e3779b97f4a7c15)
+                    .wrapping_add((i as u64).wrapping_mul(0x517cc1b727220a95)))
+                    >> 11;
+                x as f64
+            })
+            .collect();
+        let order = order_by_key(&graph, &keys);
+        let (partition, cut) = best_prefix_split(&graph, balance, &order);
+        prop_assert!(partition.is_balanced(balance));
+        prop_assert_eq!(cut, CutState::new(&graph, &partition).cut_cost());
+        // Max-adjacency orderings are permutations too.
+        let ma = max_adjacency_order(&graph, NodeId::new(0));
+        let (p2, c2) = best_prefix_split(&graph, balance, &ma);
+        prop_assert!(p2.is_balanced(balance));
+        prop_assert_eq!(c2, CutState::new(&graph, &p2).cut_cost());
+    }
+
+    /// hgr round-trips preserve arbitrary hypergraphs.
+    #[test]
+    fn hgr_roundtrip(graph in arb_hypergraph()) {
+        use prop_suite::netlist::format::{parse_hgr, write_hgr};
+        let text = write_hgr(&graph);
+        let parsed = parse_hgr(&text).unwrap();
+        prop_assert_eq!(graph, parsed);
+    }
+}

@@ -1,0 +1,104 @@
+//! Integration: the size-constrained balance criterion (§1's "size
+//! constraints" remark) across every iterative partitioner.
+
+use prop_suite::core::{
+    cut_cost, BalanceConstraint, Partitioner, Prop, PropConfig, Side, SideWeights,
+};
+use prop_suite::fm::{FmBucket, FmTree, La};
+use prop_suite::netlist::generate::{generate, GeneratorConfig};
+use prop_suite::netlist::{Hypergraph, HypergraphBuilder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A clustered circuit whose node sizes vary by a factor of 8.
+fn weighted_circuit(seed: u64) -> Hypergraph {
+    let base = generate(&GeneratorConfig::new(200, 220, 740).with_seed(seed)).unwrap();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xabc);
+    let mut b = HypergraphBuilder::new(base.num_nodes());
+    for net in base.nets() {
+        b.add_net(1.0, base.pins_of(net).iter().map(|v| v.index()))
+            .unwrap();
+    }
+    let weights: Vec<f64> = (0..base.num_nodes())
+        .map(|_| [0.5, 1.0, 2.0, 4.0][rng.gen_range(0..4)])
+        .collect();
+    b.set_node_weights(weights).unwrap();
+    b.build().unwrap()
+}
+
+fn weight_feasible(graph: &Hypergraph, balance: BalanceConstraint, partition: &prop_suite::core::Bipartition) -> bool {
+    let w = SideWeights::new(graph, partition);
+    let counts = [partition.count(Side::A), partition.count(Side::B)];
+    balance.is_feasible(counts, w.as_array())
+}
+
+#[test]
+fn weighted_constraint_is_satisfiable_and_respected() {
+    let graph = weighted_circuit(1);
+    let balance = BalanceConstraint::weighted(0.45, 0.55, &graph).unwrap();
+    assert!(balance.is_weighted());
+    let methods: Vec<Box<dyn Partitioner>> = vec![
+        Box::new(FmBucket::default()),
+        Box::new(FmTree::default()),
+        Box::new(La::new(2)),
+        Box::new(Prop::new(PropConfig::calibrated())),
+    ];
+    for method in methods {
+        let result = method.run_multi(&graph, balance, 3, 0).unwrap();
+        assert!(
+            weight_feasible(&graph, balance, &result.partition),
+            "{} violated the weighted balance",
+            method.name()
+        );
+        assert_eq!(result.cut_cost, cut_cost(&graph, &result.partition));
+    }
+}
+
+#[test]
+fn weighted_prop_still_beats_weighted_fm() {
+    let graph = weighted_circuit(2);
+    let balance = BalanceConstraint::weighted(0.45, 0.55, &graph).unwrap();
+    let fm = FmBucket::default().run_multi(&graph, balance, 10, 0).unwrap();
+    let prop = Prop::new(PropConfig::calibrated())
+        .run_multi(&graph, balance, 10, 0)
+        .unwrap();
+    assert!(
+        prop.cut_cost <= fm.cut_cost,
+        "PROP {} vs FM {}",
+        prop.cut_cost,
+        fm.cut_cost
+    );
+}
+
+#[test]
+fn one_huge_node_is_handled() {
+    // A node holding ~40% of the total area: the constraint must relax
+    // enough to admit it on one side, and partitioners must still finish.
+    let mut b = HypergraphBuilder::new(10);
+    for i in 0..9 {
+        b.add_net(1.0, [i, i + 1]).unwrap();
+    }
+    let mut weights = vec![1.0; 10];
+    weights[0] = 6.0;
+    b.set_node_weights(weights).unwrap();
+    let graph = b.build().unwrap();
+    let balance = BalanceConstraint::weighted(0.5, 0.5, &graph).unwrap();
+    let result = Prop::new(PropConfig::calibrated())
+        .run_multi(&graph, balance, 3, 0)
+        .unwrap();
+    assert!(weight_feasible(&graph, balance, &result.partition));
+    // A path with the heavy node at one end cuts a single net optimally.
+    assert!(result.cut_cost <= 2.0);
+}
+
+#[test]
+fn unit_weights_behave_identically_through_both_constructors() {
+    let graph = generate(&GeneratorConfig::new(80, 90, 300).with_seed(5)).unwrap();
+    let by_count = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+    let by_weight = BalanceConstraint::weighted(0.45, 0.55, &graph).unwrap();
+    assert_eq!(by_count, by_weight);
+    let prop = Prop::new(PropConfig::calibrated());
+    let a = prop.run_multi(&graph, by_count, 3, 1).unwrap();
+    let b = prop.run_multi(&graph, by_weight, 3, 1).unwrap();
+    assert_eq!(a, b);
+}
