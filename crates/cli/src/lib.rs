@@ -19,7 +19,8 @@
 #![warn(missing_docs)]
 
 use prop_core::{
-    BalanceConstraint, GlobalPartitioner, Partitioner, Prop, PropConfig, RunResult, Side,
+    BalanceConstraint, GlobalPartitioner, ParallelPolicy, Partitioner, Prop, PropConfig,
+    RunResult, Side,
 };
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
 use prop_multilevel::Multilevel;
@@ -97,6 +98,10 @@ pub enum Command {
         runs: usize,
         /// Base seed.
         seed: u64,
+        /// Worker threads for iterative methods: `None` sequential,
+        /// `Some(0)` auto-detect, `Some(n)` exactly `n`. The result is
+        /// bit-identical for every setting.
+        threads: Option<usize>,
         /// Optional path for the node→side assignment output.
         assign: Option<String>,
     },
@@ -128,12 +133,15 @@ USAGE:
   prop stats <file>
   prop generate (--circuit <name> | --nodes N --nets E --pins P) [--seed S] [--out FILE]
   prop convert <in> <out>
-  prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S] [--assign FILE]
+  prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
+                 [--threads N] [--assign FILE]
   prop help
 
 Formats are chosen by extension: .hgr (hMETIS) or .netd (named).
 Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
-sa, eig1, melo, paraboli, window, ml.";
+sa, eig1, melo, paraboli, window, ml.
+--threads fans the runs of iterative methods over N worker threads
+(0 = auto-detect); the result is bit-identical to the sequential run.";
 
 /// Parses a full argument list (without the program name).
 ///
@@ -228,6 +236,7 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
     let mut r2 = 0.55;
     let mut runs = 20usize;
     let mut seed = 0u64;
+    let mut threads = None;
     let mut assign = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -236,6 +245,9 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
             "--r2" => r2 = parse_num("--r2", take_value("--r2", &mut it)?)?,
             "--runs" => runs = parse_num("--runs", take_value("--runs", &mut it)?)?,
             "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+            "--threads" => {
+                threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
+            }
             "--assign" => assign = Some(take_value("--assign", &mut it)?.to_string()),
             other => return Err(usage(format!("unknown partition flag {other:?}"))),
         }
@@ -247,6 +259,7 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
         r2,
         runs,
         seed,
+        threads,
         assign,
     })
 }
@@ -290,7 +303,17 @@ fn extension(path: &str) -> &str {
         .unwrap_or("")
 }
 
-/// Runs the named method on a graph.
+/// Maps the `--threads` setting to a parallelism policy.
+pub fn thread_policy(threads: Option<usize>) -> ParallelPolicy {
+    match threads {
+        None => ParallelPolicy::Sequential,
+        Some(0) => ParallelPolicy::Auto,
+        Some(n) => ParallelPolicy::Threads(n),
+    }
+}
+
+/// Runs the named method on a graph. Iterative methods fan their runs out
+/// according to `policy`; global (one-shot) methods ignore it.
 ///
 /// # Errors
 ///
@@ -301,6 +324,7 @@ pub fn run_method(
     balance: BalanceConstraint,
     runs: usize,
     seed: u64,
+    policy: ParallelPolicy,
 ) -> Result<RunResult, CliError> {
     let iterative: Option<Box<dyn Partitioner>> = match method {
         "prop" => Some(Box::new(Prop::new(PropConfig::calibrated()))),
@@ -315,7 +339,7 @@ pub fn run_method(
     };
     if let Some(p) = iterative {
         return p
-            .run_multi(graph, balance, runs, seed)
+            .run_multi_parallel(graph, balance, runs, seed, policy)
             .map_err(|e| failure(e.to_string()));
     }
     let global: Box<dyn GlobalPartitioner> = match method {
@@ -407,12 +431,14 @@ pub fn run(command: Command) -> Result<(), CliError> {
             r2,
             runs,
             seed,
+            threads,
             assign,
         } => {
             let graph = load_netlist(&file)?;
             let balance = BalanceConstraint::weighted(r1, r2, &graph)
                 .map_err(|e| usage(e.to_string()))?;
-            let result = run_method(&method, &graph, balance, runs, seed)?;
+            let result =
+                run_method(&method, &graph, balance, runs, seed, thread_policy(threads))?;
             println!(
                 "method={method} cut={} sides={}A/{}B passes={}",
                 result.cut_cost,
@@ -508,17 +534,29 @@ mod tests {
                 r2: 0.55,
                 runs: 20,
                 seed: 0,
+                threads: None,
                 assign: None,
             }
         );
         let cmd = parse_args(&argv(&[
             "partition", "c.hgr", "--method", "fm", "--r1", "0.5", "--r2", "0.5", "--runs", "3",
-            "--assign", "out.txt",
+            "--threads", "4", "--assign", "out.txt",
         ]))
         .unwrap();
-        assert!(matches!(cmd, Command::Partition { ref method, runs: 3, .. } if method == "fm"));
+        assert!(matches!(
+            cmd,
+            Command::Partition { ref method, runs: 3, threads: Some(4), .. } if method == "fm"
+        ));
         assert!(parse_args(&argv(&["partition", "c.hgr", "--bogus"])).is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--threads", "x"])).is_err());
         assert!(parse_args(&argv(&["partition"])).is_err());
+    }
+
+    #[test]
+    fn thread_policy_mapping() {
+        assert_eq!(thread_policy(None), ParallelPolicy::Sequential);
+        assert_eq!(thread_policy(Some(0)), ParallelPolicy::Auto);
+        assert_eq!(thread_policy(Some(3)), ParallelPolicy::Threads(3));
     }
 
     #[test]
@@ -538,10 +576,15 @@ mod tests {
             "prop", "prop-paper", "fm", "fm-tree", "la2", "la3", "kl", "sa", "eig1", "melo",
             "paraboli", "window", "ml",
         ] {
-            let result = run_method(method, &graph, balance, 2, 0).unwrap();
+            let result =
+                run_method(method, &graph, balance, 2, 0, ParallelPolicy::Sequential).unwrap();
             assert!(result.partition.is_balanced(balance), "{method}");
+            // Fanned-out runs must reproduce the sequential result exactly.
+            let par =
+                run_method(method, &graph, balance, 2, 0, ParallelPolicy::Threads(2)).unwrap();
+            assert_eq!(par.cut_cost, result.cut_cost, "{method}");
         }
-        assert!(run_method("nope", &graph, balance, 1, 0).is_err());
+        assert!(run_method("nope", &graph, balance, 1, 0, ParallelPolicy::Sequential).is_err());
     }
 
     #[test]
@@ -551,7 +594,7 @@ mod tests {
         )
         .unwrap();
         let balance = BalanceConstraint::bisection(10);
-        let result = run_method("fm", &graph, balance, 1, 0).unwrap();
+        let result = run_method("fm", &graph, balance, 1, 0, ParallelPolicy::Sequential).unwrap();
         let text = render_assignment(&graph, &result);
         assert_eq!(text.lines().count(), 10);
         assert!(text.lines().all(|l| l.ends_with(" A") || l.ends_with(" B")));

@@ -53,6 +53,7 @@ mod error;
 pub mod example;
 mod gain;
 pub mod kway;
+mod parallel;
 mod partition;
 mod partitioner;
 pub mod prop;
@@ -62,6 +63,7 @@ pub use cut::{cut_cost, CutState};
 pub use error::PartitionError;
 pub use gain::{fm_gain, fm_gains, probabilistic_gains};
 pub use kway::{recursive_bisection, KwayPartition};
+pub use parallel::{ParallelPolicy, RunBudget};
 pub use partition::{Bipartition, Side, SideWeights};
 pub use partitioner::{GlobalPartitioner, ImproveStats, Partitioner, RunResult};
 pub use prop::{GainInit, PassTrace, Prop, PropConfig};

@@ -1,0 +1,376 @@
+//! Deterministic parallel execution of best-of-R multi-start runs.
+//!
+//! The paper's experimental protocol is *best of R independent runs*
+//! (FM100, FM40/20, LA-2/LA-3, PROP(20) in Tables 2–4). The runs share no
+//! state — run `r` is fully determined by its seed `base_seed + r` — so
+//! they parallelise perfectly at the run level without touching the
+//! partitioning algorithm itself.
+//!
+//! Determinism is preserved by construction:
+//!
+//! * every run keeps the exact seed it would get sequentially
+//!   (`base_seed.wrapping_add(r)`);
+//! * per-run results land in a slot vector indexed by run id, never in
+//!   completion order;
+//! * the winner is the lowest `(cut, run_index)` pair — the same strict
+//!   "first run with the minimum cut" rule the sequential loop applies.
+//!
+//! Consequently [`Partitioner::run_multi_parallel`] returns results
+//! bit-identical to [`Partitioner::run_multi`] for every thread count.
+
+use crate::balance::BalanceConstraint;
+use crate::cut::CutState;
+use crate::error::PartitionError;
+use crate::partition::Bipartition;
+use crate::partitioner::{Partitioner, RunResult};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// How many worker threads a multi-start invocation may use.
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum ParallelPolicy {
+    /// One worker; runs execute in run-index order on the calling thread.
+    #[default]
+    Sequential,
+    /// Exactly `n` workers (`0` is treated as `1`).
+    Threads(usize),
+    /// One worker per available hardware thread
+    /// ([`std::thread::available_parallelism`]).
+    Auto,
+}
+
+impl ParallelPolicy {
+    /// The worker count this policy resolves to for `runs` runs: never 0,
+    /// never more than `runs`.
+    pub fn worker_count(self, runs: usize) -> usize {
+        let raw = match self {
+            ParallelPolicy::Sequential => 1,
+            ParallelPolicy::Threads(n) => n.max(1),
+            ParallelPolicy::Auto => std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(1),
+        };
+        raw.min(runs.max(1))
+    }
+}
+
+/// A complete multi-start work order: how many runs, from which base
+/// seed, over how many threads.
+///
+/// ```
+/// use prop_core::{BalanceConstraint, Prop, RunBudget};
+/// use prop_netlist::generate::{generate, GeneratorConfig};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let graph = generate(&GeneratorConfig::new(80, 90, 300).with_seed(5))?;
+/// let balance = BalanceConstraint::bisection(graph.num_nodes());
+/// let budget = RunBudget::new(4).with_seed(7).with_threads(2);
+/// let best = budget.execute(&Prop::default(), &graph, balance)?;
+/// assert_eq!(best.run_cuts.len(), 4);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct RunBudget {
+    /// Number of independent runs (best-of-R).
+    pub runs: usize,
+    /// Seed of run 0; run `r` uses `base_seed + r`.
+    pub base_seed: u64,
+    /// Worker-thread policy.
+    pub policy: ParallelPolicy,
+}
+
+impl RunBudget {
+    /// A sequential budget of `runs` runs from seed 0.
+    pub fn new(runs: usize) -> Self {
+        RunBudget {
+            runs,
+            base_seed: 0,
+            policy: ParallelPolicy::Sequential,
+        }
+    }
+
+    /// Replaces the base seed.
+    #[must_use]
+    pub fn with_seed(self, base_seed: u64) -> Self {
+        RunBudget { base_seed, ..self }
+    }
+
+    /// Replaces the thread policy with an explicit worker count.
+    #[must_use]
+    pub fn with_threads(self, threads: usize) -> Self {
+        RunBudget {
+            policy: ParallelPolicy::Threads(threads),
+            ..self
+        }
+    }
+
+    /// Replaces the thread policy.
+    #[must_use]
+    pub fn with_policy(self, policy: ParallelPolicy) -> Self {
+        RunBudget { policy, ..self }
+    }
+
+    /// Runs the budget with `partitioner`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+    /// [`PartitionError::InvalidConfig`] when `runs == 0`.
+    pub fn execute<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        graph: &prop_netlist::Hypergraph,
+        balance: BalanceConstraint,
+    ) -> Result<RunResult, PartitionError> {
+        run_multi_parallel(
+            partitioner,
+            graph,
+            balance,
+            self.runs,
+            self.base_seed,
+            self.policy,
+        )
+    }
+}
+
+/// One finished run, parked in its slot until every run completes.
+struct RunOutcome {
+    partition: Bipartition,
+    cut: f64,
+    passes: usize,
+}
+
+fn execute_run<P: Partitioner + ?Sized>(
+    partitioner: &P,
+    graph: &prop_netlist::Hypergraph,
+    balance: BalanceConstraint,
+    base_seed: u64,
+    run_index: usize,
+) -> RunOutcome {
+    let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(run_index as u64));
+    let mut partition = Bipartition::random(graph.num_nodes(), &mut rng);
+    let stats = partitioner.improve(graph, &mut partition, balance);
+    // Re-derive the cost from scratch so multi-run comparison never
+    // trusts incremental bookkeeping.
+    let cut = CutState::new(graph, &partition).cut_cost();
+    RunOutcome {
+        partition,
+        cut,
+        passes: stats.passes,
+    }
+}
+
+/// The shared implementation behind [`Partitioner::run_multi`] and
+/// [`Partitioner::run_multi_parallel`].
+///
+/// # Errors
+///
+/// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+/// [`PartitionError::InvalidConfig`] when `runs == 0`.
+pub(crate) fn run_multi_parallel<P: Partitioner + ?Sized>(
+    partitioner: &P,
+    graph: &prop_netlist::Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    base_seed: u64,
+    policy: ParallelPolicy,
+) -> Result<RunResult, PartitionError> {
+    if graph.num_nodes() == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    if runs == 0 {
+        return Err(PartitionError::InvalidConfig {
+            message: "runs must be at least 1".into(),
+        });
+    }
+
+    let workers = policy.worker_count(runs);
+    let outcomes: Vec<RunOutcome> = if workers <= 1 {
+        (0..runs)
+            .map(|r| execute_run(partitioner, graph, balance, base_seed, r))
+            .collect()
+    } else {
+        // Slot vector indexed by run id: results are stored by identity,
+        // never by completion order, so thread scheduling cannot leak
+        // into the output.
+        let slots: Vec<Mutex<Option<RunOutcome>>> =
+            (0..runs).map(|_| Mutex::new(None)).collect();
+        let next_run = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    let r = next_run.fetch_add(1, Ordering::Relaxed);
+                    if r >= runs {
+                        break;
+                    }
+                    let outcome = execute_run(partitioner, graph, balance, base_seed, r);
+                    *slots[r].lock().expect("run slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .expect("run slot poisoned")
+                    .expect("every run index was claimed by a worker")
+            })
+            .collect()
+    };
+
+    // Winner: lowest cut, earliest run index on ties — exactly the
+    // sequential loop's strict-improvement rule.
+    let mut total_passes = 0;
+    let mut run_cuts = Vec::with_capacity(runs);
+    let mut best_index = 0;
+    for (r, outcome) in outcomes.iter().enumerate() {
+        total_passes += outcome.passes;
+        run_cuts.push(outcome.cut);
+        if outcome.cut < outcomes[best_index].cut {
+            best_index = r;
+        }
+    }
+    let best = outcomes
+        .into_iter()
+        .nth(best_index)
+        .expect("best_index is in range");
+    Ok(RunResult {
+        partition: best.partition,
+        cut_cost: best.cut,
+        total_passes,
+        run_cuts,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::partition::Side;
+    use crate::partitioner::ImproveStats;
+    use prop_netlist::{Hypergraph, HypergraphBuilder};
+
+    /// A do-nothing partitioner: improvement keeps the initial partition.
+    struct Identity;
+
+    impl Partitioner for Identity {
+        fn name(&self) -> &str {
+            "identity"
+        }
+
+        fn improve(
+            &self,
+            graph: &Hypergraph,
+            partition: &mut Bipartition,
+            _balance: BalanceConstraint,
+        ) -> ImproveStats {
+            ImproveStats {
+                passes: 1,
+                cut_cost: CutState::new(graph, partition).cut_cost(),
+            }
+        }
+    }
+
+    fn graph() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(8);
+        for i in 0..7 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn worker_count_resolution() {
+        assert_eq!(ParallelPolicy::Sequential.worker_count(16), 1);
+        assert_eq!(ParallelPolicy::Threads(4).worker_count(16), 4);
+        assert_eq!(ParallelPolicy::Threads(0).worker_count(16), 1);
+        // Never more workers than runs.
+        assert_eq!(ParallelPolicy::Threads(64).worker_count(3), 3);
+        assert!(ParallelPolicy::Auto.worker_count(1024) >= 1);
+    }
+
+    #[test]
+    fn parallel_is_bit_identical_to_sequential() {
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let sequential = Identity.run_multi(&g, balance, 12, 99).unwrap();
+        for threads in [2, 3, 8, 32] {
+            let parallel = Identity
+                .run_multi_parallel(&g, balance, 12, 99, ParallelPolicy::Threads(threads))
+                .unwrap();
+            assert_eq!(sequential, parallel, "threads={threads}");
+        }
+        let auto = Identity
+            .run_multi_parallel(&g, balance, 12, 99, ParallelPolicy::Auto)
+            .unwrap();
+        assert_eq!(sequential, auto);
+    }
+
+    #[test]
+    fn budget_builder_roundtrip() {
+        let budget = RunBudget::new(6).with_seed(42).with_threads(3);
+        assert_eq!(budget.runs, 6);
+        assert_eq!(budget.base_seed, 42);
+        assert_eq!(budget.policy, ParallelPolicy::Threads(3));
+        let auto = budget.with_policy(ParallelPolicy::Auto);
+        assert_eq!(auto.policy, ParallelPolicy::Auto);
+
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let via_budget = budget.execute(&Identity, &g, balance).unwrap();
+        let direct = Identity.run_multi(&g, balance, 6, 42).unwrap();
+        assert_eq!(via_budget, direct);
+    }
+
+    #[test]
+    fn parallel_validates_inputs() {
+        let empty = HypergraphBuilder::new(0).build().unwrap();
+        let balance = BalanceConstraint::bisection(0);
+        assert_eq!(
+            Identity.run_multi_parallel(&empty, balance, 4, 0, ParallelPolicy::Auto),
+            Err(PartitionError::EmptyGraph)
+        );
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        assert!(matches!(
+            Identity.run_multi_parallel(&g, balance, 0, 0, ParallelPolicy::Auto),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn winner_ties_break_by_run_index() {
+        // Identity keeps the seeded random partition, so equal-cut runs
+        // are possible; the winner must be the earliest minimal run.
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let result = Identity
+            .run_multi_parallel(&g, balance, 16, 5, ParallelPolicy::Threads(4))
+            .unwrap();
+        let min = result
+            .run_cuts
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min);
+        assert_eq!(result.cut_cost, min);
+        let first_min = result.run_cuts.iter().position(|&c| c == min).unwrap();
+        // Reconstruct the winning run's partition from its seed.
+        let mut rng = StdRng::seed_from_u64(5u64.wrapping_add(first_min as u64));
+        let expected = Bipartition::random(8, &mut rng);
+        assert_eq!(result.partition, expected);
+        assert_eq!(result.partition.count(Side::A), 4);
+    }
+
+    #[test]
+    fn trait_object_can_run_parallel() {
+        let boxed: Box<dyn Partitioner> = Box::new(Identity);
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let result = boxed
+            .run_multi_parallel(&g, balance, 4, 1, ParallelPolicy::Threads(2))
+            .unwrap();
+        assert_eq!(result.run_cuts.len(), 4);
+    }
+}

@@ -1,11 +1,9 @@
 //! The common interface of iterative-improvement partitioners.
 
 use crate::balance::BalanceConstraint;
-use crate::cut::CutState;
 use crate::error::PartitionError;
+use crate::parallel::{self, ParallelPolicy};
 use crate::partition::Bipartition;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
 
 /// Statistics of one improvement run (a sequence of passes from one
 /// initial partition down to a local minimum).
@@ -56,8 +54,14 @@ pub trait GlobalPartitioner {
 /// random initial partitions and multi-run (best-of-R) orchestration —
 /// the experimental protocol of the paper (e.g. "PROP with 20 runs").
 ///
+/// The trait requires [`Sync`] so the multi-run harness can fan
+/// independent runs out over worker threads
+/// ([`run_multi_parallel`]); partitioners are plain parameter structs, so
+/// this costs implementors nothing.
+///
 /// [`improve`]: Partitioner::improve
-pub trait Partitioner {
+/// [`run_multi_parallel`]: Partitioner::run_multi_parallel
+pub trait Partitioner: Sync {
     /// Short display name, e.g. `"FM-bucket"` or `"PROP"`.
     fn name(&self) -> &str;
 
@@ -101,44 +105,38 @@ pub trait Partitioner {
         runs: usize,
         base_seed: u64,
     ) -> Result<RunResult, PartitionError> {
-        if graph.num_nodes() == 0 {
-            return Err(PartitionError::EmptyGraph);
-        }
-        if runs == 0 {
-            return Err(PartitionError::InvalidConfig {
-                message: "runs must be at least 1".into(),
-            });
-        }
-        let mut best: Option<(Bipartition, f64)> = None;
-        let mut total_passes = 0;
-        let mut run_cuts = Vec::with_capacity(runs);
-        for r in 0..runs {
-            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(r as u64));
-            let mut partition = Bipartition::random(graph.num_nodes(), &mut rng);
-            let stats = self.improve(graph, &mut partition, balance);
-            total_passes += stats.passes;
-            // Re-derive the cost from scratch so multi-run comparison never
-            // trusts incremental bookkeeping.
-            let cost = CutState::new(graph, &partition).cut_cost();
-            run_cuts.push(cost);
-            let improves = best.as_ref().is_none_or(|&(_, b)| cost < b);
-            if improves {
-                best = Some((partition, cost));
-            }
-        }
-        let (partition, cut_cost) = best.expect("runs >= 1 guarantees a result");
-        Ok(RunResult {
-            partition,
-            cut_cost,
-            total_passes,
-            run_cuts,
-        })
+        self.run_multi_parallel(graph, balance, runs, base_seed, ParallelPolicy::Sequential)
+    }
+
+    /// Runs `runs` independent improvements like [`run_multi`], fanning
+    /// them out over the worker threads `policy` resolves to. Each run
+    /// keeps its sequential seed (`base_seed + r`) and the winner is the
+    /// earliest run with the minimum cut, so the result — partition,
+    /// cut, and per-run cut vector — is bit-identical to [`run_multi`]
+    /// for every thread count.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+    /// [`PartitionError::InvalidConfig`] when `runs == 0`.
+    ///
+    /// [`run_multi`]: Partitioner::run_multi
+    fn run_multi_parallel(
+        &self,
+        graph: &prop_netlist::Hypergraph,
+        balance: BalanceConstraint,
+        runs: usize,
+        base_seed: u64,
+        policy: ParallelPolicy,
+    ) -> Result<RunResult, PartitionError> {
+        parallel::run_multi_parallel(self, graph, balance, runs, base_seed, policy)
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cut::CutState;
     use crate::partition::Side;
     use prop_netlist::{Hypergraph, HypergraphBuilder};
 

@@ -54,6 +54,15 @@ pub struct PropConfig {
     /// Safety bound on passes per run. The paper observes convergence in
     /// two to four passes; this bound only guards pathological inputs.
     pub max_passes: usize,
+    /// Bound on how many candidates the weighted-balance move selection
+    /// probes per side, walking each gain tree in descending order, before
+    /// declaring the side blocked for this move. `None` (the default)
+    /// scans until a feasible node is found — the exact baseline
+    /// behaviour; a small bound trades a little selection quality for a
+    /// per-move cost independent of tree size on weight-skewed circuits.
+    /// Ignored under count-based (unit-weight) balance, where feasibility
+    /// is per side rather than per node. Must be at least 1 when set.
+    pub balance_probe_depth: Option<usize>,
 }
 
 impl Default for PropConfig {
@@ -68,6 +77,7 @@ impl Default for PropConfig {
             refine_iterations: 2,
             top_k_refresh: 5,
             max_passes: 64,
+            balance_probe_depth: None,
         }
     }
 }
@@ -118,6 +128,9 @@ impl PropConfig {
         if self.max_passes == 0 {
             return fail("max_passes must be at least 1".into());
         }
+        if self.balance_probe_depth == Some(0) {
+            return fail("balance_probe_depth must be at least 1 when set".into());
+        }
         Ok(())
     }
 
@@ -148,6 +161,7 @@ mod tests {
         assert_eq!(c.refine_iterations, 2);
         assert_eq!(c.top_k_refresh, 5);
         assert_eq!(c.init, GainInit::Uniform);
+        assert_eq!(c.balance_probe_depth, None);
         c.validate().unwrap();
     }
 
@@ -189,6 +203,14 @@ mod tests {
         bad(|c| c.g_lo = 2.0); // >= g_up
         bad(|c| c.g_up = f64::INFINITY);
         bad(|c| c.max_passes = 0);
+        bad(|c| c.balance_probe_depth = Some(0));
+    }
+
+    #[test]
+    fn bounded_probe_depth_is_legal() {
+        let mut c = PropConfig::default();
+        c.balance_probe_depth = Some(8);
+        c.validate().unwrap();
     }
 
     #[test]

@@ -42,6 +42,11 @@ pub(crate) struct Engine<'a> {
     side_weights: SideWeights,
     moves: Vec<NodeId>,
     prefix: PrefixTracker,
+    /// Reusable buffer for the §3.4 top-k refresh: the candidate ids are
+    /// snapshotted here before refreshing (refreshes reposition tree
+    /// nodes, which would invalidate a live iterator). Kept on the engine
+    /// so the per-move hot path never allocates.
+    topk_scratch: Vec<u32>,
 }
 
 impl<'a> Engine<'a> {
@@ -69,6 +74,7 @@ impl<'a> Engine<'a> {
             side_weights: SideWeights::new(graph, &Bipartition::from_sides(vec![Side::A; n])),
             moves: Vec::with_capacity(n),
             prefix: PrefixTracker::with_capacity(n),
+            topk_scratch: Vec::with_capacity(2 * config.top_k_refresh),
         }
     }
 
@@ -106,17 +112,23 @@ impl<'a> Engine<'a> {
         self.side_weights = SideWeights::new(self.graph, partition);
 
         self.seed_probabilities(partition, cut);
-        // Alternate gain and probability recomputation (step 4).
-        for _ in 0..self.config.refine_iterations {
-            self.rebuild_products(partition);
-            self.recompute_all_gains(partition, cut);
-            for v in 0..n {
-                self.p[v] = self.config.probability_of(self.gain[v]);
-            }
-        }
-        // Make gains and products consistent with the final probabilities.
+        // Alternate gain and probability recomputation (step 4). Each
+        // refinement iteration maps the gains of the *previous* sweep to new
+        // probabilities; once a sweep leaves every probability unchanged the
+        // iteration is at a fixed point and all remaining sweeps — including
+        // the final consistency sweep — would reproduce the products and
+        // gains already in place, so they are skipped. The loop therefore
+        // ends with gains and products consistent with the final
+        // probabilities without a separate recomputation.
         self.rebuild_products(partition);
         self.recompute_all_gains(partition, cut);
+        for _ in 0..self.config.refine_iterations {
+            if !self.refresh_probabilities() {
+                break;
+            }
+            self.rebuild_products(partition);
+            self.recompute_all_gains(partition, cut);
+        }
 
         self.trees[0].clear();
         self.trees[1].clear();
@@ -166,6 +178,22 @@ impl<'a> Engine<'a> {
                 }
             }
         }
+    }
+
+    /// Maps every node's current gain to a fresh probability (step 4's
+    /// probability half) and reports whether any probability changed — the
+    /// fixed-point test of the refinement loop. Runs before any node is
+    /// locked, so all nodes participate.
+    fn refresh_probabilities(&mut self) -> bool {
+        let mut changed = false;
+        for v in 0..self.p.len() {
+            let np = self.config.probability_of(self.gain[v]);
+            if np != self.p[v] {
+                self.p[v] = np;
+                changed = true;
+            }
+        }
+        changed
     }
 
     /// Rebuilds every net's per-side unlocked products and locked counts.
@@ -234,7 +262,9 @@ impl<'a> Engine<'a> {
     /// destination within the pass-relaxed balance bound; when the global
     /// best is blocked, the best node of the other side is taken. Under a
     /// size-constrained balance the scan walks each tree in descending
-    /// gain order until a node that fits is found.
+    /// gain order until a node that fits is found, giving up after
+    /// [`PropConfig::balance_probe_depth`] candidates when that bound is
+    /// set (unbounded by default, preserving the exact baseline choice).
     fn select_move(&self, partition: &Bipartition) -> Option<NodeId> {
         let counts = [partition.count(Side::A), partition.count(Side::B)];
         let weights = self.side_weights.as_array();
@@ -253,7 +283,11 @@ impl<'a> Engine<'a> {
                 }
                 continue;
             }
-            for &key in self.trees[si].iter_desc() {
+            let probe_limit = self.config.balance_probe_depth.unwrap_or(usize::MAX);
+            for (probed, &key) in self.trees[si].iter_desc().enumerate() {
+                if probed >= probe_limit {
+                    break;
+                }
                 let v = NodeId::new(key.2 as usize);
                 if self.balance.allows_node_move(
                     side,
@@ -280,17 +314,17 @@ impl<'a> Engine<'a> {
         partition: &mut Bipartition,
         cut: &mut CutState,
     ) {
+        let graph = self.graph;
         let from = partition.side(u);
         let key = self.key_of(u);
         let removed = self.trees[from.index()].remove(&key);
         debug_assert!(removed, "selected node missing from its tree");
 
-        let immediate = cut.apply_move(self.graph, partition, u);
-        self.side_weights.apply_move(from, self.graph.node_weight(u));
+        let immediate = cut.apply_move(graph, partition, u);
+        self.side_weights.apply_move(from, graph.node_weight(u));
         self.locked[u.index()] = true;
         self.p[u.index()] = 0.0;
-        for i in 0..self.graph.nets_of(u).len() {
-            let net = self.graph.nets_of(u)[i];
+        for &net in graph.nets_of(u) {
             self.recompute_net(net, partition);
         }
         self.prefix.push(
@@ -314,10 +348,8 @@ impl<'a> Engine<'a> {
             self.epoch = 1;
         }
         self.mark[u.index()] = self.epoch;
-        for i in 0..self.graph.nets_of(u).len() {
-            let net = self.graph.nets_of(u)[i];
-            for j in 0..self.graph.pins_of(net).len() {
-                let x = self.graph.pins_of(net)[j];
+        for &net in graph.nets_of(u) {
+            for &x in graph.pins_of(net) {
                 if !self.locked[x.index()] && self.mark[x.index()] != self.epoch {
                     self.mark[x.index()] = self.epoch;
                     self.refresh_node(x, partition, cut);
@@ -326,18 +358,27 @@ impl<'a> Engine<'a> {
         }
 
         // §3.4: additionally refresh the few top-ranked nodes per side.
+        // Candidates already carrying this move's epoch mark were refreshed
+        // in the neighbor sweep above and are skipped, so every node is
+        // refreshed at most once per move; the ones we do refresh take the
+        // mark, keeping the guarantee across both sides' top-k lists. The
+        // ids are snapshotted into the reusable scratch buffer because
+        // refreshing repositions tree nodes under a live iterator.
         let k = self.config.top_k_refresh;
         if k > 0 {
+            let mut top = std::mem::take(&mut self.topk_scratch);
             for si in 0..2 {
-                let top: Vec<u32> = self.trees[si]
-                    .iter_desc()
-                    .take(k)
-                    .map(|&(_, _, id)| id)
-                    .collect();
-                for id in top {
-                    self.refresh_node(NodeId::new(id as usize), partition, cut);
+                top.clear();
+                top.extend(self.trees[si].iter_desc().take(k).map(|&(_, _, id)| id));
+                for &id in &top {
+                    let x = NodeId::new(id as usize);
+                    if self.mark[x.index()] != self.epoch {
+                        self.mark[x.index()] = self.epoch;
+                        self.refresh_node(x, partition, cut);
+                    }
                 }
             }
+            self.topk_scratch = top;
         }
     }
 
@@ -362,8 +403,7 @@ impl<'a> Engine<'a> {
             // the per-pass product rebuild resets any residual drift.
             self.p[x.index()] = new_p;
             let ratio = new_p / old_p;
-            for i in 0..self.graph.nets_of(x).len() {
-                let net = self.graph.nets_of(x)[i];
+            for &net in self.graph.nets_of(x) {
                 self.prod[net.index()][si] *= ratio;
             }
         }

@@ -1,0 +1,142 @@
+//! Benchmark snapshot for the parallel multi-start harness.
+//!
+//! Runs the best-of-20 protocol for PROP and FM-bucket on a fixed subset
+//! of the Table-1 proxy circuits, once sequentially and once on every
+//! available core, and writes the timings to `BENCH_prop.json` in the
+//! current directory. Because the parallel harness is bit-identical to
+//! the sequential one, the `best_cut` column doubles as a correctness
+//! check: it must agree between the two thread settings of each
+//! circuit/method pair.
+//!
+//! Options: `--quick` (fewer runs), `--runs <n>`, `--threads <n>`
+//! (override the "max" thread count; 0 = auto-detect).
+
+use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner};
+use prop_experiments::{methods, Options};
+use prop_netlist::suite;
+use std::time::Instant;
+
+/// The fixed circuits of the snapshot, smallest to largest.
+const CIRCUITS: [&str; 3] = ["balu", "struct", "p2"];
+
+struct Record {
+    circuit: String,
+    method: String,
+    runs: usize,
+    threads: usize,
+    best_cut: f64,
+    secs_total: f64,
+}
+
+fn measure(
+    circuit: &str,
+    method: &str,
+    partitioner: &dyn Partitioner,
+    graph: &prop_netlist::Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    threads: usize,
+) -> Record {
+    let policy = if threads <= 1 {
+        ParallelPolicy::Sequential
+    } else {
+        ParallelPolicy::Threads(threads)
+    };
+    let start = Instant::now();
+    let result = partitioner
+        .run_multi_parallel(graph, balance, runs, 0, policy)
+        .expect("non-empty graph and runs >= 1");
+    Record {
+        circuit: circuit.to_string(),
+        method: method.to_string(),
+        runs,
+        threads,
+        best_cut: result.cut_cost,
+        secs_total: start.elapsed().as_secs_f64(),
+    }
+}
+
+fn render_json(records: &[Record]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in records.iter().enumerate() {
+        let secs_per_run = r.secs_total / r.runs.max(1) as f64;
+        out.push_str(&format!(
+            "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"runs\": {}, \"threads\": {}, \
+             \"best_cut\": {}, \"secs_total\": {:.6}, \"secs_per_run\": {:.6}}}{}\n",
+            r.circuit,
+            r.method,
+            r.runs,
+            r.threads,
+            r.best_cut,
+            r.secs_total,
+            secs_per_run,
+            if i + 1 < records.len() { "," } else { "" }
+        ));
+    }
+    out.push_str("]\n");
+    out
+}
+
+fn main() {
+    let opts = Options::from_args();
+    let runs = opts.scaled_runs(20);
+    let max_threads = match opts.threads {
+        Some(n) if n >= 1 => n,
+        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+    };
+    let prop = methods::prop();
+    let fm = methods::fm();
+
+    let mut records = Vec::new();
+    for name in CIRCUITS {
+        let spec = suite::by_name(name).expect("fixed snapshot circuit");
+        let graph = spec.instantiate().expect("valid Table-1 spec");
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+        for (method, partitioner) in
+            [("PROP", &prop as &dyn Partitioner), ("FM-bucket", &fm as &dyn Partitioner)]
+        {
+            for threads in [1, max_threads] {
+                let rec = measure(name, method, partitioner, &graph, balance, runs, threads);
+                eprintln!(
+                    "  {} {} runs={} threads={}: cut={} {:.3}s",
+                    rec.circuit, rec.method, rec.runs, rec.threads, rec.best_cut, rec.secs_total
+                );
+                records.push(rec);
+            }
+        }
+    }
+
+    // Cross-check determinism and report the headline speedup.
+    for pair in records.chunks(2) {
+        let [seq, par] = pair else { continue };
+        assert_eq!(
+            seq.best_cut, par.best_cut,
+            "parallel harness diverged on {}/{}",
+            seq.circuit, seq.method
+        );
+    }
+    if let Some(seq) = records
+        .iter()
+        .rev()
+        .find(|r| r.circuit == *CIRCUITS.last().unwrap() && r.method == "PROP" && r.threads == 1)
+    {
+        if let Some(par) = records
+            .iter()
+            .rev()
+            .find(|r| r.circuit == seq.circuit && r.method == "PROP" && r.threads == max_threads)
+        {
+            if max_threads > 1 {
+                println!(
+                    "PROP on {} with {} threads: {:.2}x speedup",
+                    seq.circuit,
+                    max_threads,
+                    seq.secs_total / par.secs_total.max(1e-12)
+                );
+            }
+        }
+    }
+
+    let path = "BENCH_prop.json";
+    std::fs::write(path, render_json(&records)).expect("write benchmark snapshot");
+    println!("wrote {path} ({} records)", records.len());
+}

@@ -19,8 +19,10 @@ fn main() {
     let melo = methods::melo();
 
     // Per-run timing probes: a handful of runs per iterative method is
-    // enough for a stable per-run figure.
+    // enough for a stable per-run figure. `--threads` fans the probe runs
+    // out (per-run seconds then reflect the parallel harness).
     let probe_runs = if opts.quick { 2 } else { 3 };
+    let policy = opts.policy();
 
     println!("Table 4 — seconds per run (iterative) / per invocation (global)");
     println!();
@@ -46,12 +48,12 @@ fn main() {
         let b4555 =
             BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
         let outcomes = [
-            methods::run_iterative("FM-bucket", &fm, &graph, b5050, probe_runs),
-            methods::run_iterative("FM-tree", &fm_tree, &graph, b5050, probe_runs),
-            methods::run_iterative("LA-2", &la2, &graph, b5050, probe_runs),
-            methods::run_iterative("LA-3", &la3, &graph, b5050, probe_runs),
+            methods::run_iterative_with("FM-bucket", &fm, &graph, b5050, probe_runs, policy),
+            methods::run_iterative_with("FM-tree", &fm_tree, &graph, b5050, probe_runs, policy),
+            methods::run_iterative_with("LA-2", &la2, &graph, b5050, probe_runs, policy),
+            methods::run_iterative_with("LA-3", &la3, &graph, b5050, probe_runs, policy),
             // The paper's Table-4 PROP column is the 45-55% run time.
-            methods::run_iterative("PROP", &prop, &graph, b4555, probe_runs),
+            methods::run_iterative_with("PROP", &prop, &graph, b4555, probe_runs, policy),
             methods::run_global("EIG1", &eig1, &graph, b4555),
             methods::run_global("Paraboli", &paraboli, &graph, b4555),
             methods::run_global("MELO", &melo, &graph, b4555),

@@ -22,6 +22,7 @@
 pub mod methods;
 pub mod report;
 
+use prop_core::ParallelPolicy;
 use prop_netlist::suite::{self, CircuitSpec};
 
 /// Command-line options shared by the experiment binaries.
@@ -34,28 +35,65 @@ pub struct Options {
     /// Override the number of PROP/FM20/LA runs (Table-2 columns scale
     /// proportionally).
     pub runs: Option<usize>,
+    /// Worker threads for multi-run methods: `None` keeps the sequential
+    /// harness, `Some(0)` auto-detects, `Some(n)` uses exactly `n`.
+    /// Results are bit-identical across all settings.
+    pub threads: Option<usize>,
 }
 
 impl Options {
-    /// Parses `--quick`, `--circuit <name>`, and `--runs <n>` from the
-    /// process arguments. Unknown arguments abort with a usage message.
+    /// Parses `--quick`, `--circuit <name>`, `--runs <n>`, and
+    /// `--threads <n>` from the process arguments. Unknown arguments abort
+    /// with a usage message.
     pub fn from_args() -> Options {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        Options::parse(&args).unwrap_or_else(|message| usage(&message))
+    }
+
+    /// Parses an argument slice (without the program name). Returns a
+    /// human-readable message on malformed input.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message to print when a flag is unknown, a flag's value
+    /// is missing, or a numeric value does not parse.
+    pub fn parse(args: &[String]) -> Result<Options, String> {
         let mut opts = Options::default();
-        let mut args = std::env::args().skip(1);
+        let mut args = args.iter();
         while let Some(arg) = args.next() {
             match arg.as_str() {
                 "--quick" => opts.quick = true,
                 "--circuit" => {
-                    opts.circuit = Some(args.next().unwrap_or_else(|| usage("--circuit <name>")));
+                    opts.circuit =
+                        Some(args.next().ok_or("--circuit requires a value: --circuit <name>")?.clone());
                 }
                 "--runs" => {
-                    let v = args.next().unwrap_or_else(|| usage("--runs <n>"));
-                    opts.runs = Some(v.parse().unwrap_or_else(|_| usage("--runs <n>")));
+                    let v = args.next().ok_or("--runs requires a value: --runs <n>")?;
+                    opts.runs = Some(
+                        v.parse()
+                            .map_err(|_| format!("--runs expects a number, got {v:?}"))?,
+                    );
                 }
-                other => usage(&format!("unknown argument {other:?}")),
+                "--threads" => {
+                    let v = args.next().ok_or("--threads requires a value: --threads <n>")?;
+                    opts.threads = Some(
+                        v.parse()
+                            .map_err(|_| format!("--threads expects a number, got {v:?}"))?,
+                    );
+                }
+                other => return Err(format!("unknown argument {other:?}")),
             }
         }
-        opts
+        Ok(opts)
+    }
+
+    /// The parallelism policy the `--threads` setting resolves to.
+    pub fn policy(&self) -> ParallelPolicy {
+        match self.threads {
+            None => ParallelPolicy::Sequential,
+            Some(0) => ParallelPolicy::Auto,
+            Some(n) => ParallelPolicy::Threads(n),
+        }
     }
 
     /// The circuits this invocation covers.
@@ -93,7 +131,7 @@ impl Options {
 
 fn usage(message: &str) -> ! {
     eprintln!("error: {message}");
-    eprintln!("usage: <bin> [--quick] [--circuit <name>] [--runs <n>]");
+    eprintln!("usage: <bin> [--quick] [--circuit <name>] [--runs <n>] [--threads <n>]");
     std::process::exit(2)
 }
 
@@ -130,6 +168,45 @@ mod tests {
         };
         assert_eq!(o.scaled_runs(20), 10);
         assert_eq!(o.scaled_runs(100), 50);
+    }
+
+    fn parse(args: &[&str]) -> Result<Options, String> {
+        let owned: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        Options::parse(&owned)
+    }
+
+    #[test]
+    fn parse_accepts_all_flags() {
+        let o = parse(&["--quick", "--circuit", "balu", "--runs", "10", "--threads", "4"])
+            .unwrap();
+        assert!(o.quick);
+        assert_eq!(o.circuit.as_deref(), Some("balu"));
+        assert_eq!(o.runs, Some(10));
+        assert_eq!(o.threads, Some(4));
+        assert_eq!(o.policy(), ParallelPolicy::Threads(4));
+    }
+
+    #[test]
+    fn parse_threads_policies() {
+        assert_eq!(parse(&[]).unwrap().policy(), ParallelPolicy::Sequential);
+        assert_eq!(
+            parse(&["--threads", "0"]).unwrap().policy(),
+            ParallelPolicy::Auto
+        );
+        assert_eq!(
+            parse(&["--threads", "7"]).unwrap().policy(),
+            ParallelPolicy::Threads(7)
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_input() {
+        assert!(parse(&["--frobnicate"]).unwrap_err().contains("--frobnicate"));
+        assert!(parse(&["--runs"]).unwrap_err().contains("--runs"));
+        assert!(parse(&["--runs", "many"]).unwrap_err().contains("many"));
+        assert!(parse(&["--threads"]).unwrap_err().contains("--threads"));
+        assert!(parse(&["--threads", "x"]).unwrap_err().contains("x"));
+        assert!(parse(&["--circuit"]).unwrap_err().contains("--circuit"));
     }
 
     #[test]

@@ -1,6 +1,6 @@
 //! Timed method runners shared by the experiment binaries.
 
-use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig, RunResult};
+use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig, RunResult};
 use prop_fm::{FmBucket, FmTree, La};
 use prop_netlist::Hypergraph;
 use prop_spectral::{Eig1, GlobalPartitioner, MeloStyle, ParaboliStyle, WindowStyle};
@@ -36,9 +36,23 @@ pub fn run_iterative(
     balance: BalanceConstraint,
     runs: usize,
 ) -> MethodOutcome {
+    run_iterative_with(name, partitioner, graph, balance, runs, ParallelPolicy::Sequential)
+}
+
+/// Like [`run_iterative`], fanning the runs out over the worker threads
+/// `policy` resolves to. The reported cut is bit-identical for every
+/// policy; only the wall-clock time changes.
+pub fn run_iterative_with(
+    name: &str,
+    partitioner: &dyn Partitioner,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    policy: ParallelPolicy,
+) -> MethodOutcome {
     let start = Instant::now();
     let result = partitioner
-        .run_multi(graph, balance, runs, 0)
+        .run_multi_parallel(graph, balance, runs, 0, policy)
         .expect("non-empty graph and runs >= 1");
     outcome(name, &result, start.elapsed().as_secs_f64(), runs)
 }

@@ -74,11 +74,9 @@ pub(crate) fn run_fm_pass<C: GainContainer>(
         container.insert(v.index() as u32, partition.side(v), state.gains[v.index()]);
     }
 
-    loop {
-        let Some((u, side)) = select_move(graph, partition, balance, &side_weights, container)
-        else {
-            break;
-        };
+    while let Some((u, side)) =
+        select_move(graph, partition, balance, &side_weights, container)
+    {
         container.remove(u.index() as u32, side, state.gains[u.index()]);
         state.locked[u.index()] = true;
         let immediate = apply_move_with_deltas(graph, partition, cut, container, state, u);

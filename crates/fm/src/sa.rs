@@ -106,7 +106,7 @@ impl Partitioner for SimulatedAnnealing {
         };
 
         let mut best: Option<(Bipartition, f64)> = None;
-        let mut consider_best =
+        let consider_best =
             |partition: &Bipartition,
              cut: &CutState,
              weights: &SideWeights,

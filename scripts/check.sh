@@ -1,0 +1,10 @@
+#!/usr/bin/env bash
+# Tier-1 verification gate: build, test, lint. Run from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+cargo build --release
+cargo test -q
+cargo clippy --workspace -- -D warnings
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,75 @@
+//! The parallel multi-start harness must be bit-identical to the
+//! sequential one, and the PROP engine's per-pass behaviour is pinned by
+//! a golden trace so hot-path refactors cannot silently change the
+//! algorithm.
+
+use prop_suite::core::{
+    BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig, Side,
+};
+use prop_suite::fm::FmBucket;
+use prop_suite::netlist::generate::{generate, GeneratorConfig};
+use prop_suite::netlist::Hypergraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn circuits() -> Vec<Hypergraph> {
+    vec![
+        generate(&GeneratorConfig::new(220, 240, 820).with_seed(11)).unwrap(),
+        generate(&GeneratorConfig::new(150, 170, 560).with_seed(47)).unwrap(),
+    ]
+}
+
+fn assert_bit_identical(partitioner: &dyn Partitioner, graph: &Hypergraph) {
+    let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+    let sequential = partitioner.run_multi(graph, balance, 6, 3).unwrap();
+    let parallel = partitioner
+        .run_multi_parallel(graph, balance, 6, 3, ParallelPolicy::Threads(4))
+        .unwrap();
+    assert_eq!(parallel.cut_cost, sequential.cut_cost, "{}", partitioner.name());
+    assert_eq!(parallel.run_cuts, sequential.run_cuts, "{}", partitioner.name());
+    assert_eq!(
+        parallel.partition, sequential.partition,
+        "{} winning partition",
+        partitioner.name()
+    );
+    assert_eq!(parallel.total_passes, sequential.total_passes, "{}", partitioner.name());
+}
+
+#[test]
+fn parallel_multistart_matches_sequential_for_prop_and_fm() {
+    for graph in &circuits() {
+        assert_bit_identical(&Prop::new(PropConfig::calibrated()), graph);
+        assert_bit_identical(&FmBucket::default(), graph);
+    }
+}
+
+/// Golden regression trace of the PROP engine: a fixed circuit, seed, and
+/// configuration must reproduce the exact per-pass move counts and
+/// committed gains. Regenerate the constants with
+/// `cargo test golden_trace -- --nocapture` after an *intentional*
+/// algorithmic change (the printed `observed:` line is the new golden).
+#[test]
+fn golden_trace_is_stable() {
+    let graph = generate(&GeneratorConfig::new(120, 130, 440).with_seed(9)).unwrap();
+    let balance = BalanceConstraint::bisection(graph.num_nodes());
+    let prop = Prop::new(PropConfig::calibrated());
+    let mut rng = StdRng::seed_from_u64(17);
+    let mut partition = prop_suite::core::Bipartition::random(graph.num_nodes(), &mut rng);
+    let (stats, traces) = prop.improve_traced(&graph, &mut partition, balance);
+
+    let observed: Vec<(usize, usize, f64, f64)> = traces
+        .iter()
+        .map(|t| (t.tentative_moves, t.committed_moves, t.committed_gain, t.max_drawdown))
+        .collect();
+    println!("observed: cut={} passes={} traces={observed:?}", stats.cut_cost, stats.passes);
+
+    let golden: Vec<(usize, usize, f64, f64)> = vec![
+        (120, 60, 81.0, 0.0),
+        (120, 2, 4.0, 0.0),
+        (120, 30, 6.0, -7.0),
+        (120, 0, 0.0, 0.0),
+    ];
+    assert_eq!(stats.cut_cost, 7.0);
+    assert_eq!(observed, golden);
+    assert_eq!(partition.count(Side::A) + partition.count(Side::B), 120);
+}
