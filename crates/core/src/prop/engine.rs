@@ -106,6 +106,16 @@ impl<'a> Engine<'a> {
         if n == 0 {
             return (0.0, crate::prop::PassTrace::default());
         }
+        #[cfg(feature = "debug-audit")]
+        crate::audit::with_auditor(|a| {
+            a.begin_pass(&crate::audit::PassBegin {
+                engine: "PROP",
+                graph: self.graph,
+                partition,
+                cut,
+                balance: self.balance,
+            });
+        });
         self.locked.iter_mut().for_each(|l| *l = false);
         self.moves.clear();
         self.prefix.clear();
@@ -129,6 +139,18 @@ impl<'a> Engine<'a> {
             self.rebuild_products(partition);
             self.recompute_all_gains(partition, cut);
         }
+        #[cfg(feature = "debug-audit")]
+        crate::audit::with_auditor(|a| {
+            a.after_refinement(&crate::audit::RefinementRecord {
+                engine: "PROP",
+                graph: self.graph,
+                partition,
+                cut,
+                probabilities: &self.p,
+                gains: &self.gain,
+                locked: &self.locked,
+            });
+        });
 
         self.trees[0].clear();
         self.trees[1].clear();
@@ -148,6 +170,21 @@ impl<'a> Engine<'a> {
             cut.apply_move(self.graph, partition, self.moves[i]);
         }
         let committed_gain = best.map_or(0.0, |b| b.gain);
+        #[cfg(feature = "debug-audit")]
+        crate::audit::with_auditor(|a| {
+            a.after_pass(&crate::audit::PassRecord {
+                engine: "PROP",
+                graph: self.graph,
+                partition,
+                cut,
+                balance: self.balance,
+                moves: &self.moves,
+                immediate_gains: self.prefix.gains(),
+                feasible: self.prefix.feasibility(),
+                committed_moves: commit,
+                committed_gain,
+            });
+        });
 
         // Trace: how deep into negative territory the committed prefix
         // travelled — the paper's "moving such a node at the present time,
@@ -380,6 +417,25 @@ impl<'a> Engine<'a> {
             }
             self.topk_scratch = top;
         }
+
+        #[cfg(feature = "debug-audit")]
+        crate::audit::with_auditor(|a| {
+            a.after_move(&crate::audit::MoveRecord {
+                engine: "PROP",
+                graph: self.graph,
+                partition,
+                cut,
+                balance: self.balance,
+                moved: u,
+                immediate_gain: immediate,
+                gains: &self.gain,
+                locked: &self.locked,
+                probabilities: Some(&self.p),
+                products: Some((&self.prod, &self.locked_cnt)),
+                fresh: Some((&self.mark, self.epoch)),
+                side_weights: self.side_weights.as_array(),
+            });
+        });
     }
 
     /// Recomputes one unlocked node's gain, repositions it in its tree,

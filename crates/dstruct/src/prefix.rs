@@ -81,6 +81,13 @@ impl PrefixTracker {
         &self.gains
     }
 
+    /// The per-move feasibility flags recorded so far, parallel to
+    /// [`PrefixTracker::gains`]. Exposed so external auditors can rerun
+    /// the best-prefix selection against a naive scan.
+    pub fn feasibility(&self) -> &[bool] {
+        &self.feasible
+    }
+
     /// The best strictly positive, feasible prefix, or `None` when every
     /// feasible prefix has non-positive cumulative gain (the pass failed to
     /// improve and the partitioner should stop).
@@ -184,5 +191,14 @@ mod tests {
         assert_eq!(t.best().unwrap().gain, 2.0);
         assert_eq!(t.gains(), &[2.0]);
         assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn feasibility_parallels_gains() {
+        let mut t = PrefixTracker::new();
+        t.push(1.0, true);
+        t.push(-2.0, false);
+        assert_eq!(t.feasibility(), &[true, false]);
+        assert_eq!(t.gains().len(), t.feasibility().len());
     }
 }

@@ -46,13 +46,21 @@ fn measure(
     let result = partitioner
         .run_multi_parallel(graph, balance, runs, 0, policy)
         .expect("non-empty graph and runs >= 1");
+    let secs_total = start.elapsed().as_secs_f64();
+    // Oracle cross-check (outside the timed region): the reported best cut
+    // must equal a naive from-scratch recount of the winning partition.
+    let recount = prop_verify::oracle::naive_cut(graph, &result.partition);
+    assert_eq!(
+        result.cut_cost, recount,
+        "{circuit}/{method}: reported cut diverged from the oracle recount"
+    );
     Record {
         circuit: circuit.to_string(),
         method: method.to_string(),
         runs,
         threads,
         best_cut: result.cut_cost,
-        secs_total: start.elapsed().as_secs_f64(),
+        secs_total,
     }
 }
 

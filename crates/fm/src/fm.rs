@@ -190,7 +190,15 @@ impl Partitioner for FmBucket {
         let max_deg = graph.stats().max_degree as i64;
         let mut container = BucketContainer::new(graph.num_nodes(), max_deg.max(1));
         let mut state = PassState::new(graph.num_nodes());
-        improve_with(graph, partition, balance, self.max_passes, &mut container, &mut state)
+        improve_with(
+            "FM-bucket",
+            graph,
+            partition,
+            balance,
+            self.max_passes,
+            &mut container,
+            &mut state,
+        )
     }
 }
 
@@ -207,11 +215,20 @@ impl Partitioner for FmTree {
     ) -> ImproveStats {
         let mut container = TreeContainer::new(graph.num_nodes());
         let mut state = PassState::new(graph.num_nodes());
-        improve_with(graph, partition, balance, self.max_passes, &mut container, &mut state)
+        improve_with(
+            "FM-tree",
+            graph,
+            partition,
+            balance,
+            self.max_passes,
+            &mut container,
+            &mut state,
+        )
     }
 }
 
 fn improve_with<C: GainContainer>(
+    engine: &'static str,
     graph: &Hypergraph,
     partition: &mut Bipartition,
     balance: BalanceConstraint,
@@ -223,7 +240,8 @@ fn improve_with<C: GainContainer>(
     let mut passes = 0;
     while passes < max_passes {
         passes += 1;
-        let committed = run_fm_pass(graph, partition, &mut cut, balance, container, state);
+        let committed =
+            run_fm_pass(engine, graph, partition, &mut cut, balance, container, state);
         if committed <= 0.0 {
             break;
         }

@@ -51,8 +51,10 @@ impl PassState {
 }
 
 /// Runs one FM pass and returns the committed gain (0 when the pass was
-/// fully rolled back).
+/// fully rolled back). `engine` is the display name reported to an
+/// installed auditor under the `debug-audit` feature.
 pub(crate) fn run_fm_pass<C: GainContainer>(
+    engine: &'static str,
     graph: &Hypergraph,
     partition: &mut Bipartition,
     cut: &mut CutState,
@@ -60,10 +62,22 @@ pub(crate) fn run_fm_pass<C: GainContainer>(
     container: &mut C,
     state: &mut PassState,
 ) -> f64 {
+    #[cfg(not(feature = "debug-audit"))]
+    let _ = engine;
     let n = graph.num_nodes();
     if n == 0 {
         return 0.0;
     }
+    #[cfg(feature = "debug-audit")]
+    prop_core::audit::with_auditor(|a| {
+        a.begin_pass(&prop_core::audit::PassBegin {
+            engine,
+            graph,
+            partition,
+            cut,
+            balance,
+        });
+    });
     state.locked.iter_mut().for_each(|l| *l = false);
     state.moves.clear();
     state.prefix.clear();
@@ -89,6 +103,24 @@ pub(crate) fn run_fm_pass<C: GainContainer>(
             ),
         );
         state.moves.push(u);
+        #[cfg(feature = "debug-audit")]
+        prop_core::audit::with_auditor(|a| {
+            a.after_move(&prop_core::audit::MoveRecord {
+                engine,
+                graph,
+                partition,
+                cut,
+                balance,
+                moved: u,
+                immediate_gain: immediate,
+                gains: &state.gains,
+                locked: &state.locked,
+                probabilities: None,
+                products: None,
+                fresh: None,
+                side_weights: side_weights.as_array(),
+            });
+        });
     }
 
     let best = state.prefix.best();
@@ -96,7 +128,23 @@ pub(crate) fn run_fm_pass<C: GainContainer>(
     for i in (commit..state.moves.len()).rev() {
         cut.apply_move(graph, partition, state.moves[i]);
     }
-    best.map_or(0.0, |b| b.gain)
+    let committed_gain = best.map_or(0.0, |b| b.gain);
+    #[cfg(feature = "debug-audit")]
+    prop_core::audit::with_auditor(|a| {
+        a.after_pass(&prop_core::audit::PassRecord {
+            engine,
+            graph,
+            partition,
+            cut,
+            balance,
+            moves: &state.moves,
+            immediate_gains: state.prefix.gains(),
+            feasible: state.prefix.feasibility(),
+            committed_moves: commit,
+            committed_gain,
+        });
+    });
+    committed_gain
 }
 
 /// The paper's selection rule: the best-gain node over both sides whose
@@ -309,8 +357,15 @@ mod tests {
         let mut container = TreeBox {
             trees: [AvlTree::new(), AvlTree::new()],
         };
-        let committed =
-            run_fm_pass(&graph, &mut partition, &mut cut, balance, &mut container, &mut state);
+        let committed = run_fm_pass(
+            "FM-test",
+            &graph,
+            &mut partition,
+            &mut cut,
+            balance,
+            &mut container,
+            &mut state,
+        );
         assert_eq!(cut, CutState::new(&graph, &partition));
         assert!((before - cut.cut_cost() - committed).abs() < 1e-9);
         assert!(partition.is_balanced(balance));

@@ -220,6 +220,70 @@ pub fn generate_uniform(config: &GeneratorConfig) -> Result<Hypergraph, NetlistE
     generate(&cfg)
 }
 
+/// Generates a small adversarial circuit exercising degenerate-but-legal
+/// netlist features: single-pin nets, nets with duplicate pins (which the
+/// builder de-duplicates), a giant net spanning every connected node,
+/// isolated nodes, and fractional net/node weights. Deterministic in the
+/// seed. Intended for format-roundtrip fuzzing and parser robustness
+/// tests, not for benchmarking.
+///
+/// # Errors
+///
+/// Never fails in practice; the signature matches [`generate`] so callers
+/// can treat both uniformly.
+pub fn generate_adversarial(seed: u64) -> Result<Hypergraph, NetlistError> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xa5a5_5a5a_c3c3_3c3c);
+    let n = rng.gen_range(3..=40);
+    // Leave up to 3 trailing nodes isolated (degree 0).
+    let isolated = rng.gen_range(0..=3.min(n - 2));
+    let attached = n - isolated;
+    let mut builder = HypergraphBuilder::new(n);
+    let nets = rng.gen_range(1..=24);
+    for _ in 0..nets {
+        let weight = if rng.gen::<f64>() < 0.3 {
+            0.25 + rng.gen::<f64>() * 7.75
+        } else {
+            1.0
+        };
+        let pins: Vec<usize> = match rng.gen_range(0..5) {
+            // Single-pin net.
+            0 => vec![rng.gen_range(0..attached)],
+            // Duplicate pins: collapses to at most two distinct pins.
+            1 => {
+                let v = rng.gen_range(0..attached);
+                let u = rng.gen_range(0..attached);
+                vec![v, u, v, v, u]
+            }
+            // Giant net spanning every connected node.
+            2 => (0..attached).collect(),
+            // Self-duplicate single pin: collapses to a single-pin net.
+            3 => {
+                let v = rng.gen_range(0..attached);
+                vec![v, v, v]
+            }
+            // Ordinary small net.
+            _ => {
+                let size = rng.gen_range(2..=4.min(attached));
+                sample_distinct(&mut rng, 0, attached, size, attached)
+            }
+        };
+        builder.add_net(weight, pins)?;
+    }
+    if rng.gen::<f64>() < 0.5 {
+        let weights: Vec<f64> = (0..n)
+            .map(|_| {
+                if rng.gen::<f64>() < 0.5 {
+                    1.0
+                } else {
+                    0.5 + rng.gen::<f64>() * 4.5
+                }
+            })
+            .collect();
+        builder.set_node_weights(weights)?;
+    }
+    builder.build()
+}
+
 /// Draws the per-net sizes: every net starts at 2 pins; the remaining
 /// `pins − 2·nets` pins are distributed randomly, subject to per-net caps
 /// (most nets are capped small; a few "hub" nets may grow large), matching
@@ -450,6 +514,30 @@ mod tests {
             let (lo, hi) = range_at_level(n, 4, 3, anchor);
             assert!((lo..hi).contains(&anchor));
         }
+    }
+
+    #[test]
+    fn adversarial_is_deterministic_and_degenerate() {
+        let g1 = generate_adversarial(7).unwrap();
+        let g2 = generate_adversarial(7).unwrap();
+        assert_eq!(g1, g2);
+        // Across a spread of seeds the generator must actually produce
+        // each degenerate feature it advertises.
+        let mut saw_single_pin = false;
+        let mut saw_isolated = false;
+        let mut saw_giant = false;
+        let mut saw_fractional = false;
+        for seed in 0..64 {
+            let g = generate_adversarial(seed).unwrap();
+            saw_single_pin |= g.nets().any(|e| g.net_size(e) == 1);
+            saw_isolated |= g.nodes().any(|v| g.degree(v) == 0);
+            saw_giant |= g.nets().any(|e| g.net_size(e) >= g.num_nodes() - 3);
+            saw_fractional |= !g.has_unit_weights() || !g.has_unit_node_weights();
+        }
+        assert!(saw_single_pin, "no single-pin net in 64 seeds");
+        assert!(saw_isolated, "no isolated node in 64 seeds");
+        assert!(saw_giant, "no giant net in 64 seeds");
+        assert!(saw_fractional, "no fractional weight in 64 seeds");
     }
 
     #[test]

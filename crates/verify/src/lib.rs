@@ -1,0 +1,54 @@
+//! Differential-oracle verification for the PROP suite.
+//!
+//! The engines in `prop-core` and `prop-fm` maintain everything
+//! incrementally: per-net probability products, delta-updated gain
+//! containers, incremental cut costs, running side weights. This crate is
+//! the counterweight — slow, obvious reimplementations that recompute the
+//! same quantities from scratch, plus the plumbing to compare the two on
+//! every move:
+//!
+//! * [`oracle`] — pure functions recomputing cut cost, FM gains, PROP
+//!   products/gains (Eqns. 2–6), side weights, and the best move prefix
+//!   by direct evaluation.
+//! * [`OracleAuditor`] — an implementation of `prop_core::audit::Auditor`
+//!   that checks every hook record an engine emits against those oracles
+//!   and panics on the first violation. [`RecordingAuditor`] logs
+//!   executions instead, for cross-engine diffing.
+//! * [`ReferenceProp`] — a from-scratch mirror of the PROP engine with
+//!   the same floating-point evaluation order but none of the incremental
+//!   machinery; a correct engine matches it bit-for-bit, move for move.
+//!
+//! The oracles and the reference engine need no features. Installing an
+//! auditor into a live engine requires building with `--features
+//! debug-audit`, which compiles the emission sites into `prop-core` and
+//! `prop-fm` (they cost nothing otherwise: the hooks are `#[cfg]`-gated
+//! out of release builds).
+//!
+//! ```
+//! use prop_core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+//! use prop_netlist::generate::{generate, GeneratorConfig};
+//! use prop_verify::ReferenceProp;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let graph = generate(&GeneratorConfig::new(32, 36, 120).with_seed(9))?;
+//! let balance = BalanceConstraint::bisection(graph.num_nodes());
+//! let fast = Prop::new(PropConfig::default()).run_seeded(&graph, balance, 0)?;
+//! let slow = ReferenceProp::new(PropConfig::default()).run_seeded(&graph, balance, 0)?;
+//! assert_eq!(fast.partition, slow.partition);
+//! assert_eq!(fast.cut_cost, slow.cut_cost);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod audit;
+pub mod oracle;
+mod reference;
+
+pub use audit::{AuditStats, OracleAuditor, PassLog, RecordingAuditor, AUDIT_TOLERANCE};
+pub use reference::{reference_pass, ReferencePassRecord, ReferenceProp};
+
+#[cfg(feature = "debug-audit")]
+pub use audit::audited;

@@ -1,0 +1,290 @@
+//! Naive from-scratch oracles.
+//!
+//! Every function here recomputes a quantity the engines maintain
+//! incrementally — cut cost, FM gains, PROP products and gains, side
+//! weights, best prefix — by direct evaluation over the whole hypergraph.
+//! They are deliberately slow (no shared state, no reuse across calls) and
+//! deliberately mirror the engines' floating-point *evaluation order*, so
+//! that comparisons can be bit-exact wherever the engine itself computes
+//! from scratch (pass start, refinement end) and tolerance-based where the
+//! engine's incremental updates legitimately reorder arithmetic.
+
+use prop_core::{BalanceConstraint, Bipartition, Side};
+use prop_netlist::{Hypergraph, NetId, NodeId};
+
+/// Pins of `net` on each side, counted directly.
+pub fn naive_pins_on(graph: &Hypergraph, partition: &Bipartition, net: NetId) -> [u32; 2] {
+    let mut cnt = [0u32; 2];
+    for &x in graph.pins_of(net) {
+        cnt[partition.side(x).index()] += 1;
+    }
+    cnt
+}
+
+/// Cut cost recomputed from scratch: the sum of weights of nets with pins
+/// on both sides, accumulated in net order (the same order
+/// `CutState::new` uses, so the two agree bit-for-bit).
+pub fn naive_cut(graph: &Hypergraph, partition: &Bipartition) -> f64 {
+    let mut cost = 0.0;
+    for net in graph.nets() {
+        let [a, b] = naive_pins_on(graph, partition, net);
+        if a > 0 && b > 0 {
+            cost += graph.net_weight(net);
+        }
+    }
+    cost
+}
+
+/// The Eqn.-1 FM gain of one node, from direct pin counts. Accumulates
+/// over `nets_of(node)` in order — the same order as
+/// `CutState::move_gain` — so a fresh incremental state agrees exactly.
+pub fn naive_fm_gain(graph: &Hypergraph, partition: &Bipartition, node: NodeId) -> f64 {
+    let from = partition.side(node);
+    let to = from.other();
+    let mut gain = 0.0;
+    for &net in graph.nets_of(node) {
+        let cnt = naive_pins_on(graph, partition, net);
+        let on_from = cnt[from.index()];
+        let on_to = cnt[to.index()];
+        if on_from == 1 && on_to > 0 {
+            gain += graph.net_weight(net);
+        } else if on_to == 0 && on_from > 1 {
+            gain -= graph.net_weight(net);
+        }
+    }
+    gain
+}
+
+/// The Eqn.-1 FM gains of all nodes.
+pub fn naive_fm_gains(graph: &Hypergraph, partition: &Bipartition) -> Vec<f64> {
+    graph
+        .nodes()
+        .map(|v| naive_fm_gain(graph, partition, v))
+        .collect()
+}
+
+/// Per-side node weights recomputed from scratch in node order (the order
+/// `SideWeights::new` uses).
+pub fn naive_side_weights(graph: &Hypergraph, partition: &Bipartition) -> [f64; 2] {
+    let mut w = [0.0; 2];
+    for v in graph.nodes() {
+        w[partition.side(v).index()] += graph.node_weight(v);
+    }
+    w
+}
+
+/// Per-net unlocked probability products and locked pin counts, computed
+/// exactly as the PROP engine's per-net recomputation does: pins in CSR
+/// order, locked pins counted, unlocked pins multiplied.
+pub struct NetProducts {
+    /// `prod[net][side]` — product of `p(x)` over unlocked pins.
+    pub prod: Vec<[f64; 2]>,
+    /// `locked[net][side]` — number of locked pins.
+    pub locked: Vec<[u32; 2]>,
+}
+
+/// Builds [`NetProducts`] from scratch.
+pub fn net_products(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    probs: &[f64],
+    locked: &[bool],
+) -> NetProducts {
+    let mut out = NetProducts {
+        prod: vec![[1.0; 2]; graph.num_nets()],
+        locked: vec![[0; 2]; graph.num_nets()],
+    };
+    for net in graph.nets() {
+        let mut prod = [1.0f64; 2];
+        let mut cnt = [0u32; 2];
+        for &x in graph.pins_of(net) {
+            let s = partition.side(x).index();
+            if locked[x.index()] {
+                cnt[s] += 1;
+            } else {
+                prod[s] *= probs[x.index()];
+            }
+        }
+        out.prod[net.index()] = prod;
+        out.locked[net.index()] = cnt;
+    }
+    out
+}
+
+/// PROP probabilistic gains evaluated with the *engine's* arithmetic: the
+/// same-side product divided by `p(u)` and clamped, rather than the
+/// multiply-excluding-`u` form of [`prop_core::probabilistic_gains`].
+///
+/// Wherever the engine has just rebuilt its products from scratch (pass
+/// start and every refinement sweep), its gain table matches this function
+/// bit-for-bit; `prop_core::probabilistic_gains` is the independent
+/// formulation and matches both to ~1e-9.
+///
+/// Locked nodes get gain 0 (the engine never recomputes them).
+pub fn engine_prop_gains(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    probs: &[f64],
+    locked: &[bool],
+) -> Vec<f64> {
+    let products = net_products(graph, partition, probs, locked);
+    let mut gains = vec![0.0; graph.num_nodes()];
+    for u in graph.nodes() {
+        if locked[u.index()] {
+            continue;
+        }
+        let s = partition.side(u);
+        let (si, oi) = (s.index(), s.other().index());
+        let pu = probs[u.index()];
+        let mut g = 0.0;
+        for &net in graph.nets_of(u) {
+            let ni = net.index();
+            let c = graph.net_weight(net);
+            let same = if products.locked[ni][si] > 0 {
+                0.0
+            } else {
+                (products.prod[ni][si] / pu).clamp(0.0, 1.0)
+            };
+            let other_pins = naive_pins_on(graph, partition, net)[oi];
+            if other_pins > 0 {
+                let other = if products.locked[ni][oi] > 0 {
+                    0.0
+                } else {
+                    products.prod[ni][oi].clamp(0.0, 1.0)
+                };
+                g += c * (same - other);
+            } else {
+                g -= c * (1.0 - same);
+            }
+        }
+        gains[u.index()] = g;
+    }
+    gains
+}
+
+/// The best strictly positive, feasible prefix of a move sequence — a
+/// direct scan with the same semantics (and summation order, hence the
+/// same floats) as `PrefixTracker::best`: among equal cumulative gains the
+/// shortest prefix wins, infeasible end states are skipped, and `None`
+/// means no feasible prefix improves the cut.
+pub fn best_prefix_naive(gains: &[f64], feasible: &[bool]) -> Option<(usize, f64)> {
+    assert_eq!(gains.len(), feasible.len(), "ragged prefix inputs");
+    let mut sum = 0.0;
+    let mut best: Option<(usize, f64)> = None;
+    for (i, (&g, &ok)) in gains.iter().zip(feasible).enumerate() {
+        sum += g;
+        if !ok {
+            continue;
+        }
+        let better = match best {
+            None => sum > 0.0,
+            Some((_, bg)) => sum > bg,
+        };
+        if better {
+            best = Some((i + 1, sum));
+        }
+    }
+    best
+}
+
+/// Whether `partition` satisfies `balance` under naively recomputed
+/// counts and weights.
+pub fn naive_is_feasible(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    balance: BalanceConstraint,
+) -> bool {
+    balance.is_feasible(
+        [partition.count(Side::A), partition.count(Side::B)],
+        naive_side_weights(graph, partition),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_core::{cut_cost, CutState, SideWeights};
+    use prop_netlist::HypergraphBuilder;
+
+    fn graph() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        b.add_net(2.0, [2, 3]).unwrap();
+        b.add_net(0.5, [0, 3, 4]).unwrap();
+        b.add_net(1.0, [4]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn partition() -> Bipartition {
+        Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B, Side::A])
+    }
+
+    #[test]
+    fn naive_cut_matches_incremental() {
+        let g = graph();
+        let p = partition();
+        assert_eq!(naive_cut(&g, &p), cut_cost(&g, &p));
+    }
+
+    #[test]
+    fn naive_fm_gains_match_cut_state() {
+        let g = graph();
+        let p = partition();
+        let cut = CutState::new(&g, &p);
+        for v in g.nodes() {
+            assert_eq!(naive_fm_gain(&g, &p, v), cut.move_gain(&g, &p, v), "{v}");
+        }
+        assert_eq!(naive_fm_gains(&g, &p).len(), 5);
+    }
+
+    #[test]
+    fn naive_side_weights_match() {
+        let g = graph();
+        let p = partition();
+        assert_eq!(naive_side_weights(&g, &p), SideWeights::new(&g, &p).as_array());
+    }
+
+    #[test]
+    fn engine_gains_close_to_core_oracle() {
+        let g = graph();
+        let p = partition();
+        let probs = vec![0.7, 0.8, 0.9, 0.6, 0.5];
+        let locked = vec![false; 5];
+        let a = engine_prop_gains(&g, &p, &probs, &locked);
+        let b = prop_core::probabilistic_gains(&g, &p, &probs, &locked);
+        for v in 0..5 {
+            assert!((a[v] - b[v]).abs() < 1e-9, "node {v}: {} vs {}", a[v], b[v]);
+        }
+    }
+
+    #[test]
+    fn engine_gains_respect_locks() {
+        let g = graph();
+        let p = partition();
+        let probs = vec![0.7, 0.8, 0.0, 0.6, 0.5];
+        let locked = vec![false, false, true, false, false];
+        let a = engine_prop_gains(&g, &p, &probs, &locked);
+        assert_eq!(a[2], 0.0);
+        let b = prop_core::probabilistic_gains(&g, &p, &probs, &locked);
+        for v in 0..5 {
+            assert!((a[v] - b[v]).abs() < 1e-9, "node {v}");
+        }
+    }
+
+    #[test]
+    fn best_prefix_matches_tracker_semantics() {
+        assert_eq!(best_prefix_naive(&[], &[]), None);
+        assert_eq!(best_prefix_naive(&[-1.0], &[true]), None);
+        assert_eq!(best_prefix_naive(&[1.0, -1.0], &[true, true]), Some((1, 1.0)));
+        // Infeasible peak is skipped.
+        assert_eq!(
+            best_prefix_naive(&[5.0, -1.0], &[false, true]),
+            Some((2, 4.0))
+        );
+        // Shortest among equal sums.
+        assert_eq!(
+            best_prefix_naive(&[2.0, 0.0, 0.0], &[true, true, true]),
+            Some((1, 2.0))
+        );
+    }
+}

@@ -1,10 +1,31 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: build, test, lint. Run from the repo root.
+#
+#   scripts/check.sh          # tier-1 gates only
+#   scripts/check.sh --audit  # also run the debug-audit (oracle) gates
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+audit=0
+for arg in "$@"; do
+  case "$arg" in
+    --audit) audit=1 ;;
+    *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
+  esac
+done
 
 cargo build --release
 cargo test -q
 cargo clippy --workspace -- -D warnings
+
+if [[ "$audit" -eq 1 ]]; then
+  # Audited pass: every engine reports into the thread-local auditor slot
+  # and the oracle auditors recheck each move against from-scratch
+  # recomputation (see DESIGN.md §9).
+  cargo test -q --features debug-audit
+  cargo test -q -p prop-verify --features debug-audit
+  cargo clippy -p prop-verify --features debug-audit -- -D warnings
+  cargo clippy --workspace --features debug-audit -- -D warnings
+fi
 
 echo "check.sh: all gates passed"

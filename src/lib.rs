@@ -12,6 +12,10 @@
 //! * [`spectral`] — EIG1, MELO-, PARABOLI-, and WINDOW-style partitioners.
 //! * [`multilevel`] — the clustering pre-phase the paper's conclusion
 //!   anticipates: heavy-edge coarsening with PROP refinement per level.
+//! * [`verify`] — differential-oracle verification: naive reference
+//!   oracles, per-move invariant auditors, and a from-scratch PROP
+//!   mirror (build with `--features debug-audit` to install auditors
+//!   into live engines).
 //!
 //! # Quickstart
 //!
@@ -37,3 +41,4 @@ pub use prop_linalg as linalg;
 pub use prop_multilevel as multilevel;
 pub use prop_netlist as netlist;
 pub use prop_spectral as spectral;
+pub use prop_verify as verify;

@@ -1,7 +1,9 @@
-//! Integration: text formats round-trip real suite circuits, and a
-//! parsed-back circuit partitions identically to the original.
+//! Integration: text formats round-trip real suite circuits, a parsed-back
+//! circuit partitions identically to the original, and the parsers survive
+//! adversarial circuits and mutated text without panicking.
 
 use prop_suite::core::{BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_suite::netlist::generate::generate_adversarial;
 use prop_suite::netlist::{format, suite};
 
 #[test]
@@ -32,4 +34,162 @@ fn parsed_circuit_partitions_identically() {
     let a = prop.run_seeded(&graph, balance, 5).unwrap();
     let b = prop.run_seeded(&parsed, balance, 5).unwrap();
     assert_eq!(a, b);
+}
+
+/// Adversarial circuits — single-pin nets, duplicate pins (already
+/// de-duplicated by the builder), giant nets, isolated nodes, fractional
+/// weights — round-trip exactly through both text formats.
+#[test]
+fn adversarial_circuits_roundtrip_both_formats() {
+    for seed in 0..128 {
+        let graph = generate_adversarial(seed).unwrap();
+        let hgr = format::write_hgr(&graph);
+        let reparsed = format::parse_hgr(&hgr).expect("hgr reparse");
+        assert_eq!(graph, reparsed, "hgr seed {seed}");
+        let netd = format::write_netd(&graph);
+        let reparsed = format::parse_netd(&netd).expect("netd reparse");
+        // netd synthesises node names; compare structure via hgr text.
+        assert_eq!(hgr, format::write_hgr(&reparsed), "netd seed {seed}");
+    }
+}
+
+/// A tiny deterministic xorshift so the mutation fuzzer needs no RNG
+/// plumbing and every failure reproduces from its seed alone.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n as u64) as usize
+    }
+}
+
+/// Applies one random text mutation: delete a line, duplicate a line,
+/// swap two tokens, replace a token with garbage, or truncate the text.
+fn mutate(text: &str, rng: &mut XorShift) -> String {
+    let lines: Vec<&str> = text.lines().collect();
+    match rng.below(5) {
+        0 if !lines.is_empty() => {
+            let drop = rng.below(lines.len());
+            lines
+                .iter()
+                .enumerate()
+                .filter(|&(i, _)| i != drop)
+                .map(|(_, l)| *l)
+                .collect::<Vec<_>>()
+                .join("\n")
+        }
+        1 if !lines.is_empty() => {
+            let dup = rng.below(lines.len());
+            let mut out: Vec<&str> = lines.clone();
+            out.insert(dup, lines[dup]);
+            out.join("\n")
+        }
+        2 => {
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            if toks.len() < 2 {
+                return text.to_string();
+            }
+            let (i, j) = (rng.below(toks.len()), rng.below(toks.len()));
+            let mut out = toks.clone();
+            out.swap(i, j);
+            out.join(" ")
+        }
+        3 => {
+            let toks: Vec<&str> = text.split_whitespace().collect();
+            if toks.is_empty() {
+                return text.to_string();
+            }
+            let garbage = ["-1", "0", "99999999999999999999", "NaN", "1e309", "x", "%", ""];
+            let i = rng.below(toks.len());
+            let mut out: Vec<&str> = toks.clone();
+            out[i] = garbage[rng.below(garbage.len())];
+            out.join(" ")
+        }
+        _ => {
+            let cut = rng.below(text.len().max(1));
+            let mut t = text.to_string();
+            t.truncate(cut);
+            t
+        }
+    }
+}
+
+/// Both parsers must return `Ok` or `Err` — never panic — on mutated
+/// versions of valid files. Any parse that still succeeds must produce a
+/// graph that survives its own write/parse round-trip.
+#[test]
+fn mutated_text_never_panics_either_parser() {
+    let mut rng = XorShift(0x5eed_f0cc_ed01_d1ce);
+    for seed in 0..48 {
+        let graph = generate_adversarial(seed).unwrap();
+        for base in [format::write_hgr(&graph), format::write_netd(&graph)] {
+            let mut text = base.clone();
+            for _ in 0..24 {
+                text = mutate(&text, &mut rng);
+                if let Ok(g) = format::parse_hgr(&text) {
+                    let again = format::parse_hgr(&format::write_hgr(&g)).expect("re-roundtrip");
+                    assert_eq!(g, again);
+                }
+                if let Ok(g) = format::parse_netd(&text) {
+                    let again =
+                        format::parse_netd(&format::write_netd(&g)).expect("re-roundtrip");
+                    assert_eq!(format::write_hgr(&g), format::write_hgr(&again));
+                }
+            }
+        }
+    }
+}
+
+/// Handwritten degenerate inputs hit the documented error paths (and the
+/// few that are legal stay legal).
+#[test]
+fn degenerate_inputs_are_rejected_or_legal() {
+    // Legal: a lone single-pin net, an isolated node, a giant duplicate-pin
+    // net that collapses.
+    let g = format::parse_hgr("1 3\n2\n").unwrap();
+    assert_eq!(g.num_pins(), 1);
+    let g = format::parse_hgr("1 4\n1 1 1 2 2\n").unwrap();
+    assert_eq!(g.num_pins(), 2);
+    let g = format::parse_netd("node a\nnode b\nnet 1 a a a\n").unwrap();
+    assert_eq!(g.num_pins(), 1);
+    // Legal but subtle: under format flag 1 the first token of a net line
+    // is its weight, so "1 2" is a single-pin net of weight 1 on node 2.
+    let g = format::parse_hgr("1 2 1\n1 2\n").unwrap();
+    assert_eq!(g.num_pins(), 1);
+    // Errors, not panics.
+    for bad in [
+        "",
+        "1 2",                          // missing net line
+        "1 2\n\n",                      // blank net line is filtered => count short
+        "1 2\n0\n",                     // 0 pin index (1-based format)
+        "1 2\n3\n",                     // out-of-range pin
+        "2 2\n1\n2\n3 1\n",             // extra net line
+        "1 2 1\n\nx 1 2\n",             // weighted flag with bad weight token
+        "1 2 7\n1 2\n",                 // unsupported format flag
+        "1 2 10\n1 2\n1\n",             // missing node-weight line
+        "1 2 10\n1 2\n-2\n1\n",         // non-positive node weight
+        "18446744073709551616 1\n",     // net count overflows usize
+        "1 2\n1 99999999999999999999\n",// pin overflows usize
+    ] {
+        assert!(format::parse_hgr(bad).is_err(), "hgr accepted {bad:?}");
+    }
+    for bad in [
+        "net 1 a\n",         // undeclared name
+        "node a\nnode a\n",  // duplicate name
+        "node a\nnet a\n",   // weight not a number
+        "node a\nnet 1\n",   // empty net
+        "node a\nnet 0 a\n", // non-positive net weight
+        "nodea\n",           // unknown directive
+    ] {
+        assert!(format::parse_netd(bad).is_err(), "netd accepted {bad:?}");
+    }
 }

@@ -4,7 +4,8 @@
 //! algorithm.
 
 use prop_suite::core::{
-    BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig, Side,
+    BalanceConstraint, ParallelPolicy, PartitionError, Partitioner, Prop, PropConfig,
+    RunBudget, Side,
 };
 use prop_suite::fm::FmBucket;
 use prop_suite::netlist::generate::{generate, GeneratorConfig};
@@ -72,4 +73,85 @@ fn golden_trace_is_stable() {
     assert_eq!(stats.cut_cost, 7.0);
     assert_eq!(observed, golden);
     assert_eq!(partition.count(Side::A) + partition.count(Side::B), 120);
+}
+
+#[test]
+fn run_budget_zero_runs_is_rejected() {
+    let graph = generate(&GeneratorConfig::new(60, 70, 230).with_seed(2)).unwrap();
+    let balance = BalanceConstraint::bisection(60);
+    let err = RunBudget::new(0)
+        .execute(&Prop::default(), &graph, balance)
+        .unwrap_err();
+    assert!(matches!(err, PartitionError::InvalidConfig { .. }));
+}
+
+/// A best-of-1 budget is exactly one seeded run, whatever the thread
+/// policy, and `run_seeded` agrees with it.
+#[test]
+fn run_budget_single_run_matches_run_seeded() {
+    let graph = generate(&GeneratorConfig::new(60, 70, 230).with_seed(2)).unwrap();
+    let balance = BalanceConstraint::bisection(60);
+    let prop = Prop::new(PropConfig::calibrated());
+    let direct = prop.run_seeded(&graph, balance, 31).unwrap();
+    for policy in [
+        ParallelPolicy::Sequential,
+        ParallelPolicy::Threads(0),
+        ParallelPolicy::Threads(8),
+        ParallelPolicy::Auto,
+    ] {
+        let budgeted = RunBudget::new(1)
+            .with_seed(31)
+            .with_policy(policy)
+            .execute(&prop, &graph, balance)
+            .unwrap();
+        assert_eq!(budgeted, direct, "{policy:?}");
+        assert_eq!(budgeted.run_cuts.len(), 1);
+    }
+}
+
+/// More workers than runs must neither deadlock nor change the outcome —
+/// the excess workers find the run queue drained and exit.
+#[test]
+fn more_threads_than_runs_is_bit_identical() {
+    let graph = generate(&GeneratorConfig::new(90, 100, 340).with_seed(6)).unwrap();
+    let balance = BalanceConstraint::new(0.45, 0.55, 90).unwrap();
+    let prop = Prop::new(PropConfig::calibrated());
+    let sequential = prop.run_multi(&graph, balance, 3, 12).unwrap();
+    for threads in [4, 16, 64] {
+        let parallel = prop
+            .run_multi_parallel(&graph, balance, 3, 12, ParallelPolicy::Threads(threads))
+            .unwrap();
+        assert_eq!(parallel, sequential, "threads={threads}");
+    }
+}
+
+/// Installing an auditor must never change results: the audited engines
+/// emit records but the algorithm is observation-only. Worker threads of
+/// the parallel harness run unaudited (the slot is thread-local), so the
+/// parallel result must equal the audited sequential one bit-for-bit.
+#[cfg(feature = "debug-audit")]
+#[test]
+fn audited_budget_matches_unaudited_and_parallel() {
+    use prop_suite::verify::{audited, OracleAuditor};
+
+    let graph = generate(&GeneratorConfig::new(90, 100, 340).with_seed(6)).unwrap();
+    let balance = BalanceConstraint::new(0.45, 0.55, 90).unwrap();
+    let prop = Prop::new(PropConfig::calibrated());
+    let budget = RunBudget::new(4).with_seed(3);
+
+    let unaudited = budget.execute(&prop, &graph, balance).unwrap();
+    let (auditor, stats) = OracleAuditor::new();
+    let audited_result =
+        audited(Box::new(auditor), || budget.execute(&prop, &graph, balance)).unwrap();
+    assert_eq!(audited_result, unaudited);
+    assert!(stats.borrow().passes > 0, "auditor saw no passes");
+
+    let (auditor, _) = OracleAuditor::new();
+    let parallel = audited(Box::new(auditor), || {
+        budget
+            .with_policy(ParallelPolicy::Threads(4))
+            .execute(&prop, &graph, balance)
+    })
+    .unwrap();
+    assert_eq!(parallel, unaudited);
 }

@@ -6,9 +6,12 @@ use prop_suite::core::{
     probabilistic_gains, BalanceConstraint, Bipartition, CutState, Partitioner, Prop,
     PropConfig, Side,
 };
+use prop_suite::dstruct::{AvlTree, BucketList, PrefixTracker};
 use prop_suite::fm::{FmBucket, FmTree, La};
 use prop_suite::netlist::{Hypergraph, HypergraphBuilder, NodeId};
 use prop_suite::spectral::ordering::{best_prefix_split, max_adjacency_order, order_by_key};
+use prop_suite::verify::oracle::best_prefix_naive;
+use std::collections::BTreeSet;
 
 /// Strategy: a random hypergraph with 4..=40 nodes and 2..=60 nets of
 /// size 2..=5 (unit weights, so every partitioner applies).
@@ -140,5 +143,148 @@ proptest! {
         let text = write_hgr(&graph);
         let parsed = parse_hgr(&text).unwrap();
         prop_assert_eq!(graph, parsed);
+    }
+}
+
+/// One scripted operation against a keyed container under test.
+#[derive(Clone, Debug)]
+enum SetOp {
+    Insert(i64, u32),
+    Remove(i64, u32),
+    CheckMax,
+}
+
+fn arb_set_ops() -> impl Strategy<Value = Vec<SetOp>> {
+    let op = (0u8..3, -50i64..=50, 0u32..24).prop_map(|(kind, gain, id)| match kind {
+        0 => SetOp::Insert(gain, id),
+        1 => SetOp::Remove(gain, id),
+        _ => SetOp::CheckMax,
+    });
+    proptest::collection::vec(op, 1..200)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The arena AVL tree behaves exactly like a `BTreeSet` model under
+    /// arbitrary insert/remove/max scripts, including duplicate rejection
+    /// and full ascending/descending iteration order.
+    #[test]
+    fn avl_matches_btreeset_model(ops in arb_set_ops()) {
+        let mut tree: AvlTree<(i64, u32)> = AvlTree::new();
+        let mut model: BTreeSet<(i64, u32)> = BTreeSet::new();
+        for op in ops {
+            match op {
+                SetOp::Insert(g, id) => {
+                    prop_assert_eq!(tree.insert((g, id)), model.insert((g, id)));
+                }
+                SetOp::Remove(g, id) => {
+                    prop_assert_eq!(tree.remove(&(g, id)), model.remove(&(g, id)));
+                }
+                SetOp::CheckMax => {
+                    prop_assert_eq!(tree.max(), model.last());
+                    prop_assert_eq!(tree.min(), model.first());
+                }
+            }
+            prop_assert_eq!(tree.len(), model.len());
+            tree.validate();
+        }
+        let asc: Vec<(i64, u32)> = tree.iter().copied().collect();
+        let expect_asc: Vec<(i64, u32)> = model.iter().copied().collect();
+        prop_assert_eq!(asc, expect_asc);
+        let desc: Vec<(i64, u32)> = tree.iter_desc().copied().collect();
+        let expect_desc: Vec<(i64, u32)> = model.iter().rev().copied().collect();
+        prop_assert_eq!(desc, expect_desc);
+    }
+
+    /// The FM bucket list behaves exactly like a per-gain LIFO-stack
+    /// model: same membership, same max gain, and the same head-of-max
+    /// item (the FM tie-breaking rule), under arbitrary scripts.
+    #[test]
+    fn bucket_list_matches_stack_model(ops in arb_set_ops()) {
+        const CAP: usize = 24;
+        const BOUND: i64 = 50;
+        let mut bucket = BucketList::new(CAP, BOUND);
+        // Model: per-gain stacks (push on insert, most recent serves first).
+        let mut stacks: std::collections::BTreeMap<i64, Vec<usize>> =
+            std::collections::BTreeMap::new();
+        let mut gain_of: Vec<Option<i64>> = vec![None; CAP];
+        for op in ops {
+            match op {
+                SetOp::Insert(g, id) => {
+                    let item = id as usize;
+                    match gain_of[item] {
+                        None => {
+                            bucket.insert(item, g);
+                        }
+                        Some(old) => {
+                            bucket.update(item, g);
+                            stacks.get_mut(&old).unwrap().retain(|&x| x != item);
+                        }
+                    }
+                    gain_of[item] = Some(g);
+                    stacks.entry(g).or_default().push(item);
+                }
+                SetOp::Remove(_, id) => {
+                    let item = id as usize;
+                    prop_assert_eq!(bucket.remove(item), gain_of[item].is_some());
+                    if let Some(old) = gain_of[item].take() {
+                        stacks.get_mut(&old).unwrap().retain(|&x| x != item);
+                    }
+                }
+                SetOp::CheckMax => {
+                    let expect = stacks
+                        .iter()
+                        .rev()
+                        .find(|(_, s)| !s.is_empty())
+                        .map(|(&g, s)| (g, *s.last().unwrap()));
+                    prop_assert_eq!(bucket.max_gain(), expect.map(|(g, _)| g));
+                    prop_assert_eq!(bucket.peek_max(), expect.map(|(_, i)| i));
+                }
+            }
+            let live = gain_of.iter().filter(|g| g.is_some()).count();
+            prop_assert_eq!(bucket.len(), live);
+        }
+        // Final descending sweep matches the model ordering exactly
+        // (LIFO within each gain bucket).
+        let seq: Vec<(usize, i64)> = bucket.iter_desc().collect();
+        let expect: Vec<(usize, i64)> = stacks
+            .iter()
+            .rev()
+            .flat_map(|(&g, s)| s.iter().rev().map(move |&i| (i, g)))
+            .collect();
+        prop_assert_eq!(seq, expect);
+    }
+
+    /// `PrefixTracker::best` agrees with the naive max-prefix scan of the
+    /// verification oracle on arbitrary gain/feasibility sequences, and
+    /// both respect the shortest-prefix tie rule.
+    #[test]
+    fn prefix_tracker_matches_naive_scan(
+        moves in proptest::collection::vec((-4i32..=4, 0u8..2), 0..40),
+    ) {
+        let mut tracker = PrefixTracker::new();
+        // Small integral gains (scaled) so exact ties actually occur and
+        // exercise the shortest-prefix rule.
+        for &(g, ok) in &moves {
+            tracker.push(f64::from(g) * 0.5, ok == 1);
+        }
+        let naive = best_prefix_naive(tracker.gains(), tracker.feasibility());
+        match (tracker.best(), naive) {
+            (None, None) => {}
+            (Some(b), Some((len, gain))) => {
+                prop_assert_eq!(b.moves, len);
+                prop_assert_eq!(b.gain, gain);
+            }
+            (tracker_best, naive_best) => {
+                prop_assert!(false, "tracker {tracker_best:?} vs naive {naive_best:?}");
+            }
+        }
+        // The committed prefix, when present, is strictly positive and
+        // ends feasible.
+        if let Some(b) = tracker.best() {
+            prop_assert!(b.gain > 0.0);
+            prop_assert!(tracker.feasibility()[b.moves - 1]);
+        }
     }
 }
