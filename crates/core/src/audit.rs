@@ -63,10 +63,13 @@ pub struct RefinementRecord<'a> {
     pub locked: &'a [bool],
 }
 
-/// Borrowed view of an engine's per-net incremental product state: for
-/// each net and side, the product of unlocked-pin stay probabilities and
-/// the count of locked pins (the two halves of the Eqn. 2 bookkeeping).
-pub type NetProductsView<'a> = (&'a [[f64; 2]], &'a [[u32; 2]]);
+/// Borrowed view of an engine's per-net incremental hot state: for each
+/// net, the packed [`NetHot`] record with both sides' unlocked-pin stay
+/// probability products, pin counts, and locked-pin counts (the halves of
+/// the Eqn. 2 bookkeeping plus the Eqn. 3–4 cut-ness counts).
+///
+/// [`NetHot`]: crate::prop::NetHot
+pub type NetProductsView<'a> = &'a [crate::prop::NetHot];
 
 /// State snapshot after one committed tentative move (steps 7–8).
 pub struct MoveRecord<'a> {

@@ -57,6 +57,7 @@ pub mod kway;
 mod parallel;
 mod partition;
 mod partitioner;
+pub mod prof;
 pub mod prop;
 
 pub use balance::BalanceConstraint;
@@ -67,4 +68,4 @@ pub use kway::{recursive_bisection, KwayPartition};
 pub use parallel::{ParallelPolicy, RunBudget};
 pub use partition::{Bipartition, Side, SideWeights};
 pub use partitioner::{GlobalPartitioner, ImproveStats, Partitioner, RunResult};
-pub use prop::{GainInit, PassTrace, Prop, PropConfig};
+pub use prop::{GainInit, NetHot, PassTrace, Prop, PropConfig, SelectionBackend};

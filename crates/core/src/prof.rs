@@ -1,0 +1,216 @@
+//! Per-phase timing and work counters for the PROP hot path.
+//!
+//! Compiled to no-ops unless the `prof` feature is on, so the engine can
+//! be instrumented at every phase boundary without perturbing release
+//! measurements: with the feature off every call is an empty
+//! `#[inline(always)]` function over a zero-sized [`Tick`], and the
+//! optimizer erases the call sites entirely.
+//!
+//! With the feature on, counters are **thread-local** — each worker of a
+//! parallel multi-start accumulates its own snapshot, so profiled
+//! benchmarking should run single-threaded to see the whole picture
+//! (`bench_snapshot --profile` enforces this).
+
+/// A hot-path phase of the PROP pass.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum Phase {
+    /// Probability seeding plus the first full product/gain sweep.
+    Seed,
+    /// The dirty-net gain/probability refinement iterations.
+    Refine,
+    /// Move selection (ordered-store queries and feasibility probes).
+    Select,
+    /// Applying a move: cut/partition/lock updates and per-net recomputes.
+    Apply,
+    /// Post-move neighbor and top-k gain/probability refreshes.
+    Refresh,
+}
+
+/// Accumulated per-thread profile since the last [`reset`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub struct ProfSnapshot {
+    /// Nanoseconds in [`Phase::Seed`].
+    pub seed_ns: u64,
+    /// Nanoseconds in [`Phase::Refine`].
+    pub refine_ns: u64,
+    /// Nanoseconds in [`Phase::Select`].
+    pub select_ns: u64,
+    /// Nanoseconds in [`Phase::Apply`].
+    pub apply_ns: u64,
+    /// Nanoseconds in [`Phase::Refresh`].
+    pub refresh_ns: u64,
+    /// Tentative moves applied.
+    pub moves: u64,
+    /// Exact per-net recomputations ([`NetHot`] rebuilds).
+    ///
+    /// [`NetHot`]: crate::prop::NetHot
+    pub net_recomputes: u64,
+    /// Gain evaluations (Eqns. 3–4 walks).
+    pub gain_recomputes: u64,
+}
+
+impl ProfSnapshot {
+    /// Total instrumented nanoseconds across all phases.
+    pub fn total_ns(&self) -> u64 {
+        self.seed_ns + self.refine_ns + self.select_ns + self.apply_ns + self.refresh_ns
+    }
+}
+
+/// `true` when the `prof` feature is compiled in.
+pub const fn enabled() -> bool {
+    cfg!(feature = "prof")
+}
+
+#[cfg(feature = "prof")]
+mod imp {
+    use super::{Phase, ProfSnapshot};
+    use std::cell::RefCell;
+    use std::time::Instant;
+
+    thread_local! {
+        static PROF: RefCell<ProfSnapshot> = RefCell::new(ProfSnapshot::default());
+    }
+
+    /// An opaque phase-start timestamp.
+    #[derive(Clone, Copy, Debug)]
+    pub struct Tick(Instant);
+
+    /// Starts timing a phase section.
+    #[must_use]
+    pub fn start() -> Tick {
+        Tick(Instant::now())
+    }
+
+    /// Charges the time since `tick` to `phase`.
+    pub fn stop(phase: Phase, tick: Tick) {
+        let ns = tick.0.elapsed().as_nanos() as u64;
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            match phase {
+                Phase::Seed => p.seed_ns += ns,
+                Phase::Refine => p.refine_ns += ns,
+                Phase::Select => p.select_ns += ns,
+                Phase::Apply => p.apply_ns += ns,
+                Phase::Refresh => p.refresh_ns += ns,
+            }
+        });
+    }
+
+    /// Counts one applied tentative move.
+    pub fn count_move() {
+        PROF.with(|p| p.borrow_mut().moves += 1);
+    }
+
+    /// Counts one exact per-net recomputation.
+    pub fn count_net_recompute() {
+        PROF.with(|p| p.borrow_mut().net_recomputes += 1);
+    }
+
+    /// Counts one gain evaluation.
+    pub fn count_gain_recompute() {
+        PROF.with(|p| p.borrow_mut().gain_recomputes += 1);
+    }
+
+    /// Zeroes this thread's counters.
+    pub fn reset() {
+        PROF.with(|p| *p.borrow_mut() = ProfSnapshot::default());
+    }
+
+    /// This thread's accumulated counters.
+    pub fn snapshot() -> ProfSnapshot {
+        PROF.with(|p| *p.borrow())
+    }
+}
+
+#[cfg(not(feature = "prof"))]
+mod imp {
+    use super::{Phase, ProfSnapshot};
+
+    /// An opaque phase-start timestamp (zero-sized with `prof` off).
+    #[derive(Clone, Copy, Debug)]
+    pub struct Tick;
+
+    /// Starts timing a phase section (no-op).
+    #[inline(always)]
+    #[must_use]
+    pub fn start() -> Tick {
+        Tick
+    }
+
+    /// Charges the time since `tick` to `phase` (no-op).
+    #[inline(always)]
+    pub fn stop(_phase: Phase, _tick: Tick) {}
+
+    /// Counts one applied tentative move (no-op).
+    #[inline(always)]
+    pub fn count_move() {}
+
+    /// Counts one exact per-net recomputation (no-op).
+    #[inline(always)]
+    pub fn count_net_recompute() {}
+
+    /// Counts one gain evaluation (no-op).
+    #[inline(always)]
+    pub fn count_gain_recompute() {}
+
+    /// Zeroes this thread's counters (no-op).
+    #[inline(always)]
+    pub fn reset() {}
+
+    /// This thread's accumulated counters (always zero with `prof` off).
+    #[inline(always)]
+    pub fn snapshot() -> ProfSnapshot {
+        ProfSnapshot::default()
+    }
+}
+
+pub use imp::{
+    count_gain_recompute, count_move, count_net_recompute, reset, snapshot, start, stop, Tick,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_total_sums_phases() {
+        let s = ProfSnapshot {
+            seed_ns: 1,
+            refine_ns: 2,
+            select_ns: 3,
+            apply_ns: 4,
+            refresh_ns: 5,
+            ..ProfSnapshot::default()
+        };
+        assert_eq!(s.total_ns(), 15);
+    }
+
+    #[cfg(feature = "prof")]
+    #[test]
+    fn counters_accumulate_and_reset() {
+        reset();
+        count_move();
+        count_move();
+        count_net_recompute();
+        count_gain_recompute();
+        let t = start();
+        stop(Phase::Seed, t);
+        let s = snapshot();
+        assert_eq!(s.moves, 2);
+        assert_eq!(s.net_recomputes, 1);
+        assert_eq!(s.gain_recomputes, 1);
+        reset();
+        assert_eq!(snapshot(), ProfSnapshot::default());
+    }
+
+    #[cfg(not(feature = "prof"))]
+    #[test]
+    fn disabled_counters_stay_zero() {
+        assert!(!enabled());
+        count_move();
+        count_net_recompute();
+        let t = start();
+        stop(Phase::Apply, t);
+        assert_eq!(snapshot(), ProfSnapshot::default());
+    }
+}

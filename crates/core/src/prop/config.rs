@@ -14,6 +14,32 @@ pub enum GainInit {
     Deterministic,
 }
 
+/// The ordered-gain container the move phase selects from (§3.5 discusses
+/// the ranking structure; all backends produce bit-identical runs —
+/// selection keys are unique, so every ordered container picks the same
+/// node every time).
+#[derive(Clone, Copy, PartialEq, Eq, Debug, Default)]
+pub enum SelectionBackend {
+    /// Balanced AVL trees, one per side — the structure the paper's
+    /// complexity analysis assumes. Every §3.4 refresh pays two O(log n)
+    /// pointer-chasing rebalancing walks (remove + insert).
+    AvlTree,
+    /// Lazy-deletion binary max-heaps, one per side. A refresh is a single
+    /// contiguous sift-up push; superseded and locked entries are filtered
+    /// by a liveness check when they surface at the top of a query pop.
+    /// The per-move top-k refresh must pop (and restore) its candidates to
+    /// sweep dead entries aside, which is where this backend loses to the
+    /// indexed heap.
+    LazyHeap,
+    /// Position-mapped binary max-heaps with eager removal, one per side —
+    /// no dead entries, so a reposition is one in-place sift and the §3.4
+    /// top-k refresh plus the balance probe are read-only best-first walks
+    /// over the flat array. The default: the cheapest per-move constant of
+    /// the three.
+    #[default]
+    IndexedHeap,
+}
+
 /// Parameters of PROP. The defaults are the settings used for every
 /// experiment in the paper (§4): `p_init = p_max = 0.95`, `p_min = 0.4`,
 /// the linear probability function with thresholds `g_up = 1`,
@@ -63,6 +89,11 @@ pub struct PropConfig {
     /// Ignored under count-based (unit-weight) balance, where feasibility
     /// is per side rather than per node. Must be at least 1 when set.
     pub balance_probe_depth: Option<usize>,
+    /// Ordered-gain container used by the move phase. All backends make
+    /// bit-identical runs; [`SelectionBackend::IndexedHeap`] (the default)
+    /// has the cheapest per-move constants, the others are kept selectable
+    /// as the paper's reference structure and for differential testing.
+    pub selection: SelectionBackend,
 }
 
 impl Default for PropConfig {
@@ -78,6 +109,7 @@ impl Default for PropConfig {
             top_k_refresh: 5,
             max_passes: 64,
             balance_probe_depth: None,
+            selection: SelectionBackend::IndexedHeap,
         }
     }
 }
@@ -162,6 +194,7 @@ mod tests {
         assert_eq!(c.top_k_refresh, 5);
         assert_eq!(c.init, GainInit::Uniform);
         assert_eq!(c.balance_probe_depth, None);
+        assert_eq!(c.selection, SelectionBackend::IndexedHeap);
         c.validate().unwrap();
     }
 

@@ -1,20 +1,74 @@
 //! The per-pass PROP engine: probability refinement, product maintenance,
 //! move selection, and prefix commit.
+//!
+//! # Hot-state layout
+//!
+//! All per-pass scratch state lives in flat arrays indexed by node or net
+//! id and walked through the netlist CSR, never through per-entity
+//! allocations:
+//!
+//! * per node — probability, gain, lock flag, epoch mark, recency stamp
+//!   (five parallel `Vec`s);
+//! * per net — one packed [`NetHot`] record holding both sides' unlocked
+//!   products, pin counts, and locked-pin counts plus the net weight, so
+//!   the gain inner loop ([`Engine::compute_gain`]) touches exactly one
+//!   cache line per incident net instead of gathering from four separate
+//!   arrays (products, locked counts, cut pin counts, net weights).
+//!
+//! The refinement fixed point is *dirty-net incremental*: after the first
+//! full product/gain sweep, an iteration only recomputes the nets touched
+//! by a changed probability and only re-gains the nodes on those nets —
+//! bit-identical to the full sweeps, because an untouched net's product
+//! recomputation would multiply the same factors in the same order, and a
+//! node whose own probability and incident products are all unchanged
+//! would recompute to the same gain.
 
 use crate::balance::BalanceConstraint;
 use crate::cut::CutState;
 use crate::gain::fm_gains;
 use crate::partition::{Bipartition, Side, SideWeights};
-use crate::prop::config::{GainInit, PropConfig};
-use prop_dstruct::{AvlTree, OrderedF64, PrefixTracker};
+use crate::prof;
+use crate::prop::config::{GainInit, PropConfig, SelectionBackend};
+use prop_dstruct::{AvlTree, IndexedMaxHeap, LazyMaxHeap, OrderedF64, PrefixTracker};
 use prop_netlist::{Hypergraph, NetId, NodeId};
 
-/// AVL key: gain first, then a monotonically increasing *recency stamp*,
-/// then the node id. `max()` is the paper's "node with the best gain";
-/// among equal gains the most recently (re)inserted node wins, matching
-/// the LIFO tie-breaking of the classic FM bucket structure — which is
-/// known to matter for cut quality.
-type GainKey = (OrderedF64, u64, u32);
+/// Selection key: gain first, then a monotonically increasing *recency
+/// stamp*, then the node id. The maximum is the paper's "node with the
+/// best gain"; among equal gains the most recently (re)inserted node wins,
+/// matching the LIFO tie-breaking of the classic FM bucket structure —
+/// which is known to matter for cut quality. Keys are unique (the id
+/// breaks all remaining ties), so every ordered container over them
+/// selects the same node. Stamps restart at zero each pass (the stores
+/// are cleared and refilled, so no cross-pass key ever compares), which
+/// keeps the key at 16 bytes — two per cache line in the heap backend.
+type GainKey = (OrderedF64, u32, u32);
+
+/// Packed per-net hot state: everything [`Engine::compute_gain`] needs
+/// about one net, in one record.
+#[derive(Clone, Copy, PartialEq, Debug)]
+pub struct NetHot {
+    /// Per side: product of `p(x)` over *unlocked* pins (Eqn. 2).
+    pub prod: [f64; 2],
+    /// Per side: total pin count — the cut-ness test of Eqns. 3–4.
+    /// Maintained by the same per-net recomputation as the products, so
+    /// it always agrees with the incremental [`CutState`].
+    pub pins: [u32; 2],
+    /// Per side: number of locked pins. A positive count zeroes the
+    /// side's effective product (locked probability is 0).
+    pub locked: [u32; 2],
+    /// The net weight, copied from the graph at engine construction so
+    /// the gain loop reads no second array.
+    pub weight: f64,
+}
+
+/// The ordered-gain container pair (one per side) behind move selection.
+/// All variants rank by [`GainKey`] and are observationally identical;
+/// see [`SelectionBackend`] for the tradeoffs.
+enum GainStore {
+    Avl([AvlTree<GainKey>; 2]),
+    Heap([LazyMaxHeap<GainKey>; 2]),
+    Indexed([IndexedMaxHeap<GainKey>; 2]),
+}
 
 pub(crate) struct Engine<'a> {
     graph: &'a Hypergraph,
@@ -25,28 +79,47 @@ pub(crate) struct Engine<'a> {
     /// Current probabilistic gains.
     gain: Vec<f64>,
     locked: Vec<bool>,
-    /// Per net and side: product of `p(x)` over *unlocked* pins.
-    prod: Vec<[f64; 2]>,
-    /// Per net and side: number of locked pins. A positive count zeroes
-    /// the side's effective product (locked probability is 0).
-    locked_cnt: Vec<[u32; 2]>,
+    /// Per-net packed products / pin counts / locked counts / weight.
+    nets: Vec<NetHot>,
     /// Unlocked nodes of each side ranked by gain.
-    trees: [AvlTree<GainKey>; 2],
-    /// Epoch marks for neighbor de-duplication.
+    store: GainStore,
+    /// Epoch marks for node de-duplication (dirty-gain sweep in
+    /// refinement, neighbor + top-k sweep per move).
     mark: Vec<u32>,
     epoch: u32,
-    /// Per-node recency stamp of its current tree key.
-    stamp: Vec<u64>,
-    next_stamp: u64,
+    /// Epoch marks de-duplicating the dirty-net queue of a refinement
+    /// iteration.
+    net_mark: Vec<u32>,
+    net_epoch: u32,
+    /// Nets whose products must be recomputed this refinement iteration.
+    dirty_nets: Vec<u32>,
+    /// Monotonic product clock: bumped before every batch of per-net
+    /// product modifications. Orders product writes against gain reads.
+    clock: u64,
+    /// Per net: clock value of its last product modification.
+    net_tick: Vec<u64>,
+    /// Per node: clock value at which its stored gain's inputs were read.
+    /// A node none of whose nets ticked since is *provably fresh*: a
+    /// refresh would recompute the bit-identical gain (same products,
+    /// same own probability — a probability change always ticks the
+    /// node's own nets), push nothing, and change no probability, so it
+    /// is skipped outright ([`Engine::refresh_node`]).
+    node_tick: Vec<u64>,
+    /// Per-node recency stamp of its current selection key.
+    stamp: Vec<u32>,
+    next_stamp: u32,
     /// Running per-side node weights (size-constrained balance).
     side_weights: SideWeights,
     moves: Vec<NodeId>,
     prefix: PrefixTracker,
     /// Reusable buffer for the §3.4 top-k refresh: the candidate ids are
-    /// snapshotted here before refreshing (refreshes reposition tree
-    /// nodes, which would invalidate a live iterator). Kept on the engine
-    /// so the per-move hot path never allocates.
+    /// snapshotted here before refreshing (refreshes reposition container
+    /// entries, which would invalidate a live traversal). Kept on the
+    /// engine so the per-move hot path never allocates.
     topk_scratch: Vec<u32>,
+    /// Reusable buffer of keys popped off a heap during selection probes
+    /// and top-k snapshots, pushed back afterwards.
+    popped_scratch: Vec<GainKey>,
 }
 
 impl<'a> Engine<'a> {
@@ -57,6 +130,24 @@ impl<'a> Engine<'a> {
     ) -> Self {
         let n = graph.num_nodes();
         let e = graph.num_nets();
+        let nets = graph
+            .nets()
+            .map(|net| NetHot {
+                prod: [1.0; 2],
+                pins: [0; 2],
+                locked: [0; 2],
+                weight: graph.net_weight(net),
+            })
+            .collect();
+        let store = match config.selection {
+            SelectionBackend::AvlTree => GainStore::Avl([AvlTree::new(), AvlTree::new()]),
+            SelectionBackend::LazyHeap => {
+                GainStore::Heap([LazyMaxHeap::with_capacity(n), LazyMaxHeap::with_capacity(n)])
+            }
+            SelectionBackend::IndexedHeap => {
+                GainStore::Indexed([IndexedMaxHeap::with_ids(n), IndexedMaxHeap::with_ids(n)])
+            }
+        };
         Engine {
             graph,
             config,
@@ -64,17 +155,23 @@ impl<'a> Engine<'a> {
             p: vec![0.0; n],
             gain: vec![0.0; n],
             locked: vec![false; n],
-            prod: vec![[1.0; 2]; e],
-            locked_cnt: vec![[0; 2]; e],
-            trees: [AvlTree::new(), AvlTree::new()],
+            nets,
+            store,
             mark: vec![0; n],
             epoch: 0,
+            net_mark: vec![0; e],
+            net_epoch: 0,
+            dirty_nets: Vec::with_capacity(e),
+            clock: 0,
+            net_tick: vec![0; e],
+            node_tick: vec![0; n],
             stamp: vec![0; n],
             next_stamp: 0,
             side_weights: SideWeights::new(graph, &Bipartition::from_sides(vec![Side::A; n])),
             moves: Vec::with_capacity(n),
             prefix: PrefixTracker::with_capacity(n),
             topk_scratch: Vec::with_capacity(2 * config.top_k_refresh),
+            popped_scratch: Vec::new(),
         }
     }
 
@@ -86,12 +183,31 @@ impl<'a> Engine<'a> {
         )
     }
 
-    fn tree_insert(&mut self, v: NodeId, side_index: usize) {
-        self.next_stamp += 1;
+    /// Stamps `v` and inserts its key into side `side_index`'s container,
+    /// superseding any key `v` already holds there (the AVL caller removes
+    /// the old key first, the lazy heap's old entry dies by the stamp
+    /// bump, and the indexed heap repositions in place).
+    fn store_insert(&mut self, v: NodeId, side_index: usize) {
+        self.next_stamp = self
+            .next_stamp
+            .checked_add(1)
+            .expect("more than u32::MAX store insertions in one pass");
         self.stamp[v.index()] = self.next_stamp;
         let key = self.key_of(v);
-        let inserted = self.trees[side_index].insert(key);
-        debug_assert!(inserted, "duplicate tree key");
+        match &mut self.store {
+            GainStore::Avl(trees) => {
+                let inserted = trees[side_index].insert(key);
+                debug_assert!(inserted, "duplicate selection key");
+            }
+            GainStore::Heap(heaps) => heaps[side_index].push(key),
+            GainStore::Indexed(heaps) => {
+                if heaps[side_index].contains(v.index()) {
+                    heaps[side_index].update(v.index(), key);
+                } else {
+                    heaps[side_index].insert(v.index(), key);
+                }
+            }
+        }
     }
 
     /// Runs one pass (steps 3–10 of Fig. 2) and returns the committed gain
@@ -121,24 +237,28 @@ impl<'a> Engine<'a> {
         self.prefix.clear();
         self.side_weights = SideWeights::new(self.graph, partition);
 
+        let t = prof::start();
         self.seed_probabilities(partition, cut);
-        // Alternate gain and probability recomputation (step 4). Each
-        // refinement iteration maps the gains of the *previous* sweep to new
-        // probabilities; once a sweep leaves every probability unchanged the
-        // iteration is at a fixed point and all remaining sweeps — including
-        // the final consistency sweep — would reproduce the products and
-        // gains already in place, so they are skipped. The loop therefore
-        // ends with gains and products consistent with the final
-        // probabilities without a separate recomputation.
+        // Alternate gain and probability recomputation (step 4). The first
+        // sweep is full: every net's products and every node's gain. Each
+        // refinement iteration then maps the gains of the *previous* sweep
+        // to new probabilities and incrementally recomputes only what those
+        // changes touch; once a sweep leaves every probability unchanged
+        // the iteration is at a fixed point and all remaining sweeps —
+        // including the final consistency sweep — would reproduce the
+        // products and gains already in place, so they are skipped. The
+        // loop therefore ends with gains and products consistent with the
+        // final probabilities without a separate recomputation.
         self.rebuild_products(partition);
-        self.recompute_all_gains(partition, cut);
+        self.recompute_all_gains(partition);
+        prof::stop(prof::Phase::Seed, t);
+        let t = prof::start();
         for _ in 0..self.config.refine_iterations {
-            if !self.refresh_probabilities() {
+            if !self.refine_dirty(partition) {
                 break;
             }
-            self.rebuild_products(partition);
-            self.recompute_all_gains(partition, cut);
         }
+        prof::stop(prof::Phase::Refine, t);
         #[cfg(feature = "debug-audit")]
         crate::audit::with_auditor(|a| {
             a.after_refinement(&crate::audit::RefinementRecord {
@@ -152,14 +272,25 @@ impl<'a> Engine<'a> {
             });
         });
 
-        self.trees[0].clear();
-        self.trees[1].clear();
+        match &mut self.store {
+            GainStore::Avl(trees) => trees.iter_mut().for_each(AvlTree::clear),
+            GainStore::Heap(heaps) => heaps.iter_mut().for_each(LazyMaxHeap::clear),
+            GainStore::Indexed(heaps) => heaps.iter_mut().for_each(IndexedMaxHeap::clear),
+        }
+        // Stamps restart each pass: the stores were just cleared, so no
+        // key from an earlier pass can ever be compared against, and the
+        // relative order of this pass's stamps is all that matters.
+        self.next_stamp = 0;
         for v in self.graph.nodes() {
-            self.tree_insert(v, partition.side(v).index());
+            self.store_insert(v, partition.side(v).index());
         }
 
         // Move phase (steps 5–8).
-        while let Some(u) = self.select_move(partition) {
+        loop {
+            let t = prof::start();
+            let selected = self.select_move(partition);
+            prof::stop(prof::Phase::Select, t);
+            let Some(u) = selected else { break };
             self.apply_and_update(u, partition, cut);
         }
 
@@ -217,75 +348,128 @@ impl<'a> Engine<'a> {
         }
     }
 
-    /// Maps every node's current gain to a fresh probability (step 4's
-    /// probability half) and reports whether any probability changed — the
-    /// fixed-point test of the refinement loop. Runs before any node is
-    /// locked, so all nodes participate.
-    fn refresh_probabilities(&mut self) -> bool {
+    /// One incremental refinement iteration (the dirty-net replacement for
+    /// a full probability + product + gain sweep). Returns `false` at the
+    /// fixed point (no probability changed), leaving all state untouched.
+    ///
+    /// Bit-exactness: a net none of whose pins changed probability keeps a
+    /// product that a from-scratch recomputation would reproduce exactly
+    /// (same factors, same CSR order); a node all of whose nets are clean
+    /// also has an unchanged own-probability (a node is a pin of each of
+    /// its nets, so a changed `p(v)` dirties every net of `v`), hence its
+    /// gain recomputation would read identical inputs — skipping it keeps
+    /// the gain table bit-identical to the full sweep.
+    fn refine_dirty(&mut self, partition: &Bipartition) -> bool {
+        let graph = self.graph;
+        // Probability half: apply the gain → probability map, queueing the
+        // nets incident to every changed node.
+        self.dirty_nets.clear();
+        self.net_epoch = bump_epoch(self.net_epoch, &mut self.net_mark);
         let mut changed = false;
         for v in 0..self.p.len() {
             let np = self.config.probability_of(self.gain[v]);
             if np != self.p[v] {
                 self.p[v] = np;
                 changed = true;
+                for &net in graph.nets_of(NodeId::new(v)) {
+                    let ni = net.index();
+                    if self.net_mark[ni] != self.net_epoch {
+                        self.net_mark[ni] = self.net_epoch;
+                        self.dirty_nets.push(ni as u32);
+                    }
+                }
             }
         }
-        changed
+        if !changed {
+            return false;
+        }
+        // Product half: exact per-net recomputation of the dirty nets.
+        for i in 0..self.dirty_nets.len() {
+            self.recompute_net(NetId::new(self.dirty_nets[i] as usize), partition);
+        }
+        // Gain half: only nodes on dirty nets can have changed gains. No
+        // node is locked during refinement, and the sweep writes gains
+        // computed purely from probabilities and products, so visiting in
+        // dirty-net order (deduplicated by epoch mark) instead of id order
+        // yields the identical gain table.
+        self.epoch = bump_epoch(self.epoch, &mut self.mark);
+        for i in 0..self.dirty_nets.len() {
+            let net = NetId::new(self.dirty_nets[i] as usize);
+            for &x in graph.pins_of(net) {
+                if self.mark[x.index()] != self.epoch {
+                    self.mark[x.index()] = self.epoch;
+                    self.gain[x.index()] = self.compute_gain(x, partition);
+                    self.node_tick[x.index()] = self.clock;
+                }
+            }
+        }
+        true
     }
 
-    /// Rebuilds every net's per-side unlocked products and locked counts.
+    /// Rebuilds every net's products, pin counts, and locked counts.
     fn rebuild_products(&mut self, partition: &Bipartition) {
         for net in self.graph.nets() {
             self.recompute_net(net, partition);
         }
     }
 
-    /// Exactly recomputes one net's products from current probabilities —
-    /// O(q); used for all nets incident to a moved node, avoiding
-    /// multiplicative drift entirely.
+    /// Exactly recomputes one net's hot record from current probabilities
+    /// and sides — O(q); used for all nets incident to a moved node,
+    /// avoiding multiplicative drift entirely. The per-side pin counts
+    /// come for free from the same walk.
     fn recompute_net(&mut self, net: NetId, partition: &Bipartition) {
         let mut prod = [1.0f64; 2];
-        let mut cnt = [0u32; 2];
+        let mut locked_cnt = [0u32; 2];
+        let mut pins = [0u32; 2];
         for &x in self.graph.pins_of(net) {
             let s = partition.side(x).index();
+            pins[s] += 1;
             if self.locked[x.index()] {
-                cnt[s] += 1;
+                locked_cnt[s] += 1;
             } else {
                 prod[s] *= self.p[x.index()];
             }
         }
-        self.prod[net.index()] = prod;
-        self.locked_cnt[net.index()] = cnt;
+        let hot = &mut self.nets[net.index()];
+        hot.prod = prod;
+        hot.pins = pins;
+        hot.locked = locked_cnt;
+        self.clock += 1;
+        self.net_tick[net.index()] = self.clock;
+        prof::count_net_recompute();
     }
 
-    fn recompute_all_gains(&mut self, partition: &Bipartition, cut: &CutState) {
+    fn recompute_all_gains(&mut self, partition: &Bipartition) {
         for v in self.graph.nodes() {
             if !self.locked[v.index()] {
-                self.gain[v.index()] = self.compute_gain(v, partition, cut);
+                self.gain[v.index()] = self.compute_gain(v, partition);
+                self.node_tick[v.index()] = self.clock;
             }
         }
     }
 
-    /// Eqns. 3–4 through the per-net products: O(p(u)) per call.
-    fn compute_gain(&self, u: NodeId, partition: &Bipartition, cut: &CutState) -> f64 {
+    /// Eqns. 3–4 through the packed per-net records: O(p(u)) per call and
+    /// one sequential record read per incident net.
+    fn compute_gain(&self, u: NodeId, partition: &Bipartition) -> f64 {
         let s = partition.side(u);
         let (si, oi) = (s.index(), s.other().index());
         let pu = self.p[u.index()];
         debug_assert!(pu > 0.0, "gain of a locked node requested");
+        prof::count_gain_recompute();
         let mut g = 0.0;
         for &net in self.graph.nets_of(u) {
-            let ni = net.index();
-            let c = self.graph.net_weight(net);
-            let same = if self.locked_cnt[ni][si] > 0 {
+            let hot = &self.nets[net.index()];
+            let c = hot.weight;
+            let same = if hot.locked[si] > 0 {
                 0.0
             } else {
-                (self.prod[ni][si] / pu).clamp(0.0, 1.0)
+                (hot.prod[si] / pu).clamp(0.0, 1.0)
             };
-            if cut.pins_on(net, s.other()) > 0 {
-                let other = if self.locked_cnt[ni][oi] > 0 {
+            if hot.pins[oi] > 0 {
+                let other = if hot.locked[oi] > 0 {
                     0.0
                 } else {
-                    self.prod[ni][oi].clamp(0.0, 1.0)
+                    hot.prod[oi].clamp(0.0, 1.0)
                 };
                 g += c * (same - other);
             } else {
@@ -298,44 +482,111 @@ impl<'a> Engine<'a> {
     /// Step 6: the best-gain node over both sides whose move keeps the
     /// destination within the pass-relaxed balance bound; when the global
     /// best is blocked, the best node of the other side is taken. Under a
-    /// size-constrained balance the scan walks each tree in descending
-    /// gain order until a node that fits is found, giving up after
-    /// [`PropConfig::balance_probe_depth`] candidates when that bound is
-    /// set (unbounded by default, preserving the exact baseline choice).
-    fn select_move(&self, partition: &Bipartition) -> Option<NodeId> {
+    /// size-constrained balance the scan walks each side's ranking in
+    /// descending gain order until a node that fits is found, giving up
+    /// after [`PropConfig::balance_probe_depth`] candidates when that
+    /// bound is set (unbounded by default, preserving the exact baseline
+    /// choice). On the lazy-heap backend the walk pops live keys and
+    /// pushes them back afterwards; liveness (`unlocked` and carrying the
+    /// node's current stamp) filters superseded entries. On the indexed
+    /// backend the walk is a read-only best-first descent. All backends
+    /// see the identical candidate sequence.
+    fn select_move(&mut self, partition: &Bipartition) -> Option<NodeId> {
         let counts = [partition.count(Side::A), partition.count(Side::B)];
         let weights = self.side_weights.as_array();
+        let graph = self.graph;
+        let balance = self.balance;
+        let probe_limit = self.config.balance_probe_depth.unwrap_or(usize::MAX);
+        let (locked, stamp) = (&self.locked, &self.stamp);
+        let live = |k: &GainKey| !locked[k.2 as usize] && stamp[k.2 as usize] == k.1;
         let mut best: Option<GainKey> = None;
-        for si in 0..2 {
-            let side = Side::from_index(si);
-            if !self.balance.is_weighted() {
-                // Count-based feasibility is per side, not per node.
-                if !self.balance.allows_move(side, counts[0], counts[1]) {
-                    continue;
-                }
-                if let Some(&key) = self.trees[si].max() {
-                    if best.is_none_or(|b| key > b) {
-                        best = Some(key);
-                    }
-                }
-                continue;
+        let consider = |key: GainKey, best: &mut Option<GainKey>| {
+            if best.is_none_or(|b| key > b) {
+                *best = Some(key);
             }
-            let probe_limit = self.config.balance_probe_depth.unwrap_or(usize::MAX);
-            for (probed, &key) in self.trees[si].iter_desc().enumerate() {
-                if probed >= probe_limit {
-                    break;
-                }
-                let v = NodeId::new(key.2 as usize);
-                if self.balance.allows_node_move(
-                    side,
-                    counts,
-                    weights,
-                    self.graph.node_weight(v),
-                ) {
-                    if best.is_none_or(|b| key > b) {
-                        best = Some(key);
+        };
+        match &mut self.store {
+            GainStore::Avl(trees) => {
+                for (si, tree) in trees.iter().enumerate() {
+                    let side = Side::from_index(si);
+                    if !balance.is_weighted() {
+                        // Count-based feasibility is per side, not per node.
+                        if !balance.allows_move(side, counts[0], counts[1]) {
+                            continue;
+                        }
+                        if let Some(&key) = tree.max() {
+                            consider(key, &mut best);
+                        }
+                        continue;
                     }
-                    break;
+                    for (probed, &key) in tree.iter_desc().enumerate() {
+                        if probed >= probe_limit {
+                            break;
+                        }
+                        let v = NodeId::new(key.2 as usize);
+                        if balance.allows_node_move(side, counts, weights, graph.node_weight(v))
+                        {
+                            consider(key, &mut best);
+                            break;
+                        }
+                    }
+                }
+            }
+            GainStore::Heap(heaps) => {
+                let popped = &mut self.popped_scratch;
+                for (si, heap) in heaps.iter_mut().enumerate() {
+                    let side = Side::from_index(si);
+                    if !balance.is_weighted() {
+                        if !balance.allows_move(side, counts[0], counts[1]) {
+                            continue;
+                        }
+                        if let Some(key) = heap.peek_live(live) {
+                            consider(key, &mut best);
+                        }
+                        continue;
+                    }
+                    popped.clear();
+                    while popped.len() < probe_limit {
+                        let Some(key) = heap.pop_live(live) else { break };
+                        popped.push(key);
+                        let v = NodeId::new(key.2 as usize);
+                        if balance.allows_node_move(side, counts, weights, graph.node_weight(v))
+                        {
+                            consider(key, &mut best);
+                            break;
+                        }
+                    }
+                    for &key in popped.iter() {
+                        heap.push(key);
+                    }
+                }
+            }
+            GainStore::Indexed(heaps) => {
+                for (si, heap) in heaps.iter_mut().enumerate() {
+                    let side = Side::from_index(si);
+                    if !balance.is_weighted() {
+                        if !balance.allows_move(side, counts[0], counts[1]) {
+                            continue;
+                        }
+                        if let Some((key, _)) = heap.peek() {
+                            consider(key, &mut best);
+                        }
+                        continue;
+                    }
+                    // Read-only probe in exact descending order — every
+                    // entry is live, so the candidate sequence equals the
+                    // AVL traversal's.
+                    let mut probed = 0;
+                    heap.descend(|key, id| {
+                        probed += 1;
+                        let v = NodeId::new(id);
+                        if balance.allows_node_move(side, counts, weights, graph.node_weight(v))
+                        {
+                            consider(key, &mut best);
+                            return false;
+                        }
+                        probed < probe_limit
+                    });
                 }
             }
         }
@@ -351,11 +602,27 @@ impl<'a> Engine<'a> {
         partition: &mut Bipartition,
         cut: &mut CutState,
     ) {
+        let t = prof::start();
         let graph = self.graph;
         let from = partition.side(u);
-        let key = self.key_of(u);
-        let removed = self.trees[from.index()].remove(&key);
-        debug_assert!(removed, "selected node missing from its tree");
+        match &mut self.store {
+            GainStore::Avl(trees) => {
+                let key = (
+                    OrderedF64::new(self.gain[u.index()]),
+                    self.stamp[u.index()],
+                    u.index() as u32,
+                );
+                let removed = trees[from.index()].remove(&key);
+                debug_assert!(removed, "selected node missing from its tree");
+            }
+            // Lazy heap: the entry goes dead through the lock flag below
+            // and is discarded whenever it next surfaces.
+            GainStore::Heap(_) => {}
+            GainStore::Indexed(heaps) => {
+                let removed = heaps[from.index()].remove(u.index());
+                debug_assert!(removed.is_some(), "selected node missing from its heap");
+            }
+        }
 
         let immediate = cut.apply_move(graph, partition, u);
         self.side_weights.apply_move(from, graph.node_weight(u));
@@ -372,6 +639,8 @@ impl<'a> Engine<'a> {
             ),
         );
         self.moves.push(u);
+        prof::count_move();
+        prof::stop(prof::Phase::Apply, t);
 
         // Refresh all unlocked neighbors (each once): new gain from the
         // updated products, then a new probability from the new gain —
@@ -379,17 +648,14 @@ impl<'a> Engine<'a> {
         // speaks of neighbors-of-neighbors "whose probabilities have been
         // updated": the top-k refresh below catches that second-order
         // staleness without a full cascade.
-        self.epoch = self.epoch.wrapping_add(1);
-        if self.epoch == 0 {
-            self.mark.iter_mut().for_each(|m| *m = u32::MAX);
-            self.epoch = 1;
-        }
+        let t = prof::start();
+        self.epoch = bump_epoch(self.epoch, &mut self.mark);
         self.mark[u.index()] = self.epoch;
         for &net in graph.nets_of(u) {
             for &x in graph.pins_of(net) {
                 if !self.locked[x.index()] && self.mark[x.index()] != self.epoch {
                     self.mark[x.index()] = self.epoch;
-                    self.refresh_node(x, partition, cut);
+                    self.refresh_node(x, partition);
                 }
             }
         }
@@ -400,23 +666,72 @@ impl<'a> Engine<'a> {
         // refreshed at most once per move; the ones we do refresh take the
         // mark, keeping the guarantee across both sides' top-k lists. The
         // ids are snapshotted into the reusable scratch buffer because
-        // refreshing repositions tree nodes under a live iterator.
+        // refreshing repositions container entries under a live traversal.
         let k = self.config.top_k_refresh;
         if k > 0 {
             let mut top = std::mem::take(&mut self.topk_scratch);
             for si in 0..2 {
                 top.clear();
-                top.extend(self.trees[si].iter_desc().take(k).map(|&(_, _, id)| id));
+                match &mut self.store {
+                    GainStore::Avl(trees) => {
+                        top.extend(trees[si].iter_desc().take(k).map(|&(_, _, id)| id));
+                    }
+                    GainStore::Heap(heaps) => {
+                        // The k best live keys, in the same descending
+                        // order the tree traversal yields, then restored.
+                        // The pops double as garbage collection: they are
+                        // what keeps dead entries from pooling at the top
+                        // of this backend's heaps.
+                        let (locked, stamp) = (&self.locked, &self.stamp);
+                        let live =
+                            |key: &GainKey| !locked[key.2 as usize] && stamp[key.2 as usize] == key.1;
+                        let popped = &mut self.popped_scratch;
+                        popped.clear();
+                        while popped.len() < k {
+                            let Some(key) = heaps[si].pop_live(live) else { break };
+                            popped.push(key);
+                        }
+                        for &key in popped.iter() {
+                            heaps[si].push(key);
+                            top.push(key.2);
+                        }
+                    }
+                    GainStore::Indexed(heaps) => {
+                        // Read-only best-first walk — no dead entries, no
+                        // restore sifts.
+                        let mut left = k;
+                        heaps[si].descend(|_, id| {
+                            top.push(id as u32);
+                            left -= 1;
+                            left > 0
+                        });
+                    }
+                }
                 for &id in &top {
                     let x = NodeId::new(id as usize);
                     if self.mark[x.index()] != self.epoch {
                         self.mark[x.index()] = self.epoch;
-                        self.refresh_node(x, partition, cut);
+                        self.refresh_node(x, partition);
                     }
                 }
             }
             self.topk_scratch = top;
         }
+        // Bound the heaps' dead-entry bloat: past 4x the node count a
+        // query sift-down walks more dead levels than a rebuild costs
+        // amortised, so retain the live entries and re-heapify. The live
+        // set — and therefore every future selection — is unchanged.
+        if let GainStore::Heap(heaps) = &mut self.store {
+            let bound = (4 * self.graph.num_nodes()).max(64);
+            let (locked, stamp) = (&self.locked, &self.stamp);
+            let live = |key: &GainKey| !locked[key.2 as usize] && stamp[key.2 as usize] == key.1;
+            for heap in heaps {
+                if heap.len() > bound {
+                    heap.compact(live);
+                }
+            }
+        }
+        prof::stop(prof::Phase::Refresh, t);
 
         #[cfg(feature = "debug-audit")]
         crate::audit::with_auditor(|a| {
@@ -431,24 +746,58 @@ impl<'a> Engine<'a> {
                 gains: &self.gain,
                 locked: &self.locked,
                 probabilities: Some(&self.p),
-                products: Some((&self.prod, &self.locked_cnt)),
+                products: Some(&self.nets),
                 fresh: Some((&self.mark, self.epoch)),
                 side_weights: self.side_weights.as_array(),
             });
         });
     }
 
-    /// Recomputes one unlocked node's gain, repositions it in its tree,
-    /// and propagates its refreshed probability into its nets' products.
-    fn refresh_node(&mut self, x: NodeId, partition: &Bipartition, cut: &CutState) {
-        let new_gain = self.compute_gain(x, partition, cut);
+    /// Recomputes one unlocked node's gain, repositions it in its side's
+    /// ranking, and propagates its refreshed probability into its nets'
+    /// products.
+    ///
+    /// Provably redundant refreshes are elided: when no net of `x` ticked
+    /// the product clock since `x`'s gain inputs were last read, the
+    /// recomputation would reproduce the stored gain bit-for-bit (same
+    /// products, same `p(x)`); when additionally `p(x)` already equals
+    /// `probability_of` of that gain, the probability half is a no-op too
+    /// (after refinement the two can disagree — the fixed iteration count
+    /// ends on a gain sweep — so a first refresh may update products even
+    /// with an unchanged gain). Both conditions together make the whole
+    /// call a provable no-op, and it is skipped. This is the common case
+    /// for §3.4 top-k candidates far from recent move activity, and is
+    /// what keeps the per-move refresh cost proportional to *actual*
+    /// state churn rather than to `2k + degree`.
+    fn refresh_node(&mut self, x: NodeId, partition: &Bipartition) {
+        let tick = self.node_tick[x.index()];
+        if self.config.probability_of(self.gain[x.index()]) == self.p[x.index()]
+            && self
+                .graph
+                .nets_of(x)
+                .iter()
+                .all(|net| self.net_tick[net.index()] <= tick)
+        {
+            return;
+        }
+        let new_gain = self.compute_gain(x, partition);
+        self.node_tick[x.index()] = self.clock;
         let si = partition.side(x).index();
         if new_gain != self.gain[x.index()] {
-            let old_key = self.key_of(x);
-            let removed = self.trees[si].remove(&old_key);
-            debug_assert!(removed, "refreshed node missing from its tree");
+            if let GainStore::Avl(trees) = &mut self.store {
+                let old_key = (
+                    OrderedF64::new(self.gain[x.index()]),
+                    self.stamp[x.index()],
+                    x.index() as u32,
+                );
+                let removed = trees[si].remove(&old_key);
+                debug_assert!(removed, "refreshed node missing from its tree");
+            }
+            // Lazy heap: the old entry goes dead through the stamp bump in
+            // `store_insert`. Indexed heap: `store_insert` repositions the
+            // entry in place.
             self.gain[x.index()] = new_gain;
-            self.tree_insert(x, si);
+            self.store_insert(x, si);
         }
         let new_p = self.config.probability_of(new_gain);
         let old_p = self.p[x.index()];
@@ -459,10 +808,25 @@ impl<'a> Engine<'a> {
             // the per-pass product rebuild resets any residual drift.
             self.p[x.index()] = new_p;
             let ratio = new_p / old_p;
+            self.clock += 1;
             for &net in self.graph.nets_of(x) {
-                self.prod[net.index()][si] *= ratio;
+                self.nets[net.index()].prod[si] *= ratio;
+                self.net_tick[net.index()] = self.clock;
             }
         }
+    }
+}
+
+/// Advances an epoch counter, resetting the mark array on the (in
+/// practice unreachable) wrap so stale marks can never alias the new
+/// epoch.
+fn bump_epoch(epoch: u32, marks: &mut [u32]) -> u32 {
+    let next = epoch.wrapping_add(1);
+    if next == 0 {
+        marks.iter_mut().for_each(|m| *m = u32::MAX);
+        1
+    } else {
+        next
     }
 }
 
@@ -483,12 +847,11 @@ mod tests {
         let balance = BalanceConstraint::bisection(60);
         let mut rng = StdRng::seed_from_u64(5);
         let partition = Bipartition::random(60, &mut rng);
-        let cut = CutState::new(&graph, &partition);
 
         let mut engine = Engine::new(&graph, &config, balance);
         engine.p.iter_mut().for_each(|p| *p = 0.7);
         engine.rebuild_products(&partition);
-        engine.recompute_all_gains(&partition, &cut);
+        engine.recompute_all_gains(&partition);
 
         let oracle = probabilistic_gains(&graph, &partition, &vec![0.7; 60], &[false; 60]);
         for v in 0..60 {
@@ -499,6 +862,55 @@ mod tests {
                 oracle[v]
             );
         }
+    }
+
+    /// The dirty-net refinement iterations must leave exactly the state a
+    /// full-sweep fixed point would: same probabilities, same products,
+    /// same gains, bit-for-bit — on both selection backends.
+    #[test]
+    fn dirty_refinement_matches_full_sweeps() {
+        let graph = generate(&GeneratorConfig::new(120, 140, 470).with_seed(91)).unwrap();
+        let config = PropConfig::default();
+        let balance = BalanceConstraint::bisection(120);
+        let mut rng = StdRng::seed_from_u64(12);
+        let partition = Bipartition::random(120, &mut rng);
+        let cut = CutState::new(&graph, &partition);
+
+        // Engine under test: seed + first full sweep + dirty iterations.
+        let mut engine = Engine::new(&graph, &config, balance);
+        engine.seed_probabilities(&partition, &cut);
+        engine.rebuild_products(&partition);
+        engine.recompute_all_gains(&partition);
+        for _ in 0..config.refine_iterations {
+            if !engine.refine_dirty(&partition) {
+                break;
+            }
+        }
+
+        // Full-sweep mirror of the old schedule.
+        let mut full = Engine::new(&graph, &config, balance);
+        full.seed_probabilities(&partition, &cut);
+        full.rebuild_products(&partition);
+        full.recompute_all_gains(&partition);
+        for _ in 0..config.refine_iterations {
+            let mut changed = false;
+            for v in 0..full.p.len() {
+                let np = config.probability_of(full.gain[v]);
+                if np != full.p[v] {
+                    full.p[v] = np;
+                    changed = true;
+                }
+            }
+            if !changed {
+                break;
+            }
+            full.rebuild_products(&partition);
+            full.recompute_all_gains(&partition);
+        }
+
+        assert_eq!(engine.p, full.p);
+        assert_eq!(engine.gain, full.gain);
+        assert_eq!(engine.nets, full.nets);
     }
 
     /// After several locked moves, the engine's incremental gains must
@@ -520,9 +932,9 @@ mod tests {
         let mut engine = Engine::new(&graph, &config, balance);
         engine.seed_probabilities(&partition, &cut);
         engine.rebuild_products(&partition);
-        engine.recompute_all_gains(&partition, &cut);
+        engine.recompute_all_gains(&partition);
         for v in graph.nodes() {
-            engine.tree_insert(v, partition.side(v).index());
+            engine.store_insert(v, partition.side(v).index());
         }
 
         for step in 0..10 {
@@ -549,7 +961,7 @@ mod tests {
     }
 
     /// With the default (probability-refreshing) configuration, the per-net
-    /// products must stay exactly consistent with a from-scratch rebuild
+    /// records must stay exactly consistent with a from-scratch rebuild
     /// from the current probabilities after every move.
     #[test]
     fn products_stay_consistent_under_probability_refresh() {
@@ -563,22 +975,22 @@ mod tests {
         let mut engine = Engine::new(&graph, &config, balance);
         engine.seed_probabilities(&partition, &cut);
         engine.rebuild_products(&partition);
-        engine.recompute_all_gains(&partition, &cut);
+        engine.recompute_all_gains(&partition);
         for v in graph.nodes() {
-            engine.tree_insert(v, partition.side(v).index());
+            engine.store_insert(v, partition.side(v).index());
         }
         for _ in 0..12 {
             let u = engine.select_move(&partition).expect("moves available");
             engine.apply_and_update(u, &mut partition, &mut cut);
-            let (prod_snapshot, cnt_snapshot) =
-                (engine.prod.clone(), engine.locked_cnt.clone());
+            let snapshot = engine.nets.clone();
             engine.rebuild_products(&partition);
             for net in graph.nets() {
                 let i = net.index();
-                assert_eq!(cnt_snapshot[i], engine.locked_cnt[i], "net {net}");
+                assert_eq!(snapshot[i].locked, engine.nets[i].locked, "net {net}");
+                assert_eq!(snapshot[i].pins, engine.nets[i].pins, "net {net}");
                 for s in 0..2 {
                     assert!(
-                        (prod_snapshot[i][s] - engine.prod[i][s]).abs() < 1e-12,
+                        (snapshot[i].prod[s] - engine.nets[i].prod[s]).abs() < 1e-12,
                         "net {net} side {s}"
                     );
                 }
@@ -627,5 +1039,39 @@ mod tests {
             seen[u.index()] = true;
         }
         assert!(!engine.moves.is_empty());
+    }
+
+    /// Both selection backends must produce bit-identical passes: same
+    /// moves, same commit, same final partition and cut.
+    #[test]
+    fn selection_backends_are_bit_identical() {
+        let graph = generate(&GeneratorConfig::new(150, 170, 580).with_seed(66)).unwrap();
+        let balance = BalanceConstraint::new(0.45, 0.55, 150).unwrap();
+        for seed in 0..4u64 {
+            let mut results = Vec::new();
+            for selection in [
+                SelectionBackend::AvlTree,
+                SelectionBackend::LazyHeap,
+                SelectionBackend::IndexedHeap,
+            ] {
+                let mut config = PropConfig::default();
+                config.selection = selection;
+                let mut rng = StdRng::seed_from_u64(seed);
+                let mut partition = Bipartition::random(150, &mut rng);
+                let mut cut = CutState::new(&graph, &partition);
+                let mut engine = Engine::new(&graph, &config, balance);
+                let mut passes = Vec::new();
+                loop {
+                    let (committed, trace) = engine.run_pass(&mut partition, &mut cut);
+                    passes.push((engine.moves.clone(), trace));
+                    if committed <= 0.0 {
+                        break;
+                    }
+                }
+                results.push((partition, cut.cut_cost(), passes));
+            }
+            assert_eq!(results[0], results[1], "avl vs lazy heap, seed {seed}");
+            assert_eq!(results[0], results[2], "avl vs indexed heap, seed {seed}");
+        }
     }
 }

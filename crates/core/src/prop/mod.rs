@@ -14,14 +14,18 @@
 //!    gain of every move feeds a prefix tracker; the best feasible prefix
 //!    is committed (steps 9–10), everything beyond it is rolled back.
 //!
-//! Nodes are ranked in two AVL trees (one per side) keyed by
-//! `(gain, node)`, the structure the paper's complexity analysis (§3.5)
-//! assumes.
+//! Nodes are ranked per side in an ordered gain store keyed by
+//! `(gain, recency, node)` — either the AVL tree the paper's complexity
+//! analysis (§3.5) assumes, or a faster lazy-deletion max-heap producing
+//! bit-identical runs (see [`SelectionBackend`]). Per-net hot state is
+//! packed into [`NetHot`] records so the gain inner loop is one
+//! sequential read per incident net.
 
 mod config;
 mod engine;
 
-pub use config::{GainInit, PropConfig};
+pub use config::{GainInit, PropConfig, SelectionBackend};
+pub use engine::NetHot;
 
 use crate::balance::BalanceConstraint;
 use crate::cut::CutState;

@@ -1,7 +1,7 @@
 //! Data structures for iterative-improvement partitioning.
 //!
-//! The DAC-96 PROP paper relies on three containers, all implemented here
-//! from scratch:
+//! The DAC-96 PROP reproduction relies on these containers, all
+//! implemented here from scratch:
 //!
 //! * [`BucketList`] — the classic Fiduccia–Mattheyses gain bucket array
 //!   with intrusive doubly-linked lists, giving O(1) insert/remove/update
@@ -10,6 +10,11 @@
 //!   tree variant of FM) to order nodes by real-valued gain, giving
 //!   O(log n) updates and descending-order traversal for feasibility
 //!   scans.
+//! * [`IndexedMaxHeap`] / [`LazyMaxHeap`] — two flat-array alternatives
+//!   to the tree for the PROP gain ranking: the indexed heap pairs a
+//!   position map with eager removal (one sift per reposition, read-only
+//!   descending traversal), the lazy heap defers deletions to its query
+//!   pops. See each module's docs for when which wins.
 //! * [`PrefixTracker`] — the pass bookkeeping shared by FM, LA, and PROP:
 //!   records the immediate gain of every tentative move and finds the
 //!   best balance-feasible prefix to commit.
@@ -22,10 +27,14 @@
 
 mod avl;
 mod bucket;
+mod indexed;
 mod ordered;
 mod prefix;
+mod store;
 
 pub use avl::AvlTree;
 pub use bucket::BucketList;
+pub use indexed::IndexedMaxHeap;
 pub use ordered::OrderedF64;
 pub use prefix::{BestPrefix, PrefixTracker};
+pub use store::LazyMaxHeap;

@@ -1,0 +1,381 @@
+//! Lazy-deletion max-heap: the cheap half of the ordered-gain-store pair.
+//!
+//! The PROP move phase repositions a node in its ordered gain container on
+//! every §3.4 refresh — tens of container updates per move. A balanced
+//! search tree ([`crate::AvlTree`]) pays two pointer-chasing O(log n)
+//! passes (remove + insert) per reposition; this heap pays a single
+//! contiguous sift-up `push` and defers the deletion: superseded entries
+//! simply stay in the array until they surface at the top, where the
+//! caller's *liveness predicate* identifies and discards them.
+//!
+//! The caller owns the notion of liveness (for PROP: "this key carries the
+//! node's current recency stamp and the node is unlocked"), so the heap
+//! itself stays a plain priority queue over `Ord` keys. Every query method
+//! takes the predicate and pops dead entries on the way — each dead entry
+//! is popped at most once, so the churn amortises to O(log n) per update,
+//! with far better constants than tree rebalancing on scattered nodes.
+//!
+//! ```
+//! use prop_dstruct::LazyMaxHeap;
+//!
+//! let mut h = LazyMaxHeap::new();
+//! h.push((5, 'a'));
+//! h.push((9, 'b'));
+//! h.push((7, 'b')); // supersedes (9, 'b'): the caller's map says so
+//! let live = |k: &(i32, char)| k.1 != 'b' || k.0 == 7;
+//! assert_eq!(h.peek_live(live), Some((7, 'b')));
+//! assert_eq!(h.pop_live(live), Some((7, 'b')));
+//! assert_eq!(h.pop_live(live), Some((5, 'a')));
+//! assert_eq!(h.pop_live(live), None);
+//! ```
+
+/// A binary max-heap over `Copy + Ord` keys with caller-driven lazy
+/// deletion. See the module docs.
+#[derive(Clone, Debug, Default)]
+pub struct LazyMaxHeap<K> {
+    heap: Vec<K>,
+    /// Reusable index frontier for [`top_k_live`] — kept on the struct so
+    /// repeated queries allocate nothing.
+    ///
+    /// [`top_k_live`]: LazyMaxHeap::top_k_live
+    frontier: Vec<usize>,
+}
+
+impl<K: Copy + Ord> LazyMaxHeap<K> {
+    /// Creates an empty heap.
+    pub fn new() -> Self {
+        LazyMaxHeap {
+            heap: Vec::new(),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Creates an empty heap with room for `capacity` entries.
+    pub fn with_capacity(capacity: usize) -> Self {
+        LazyMaxHeap {
+            heap: Vec::with_capacity(capacity),
+            frontier: Vec::new(),
+        }
+    }
+
+    /// Number of stored entries, live and dead.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` when no entries are stored (dead or live).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every entry, retaining the allocation.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Drops every dead entry and restores the heap property over the
+    /// survivors — O(len) retain plus O(live) heapify. Callers invoke this
+    /// when the dead fraction grows large enough that query sift-downs
+    /// over the bloated array outweigh a rebuild; the live set (and hence
+    /// every future query result) is unchanged.
+    pub fn compact(&mut self, mut is_live: impl FnMut(&K) -> bool) {
+        self.heap.retain(|k| is_live(k));
+        for i in (0..self.heap.len() / 2).rev() {
+            self.sift_down(i);
+        }
+    }
+
+    /// Inserts `key`. Duplicates are allowed — a stale predecessor is
+    /// discarded whenever it reaches the top of a query.
+    #[inline]
+    pub fn push(&mut self, key: K) {
+        self.heap.push(key);
+        self.sift_up(self.heap.len() - 1);
+    }
+
+    /// Discards dead entries off the top until the maximum live key
+    /// surfaces, and returns it without removing it. `None` when every
+    /// entry is dead (the heap is drained of them as a side effect).
+    pub fn peek_live(&mut self, mut is_live: impl FnMut(&K) -> bool) -> Option<K> {
+        while let Some(top) = self.heap.first() {
+            if is_live(top) {
+                return Some(*top);
+            }
+            self.pop_top();
+        }
+        None
+    }
+
+    /// Emits the `k` largest live keys in descending order *without*
+    /// modifying the heap — the read-only counterpart of popping `k`
+    /// live keys and pushing them back, minus the `2k` full-depth sifts
+    /// that round trip costs.
+    ///
+    /// Works a max-first frontier of array indices down from the root:
+    /// when an index surfaces, its key is the largest among everything
+    /// not yet visited (children are never larger than parents), so live
+    /// keys surface in exact descending order. Dead entries are passed
+    /// through — children still visited, nothing emitted — and stay in
+    /// the array for a later query pop or [`compact`] to reclaim.
+    ///
+    /// [`compact`]: LazyMaxHeap::compact
+    pub fn top_k_live(
+        &mut self,
+        k: usize,
+        mut is_live: impl FnMut(&K) -> bool,
+        mut emit: impl FnMut(K),
+    ) {
+        self.frontier.clear();
+        if k == 0 || self.heap.is_empty() {
+            return;
+        }
+        self.frontier.push(0);
+        let mut emitted = 0;
+        while emitted < k && !self.frontier.is_empty() {
+            // The frontier stays tiny (one net entry per visited index):
+            // a linear argmax scan beats nesting another heap.
+            let mut best = 0;
+            for i in 1..self.frontier.len() {
+                if self.heap[self.frontier[i]] > self.heap[self.frontier[best]] {
+                    best = i;
+                }
+            }
+            let idx = self.frontier.swap_remove(best);
+            let key = self.heap[idx];
+            if is_live(&key) {
+                emit(key);
+                emitted += 1;
+            }
+            for child in [2 * idx + 1, 2 * idx + 2] {
+                if child < self.heap.len() {
+                    self.frontier.push(child);
+                }
+            }
+        }
+    }
+
+    /// Like [`peek_live`], but removes and returns the maximum live key.
+    ///
+    /// [`peek_live`]: LazyMaxHeap::peek_live
+    pub fn pop_live(&mut self, is_live: impl FnMut(&K) -> bool) -> Option<K> {
+        let top = self.peek_live(is_live)?;
+        self.pop_top();
+        Some(top)
+    }
+
+    fn pop_top(&mut self) -> Option<K> {
+        let len = self.heap.len();
+        if len == 0 {
+            return None;
+        }
+        self.heap.swap(0, len - 1);
+        let top = self.heap.pop();
+        if !self.heap.is_empty() {
+            self.sift_down(0);
+        }
+        top
+    }
+
+    #[inline]
+    fn sift_up(&mut self, mut i: usize) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if self.heap[i] <= self.heap[parent] {
+                break;
+            }
+            self.heap.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        let len = self.heap.len();
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < len && self.heap[l] > self.heap[largest] {
+                largest = l;
+            }
+            if r < len && self.heap[r] > self.heap[largest] {
+                largest = r;
+            }
+            if largest == i {
+                return;
+            }
+            self.heap.swap(i, largest);
+            i = largest;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn push_pop_descending() {
+        let mut h = LazyMaxHeap::new();
+        for k in [3, 9, 1, 7, 5] {
+            h.push(k);
+        }
+        let mut out = Vec::new();
+        while let Some(k) = h.pop_live(|_| true) {
+            out.push(k);
+        }
+        assert_eq!(out, vec![9, 7, 5, 3, 1]);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn dead_entries_are_skipped_and_drained() {
+        let mut h = LazyMaxHeap::new();
+        for k in 0..10 {
+            h.push(k);
+        }
+        // Everything above 4 is dead.
+        assert_eq!(h.peek_live(|&k| k <= 4), Some(4));
+        // The five dead entries were drained by the peek.
+        assert_eq!(h.len(), 5);
+        assert_eq!(h.pop_live(|&k| k <= 4), Some(4));
+        assert_eq!(h.pop_live(|&k| k <= 2), Some(2)); // 3 died in the meantime
+        assert_eq!(h.pop_live(|_| false), None);
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn compact_drops_dead_and_preserves_order() {
+        let mut h = LazyMaxHeap::new();
+        for k in 0..100 {
+            h.push(k);
+        }
+        h.compact(|&k| k % 3 == 0);
+        assert_eq!(h.len(), 34);
+        let mut out = Vec::new();
+        while let Some(k) = h.pop_live(|&k| k % 3 == 0) {
+            out.push(k);
+        }
+        let expect: Vec<i32> = (0..100).rev().filter(|k| k % 3 == 0).collect();
+        assert_eq!(out, expect);
+    }
+
+    #[test]
+    fn top_k_live_descends_without_mutating() {
+        let mut h = LazyMaxHeap::new();
+        for k in [3, 9, 1, 7, 5, 8, 2] {
+            h.push(k);
+        }
+        let mut out = Vec::new();
+        // 8 and 2 are dead: passed through, never emitted, never removed.
+        h.top_k_live(3, |&k| k != 8 && k != 2, |k| out.push(k));
+        assert_eq!(out, vec![9, 7, 5]);
+        assert_eq!(h.len(), 7);
+        // k larger than the live population drains the order exactly.
+        out.clear();
+        h.top_k_live(100, |&k| k != 8 && k != 2, |k| out.push(k));
+        assert_eq!(out, vec![9, 7, 5, 3, 1]);
+        // k = 0 emits nothing.
+        h.top_k_live(0, |_| true, |_| panic!("emitted with k = 0"));
+    }
+
+    #[test]
+    fn randomized_top_k_matches_sorted_model() {
+        let mut rng = StdRng::seed_from_u64(77);
+        let mut h: LazyMaxHeap<(u64, u32)> = LazyMaxHeap::new();
+        let mut current: Vec<Option<u64>> = vec![None; 48];
+        let mut stamp = 0u64;
+        for round in 0..2_000 {
+            let node = rng.gen_range(0..48u32);
+            stamp += 1;
+            if rng.gen_bool(0.85) {
+                current[node as usize] = Some(stamp);
+                h.push((stamp, node));
+            } else {
+                current[node as usize] = None;
+            }
+            if round % 50 == 0 {
+                let k = rng.gen_range(0..8);
+                let mut model: Vec<(u64, u32)> = current
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, s)| s.map(|s| (s, v as u32)))
+                    .collect();
+                model.sort_unstable_by(|a, b| b.cmp(a));
+                model.truncate(k);
+                let mut out = Vec::new();
+                let len_before = h.len();
+                h.top_k_live(
+                    k,
+                    |key| current[key.1 as usize] == Some(key.0),
+                    |key| out.push(key),
+                );
+                assert_eq!(out, model);
+                assert_eq!(h.len(), len_before);
+            }
+        }
+    }
+
+    #[test]
+    fn clear_retains_capacity_and_resets() {
+        let mut h = LazyMaxHeap::with_capacity(16);
+        h.push(1);
+        h.push(2);
+        h.clear();
+        assert!(h.is_empty());
+        assert_eq!(h.pop_live(|_| true), None);
+        h.push(7);
+        assert_eq!(h.peek_live(|_| true), Some(7));
+    }
+
+    /// The PROP usage pattern: a node's current key is tracked in an
+    /// external map; pushes supersede, liveness is "matches the map".
+    /// Popping live keys in order must equal the map's descending order —
+    /// exactly what the AVL tree would produce.
+    #[test]
+    fn randomized_reposition_matches_ordered_model() {
+        let mut rng = StdRng::seed_from_u64(2024);
+        let mut h: LazyMaxHeap<(u64, u32)> = LazyMaxHeap::new();
+        let mut current: Vec<Option<u64>> = vec![None; 64];
+        let mut stamp = 0u64;
+        for _ in 0..5_000 {
+            let node = rng.gen_range(0..64u32);
+            if rng.gen_bool(0.8) {
+                // (Re)position: new stamped key supersedes the old.
+                stamp += 1;
+                current[node as usize] = Some(stamp);
+                h.push((stamp, node));
+            } else {
+                // Delete: no heap operation at all.
+                current[node as usize] = None;
+            }
+            if rng.gen_bool(0.1) {
+                let model: BTreeSet<(u64, u32)> = current
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(v, s)| s.map(|s| (s, v as u32)))
+                    .collect();
+                let live =
+                    |k: &(u64, u32)| current[k.1 as usize] == Some(k.0);
+                assert_eq!(h.peek_live(live), model.iter().next_back().copied());
+            }
+        }
+        // Full drain agrees with the model ordering.
+        let model: Vec<(u64, u32)> = current
+            .iter()
+            .enumerate()
+            .filter_map(|(v, s)| s.map(|s| (s, v as u32)))
+            .collect::<BTreeSet<_>>()
+            .into_iter()
+            .rev()
+            .collect();
+        let mut out = Vec::new();
+        while let Some(k) = h.pop_live(|k| current[k.1 as usize] == Some(k.0)) {
+            out.push(k);
+        }
+        assert_eq!(out, model);
+    }
+}

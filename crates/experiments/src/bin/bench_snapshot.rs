@@ -1,4 +1,4 @@
-//! Benchmark snapshot for the parallel multi-start harness.
+//! Benchmark snapshot for the PROP engine and multi-start harness.
 //!
 //! Runs the best-of-20 protocol for PROP and FM-bucket on a fixed subset
 //! of the Table-1 proxy circuits, once sequentially and once on every
@@ -6,10 +6,29 @@
 //! current directory. Because the parallel harness is bit-identical to
 //! the sequential one, the `best_cut` column doubles as a correctness
 //! check: it must agree between the two thread settings of each
-//! circuit/method pair.
+//! circuit/method pair, and every reported cut is recounted by the naive
+//! oracle.
 //!
-//! Options: `--quick` (fewer runs), `--runs <n>`, `--threads <n>`
-//! (override the "max" thread count; 0 = auto-detect).
+//! Every row carries provenance: the machine's available parallelism, the
+//! git revision of the working tree, and an optional free-form label.
+//!
+//! Shared options: `--quick` (fewer runs), `--runs <n>`, `--threads <n>`
+//! (override the "max" thread count; 0 = auto-detect). Snapshot-specific
+//! options:
+//!
+//! * `--large` — add the ~100k-node `golem3` circuit to the suite
+//!   (PROP-only at 1 and max threads; FM at the same settings).
+//! * `--label <s>` — tag the rows and *append* them to an existing
+//!   `BENCH_prop.json` instead of overwriting it, so a trajectory of
+//!   snapshots accumulates in one file.
+//! * `--profile` — single-threaded per-phase timing: prints each PROP
+//!   phase's share of runtime plus work counters. Requires the binary to
+//!   be built with `--features prof`; rows are not written in this mode
+//!   (the instrumentation itself skews the timings).
+//! * `--compare <path>` — regression gate: instead of writing anything,
+//!   compare against the single-thread rows of a committed snapshot and
+//!   exit non-zero on a >2x `secs_per_run` regression or (at matching run
+//!   counts) a changed `best_cut`.
 
 use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner};
 use prop_experiments::{methods, Options};
@@ -19,6 +38,13 @@ use std::time::Instant;
 /// The fixed circuits of the snapshot, smallest to largest.
 const CIRCUITS: [&str; 3] = ["balu", "struct", "p2"];
 
+/// The large-circuit extension behind `--large`.
+const LARGE_CIRCUITS: [&str; 1] = ["golem3"];
+
+/// Maximum tolerated single-thread `secs_per_run` ratio vs the committed
+/// snapshot before `--compare` fails.
+const REGRESSION_FACTOR: f64 = 2.0;
+
 struct Record {
     circuit: String,
     method: String,
@@ -26,6 +52,62 @@ struct Record {
     threads: usize,
     best_cut: f64,
     secs_total: f64,
+}
+
+impl Record {
+    fn secs_per_run(&self) -> f64 {
+        self.secs_total / self.runs.max(1) as f64
+    }
+}
+
+/// Snapshot-specific flags layered on top of the shared [`Options`].
+struct SnapshotOptions {
+    label: Option<String>,
+    profile: bool,
+    large: bool,
+    compare: Option<String>,
+}
+
+fn snapshot_usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: bench_snapshot [--quick] [--circuit <name>] [--runs <n>] [--threads <n>] \
+         [--large] [--label <s>] [--profile] [--compare <path>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_snapshot_args() -> (Options, SnapshotOptions) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, leftover) =
+        Options::parse_known(&args).unwrap_or_else(|message| snapshot_usage(&message));
+    let mut extra = SnapshotOptions {
+        label: None,
+        profile: false,
+        large: false,
+        compare: None,
+    };
+    let mut it = leftover.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--label" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| snapshot_usage("--label requires a value: --label <s>"));
+                extra.label = Some(v.clone());
+            }
+            "--profile" => extra.profile = true,
+            "--large" => extra.large = true,
+            "--compare" => {
+                let v = it.next().unwrap_or_else(|| {
+                    snapshot_usage("--compare requires a value: --compare <path>")
+                });
+                extra.compare = Some(v.clone());
+            }
+            other => snapshot_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    (opts, extra)
 }
 
 fn measure(
@@ -64,39 +146,222 @@ fn measure(
     }
 }
 
-fn render_json(records: &[Record]) -> String {
-    let mut out = String::from("[\n");
-    for (i, r) in records.iter().enumerate() {
-        let secs_per_run = r.secs_total / r.runs.max(1) as f64;
-        out.push_str(&format!(
-            "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"runs\": {}, \"threads\": {}, \
-             \"best_cut\": {}, \"secs_total\": {:.6}, \"secs_per_run\": {:.6}}}{}\n",
-            r.circuit,
-            r.method,
-            r.runs,
-            r.threads,
-            r.best_cut,
-            r.secs_total,
-            secs_per_run,
-            if i + 1 < records.len() { "," } else { "" }
-        ));
+/// The git revision of the working tree, for row provenance.
+fn git_rev() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .unwrap_or_else(|| "unknown".to_string())
+}
+
+fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str) -> Vec<String> {
+    records
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"runs\": {}, \"threads\": {}, \
+                 \"best_cut\": {}, \"secs_total\": {:.6}, \"secs_per_run\": {:.6}, \
+                 \"threads_avail\": {}, \"git_rev\": \"{}\", \"label\": \"{}\"}}",
+                r.circuit,
+                r.method,
+                r.runs,
+                r.threads,
+                r.best_cut,
+                r.secs_total,
+                r.secs_per_run(),
+                threads_avail,
+                rev,
+                label
+            )
+        })
+        .collect()
+}
+
+/// Writes the snapshot: fresh file by default, appended to an existing
+/// JSON array when a label marks the rows as a trajectory point.
+fn write_snapshot(path: &str, rows: &[String], append: bool) {
+    let body = if append {
+        match std::fs::read_to_string(path) {
+            Ok(existing) => {
+                let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
+                let mut out = trimmed.to_string();
+                if out.ends_with('}') {
+                    out.push(',');
+                }
+                out.push('\n');
+                out.push_str(&rows.join(",\n"));
+                out.push_str("\n]\n");
+                out
+            }
+            Err(_) => format!("[\n{}\n]\n", rows.join(",\n")),
+        }
+    } else {
+        format!("[\n{}\n]\n", rows.join(",\n"))
+    };
+    std::fs::write(path, body).expect("write benchmark snapshot");
+}
+
+/// A baseline row parsed back out of a committed `BENCH_prop.json`.
+struct BaselineRow {
+    circuit: String,
+    method: String,
+    runs: usize,
+    threads: usize,
+    best_cut: f64,
+    secs_per_run: f64,
+}
+
+/// Extracts `"key": value` from one rendered row. The file is this
+/// binary's own output format, so a line-based scan suffices — no JSON
+/// parser dependency.
+fn field<'a>(line: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": ");
+    let start = line.find(&tag)? + tag.len();
+    let rest = &line[start..];
+    let end = rest.find([',', '}'])?;
+    Some(rest[..end].trim().trim_matches('"'))
+}
+
+fn parse_baseline(path: &str) -> Vec<BaselineRow> {
+    let body = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| snapshot_usage(&format!("cannot read {path:?}: {e}")));
+    body.lines()
+        .filter(|line| line.contains("\"circuit\""))
+        .filter_map(|line| {
+            Some(BaselineRow {
+                circuit: field(line, "circuit")?.to_string(),
+                method: field(line, "method")?.to_string(),
+                runs: field(line, "runs")?.parse().ok()?,
+                threads: field(line, "threads")?.parse().ok()?,
+                best_cut: field(line, "best_cut")?.parse().ok()?,
+                secs_per_run: field(line, "secs_per_run")?.parse().ok()?,
+            })
+        })
+        .collect()
+}
+
+/// The `--compare` gate: single-thread rows against the committed
+/// baseline. Returns the number of violations (printed as they are found).
+fn compare_against(baseline: &[BaselineRow], records: &[Record]) -> usize {
+    let mut violations = 0;
+    for r in records.iter().filter(|r| r.threads == 1) {
+        // The latest matching baseline row wins (an appended trajectory
+        // lists newest rows last).
+        let Some(base) = baseline
+            .iter()
+            .rev()
+            .find(|b| b.circuit == r.circuit && b.method == r.method && b.threads == 1)
+        else {
+            println!("  {}/{}: no baseline row, skipping", r.circuit, r.method);
+            continue;
+        };
+        let ratio = r.secs_per_run() / base.secs_per_run.max(1e-12);
+        if ratio > REGRESSION_FACTOR {
+            println!(
+                "  FAIL {}/{}: {:.4}s per run vs baseline {:.4}s ({ratio:.2}x > {REGRESSION_FACTOR}x)",
+                r.circuit,
+                r.method,
+                r.secs_per_run(),
+                base.secs_per_run
+            );
+            violations += 1;
+        } else if base.runs == r.runs && base.best_cut != r.best_cut {
+            println!(
+                "  FAIL {}/{}: best_cut {} vs baseline {} at identical run count {}",
+                r.circuit, r.method, r.best_cut, base.best_cut, r.runs
+            );
+            violations += 1;
+        } else {
+            println!(
+                "  ok   {}/{}: {:.4}s per run ({ratio:.2}x of baseline), cut {}",
+                r.circuit,
+                r.method,
+                r.secs_per_run(),
+                r.best_cut
+            );
+        }
     }
-    out.push_str("]\n");
-    out
+    violations
+}
+
+/// `--profile` mode: single-threaded PROP per circuit, phase breakdown
+/// from the thread-local counters.
+fn profile(circuits: &[&str], runs: usize) {
+    if !prop_core::prof::enabled() {
+        snapshot_usage(
+            "--profile needs the instrumented build: \
+             cargo run --release -p prop-experiments --features prof --bin bench_snapshot",
+        );
+    }
+    let prop = methods::prop();
+    for name in circuits {
+        let spec = suite::by_name(name).expect("snapshot circuit");
+        let graph = spec.instantiate().expect("valid spec");
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+        prop_core::prof::reset();
+        let rec = measure(name, "PROP", &prop, &graph, balance, runs, 1);
+        let s = prop_core::prof::snapshot();
+        let total = s.total_ns().max(1) as f64;
+        let pct = |ns: u64| 100.0 * ns as f64 / total;
+        println!(
+            "{name}: cut={} {:.3}s total ({} runs)",
+            rec.best_cut, rec.secs_total, rec.runs
+        );
+        println!(
+            "  seed {:6.2}%  refine {:6.2}%  select {:6.2}%  apply {:6.2}%  refresh {:6.2}%",
+            pct(s.seed_ns),
+            pct(s.refine_ns),
+            pct(s.select_ns),
+            pct(s.apply_ns),
+            pct(s.refresh_ns)
+        );
+        println!(
+            "  moves {}  net_recomputes {}  gain_recomputes {}  ({:.1} net / {:.1} gain per move)",
+            s.moves,
+            s.net_recomputes,
+            s.gain_recomputes,
+            s.net_recomputes as f64 / s.moves.max(1) as f64,
+            s.gain_recomputes as f64 / s.moves.max(1) as f64
+        );
+    }
 }
 
 fn main() {
-    let opts = Options::from_args();
+    let (opts, extra) = parse_snapshot_args();
     let runs = opts.scaled_runs(20);
+    let threads_avail = std::thread::available_parallelism().map_or(1, |n| n.get());
     let max_threads = match opts.threads {
         Some(n) if n >= 1 => n,
-        _ => std::thread::available_parallelism().map_or(1, |n| n.get()),
+        _ => threads_avail,
     };
+    let mut circuits: Vec<&str> = CIRCUITS.to_vec();
+    if extra.large {
+        circuits.extend(LARGE_CIRCUITS);
+    }
+    if let Some(only) = &opts.circuit {
+        circuits.retain(|c| c == only);
+        if circuits.is_empty() {
+            snapshot_usage(&format!(
+                "--circuit {only:?} is not part of the snapshot suite ({})",
+                CIRCUITS.join(", ")
+            ));
+        }
+    }
+
+    if extra.profile {
+        profile(&circuits, runs);
+        return;
+    }
+
     let prop = methods::prop();
     let fm = methods::fm();
-
     let mut records = Vec::new();
-    for name in CIRCUITS {
+    for name in &circuits {
         let spec = suite::by_name(name).expect("fixed snapshot circuit");
         let graph = spec.instantiate().expect("valid Table-1 spec");
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
@@ -123,17 +388,17 @@ fn main() {
             seq.circuit, seq.method
         );
     }
-    if let Some(seq) = records
-        .iter()
-        .rev()
-        .find(|r| r.circuit == *CIRCUITS.last().unwrap() && r.method == "PROP" && r.threads == 1)
-    {
-        if let Some(par) = records
+    if max_threads > 1 {
+        if let Some(seq) = records
             .iter()
             .rev()
-            .find(|r| r.circuit == seq.circuit && r.method == "PROP" && r.threads == max_threads)
+            .find(|r| r.method == "PROP" && r.threads == 1)
         {
-            if max_threads > 1 {
+            if let Some(par) = records
+                .iter()
+                .rev()
+                .find(|r| r.circuit == seq.circuit && r.method == "PROP" && r.threads == max_threads)
+            {
                 println!(
                     "PROP on {} with {} threads: {:.2}x speedup",
                     seq.circuit,
@@ -144,7 +409,23 @@ fn main() {
         }
     }
 
+    if let Some(path) = &extra.compare {
+        println!("comparing against {path} (single-thread rows):");
+        let violations = compare_against(&parse_baseline(path), &records);
+        if violations > 0 {
+            eprintln!("{violations} benchmark regression(s) vs {path}");
+            std::process::exit(1);
+        }
+        return;
+    }
+
     let path = "BENCH_prop.json";
-    std::fs::write(path, render_json(&records)).expect("write benchmark snapshot");
-    println!("wrote {path} ({} records)", records.len());
+    let rows = render_rows(
+        &records,
+        threads_avail,
+        &git_rev(),
+        extra.label.as_deref().unwrap_or(""),
+    );
+    write_snapshot(path, &rows, extra.label.is_some());
+    println!("wrote {path} ({} new records)", rows.len());
 }

@@ -87,6 +87,36 @@ impl Options {
         Ok(opts)
     }
 
+    /// Like [`Options::parse`], but collects arguments this parser does
+    /// not recognise into a leftover list instead of rejecting them, so a
+    /// binary can layer its own flags on top of the shared set. A shared
+    /// flag's *value* is still consumed by the shared parser; only whole
+    /// unknown flags (and their values, which the caller must consume) are
+    /// left over.
+    ///
+    /// # Errors
+    ///
+    /// Returns the message to print when a shared flag's value is missing
+    /// or does not parse.
+    pub fn parse_known(args: &[String]) -> Result<(Options, Vec<String>), String> {
+        let mut known = Vec::new();
+        let mut leftover = Vec::new();
+        let mut args = args.iter();
+        while let Some(arg) = args.next() {
+            match arg.as_str() {
+                "--quick" => known.push(arg.clone()),
+                "--circuit" | "--runs" | "--threads" => {
+                    known.push(arg.clone());
+                    if let Some(v) = args.next() {
+                        known.push(v.clone());
+                    }
+                }
+                _ => leftover.push(arg.clone()),
+            }
+        }
+        Ok((Options::parse(&known)?, leftover))
+    }
+
     /// The parallelism policy the `--threads` setting resolves to.
     pub fn policy(&self) -> ParallelPolicy {
         match self.threads {
@@ -207,6 +237,40 @@ mod tests {
         assert!(parse(&["--threads"]).unwrap_err().contains("--threads"));
         assert!(parse(&["--threads", "x"]).unwrap_err().contains("x"));
         assert!(parse(&["--circuit"]).unwrap_err().contains("--circuit"));
+    }
+
+    #[test]
+    fn parse_known_splits_shared_from_leftover() {
+        let args: Vec<String> = ["--label", "x", "--quick", "--runs", "10", "--profile"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, leftover) = Options::parse_known(&args).unwrap();
+        assert!(o.quick);
+        assert_eq!(o.runs, Some(10));
+        assert_eq!(leftover, vec!["--label", "x", "--profile"]);
+    }
+
+    #[test]
+    fn parse_known_still_validates_shared_values() {
+        let args: Vec<String> = ["--runs", "many"].iter().map(|s| s.to_string()).collect();
+        assert!(Options::parse_known(&args).unwrap_err().contains("many"));
+        // A shared flag missing its value is a shared-parser error, not a
+        // leftover.
+        let args: Vec<String> = vec!["--threads".to_string()];
+        assert!(Options::parse_known(&args).unwrap_err().contains("--threads"));
+    }
+
+    #[test]
+    fn parse_known_with_no_leftovers_matches_parse() {
+        let args: Vec<String> = ["--circuit", "p2", "--threads", "2"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect();
+        let (o, leftover) = Options::parse_known(&args).unwrap();
+        assert!(leftover.is_empty());
+        assert_eq!(o.circuit.as_deref(), Some("p2"));
+        assert_eq!(o.threads, Some(2));
     }
 
     #[test]

@@ -220,6 +220,18 @@ pub fn generate_uniform(config: &GeneratorConfig) -> Result<Hypergraph, NetlistE
     generate(&cfg)
 }
 
+/// Generator configuration of the golem3-class large proxy: ~100k nodes
+/// and ~400k pins, the scale at which the PARABOLI/MELO comparisons
+/// report the largest ACM/SIGDA circuit. Identical to the suite's
+/// `golem3` entry (`suite::LARGE`); exposed here so scaling experiments
+/// can tweak the structure parameters (seed, locality) before
+/// instantiating.
+pub fn golem3_class_config() -> GeneratorConfig {
+    crate::suite::by_name("golem3")
+        .expect("golem3 is a fixed suite entry")
+        .generator_config()
+}
+
 /// Generates a small adversarial circuit exercising degenerate-but-legal
 /// netlist features: single-pin nets, nets with duplicate pins (which the
 /// builder de-duplicates), a giant net spanning every connected node,
@@ -412,6 +424,15 @@ fn attach_isolated_nodes(rng: &mut StdRng, n: usize, nets: &mut [Vec<usize>]) {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn golem3_class_config_is_valid_and_large() {
+        let cfg = golem3_class_config();
+        assert_eq!(cfg.nodes, 103_048);
+        assert!(cfg.validate().is_ok());
+        // Instantiation is covered by the `--large` benchmark path; unit
+        // tests only pin the configuration itself.
+    }
 
     #[test]
     fn exact_counts() {

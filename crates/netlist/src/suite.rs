@@ -84,6 +84,13 @@ pub const TABLE1: [CircuitSpec; 16] = [
     CircuitSpec { name: "t6", nodes: 1752, nets: 1541, pins: 6638 },
 ];
 
+/// Beyond Table 1: the golem3-class large proxy, at the ~100k-node scale
+/// the PARABOLI/MELO comparisons report. Kept out of [`table1`] so the
+/// paper's 16-circuit protocol and the quick gates stay unchanged;
+/// [`by_name`] resolves it for the large-circuit benchmark path.
+pub const LARGE: [CircuitSpec; 1] =
+    [CircuitSpec { name: "golem3", nodes: 103_048, nets: 108_292, pins: 400_680 }];
+
 /// Returns the full Table-1 suite in the paper's order.
 pub fn table1() -> Vec<CircuitSpec> {
     TABLE1.to_vec()
@@ -98,9 +105,14 @@ pub fn small_suite() -> Vec<CircuitSpec> {
     v
 }
 
-/// Looks up a circuit spec by its paper name.
+/// Looks up a circuit spec by its paper name, covering both the Table-1
+/// suite and the [`LARGE`] extension.
 pub fn by_name(name: &str) -> Option<CircuitSpec> {
-    TABLE1.iter().copied().find(|s| s.name == name)
+    TABLE1
+        .iter()
+        .chain(LARGE.iter())
+        .copied()
+        .find(|s| s.name == name)
 }
 
 #[cfg(test)]
@@ -126,6 +138,19 @@ mod tests {
             assert_eq!(g.num_nets(), spec.nets, "{}", spec.name);
             assert_eq!(g.num_pins(), spec.pins, "{}", spec.name);
         }
+    }
+
+    #[test]
+    fn golem3_resolves_but_stays_out_of_table1() {
+        let golem3 = by_name("golem3").unwrap();
+        assert_eq!(golem3.nodes, 103_048);
+        assert_eq!(golem3.nets, 108_292);
+        assert_eq!(golem3.pins, 400_680);
+        assert!(golem3.generator_config().seed != 0, "name-derived seed");
+        // The paper protocol and the quick gates must not grow.
+        assert_eq!(table1().len(), 16);
+        assert!(table1().iter().all(|s| s.name != "golem3"));
+        assert!(small_suite().iter().all(|s| s.name != "golem3"));
     }
 
     #[test]

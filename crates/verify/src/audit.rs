@@ -189,24 +189,31 @@ impl Auditor for OracleAuditor {
         // ratio update). Mid-pass gain exactness is what the bit-for-bit
         // `ReferenceProp` differential pins down.
         match (r.fresh, r.probabilities, r.products) {
-            (Some((marks, epoch)), Some(p), Some((prod, locked_cnt))) => {
+            (Some((marks, epoch)), Some(p), Some(nets)) => {
                 assert_eq!(
                     marks[u], epoch,
                     "[{e}] moved node {u} missing from its own refresh sweep"
                 );
                 let rebuilt = oracle::net_products(r.graph, r.partition, p, r.locked);
-                for (net, (engine, expect)) in prod.iter().zip(&rebuilt.prod).enumerate() {
+                for (net, (hot, expect)) in nets.iter().zip(&rebuilt.prod).enumerate() {
                     assert_eq!(
-                        locked_cnt[net], rebuilt.locked[net],
+                        hot.locked, rebuilt.locked[net],
                         "[{e}] locked pin counts of net {net} after moving {u}"
                     );
-                    for s in 0..2 {
+                    let pins = oracle::naive_pins_on(
+                        r.graph,
+                        r.partition,
+                        prop_netlist::NetId::new(net),
+                    );
+                    assert_eq!(
+                        hot.pins, pins,
+                        "[{e}] pin counts of net {net} after moving {u}"
+                    );
+                    for (s, (&engine, &rebuild)) in hot.prod.iter().zip(expect).enumerate() {
                         assert!(
-                            (engine[s] - expect[s]).abs() <= AUDIT_TOLERANCE,
-                            "[{e}] product of net {net} side {s} after moving {u}: engine {} \
-                             vs rebuild {}",
-                            engine[s],
-                            expect[s]
+                            (engine - rebuild).abs() <= AUDIT_TOLERANCE,
+                            "[{e}] product of net {net} side {s} after moving {u}: engine \
+                             {engine} vs rebuild {rebuild}"
                         );
                     }
                 }

@@ -1,15 +1,23 @@
 #!/usr/bin/env bash
 # Tier-1 verification gate: build, test, lint. Run from the repo root.
 #
-#   scripts/check.sh          # tier-1 gates only
-#   scripts/check.sh --audit  # also run the debug-audit (oracle) gates
+#   scripts/check.sh                # tier-1 gates only
+#   scripts/check.sh --audit        # also run the debug-audit (oracle) gates
+#   scripts/check.sh --bench-smoke  # also run the quick benchmark gate:
+#                                   # oracle recounts every reported cut and
+#                                   # the run fails on a >2x secs_per_run
+#                                   # regression (or a changed best_cut at
+#                                   # matching run counts) vs the committed
+#                                   # BENCH_prop.json
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 audit=0
+bench_smoke=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
+    --bench-smoke) bench_smoke=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -26,6 +34,17 @@ if [[ "$audit" -eq 1 ]]; then
   cargo test -q -p prop-verify --features debug-audit
   cargo clippy -p prop-verify --features debug-audit -- -D warnings
   cargo clippy --workspace --features debug-audit -- -D warnings
+fi
+
+if [[ "$bench_smoke" -eq 1 ]]; then
+  # Benchmark smoke gate: --quick keeps it to a few seconds; --compare
+  # makes bench_snapshot a read-only regression check instead of a
+  # snapshot writer. Quick mode runs fewer best-of iterations than the
+  # committed rows, so only the >2x timing regression arm of the gate
+  # applies; full-run best_cut equality is re-pinned whenever the
+  # snapshot itself is regenerated.
+  cargo run --release -q -p prop-experiments --bin bench_snapshot -- \
+    --quick --compare BENCH_prop.json
 fi
 
 echo "check.sh: all gates passed"

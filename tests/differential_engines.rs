@@ -19,6 +19,7 @@
 
 use prop_suite::core::{
     cut_cost, BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig, RunBudget,
+    SelectionBackend,
 };
 use prop_suite::fm::{FmBucket, FmTree};
 use prop_suite::netlist::generate::{generate, GeneratorConfig};
@@ -136,6 +137,54 @@ fn prop_matches_reference_under_probe_depth_knob() {
                 &a.partition,
                 balance
             ));
+        }
+    }
+}
+
+/// Every selection backend must produce the identical `RunResult` — and
+/// all of them must equal the container-free reference. Selection keys
+/// are unique (gain, recency stamp, node id), so any ordered container
+/// picks the same node every move; this pins that property end to end,
+/// on both unit-weight (count-balance) and weighted (probe-scan)
+/// circuits.
+#[test]
+fn selection_backends_match_each_other_and_the_reference() {
+    const BACKENDS: [SelectionBackend; 3] = [
+        SelectionBackend::AvlTree,
+        SelectionBackend::LazyHeap,
+        SelectionBackend::IndexedHeap,
+    ];
+    for seed in SEEDS.into_iter().take(4) {
+        // Unit weights: count-based balance, peek-only selection.
+        let g = circuit(seed);
+        let balance = BalanceConstraint::bisection(72);
+        let reference = ReferenceProp::new(PropConfig::default())
+            .run_seeded(&g, balance, seed)
+            .unwrap();
+        for backend in BACKENDS {
+            let mut cfg = PropConfig::default();
+            cfg.selection = backend;
+            let a = Prop::new(cfg).run_seeded(&g, balance, seed).unwrap();
+            assert_eq!(a, reference, "seed {seed}, backend {backend:?}");
+        }
+        // Node weights: the descending feasibility probe, bounded and not.
+        let g = weighted_circuit(seed);
+        let balance = BalanceConstraint::weighted(0.4, 0.6, &g).unwrap();
+        for depth in [None, Some(2)] {
+            let mut cfg = PropConfig::calibrated();
+            cfg.balance_probe_depth = depth;
+            let reference = ReferenceProp::new(cfg.clone())
+                .run_seeded(&g, balance, seed)
+                .unwrap();
+            for backend in BACKENDS {
+                let mut cfg = cfg.clone();
+                cfg.selection = backend;
+                let a = Prop::new(cfg).run_seeded(&g, balance, seed).unwrap();
+                assert_eq!(
+                    a, reference,
+                    "seed {seed}, backend {backend:?}, probe depth {depth:?}"
+                );
+            }
         }
     }
 }

@@ -1,0 +1,69 @@
+//! Golden-cut regression pins.
+//!
+//! Pins the exact `best_cut` of the three benchmark-snapshot circuits for
+//! PROP (calibrated profile, as benched) and FM-bucket under the snapshot
+//! balance (45–55%), at reduced run counts so the whole file stays cheap
+//! enough for the tier-1 gate. Every engine in this suite is fully
+//! deterministic, so these are equalities, not tolerances: an accidental
+//! behavior change in a "pure perf" PR trips this test in seconds, long
+//! before the expensive differential suite runs.
+//!
+//! If a PR *intends* to change results (new default profile, an
+//! algorithmic change), regenerate with:
+//!
+//! ```sh
+//! cargo test --release --test golden_cuts -- --nocapture
+//! ```
+//!
+//! and update the table alongside the differential-oracle mirrors.
+
+use prop_suite::core::{cut_cost, BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_suite::fm::FmBucket;
+use prop_suite::netlist::suite;
+
+/// (circuit, method, runs, expected best-of-runs cut with base seed 0).
+const GOLDEN: [(&str, &str, usize, f64); 6] = [
+    ("balu", "PROP", 5, 18.0),
+    ("balu", "FM-bucket", 5, 52.0),
+    ("struct", "PROP", 3, 28.0),
+    ("struct", "FM-bucket", 3, 102.0),
+    ("p2", "PROP", 2, 55.0),
+    ("p2", "FM-bucket", 2, 285.0),
+];
+
+#[test]
+fn snapshot_circuit_cuts_are_pinned() {
+    let prop = Prop::new(PropConfig::calibrated());
+    let fm = FmBucket::default();
+    let mut failures = Vec::new();
+    for (circuit, method, runs, expected) in GOLDEN {
+        let graph = suite::by_name(circuit)
+            .expect("snapshot circuit")
+            .instantiate()
+            .expect("valid Table-1 spec");
+        let balance =
+            BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+        let partitioner: &dyn Partitioner = match method {
+            "PROP" => &prop,
+            _ => &fm,
+        };
+        let result = partitioner.run_multi(&graph, balance, runs, 0).expect("non-empty");
+        assert_eq!(
+            result.cut_cost,
+            cut_cost(&graph, &result.partition),
+            "{circuit}/{method}: reported cut inconsistent with its partition"
+        );
+        println!("(\"{circuit}\", \"{method}\", {runs}, {:.1}),", result.cut_cost);
+        if result.cut_cost != expected {
+            failures.push(format!(
+                "{circuit}/{method} ({runs} runs): got {}, pinned {expected}",
+                result.cut_cost
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden cuts diverged (regenerate only if the change is intended):\n{}",
+        failures.join("\n")
+    );
+}
