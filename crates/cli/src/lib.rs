@@ -11,6 +11,13 @@
 //!   [--seed S] [--assign F]` — bipartition a netlist and report the cut;
 //!   methods: `prop` (default), `prop-paper`, `fm`, `fm-tree`, `la2`,
 //!   `la3`, `kl`, `sa`, `eig1`, `melo`, `paraboli`, `window`, `ml`.
+//! * `prop serve [--addr A] [--workers N] [--queue-cap N]` — run the
+//!   partitioning daemon until a `shutdown` request drains it.
+//! * `prop submit <file> [--addr A] [--engine E] [--runs N] [--seed S]
+//!   [--timeout-ms T] [--priority P] [--no-wait]` — send a netlist to a
+//!   running daemon and print the one-line JSON response.
+//! * `prop ctl <ping|stats|shutdown|status|wait|cancel> [--addr A]
+//!   [--job N]` — control-plane requests against a running daemon.
 //!
 //! The library half exists so the argument handling and command logic are
 //! unit-testable; `main.rs` is a thin wrapper.
@@ -25,6 +32,7 @@ use prop_core::{
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
 use prop_multilevel::Multilevel;
 use prop_netlist::{format, generate, suite, Hypergraph};
+use prop_serve::{Client, Json, SubmitRequest};
 use prop_spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
 use std::fmt;
 use std::path::Path;
@@ -105,9 +113,54 @@ pub enum Command {
         /// Optional path for the node→side assignment output.
         assign: Option<String>,
     },
+    /// `prop serve ...`
+    Serve {
+        /// Listen address.
+        addr: String,
+        /// Worker pool size (0 = auto-detect).
+        workers: usize,
+        /// Job-queue admission capacity.
+        queue_cap: usize,
+    },
+    /// `prop submit <file> ...`
+    Submit {
+        /// Netlist path (extension selects the wire format).
+        file: String,
+        /// Daemon address.
+        addr: String,
+        /// Engine name (`prop`, `prop-paper`, `fm`, `fm-tree`, `ml`).
+        engine: String,
+        /// Multi-start runs.
+        runs: usize,
+        /// Base seed.
+        seed: u64,
+        /// Balance ratios.
+        r1: f64,
+        /// Balance ratios.
+        r2: f64,
+        /// Job deadline in milliseconds (0 = none).
+        timeout_ms: u64,
+        /// Scheduling priority (0–3, higher first).
+        priority: u8,
+        /// When `false`, block until the job is terminal.
+        no_wait: bool,
+    },
+    /// `prop ctl <verb> ...`
+    Ctl {
+        /// Control verb: `ping`, `stats`, `shutdown`, `status`, `wait`,
+        /// or `cancel`.
+        verb: String,
+        /// Daemon address.
+        addr: String,
+        /// Job id for `status`/`wait`/`cancel`.
+        job: Option<u64>,
+    },
     /// `prop help`
     Help,
 }
+
+/// The default daemon address for `serve`, `submit`, and `ctl`.
+pub const DEFAULT_SERVE_ADDR: &str = "127.0.0.1:7077";
 
 /// What `prop generate` generates.
 #[derive(Clone, PartialEq, Debug)]
@@ -135,13 +188,19 @@ USAGE:
   prop convert <in> <out>
   prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
                  [--threads N] [--assign FILE]
+  prop serve [--addr A] [--workers N] [--queue-cap N]
+  prop submit <file> [--addr A] [--engine E] [--runs N] [--seed S] [--r1 X]
+              [--r2 Y] [--timeout-ms T] [--priority P] [--no-wait]
+  prop ctl <ping|stats|shutdown|status|wait|cancel> [--addr A] [--job N]
   prop help
 
 Formats are chosen by extension: .hgr (hMETIS) or .netd (named).
 Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
 sa, eig1, melo, paraboli, window, ml.
 --threads fans the runs of iterative methods over N worker threads
-(0 = auto-detect); the result is bit-identical to the sequential run.";
+(0 = auto-detect); the result is bit-identical to the sequential run.
+serve/submit/ctl default to 127.0.0.1:7077; submit prints the daemon's
+one-line JSON response and exits nonzero if the job did not complete.";
 
 /// Parses a full argument list (without the program name).
 ///
@@ -176,6 +235,9 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "generate" => parse_generate(&rest),
         "partition" => parse_partition(&rest),
+        "serve" => parse_serve(&rest),
+        "submit" => parse_submit(&rest),
+        "ctl" => parse_ctl(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
 }
@@ -261,6 +323,109 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
         seed,
         threads,
         assign,
+    })
+}
+
+fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut workers = 0usize;
+    let mut queue_cap = 64usize;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+            "--workers" => workers = parse_num("--workers", take_value("--workers", &mut it)?)?,
+            "--queue-cap" => {
+                queue_cap = parse_num("--queue-cap", take_value("--queue-cap", &mut it)?)?
+            }
+            other => return Err(usage(format!("unknown serve flag {other:?}"))),
+        }
+    }
+    if queue_cap == 0 {
+        return Err(usage("--queue-cap must be at least 1"));
+    }
+    Ok(Command::Serve {
+        addr,
+        workers,
+        queue_cap,
+    })
+}
+
+fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
+    let mut it = rest.iter();
+    let Some(file) = it.next() else {
+        return Err(usage("submit needs a netlist file"));
+    };
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut engine = "prop".to_string();
+    let mut runs = 20usize;
+    let mut seed = 0u64;
+    let mut r1 = 0.45;
+    let mut r2 = 0.55;
+    let mut timeout_ms = 0u64;
+    let mut priority = 0u8;
+    let mut no_wait = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+            "--engine" => engine = take_value("--engine", &mut it)?.to_string(),
+            "--runs" => runs = parse_num("--runs", take_value("--runs", &mut it)?)?,
+            "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+            "--r1" => r1 = parse_num("--r1", take_value("--r1", &mut it)?)?,
+            "--r2" => r2 = parse_num("--r2", take_value("--r2", &mut it)?)?,
+            "--timeout-ms" => {
+                timeout_ms = parse_num("--timeout-ms", take_value("--timeout-ms", &mut it)?)?
+            }
+            "--priority" => {
+                priority = parse_num("--priority", take_value("--priority", &mut it)?)?
+            }
+            "--no-wait" => no_wait = true,
+            other => return Err(usage(format!("unknown submit flag {other:?}"))),
+        }
+    }
+    Ok(Command::Submit {
+        file: (*file).clone(),
+        addr,
+        engine,
+        runs,
+        seed,
+        r1,
+        r2,
+        timeout_ms,
+        priority,
+        no_wait,
+    })
+}
+
+fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
+    let mut it = rest.iter();
+    let Some(verb) = it.next() else {
+        return Err(usage("ctl needs a verb: ping, stats, shutdown, status, wait, cancel"));
+    };
+    let verb = verb.as_str();
+    if !["ping", "stats", "shutdown", "status", "wait", "cancel"].contains(&verb) {
+        return Err(usage(format!("unknown ctl verb {verb:?}")));
+    }
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut job = None;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+            "--job" => job = Some(parse_num("--job", take_value("--job", &mut it)?)?),
+            other => return Err(usage(format!("unknown ctl flag {other:?}"))),
+        }
+    }
+    let needs_job = ["status", "wait", "cancel"].contains(&verb);
+    if needs_job && job.is_none() {
+        return Err(usage(format!("ctl {verb} needs --job <id>")));
+    }
+    if !needs_job && job.is_some() {
+        return Err(usage(format!("ctl {verb} takes no --job")));
+    }
+    Ok(Command::Ctl {
+        verb: verb.to_string(),
+        addr,
+        job,
     })
 }
 
@@ -453,6 +618,98 @@ pub fn run(command: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
+        Command::Serve {
+            addr,
+            workers,
+            queue_cap,
+        } => {
+            let workers = if workers == 0 {
+                std::thread::available_parallelism()
+                    .map(std::num::NonZeroUsize::get)
+                    .unwrap_or(2)
+            } else {
+                workers
+            };
+            let config = prop_serve::ServerConfig {
+                addr: addr.clone(),
+                workers,
+                queue_cap,
+                ..prop_serve::ServerConfig::default()
+            };
+            let handle = prop_serve::start(&config)
+                .map_err(|e| failure(format!("cannot bind {addr}: {e}")))?;
+            println!(
+                "prop-serve listening on {} ({workers} workers, queue capacity {queue_cap})",
+                handle.addr()
+            );
+            handle.join();
+            println!("prop-serve drained and stopped");
+            Ok(())
+        }
+        Command::Submit {
+            file,
+            addr,
+            engine,
+            runs,
+            seed,
+            r1,
+            r2,
+            timeout_ms,
+            priority,
+            no_wait,
+        } => {
+            let payload = std::fs::read_to_string(&file)
+                .map_err(|e| failure(format!("cannot read {file}: {e}")))?;
+            let fmt = match extension(&file) {
+                ext @ ("hgr" | "netd") => ext.to_string(),
+                other => {
+                    return Err(usage(format!(
+                        "unknown netlist extension {other:?} (use .hgr or .netd)"
+                    )))
+                }
+            };
+            let request = SubmitRequest {
+                engine,
+                runs,
+                seed,
+                r1,
+                r2,
+                timeout_ms,
+                priority,
+                fmt,
+                payload,
+                wait: !no_wait,
+            };
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let response = client.submit(&request).map_err(|e| failure(e.to_string()))?;
+            println!("{}", response.render());
+            let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
+            let failed = response.get("status").and_then(Json::as_str) == Some("failed");
+            if !ok || failed {
+                return Err(failure("the daemon did not complete the job"));
+            }
+            Ok(())
+        }
+        Command::Ctl { verb, addr, job } => {
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let response = match verb.as_str() {
+                "ping" => client.ping(),
+                "stats" => client.stats(),
+                "shutdown" => client.shutdown(),
+                "status" => client.status(job.expect("parser enforces --job")),
+                "wait" => client.wait(job.expect("parser enforces --job")),
+                "cancel" => client.cancel(job.expect("parser enforces --job")),
+                other => return Err(usage(format!("unknown ctl verb {other:?}"))),
+            }
+            .map_err(|e| failure(e.to_string()))?;
+            println!("{}", response.render());
+            if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(failure(format!("ctl {verb} failed")));
+            }
+            Ok(())
+        }
     }
 }
 
@@ -550,6 +807,136 @@ mod tests {
         assert!(parse_args(&argv(&["partition", "c.hgr", "--bogus"])).is_err());
         assert!(parse_args(&argv(&["partition", "c.hgr", "--threads", "x"])).is_err());
         assert!(parse_args(&argv(&["partition"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&argv(&["serve"])).unwrap(),
+            Command::Serve {
+                addr: DEFAULT_SERVE_ADDR.into(),
+                workers: 0,
+                queue_cap: 64,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "serve", "--addr", "127.0.0.1:0", "--workers", "3", "--queue-cap", "9",
+            ]))
+            .unwrap(),
+            Command::Serve {
+                addr: "127.0.0.1:0".into(),
+                workers: 3,
+                queue_cap: 9,
+            }
+        );
+        assert!(parse_args(&argv(&["serve", "--queue-cap", "0"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_submit_defaults_and_flags() {
+        let cmd = parse_args(&argv(&["submit", "c.hgr"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Submit {
+                file: "c.hgr".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                engine: "prop".into(),
+                runs: 20,
+                seed: 0,
+                r1: 0.45,
+                r2: 0.55,
+                timeout_ms: 0,
+                priority: 0,
+                no_wait: false,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "submit", "c.hgr", "--engine", "ml", "--runs", "4", "--timeout-ms", "250",
+            "--priority", "2", "--no-wait",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Submit {
+                ref engine,
+                runs: 4,
+                timeout_ms: 250,
+                priority: 2,
+                no_wait: true,
+                ..
+            } if engine == "ml"
+        ));
+        assert!(parse_args(&argv(&["submit"])).is_err());
+        assert!(parse_args(&argv(&["submit", "c.hgr", "--priority", "x"])).is_err());
+    }
+
+    #[test]
+    fn parse_ctl_verbs_and_job_requirements() {
+        assert_eq!(
+            parse_args(&argv(&["ctl", "stats"])).unwrap(),
+            Command::Ctl {
+                verb: "stats".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                job: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["ctl", "cancel", "--job", "7", "--addr", "127.0.0.1:9"])).unwrap(),
+            Command::Ctl {
+                verb: "cancel".into(),
+                addr: "127.0.0.1:9".into(),
+                job: Some(7),
+            }
+        );
+        // status/wait/cancel need --job; the others refuse it.
+        assert!(parse_args(&argv(&["ctl", "wait"])).is_err());
+        assert!(parse_args(&argv(&["ctl", "ping", "--job", "1"])).is_err());
+        assert!(parse_args(&argv(&["ctl", "reboot"])).is_err());
+        assert!(parse_args(&argv(&["ctl"])).is_err());
+    }
+
+    #[test]
+    fn submit_against_a_live_daemon_roundtrips() {
+        let handle = prop_serve::start(&prop_serve::ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            ..prop_serve::ServerConfig::default()
+        })
+        .unwrap();
+        let dir = std::env::temp_dir().join(format!("prop-cli-submit-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let file = dir.join("tiny.hgr");
+        let g = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(20, 24, 80).with_seed(6),
+        )
+        .unwrap();
+        std::fs::write(&file, format::write_hgr(&g)).unwrap();
+
+        let cmd = parse_args(&argv(&[
+            "submit",
+            file.to_str().unwrap(),
+            "--addr",
+            &handle.addr().to_string(),
+            "--engine",
+            "fm",
+            "--runs",
+            "2",
+        ]))
+        .unwrap();
+        run(cmd).unwrap();
+
+        let ctl = parse_args(&argv(&[
+            "ctl",
+            "shutdown",
+            "--addr",
+            &handle.addr().to_string(),
+        ]))
+        .unwrap();
+        run(ctl).unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

@@ -1,0 +1,193 @@
+//! Cooperative cancellation of long-running partitioning work.
+//!
+//! A [`CancelToken`] is a cloneable handle around an atomic flag plus an
+//! optional wall-clock deadline. Engines never receive it as a parameter;
+//! instead the multi-run harness (and any other driver, such as the
+//! `prop-serve` daemon's workers) installs the token into a thread-local
+//! slot with [`scope`] — the same pattern the [`crate::audit`] hooks use —
+//! and every pass loop polls [`requested`] at its pass boundaries.
+//!
+//! Design constraints:
+//!
+//! * **Checks are pass-grained.** A tripped token stops an improvement
+//!   run at the next pass boundary, where the partition is always
+//!   balance-feasible (each pass commits its best feasible prefix and
+//!   rolls the rest back), so the partial result is a usable partition.
+//! * **An untripped token is invisible.** The polls read one relaxed
+//!   atomic; they change no control flow, so runs under a token that
+//!   never trips are bit-identical to runs without one.
+//! * **Cancellation is sticky.** Once [`CancelToken::is_cancelled`]
+//!   returns `true` — whether by an explicit [`CancelToken::cancel`] or
+//!   by an expired deadline — it returns `true` forever.
+
+use std::cell::RefCell;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// A cloneable cancellation handle: all clones share one flag and one
+/// deadline, so any holder can stop the work every other holder observes.
+///
+/// ```
+/// use prop_core::cancel::CancelToken;
+///
+/// let token = CancelToken::new();
+/// let watcher = token.clone();
+/// assert!(!watcher.is_cancelled());
+/// token.cancel();
+/// assert!(watcher.is_cancelled());
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CancelToken {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug, Default)]
+struct Inner {
+    flag: AtomicBool,
+    /// Optional wall-clock deadline; crossing it trips `flag` on the next
+    /// poll. Behind a mutex because it is set once per job (by the worker
+    /// that starts executing it) and read only at pass boundaries.
+    deadline: Mutex<Option<Instant>>,
+}
+
+impl CancelToken {
+    /// A fresh, untripped token with no deadline.
+    pub fn new() -> Self {
+        CancelToken::default()
+    }
+
+    /// Trips the token: every current and future [`is_cancelled`] poll on
+    /// any clone returns `true`.
+    ///
+    /// [`is_cancelled`]: CancelToken::is_cancelled
+    pub fn cancel(&self) {
+        self.inner.flag.store(true, Ordering::Relaxed);
+    }
+
+    /// Arms (or replaces) the wall-clock deadline; polls after `deadline`
+    /// report cancellation.
+    pub fn set_deadline(&self, deadline: Instant) {
+        *self.inner.deadline.lock().expect("deadline lock poisoned") = Some(deadline);
+    }
+
+    /// Arms the deadline `timeout` from now.
+    pub fn set_timeout(&self, timeout: Duration) {
+        self.set_deadline(Instant::now() + timeout);
+    }
+
+    /// Whether the token has been tripped (explicitly or by deadline).
+    /// A deadline crossing is latched into the flag, so the (cheap) flag
+    /// check short-circuits all later polls.
+    pub fn is_cancelled(&self) -> bool {
+        if self.inner.flag.load(Ordering::Relaxed) {
+            return true;
+        }
+        let expired = self
+            .inner
+            .deadline
+            .lock()
+            .expect("deadline lock poisoned")
+            .is_some_and(|d| Instant::now() >= d);
+        if expired {
+            self.inner.flag.store(true, Ordering::Relaxed);
+        }
+        expired
+    }
+}
+
+thread_local! {
+    /// The token governing work on this thread, if any.
+    static CURRENT: RefCell<Option<CancelToken>> = const { RefCell::new(None) };
+}
+
+/// Runs `f` with `token` installed as this thread's cancellation token,
+/// restoring the previously installed token (if any) afterwards. Nesting
+/// is allowed; the innermost scope wins.
+pub fn scope<F: FnOnce() -> R, R>(token: &CancelToken, f: F) -> R {
+    let previous = CURRENT.with(|c| c.borrow_mut().replace(token.clone()));
+    struct Restore(Option<CancelToken>);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            let previous = self.0.take();
+            CURRENT.with(|c| *c.borrow_mut() = previous);
+        }
+    }
+    let _restore = Restore(previous);
+    f()
+}
+
+/// Whether the token installed on this thread (if any) has been tripped.
+/// `false` when no token is installed, so pass loops can poll this
+/// unconditionally.
+pub fn requested() -> bool {
+    CURRENT.with(|c| {
+        c.borrow()
+            .as_ref()
+            .is_some_and(CancelToken::is_cancelled)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fresh_token_is_untripped() {
+        let t = CancelToken::new();
+        assert!(!t.is_cancelled());
+        assert!(!t.is_cancelled(), "polling must not trip the token");
+    }
+
+    #[test]
+    fn cancel_is_sticky_and_shared_across_clones() {
+        let t = CancelToken::new();
+        let clone = t.clone();
+        clone.cancel();
+        assert!(t.is_cancelled());
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn deadline_trips_and_latches() {
+        let t = CancelToken::new();
+        t.set_deadline(Instant::now() - Duration::from_millis(1));
+        assert!(t.is_cancelled());
+        // Latched: even if the deadline were pushed out, the flag stays.
+        t.set_deadline(Instant::now() + Duration::from_secs(3600));
+        assert!(t.is_cancelled());
+    }
+
+    #[test]
+    fn future_deadline_does_not_trip() {
+        let t = CancelToken::new();
+        t.set_timeout(Duration::from_secs(3600));
+        assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn scope_installs_and_restores() {
+        assert!(!requested(), "no token installed outside a scope");
+        let outer = CancelToken::new();
+        let inner = CancelToken::new();
+        inner.cancel();
+        scope(&outer, || {
+            assert!(!requested());
+            scope(&inner, || assert!(requested()));
+            // Inner scope restored the outer token.
+            assert!(!requested());
+            outer.cancel();
+            assert!(requested());
+        });
+        assert!(!requested());
+    }
+
+    #[test]
+    fn scope_restores_on_panic() {
+        let tripped = CancelToken::new();
+        tripped.cancel();
+        let result = std::panic::catch_unwind(|| scope(&tripped, || panic!("boom")));
+        assert!(result.is_err());
+        assert!(!requested(), "panicking scope must still uninstall");
+    }
+}

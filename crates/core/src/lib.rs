@@ -49,6 +49,7 @@
 
 pub mod audit;
 mod balance;
+pub mod cancel;
 mod cut;
 mod error;
 pub mod example;
@@ -61,11 +62,12 @@ pub mod prof;
 pub mod prop;
 
 pub use balance::BalanceConstraint;
+pub use cancel::CancelToken;
 pub use cut::{cut_cost, CutState};
 pub use error::PartitionError;
 pub use gain::{fm_gain, fm_gains, probabilistic_gains};
 pub use kway::{recursive_bisection, KwayPartition};
-pub use parallel::{ParallelPolicy, RunBudget};
+pub use parallel::{MultiRunReport, ParallelPolicy, RunBudget, RunStatus};
 pub use partition::{Bipartition, Side, SideWeights};
 pub use partitioner::{GlobalPartitioner, ImproveStats, Partitioner, RunResult};
 pub use prop::{GainInit, NetHot, PassTrace, Prop, PropConfig, SelectionBackend};

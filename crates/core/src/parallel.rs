@@ -19,6 +19,7 @@
 //! bit-identical to [`Partitioner::run_multi`] for every thread count.
 
 use crate::balance::BalanceConstraint;
+use crate::cancel::{self, CancelToken};
 use crate::cut::CutState;
 use crate::error::PartitionError;
 use crate::partition::Bipartition;
@@ -134,6 +135,58 @@ impl RunBudget {
             self.policy,
         )
     }
+
+    /// Runs the budget under a cancellation token; see
+    /// [`Partitioner::run_multi_cancellable`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+    /// [`PartitionError::InvalidConfig`] when `runs == 0`.
+    pub fn execute_cancellable<P: Partitioner + ?Sized>(
+        &self,
+        partitioner: &P,
+        graph: &prop_netlist::Hypergraph,
+        balance: BalanceConstraint,
+        token: &CancelToken,
+    ) -> Result<MultiRunReport, PartitionError> {
+        run_multi_cancellable(
+            partitioner,
+            graph,
+            balance,
+            self.runs,
+            self.base_seed,
+            self.policy,
+            token,
+        )
+    }
+}
+
+/// How a cancellable multi-start invocation terminated.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum RunStatus {
+    /// Every requested run finished; the result is bit-identical to the
+    /// uncancellable harness.
+    Completed,
+    /// The token tripped: runs in flight stopped at their next pass
+    /// boundary, unstarted runs were skipped. The result is the best
+    /// feasible partition found up to that point.
+    Cancelled,
+}
+
+/// Result of a cancellable multi-start invocation.
+#[derive(Clone, PartialEq, Debug)]
+pub struct MultiRunReport {
+    /// The best partition found (over finished and partially-finished
+    /// runs). Always balance-feasible when the initial partitions were.
+    pub result: RunResult,
+    /// Whether the invocation ran to completion or was cut short.
+    pub status: RunStatus,
+    /// How many runs began executing (each contributes one entry to
+    /// `result.run_cuts`, even if it was stopped early). `0` only when
+    /// the token was tripped before any run started, in which case the
+    /// report carries run 0's seeded initial partition unimproved.
+    pub started_runs: usize,
 }
 
 /// One finished run, parked in its slot until every run completes.
@@ -242,6 +295,129 @@ pub(crate) fn run_multi_parallel<P: Partitioner + ?Sized>(
         cut_cost: best.cut,
         total_passes,
         run_cuts,
+    })
+}
+
+/// The shared implementation behind [`Partitioner::run_multi_cancellable`].
+///
+/// Workers poll the token before claiming each run, and each run executes
+/// with the token installed in the thread-local [`cancel`] slot so the
+/// engine's pass loop can stop at a pass boundary. Because claims go
+/// through one atomic counter, the set of started runs is always the
+/// prefix `0..started`, and every started run parks an outcome in its
+/// slot — so `run_cuts` is a prefix of the sequential trajectory.
+///
+/// With a token that never trips this is bit-identical to
+/// [`run_multi_parallel`]: the polls change no control flow and each run
+/// keeps its sequential seed and slot.
+///
+/// # Errors
+///
+/// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+/// [`PartitionError::InvalidConfig`] when `runs == 0`.
+pub(crate) fn run_multi_cancellable<P: Partitioner + ?Sized>(
+    partitioner: &P,
+    graph: &prop_netlist::Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    base_seed: u64,
+    policy: ParallelPolicy,
+    token: &CancelToken,
+) -> Result<MultiRunReport, PartitionError> {
+    if graph.num_nodes() == 0 {
+        return Err(PartitionError::EmptyGraph);
+    }
+    if runs == 0 {
+        return Err(PartitionError::InvalidConfig {
+            message: "runs must be at least 1".into(),
+        });
+    }
+
+    let workers = policy.worker_count(runs);
+    let outcomes: Vec<RunOutcome> = if workers <= 1 {
+        let mut outcomes = Vec::with_capacity(runs);
+        for r in 0..runs {
+            if token.is_cancelled() {
+                break;
+            }
+            outcomes.push(cancel::scope(token, || {
+                execute_run(partitioner, graph, balance, base_seed, r)
+            }));
+        }
+        outcomes
+    } else {
+        let slots: Vec<Mutex<Option<RunOutcome>>> =
+            (0..runs).map(|_| Mutex::new(None)).collect();
+        let next_run = AtomicUsize::new(0);
+        std::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|| loop {
+                    if token.is_cancelled() {
+                        break;
+                    }
+                    let r = next_run.fetch_add(1, Ordering::Relaxed);
+                    if r >= runs {
+                        break;
+                    }
+                    let outcome = cancel::scope(token, || {
+                        execute_run(partitioner, graph, balance, base_seed, r)
+                    });
+                    *slots[r].lock().expect("run slot poisoned") = Some(outcome);
+                });
+            }
+        });
+        // Claims are a contiguous prefix (one atomic counter), and every
+        // claimed run parks an outcome before its worker moves on.
+        slots
+            .into_iter()
+            .map_while(|slot| slot.into_inner().expect("run slot poisoned"))
+            .collect()
+    };
+
+    let started_runs = outcomes.len();
+    let outcomes = if outcomes.is_empty() {
+        // Tripped before any run began: fall back to run 0's seeded
+        // initial partition so the report still carries a feasible
+        // partition with an honestly recounted cut.
+        let mut rng = StdRng::seed_from_u64(base_seed);
+        let partition = Bipartition::random(graph.num_nodes(), &mut rng);
+        let cut = CutState::new(graph, &partition).cut_cost();
+        vec![RunOutcome {
+            partition,
+            cut,
+            passes: 0,
+        }]
+    } else {
+        outcomes
+    };
+
+    let mut total_passes = 0;
+    let mut run_cuts = Vec::with_capacity(outcomes.len());
+    let mut best_index = 0;
+    for (r, outcome) in outcomes.iter().enumerate() {
+        total_passes += outcome.passes;
+        run_cuts.push(outcome.cut);
+        if outcome.cut < outcomes[best_index].cut {
+            best_index = r;
+        }
+    }
+    let best = outcomes
+        .into_iter()
+        .nth(best_index)
+        .expect("best_index is in range");
+    Ok(MultiRunReport {
+        result: RunResult {
+            partition: best.partition,
+            cut_cost: best.cut,
+            total_passes,
+            run_cuts,
+        },
+        status: if token.is_cancelled() {
+            RunStatus::Cancelled
+        } else {
+            RunStatus::Completed
+        },
+        started_runs,
     })
 }
 
@@ -361,6 +537,94 @@ mod tests {
         let expected = Bipartition::random(8, &mut rng);
         assert_eq!(result.partition, expected);
         assert_eq!(result.partition.count(Side::A), 4);
+    }
+
+    #[test]
+    fn untripped_token_is_bit_identical() {
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let plain = Identity.run_multi(&g, balance, 12, 99).unwrap();
+        for policy in [
+            ParallelPolicy::Sequential,
+            ParallelPolicy::Threads(3),
+            ParallelPolicy::Auto,
+        ] {
+            let token = CancelToken::new();
+            let report = Identity
+                .run_multi_cancellable(&g, balance, 12, 99, policy, &token)
+                .unwrap();
+            assert_eq!(report.result, plain, "{policy:?}");
+            assert_eq!(report.status, RunStatus::Completed);
+            assert_eq!(report.started_runs, 12);
+        }
+    }
+
+    #[test]
+    fn pre_tripped_token_yields_seeded_initial_partition() {
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let token = CancelToken::new();
+        token.cancel();
+        for policy in [ParallelPolicy::Sequential, ParallelPolicy::Threads(4)] {
+            let report = Identity
+                .run_multi_cancellable(&g, balance, 6, 42, policy, &token)
+                .unwrap();
+            assert_eq!(report.status, RunStatus::Cancelled);
+            assert_eq!(report.started_runs, 0);
+            assert_eq!(report.result.run_cuts.len(), 1);
+            assert_eq!(report.result.total_passes, 0);
+            // Exactly run 0's seeded initial partition, honestly recounted.
+            let mut rng = StdRng::seed_from_u64(42);
+            let expected = Bipartition::random(8, &mut rng);
+            assert_eq!(report.result.partition, expected);
+            assert_eq!(
+                report.result.cut_cost,
+                CutState::new(&g, &expected).cut_cost()
+            );
+            assert!(report.result.partition.is_balanced(balance));
+        }
+    }
+
+    #[test]
+    fn cancellable_validates_inputs() {
+        let token = CancelToken::new();
+        let empty = HypergraphBuilder::new(0).build().unwrap();
+        assert_eq!(
+            Identity.run_multi_cancellable(
+                &empty,
+                BalanceConstraint::bisection(0),
+                4,
+                0,
+                ParallelPolicy::Auto,
+                &token
+            ),
+            Err(PartitionError::EmptyGraph)
+        );
+        let g = graph();
+        assert!(matches!(
+            Identity.run_multi_cancellable(
+                &g,
+                BalanceConstraint::bisection(8),
+                0,
+                0,
+                ParallelPolicy::Auto,
+                &token
+            ),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn budget_executes_cancellable() {
+        let g = graph();
+        let balance = BalanceConstraint::bisection(8);
+        let budget = RunBudget::new(5).with_seed(3).with_threads(2);
+        let token = CancelToken::new();
+        let report = budget
+            .execute_cancellable(&Identity, &g, balance, &token)
+            .unwrap();
+        assert_eq!(report.result, budget.execute(&Identity, &g, balance).unwrap());
+        assert_eq!(report.status, RunStatus::Completed);
     }
 
     #[test]

@@ -1,8 +1,9 @@
 //! The common interface of iterative-improvement partitioners.
 
 use crate::balance::BalanceConstraint;
+use crate::cancel::CancelToken;
 use crate::error::PartitionError;
-use crate::parallel::{self, ParallelPolicy};
+use crate::parallel::{self, MultiRunReport, ParallelPolicy};
 use crate::partition::Bipartition;
 
 /// Statistics of one improvement run (a sequence of passes from one
@@ -130,6 +131,31 @@ pub trait Partitioner: Sync {
         policy: ParallelPolicy,
     ) -> Result<RunResult, PartitionError> {
         parallel::run_multi_parallel(self, graph, balance, runs, base_seed, policy)
+    }
+
+    /// Like [`run_multi_parallel`], but under a cooperative cancellation
+    /// token: tripping `token` (explicitly or by deadline) stops runs in
+    /// flight at their next pass boundary and skips unstarted runs,
+    /// returning the best feasible partition found so far. With a token
+    /// that never trips the report's result is bit-identical to
+    /// [`run_multi_parallel`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EmptyGraph`] for a node-less graph and
+    /// [`PartitionError::InvalidConfig`] when `runs == 0`.
+    ///
+    /// [`run_multi_parallel`]: Partitioner::run_multi_parallel
+    fn run_multi_cancellable(
+        &self,
+        graph: &prop_netlist::Hypergraph,
+        balance: BalanceConstraint,
+        runs: usize,
+        base_seed: u64,
+        policy: ParallelPolicy,
+        token: &CancelToken,
+    ) -> Result<MultiRunReport, PartitionError> {
+        parallel::run_multi_cancellable(self, graph, balance, runs, base_seed, policy, token)
     }
 }
 

@@ -105,6 +105,12 @@ impl Prop {
         let mut engine = Engine::new(graph, &self.config, balance);
         let mut traces = Vec::new();
         while traces.len() < self.config.max_passes {
+            // Cooperative cancellation: stop at the pass boundary, where
+            // the partition is feasible (each pass commits its best
+            // feasible prefix). No-op unless a tripped token is installed.
+            if crate::cancel::requested() {
+                break;
+            }
             let (committed, trace) = engine.run_pass(partition, &mut cut);
             traces.push(trace);
             if committed <= 0.0 {

@@ -1,0 +1,200 @@
+//! Service-overhead benchmark for the `prop-serve` daemon.
+//!
+//! Answers two questions about putting a socket in front of the engines:
+//!
+//! 1. **Latency overhead** — per circuit, the best-of-R PROP protocol is
+//!    timed as a direct library call and as a loopback `submit wait=1`
+//!    round trip (wire encode, queueing, worker dispatch, JSON response).
+//!    Both paths must produce the identical cut *and* the identical
+//!    assignment hash — the daemon is only allowed to cost time, never
+//!    quality.
+//! 2. **Throughput** — a batch of short jobs is submitted without
+//!    waiting and then collected, reporting jobs/second through the
+//!    queue + worker pool.
+//!
+//! Shared options: `--quick`, `--runs <n>`, `--circuit <name>`,
+//! `--threads <n>` (daemon worker-pool size; 0/absent = 2). Extra:
+//! `--jobs <n>` for the throughput batch size (default 16).
+
+use prop_core::{BalanceConstraint, Partitioner};
+use prop_experiments::{methods, Options};
+use prop_netlist::{format, suite};
+use prop_serve::{engine, server, Client, Json, ServerConfig, SubmitRequest};
+use std::time::Instant;
+
+const CIRCUITS: [&str; 2] = ["balu", "struct"];
+
+fn serve_usage(message: &str) -> ! {
+    eprintln!("error: {message}");
+    eprintln!(
+        "usage: bench_serve [--quick] [--circuit <name>] [--runs <n>] [--threads <n>] \
+         [--jobs <n>]"
+    );
+    std::process::exit(2)
+}
+
+fn parse_serve_args() -> (Options, usize) {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (opts, leftover) =
+        Options::parse_known(&args).unwrap_or_else(|message| serve_usage(&message));
+    let mut jobs = 16usize;
+    let mut it = leftover.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--jobs" => {
+                let v = it
+                    .next()
+                    .unwrap_or_else(|| serve_usage("--jobs requires a value: --jobs <n>"));
+                jobs = v
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| serve_usage(&format!("bad value {v:?} for --jobs")));
+            }
+            other => serve_usage(&format!("unknown argument {other:?}")),
+        }
+    }
+    (opts, jobs)
+}
+
+fn main() {
+    let (opts, batch_jobs) = parse_serve_args();
+    let runs = opts.scaled_runs(10);
+    let workers = match opts.threads {
+        Some(n) if n >= 1 => n,
+        _ => 2,
+    };
+    let mut circuits: Vec<&str> = CIRCUITS.to_vec();
+    if let Some(only) = &opts.circuit {
+        circuits.retain(|c| c == only);
+        if circuits.is_empty() {
+            serve_usage(&format!(
+                "--circuit {only:?} is not part of the serve benchmark ({})",
+                CIRCUITS.join(", ")
+            ));
+        }
+    }
+
+    let handle = server::start(&ServerConfig {
+        workers,
+        queue_cap: batch_jobs.max(64),
+        ..ServerConfig::default()
+    })
+    .expect("bind loopback daemon");
+    println!(
+        "daemon on {} ({workers} workers); best-of-{runs} PROP per circuit",
+        handle.addr()
+    );
+
+    let prop = methods::prop();
+    for name in &circuits {
+        let spec = suite::by_name(name).expect("benchmark circuit");
+        let graph = spec.instantiate().expect("valid Table-1 spec");
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+        let payload = format::write_hgr(&graph);
+
+        let start = Instant::now();
+        let direct = prop
+            .run_multi(&graph, balance, runs, 0)
+            .expect("non-empty graph");
+        let direct_s = start.elapsed().as_secs_f64();
+        let direct_hash = engine::assignment_hash(direct.partition.sides());
+
+        let mut client = Client::connect(handle.addr()).expect("connect to daemon");
+        let start = Instant::now();
+        let response = client
+            .submit(&SubmitRequest {
+                engine: "prop".into(),
+                runs,
+                seed: 0,
+                payload,
+                wait: true,
+                ..SubmitRequest::default()
+            })
+            .expect("submit round trip");
+        let serve_s = start.elapsed().as_secs_f64();
+
+        assert_eq!(
+            response.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "{name}: {}",
+            response.render()
+        );
+        let served_cut = response
+            .get("cut")
+            .and_then(Json::as_f64)
+            .expect("cut in response");
+        let served_hash = response
+            .get("assignment_hash")
+            .and_then(Json::as_str)
+            .and_then(prop_serve::json::parse_hex64)
+            .expect("assignment hash in response");
+        assert_eq!(
+            served_cut, direct.cut_cost,
+            "{name}: daemon cut diverged from the direct run"
+        );
+        assert_eq!(
+            served_hash, direct_hash,
+            "{name}: daemon assignment diverged from the direct run"
+        );
+
+        let overhead = serve_s - direct_s;
+        println!(
+            "  {name}: direct {direct_s:.3}s, via daemon {serve_s:.3}s \
+             (overhead {:+.1} ms, {:+.1}%), cut {} [bit-identical]",
+            overhead * 1e3,
+            100.0 * overhead / direct_s.max(1e-12),
+            direct.cut_cost
+        );
+    }
+
+    // Throughput: a batch of 1-run FM jobs through the queue.
+    let spec = suite::by_name(CIRCUITS[0]).expect("benchmark circuit");
+    let graph = spec.instantiate().expect("valid Table-1 spec");
+    let payload = format::write_hgr(&graph);
+    let mut client = Client::connect(handle.addr()).expect("connect to daemon");
+    let start = Instant::now();
+    let mut ids = Vec::with_capacity(batch_jobs);
+    for seed in 0..batch_jobs as u64 {
+        let response = client
+            .submit(&SubmitRequest {
+                engine: "fm".into(),
+                runs: 1,
+                seed,
+                payload: payload.clone(),
+                ..SubmitRequest::default()
+            })
+            .expect("submit batch job");
+        let id = response
+            .get("job")
+            .and_then(Json::as_u64)
+            .unwrap_or_else(|| panic!("batch admission failed: {}", response.render()));
+        ids.push(id);
+    }
+    for id in ids {
+        let done = client.wait(id).expect("wait for batch job");
+        assert_eq!(
+            done.get("status").and_then(Json::as_str),
+            Some("completed"),
+            "{}",
+            done.render()
+        );
+    }
+    let batch_s = start.elapsed().as_secs_f64();
+    println!(
+        "  throughput: {batch_jobs} one-run FM jobs in {batch_s:.3}s \
+         ({:.1} jobs/s through {workers} workers)",
+        batch_jobs as f64 / batch_s.max(1e-12)
+    );
+
+    let stats = client.stats().expect("stats round trip");
+    let completed = stats
+        .get("stats")
+        .and_then(|s| s.get("jobs"))
+        .and_then(|j| j.get("completed"))
+        .and_then(Json::as_u64)
+        .unwrap_or(0);
+    println!("  daemon completed {completed} jobs total");
+    client.shutdown().expect("shutdown round trip");
+    handle.join();
+}

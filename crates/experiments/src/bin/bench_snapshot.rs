@@ -182,27 +182,45 @@ fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str)
         .collect()
 }
 
-/// Writes the snapshot: fresh file by default, appended to an existing
-/// JSON array when a label marks the rows as a trajectory point.
+/// The identity of a snapshot row for append-mode deduplication.
+fn row_key(line: &str) -> Option<(String, String, String, String)> {
+    Some((
+        field(line, "label")?.to_string(),
+        field(line, "circuit")?.to_string(),
+        field(line, "method")?.to_string(),
+        field(line, "threads")?.to_string(),
+    ))
+}
+
+/// Merges new rows into an existing snapshot body: any old row with the
+/// same (label, circuit, method, threads) key as a new row is dropped, so
+/// re-running a labelled snapshot updates its trajectory point in place
+/// instead of accumulating duplicates. Rows from other labels are kept.
+fn merge_rows(existing: &str, rows: &[String]) -> Vec<String> {
+    let new_keys: Vec<_> = rows.iter().filter_map(|r| row_key(r)).collect();
+    let mut merged: Vec<String> = existing
+        .lines()
+        .filter(|line| line.contains("\"circuit\""))
+        .filter(|line| row_key(line).is_none_or(|key| !new_keys.contains(&key)))
+        .map(|line| line.trim_end().trim_end_matches(',').to_string())
+        .collect();
+    merged.extend(rows.iter().cloned());
+    merged
+}
+
+/// Writes the snapshot: fresh file by default, merged into an existing
+/// JSON array (deduplicating by row key) when a label marks the rows as
+/// a trajectory point.
 fn write_snapshot(path: &str, rows: &[String], append: bool) {
-    let body = if append {
+    let all = if append {
         match std::fs::read_to_string(path) {
-            Ok(existing) => {
-                let trimmed = existing.trim_end().trim_end_matches(']').trim_end();
-                let mut out = trimmed.to_string();
-                if out.ends_with('}') {
-                    out.push(',');
-                }
-                out.push('\n');
-                out.push_str(&rows.join(",\n"));
-                out.push_str("\n]\n");
-                out
-            }
-            Err(_) => format!("[\n{}\n]\n", rows.join(",\n")),
+            Ok(existing) => merge_rows(&existing, rows),
+            Err(_) => rows.to_vec(),
         }
     } else {
-        format!("[\n{}\n]\n", rows.join(",\n"))
+        rows.to_vec()
     };
+    let body = format!("[\n{}\n]\n", all.join(",\n"));
     std::fs::write(path, body).expect("write benchmark snapshot");
 }
 
@@ -428,4 +446,82 @@ fn main() {
     );
     write_snapshot(path, &rows, extra.label.is_some());
     println!("wrote {path} ({} new records)", rows.len());
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn row(label: &str, circuit: &str, method: &str, threads: usize, cut: f64) -> String {
+        let rendered = render_rows(
+            &[Record {
+                circuit: circuit.to_string(),
+                method: method.to_string(),
+                runs: 4,
+                threads,
+                best_cut: cut,
+                secs_total: 1.0,
+            }],
+            8,
+            "deadbeef",
+            label,
+        );
+        rendered.into_iter().next().unwrap()
+    }
+
+    #[test]
+    fn field_extracts_values_from_rendered_rows() {
+        let line = row("v1", "balu", "PROP", 1, 27.0);
+        assert_eq!(field(&line, "circuit"), Some("balu"));
+        assert_eq!(field(&line, "method"), Some("PROP"));
+        assert_eq!(field(&line, "threads"), Some("1"));
+        assert_eq!(field(&line, "label"), Some("v1"));
+        assert_eq!(field(&line, "missing"), None);
+    }
+
+    #[test]
+    fn merge_replaces_rows_with_the_same_key() {
+        let old = format!("[\n{},\n{}\n]\n", row("v1", "balu", "PROP", 1, 27.0),
+            row("v1", "p2", "PROP", 1, 150.0));
+        // Re-running the v1/balu/PROP/1 point must replace the stale row,
+        // not duplicate it; the untouched p2 row survives.
+        let fresh = vec![row("v1", "balu", "PROP", 1, 25.0)];
+        let merged = merge_rows(&old, &fresh);
+        assert_eq!(merged.len(), 2);
+        assert!(merged[0].contains("\"circuit\": \"p2\""));
+        assert!(merged[1].contains("\"best_cut\": 25"));
+        let dupes = merged
+            .iter()
+            .filter(|l| l.contains("\"circuit\": \"balu\""))
+            .count();
+        assert_eq!(dupes, 1);
+    }
+
+    #[test]
+    fn merge_keys_distinguish_label_method_and_threads() {
+        let old = format!(
+            "[\n{},\n{},\n{}\n]\n",
+            row("v1", "balu", "PROP", 1, 27.0),
+            row("v2", "balu", "PROP", 1, 27.0),
+            row("v1", "balu", "FM-bucket", 1, 30.0),
+        );
+        let fresh = vec![row("v1", "balu", "PROP", 8, 27.0)];
+        // Different threads: nothing replaced, row appended.
+        let merged = merge_rows(&old, &fresh);
+        assert_eq!(merged.len(), 4);
+        // Same key but different label: only the v1 row is replaced.
+        let merged = merge_rows(&old, &[row("v1", "balu", "PROP", 1, 20.0)]);
+        assert_eq!(merged.len(), 3);
+        assert!(merged.iter().any(|l| l.contains("\"label\": \"v2\"")));
+        assert!(merged.iter().any(|l| l.contains("\"best_cut\": 20")));
+    }
+
+    #[test]
+    fn merge_tolerates_garbage_and_preserves_bracketless_lines() {
+        let old = "[\nnot a row\n]\n";
+        let merged = merge_rows(old, &[row("v1", "balu", "PROP", 1, 1.0)]);
+        // Non-row lines are dropped (they never contained records), and
+        // the new rows always land.
+        assert_eq!(merged.len(), 1);
+    }
 }

@@ -239,6 +239,11 @@ fn improve_with<C: GainContainer>(
     let mut cut = CutState::new(graph, partition);
     let mut passes = 0;
     while passes < max_passes {
+        // Cooperative cancellation at the pass boundary (no-op unless a
+        // tripped token is installed on this thread).
+        if prop_core::cancel::requested() {
+            break;
+        }
         passes += 1;
         let committed =
             run_fm_pass(engine, graph, partition, &mut cut, balance, container, state);

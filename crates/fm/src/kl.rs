@@ -119,6 +119,10 @@ impl Partitioner for Kl {
         let clique = CliqueGraph::build(graph, self.max_clique_net);
         let mut passes = 0;
         while passes < self.max_passes {
+            // Cooperative cancellation at the pass boundary.
+            if prop_core::cancel::requested() {
+                break;
+            }
             passes += 1;
             if self.run_pass(&clique, partition, n) <= 0.0 {
                 break;

@@ -155,6 +155,10 @@ impl Partitioner for La {
         let mut epoch = 0u32;
 
         while passes < self.max_passes {
+            // Cooperative cancellation at the pass boundary.
+            if prop_core::cancel::requested() {
+                break;
+            }
             passes += 1;
             locked.iter_mut().for_each(|l| *l = false);
             prefix.clear();

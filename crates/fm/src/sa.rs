@@ -123,6 +123,12 @@ impl Partitioner for SimulatedAnnealing {
         let mut temperature = t0;
         let mut steps = 0usize;
         while temperature > t0 * self.freeze_ratio {
+            // Cooperative cancellation at the temperature-step boundary;
+            // the post-loop restore below still lands on the best feasible
+            // state seen so far.
+            if prop_core::cancel::requested() {
+                break;
+            }
             steps += 1;
             for _ in 0..self.moves_per_node * n {
                 let v = NodeId::new(rng.gen_range(0..n));

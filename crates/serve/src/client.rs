@@ -1,0 +1,139 @@
+//! A small blocking client for the daemon's wire protocol, used by the
+//! CLI `submit` command, the integration tests, and the serve benchmark.
+
+use crate::json::{self, Json};
+use crate::wire::SubmitRequest;
+use std::fmt;
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's response line was not valid protocol JSON (or the
+    /// connection closed before a response arrived).
+    Protocol(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking connection to a `prop-serve` daemon.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running daemon.
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Self> {
+        let writer = TcpStream::connect(addr)?;
+        writer.set_nodelay(true)?;
+        let reader = BufReader::new(writer.try_clone()?);
+        Ok(Client { reader, writer })
+    }
+
+    /// Sends one request line and reads the one-line JSON response.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::Io`] on socket failures, [`ClientError::Protocol`]
+    /// on EOF before a response or an unparseable response line.
+    pub fn roundtrip(&mut self, line: &str) -> Result<Json, ClientError> {
+        self.writer.write_all(line.as_bytes())?;
+        self.writer.write_all(b"\n")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(ClientError::Protocol(
+                "server closed the connection before responding".into(),
+            ));
+        }
+        json::parse(response.trim_end())
+            .map_err(|e| ClientError::Protocol(format!("bad response JSON: {e}")))
+    }
+
+    /// Liveness probe.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn ping(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip("ping")
+    }
+
+    /// Fetches the metrics snapshot.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn stats(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip("stats")
+    }
+
+    /// Requests the graceful drain.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn shutdown(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip("shutdown")
+    }
+
+    /// Submits a job (blocking for the result when `request.wait`).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn submit(&mut self, request: &SubmitRequest) -> Result<Json, ClientError> {
+        self.roundtrip(&request.render())
+    }
+
+    /// Queries a job without blocking.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn status(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.roundtrip(&format!("status job={job}"))
+    }
+
+    /// Blocks until the job is terminal and returns its final view.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn wait(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.roundtrip(&format!("wait job={job}"))
+    }
+
+    /// Trips the job's cancellation token.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn cancel(&mut self, job: u64) -> Result<Json, ClientError> {
+        self.roundtrip(&format!("cancel job={job}"))
+    }
+}

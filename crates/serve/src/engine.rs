@@ -1,0 +1,222 @@
+//! Engine dispatch for the daemon's workers.
+//!
+//! The configurations here mirror `prop-cli`'s `run_method` exactly, and
+//! iterative engines run through the cancellable multi-start harness with
+//! the [`ParallelPolicy::Sequential`] policy — which the harness guarantees
+//! is bit-identical to `run_multi` / `run_multi_parallel` when the token
+//! never trips. A result fetched through the daemon therefore matches a
+//! direct library call byte for byte (the round-trip test pins this).
+
+use prop_core::{
+    cancel, BalanceConstraint, CancelToken, MultiRunReport, ParallelPolicy, PartitionError,
+    Partitioner, Prop, PropConfig, RunStatus, Side,
+};
+use prop_core::GlobalPartitioner;
+use prop_fm::{FmBucket, FmTree};
+use prop_multilevel::Multilevel;
+use prop_netlist::{format, Hypergraph};
+
+/// The engines the daemon serves.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum EngineKind {
+    /// PROP with the calibrated configuration (the default).
+    Prop,
+    /// PROP with the paper's published constants.
+    PropPaper,
+    /// Bucket-list FM.
+    Fm,
+    /// Tree-ordered FM.
+    FmTree,
+    /// Multilevel PROP (a global, single-shot method).
+    Ml,
+}
+
+/// Every engine, in wire/metrics order.
+pub const ALL_ENGINES: [EngineKind; 5] = [
+    EngineKind::Prop,
+    EngineKind::PropPaper,
+    EngineKind::Fm,
+    EngineKind::FmTree,
+    EngineKind::Ml,
+];
+
+impl EngineKind {
+    /// Parses a wire engine name.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name {
+            "prop" => Some(EngineKind::Prop),
+            "prop-paper" => Some(EngineKind::PropPaper),
+            "fm" => Some(EngineKind::Fm),
+            "fm-tree" => Some(EngineKind::FmTree),
+            "ml" => Some(EngineKind::Ml),
+            _ => None,
+        }
+    }
+
+    /// The wire name.
+    pub fn name(self) -> &'static str {
+        match self {
+            EngineKind::Prop => "prop",
+            EngineKind::PropPaper => "prop-paper",
+            EngineKind::Fm => "fm",
+            EngineKind::FmTree => "fm-tree",
+            EngineKind::Ml => "ml",
+        }
+    }
+
+    /// Dense index into per-engine metric arrays.
+    pub fn index(self) -> usize {
+        match self {
+            EngineKind::Prop => 0,
+            EngineKind::PropPaper => 1,
+            EngineKind::Fm => 2,
+            EngineKind::FmTree => 3,
+            EngineKind::Ml => 4,
+        }
+    }
+}
+
+/// Parses a submitted netlist payload (`hgr` or `netd`).
+///
+/// # Errors
+///
+/// Returns the parser's message for malformed payloads and an
+/// explanatory message for unknown format names.
+pub fn parse_payload(fmt: &str, payload: &str) -> Result<Hypergraph, String> {
+    match fmt {
+        "hgr" => format::parse_hgr(payload).map_err(|e| e.to_string()),
+        "netd" => format::parse_netd(payload).map_err(|e| e.to_string()),
+        other => Err(format!("unknown netlist format {other:?}")),
+    }
+}
+
+/// Runs `kind` on `graph` under `token`, reporting whether the execution
+/// completed or stopped early.
+///
+/// Iterative engines use the cancellable sequential multi-start harness;
+/// the multilevel engine installs the token around its single global run
+/// (the inner PROP refinement polls it at pass boundaries).
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] from the engine.
+pub fn execute(
+    kind: EngineKind,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    seed: u64,
+    token: &CancelToken,
+) -> Result<MultiRunReport, PartitionError> {
+    let iterative: Option<Box<dyn Partitioner>> = match kind {
+        EngineKind::Prop => Some(Box::new(Prop::new(PropConfig::calibrated()))),
+        EngineKind::PropPaper => Some(Box::new(Prop::new(PropConfig::default()))),
+        EngineKind::Fm => Some(Box::new(FmBucket::default())),
+        EngineKind::FmTree => Some(Box::new(FmTree::default())),
+        EngineKind::Ml => None,
+    };
+    match iterative {
+        Some(p) => p.run_multi_cancellable(
+            graph,
+            balance,
+            runs,
+            seed,
+            ParallelPolicy::Sequential,
+            token,
+        ),
+        None => {
+            let ml = Multilevel::new(Prop::new(PropConfig::calibrated()));
+            let result = cancel::scope(token, || ml.partition(graph, balance))?;
+            Ok(MultiRunReport {
+                result,
+                status: if token.is_cancelled() {
+                    RunStatus::Cancelled
+                } else {
+                    RunStatus::Completed
+                },
+                started_runs: 1,
+            })
+        }
+    }
+}
+
+/// FNV-1a 64 over the node→side assignment (one byte per node, `0` for
+/// side A, `1` for side B). Clients compare this against a locally
+/// computed hash to confirm bit-identical placement without shipping the
+/// whole vector.
+pub fn assignment_hash(sides: &[Side]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &s in sides {
+        hash ^= u64::from(s == Side::B);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+
+    #[test]
+    fn engine_names_roundtrip() {
+        for kind in ALL_ENGINES {
+            assert_eq!(EngineKind::from_name(kind.name()), Some(kind));
+        }
+        assert_eq!(EngineKind::from_name("sa2"), None);
+        let mut seen = [false; ALL_ENGINES.len()];
+        for kind in ALL_ENGINES {
+            assert!(!seen[kind.index()], "duplicate index");
+            seen[kind.index()] = true;
+        }
+    }
+
+    #[test]
+    fn payload_parsing_matches_formats() {
+        let g = generate(&GeneratorConfig::new(12, 14, 48).with_seed(5)).unwrap();
+        let hgr = format::write_hgr(&g);
+        let netd = format::write_netd(&g);
+        assert_eq!(parse_payload("hgr", &hgr).unwrap().num_nodes(), 12);
+        assert_eq!(parse_payload("netd", &netd).unwrap().num_nodes(), 12);
+        assert!(parse_payload("hgr", "not a netlist").is_err());
+        assert!(parse_payload("xml", &hgr).is_err());
+    }
+
+    #[test]
+    fn untripped_execution_matches_direct_run_multi() {
+        let g = generate(&GeneratorConfig::new(60, 70, 240).with_seed(3)).unwrap();
+        let balance = BalanceConstraint::new(0.45, 0.55, 60).unwrap();
+        let token = CancelToken::new();
+        for kind in [EngineKind::Prop, EngineKind::Fm, EngineKind::FmTree] {
+            let report = execute(kind, &g, balance, 3, 7, &token).unwrap();
+            assert_eq!(report.status, RunStatus::Completed);
+            assert_eq!(report.started_runs, 3);
+            let direct: Box<dyn Partitioner> = match kind {
+                EngineKind::Prop => Box::new(Prop::new(PropConfig::calibrated())),
+                EngineKind::Fm => Box::new(FmBucket::default()),
+                _ => Box::new(FmTree::default()),
+            };
+            let expect = direct.run_multi(&g, balance, 3, 7).unwrap();
+            assert_eq!(report.result, expect, "{}", kind.name());
+        }
+    }
+
+    #[test]
+    fn ml_executes_and_reports_completed() {
+        let g = generate(&GeneratorConfig::new(80, 90, 300).with_seed(4)).unwrap();
+        let balance = BalanceConstraint::new(0.45, 0.55, 80).unwrap();
+        let token = CancelToken::new();
+        let report = execute(EngineKind::Ml, &g, balance, 1, 0, &token).unwrap();
+        assert_eq!(report.status, RunStatus::Completed);
+        assert!(report.result.partition.is_balanced(balance));
+    }
+
+    #[test]
+    fn assignment_hash_discriminates_and_is_stable() {
+        let a = [Side::A, Side::B, Side::A];
+        let b = [Side::A, Side::A, Side::B];
+        assert_eq!(assignment_hash(&a), assignment_hash(&a));
+        assert_ne!(assignment_hash(&a), assignment_hash(&b));
+        assert_ne!(assignment_hash(&a[..2]), assignment_hash(&a));
+    }
+}

@@ -1,0 +1,57 @@
+//! `prop-serve` — a std-only partitioning daemon over the PROP suite.
+//!
+//! The daemon turns the library's deterministic multi-start harness into
+//! a long-running service: clients submit netlists over TCP, a bounded
+//! priority queue applies admission control, a worker pool runs the
+//! engines through the cancellable harness, and a `stats` endpoint
+//! exposes live counters and latency histograms. Results are
+//! **bit-identical** to direct library calls — the workers use the same
+//! sequential multi-start protocol, and an untripped cancellation token
+//! changes no control flow.
+//!
+//! The wire protocol is deliberately minimal (the build environment has
+//! no registry access, so everything here is hand-rolled std): one
+//! `\n`-terminated `verb key=value...` line per request, one line of
+//! compact JSON per response. See [`wire`] for the codec and DESIGN.md
+//! §11 for the full specification.
+//!
+//! ```no_run
+//! use prop_serve::{client::Client, server, wire::SubmitRequest};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let handle = server::start(&server::ServerConfig::default())?;
+//! let mut client = Client::connect(handle.addr())?;
+//! let response = client.submit(&SubmitRequest {
+//!     engine: "prop".into(),
+//!     runs: 4,
+//!     payload: "2 2\n1 2\n1 2\n".into(),
+//!     wait: true,
+//!     ..SubmitRequest::default()
+//! })?;
+//! println!("{}", response.render());
+//! client.shutdown()?;
+//! handle.join();
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod engine;
+pub mod job;
+pub mod json;
+pub mod metrics;
+pub mod queue;
+pub mod server;
+pub mod wire;
+
+pub use client::{Client, ClientError};
+pub use engine::EngineKind;
+pub use job::{JobOutcome, JobPhase, JobStatus, JobTable, JobView};
+pub use json::Json;
+pub use metrics::Metrics;
+pub use queue::{JobQueue, PushError};
+pub use server::{start, ServerConfig, ServerHandle};
+pub use wire::{Request, SubmitRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};

@@ -1,0 +1,204 @@
+//! The daemon's bounded, priority-aware job queue.
+//!
+//! Admission control happens at the producer: [`JobQueue::try_push`]
+//! rejects outright once the queue holds `capacity` jobs (the connection
+//! handler turns that into a 429-style `queue_full` error), so a burst of
+//! submissions cannot grow daemon memory without bound. Consumers block
+//! on [`JobQueue::pop_blocking`], which serves the highest non-empty
+//! priority lane first and is FIFO within a lane.
+//!
+//! Shutdown is a drain, not an abort: [`JobQueue::drain`] wakes every
+//! blocked worker, but `pop_blocking` keeps handing out queued jobs and
+//! only returns `None` once the lanes are empty — in-flight and queued
+//! work completes before the daemon exits.
+
+use crate::wire::MAX_PRIORITY;
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+
+const LANES: usize = MAX_PRIORITY as usize + 1;
+
+struct State {
+    /// One FIFO lane per priority level; index = priority.
+    lanes: [VecDeque<u64>; LANES],
+    /// Total queued jobs across lanes (kept to make `depth` O(1)).
+    len: usize,
+    /// Set by [`JobQueue::drain`]: no further admissions, pop until empty.
+    draining: bool,
+}
+
+/// A bounded multi-priority MPMC queue of job ids.
+pub struct JobQueue {
+    capacity: usize,
+    state: Mutex<State>,
+    available: Condvar,
+}
+
+/// Why [`JobQueue::try_push`] refused a job.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum PushError {
+    /// The queue already holds `capacity` jobs.
+    Full,
+    /// The daemon is shutting down and admits nothing new.
+    Draining,
+}
+
+impl JobQueue {
+    /// Creates a queue admitting at most `capacity` queued jobs
+    /// (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        JobQueue {
+            capacity: capacity.max(1),
+            state: Mutex::new(State {
+                lanes: std::array::from_fn(|_| VecDeque::new()),
+                len: 0,
+                draining: false,
+            }),
+            available: Condvar::new(),
+        }
+    }
+
+    /// The admission capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Jobs currently queued (not yet claimed by a worker).
+    pub fn depth(&self) -> usize {
+        self.state.lock().expect("queue lock").len
+    }
+
+    /// Enqueues `job` at `priority` (clamped to [`MAX_PRIORITY`]).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Draining`] after
+    /// [`JobQueue::drain`].
+    pub fn try_push(&self, job: u64, priority: u8) -> Result<(), PushError> {
+        let mut state = self.state.lock().expect("queue lock");
+        if state.draining {
+            return Err(PushError::Draining);
+        }
+        if state.len >= self.capacity {
+            return Err(PushError::Full);
+        }
+        let lane = (priority.min(MAX_PRIORITY)) as usize;
+        state.lanes[lane].push_back(job);
+        state.len += 1;
+        drop(state);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job: highest non-empty priority lane first,
+    /// FIFO within a lane. Returns `None` only when the queue is draining
+    /// *and* empty.
+    pub fn pop_blocking(&self) -> Option<u64> {
+        let mut state = self.state.lock().expect("queue lock");
+        loop {
+            if state.len > 0 {
+                for lane in state.lanes.iter_mut().rev() {
+                    if let Some(job) = lane.pop_front() {
+                        state.len -= 1;
+                        return Some(job);
+                    }
+                }
+                unreachable!("len > 0 implies a non-empty lane");
+            }
+            if state.draining {
+                return None;
+            }
+            state = self.available.wait(state).expect("queue lock");
+        }
+    }
+
+    /// Switches to drain mode: rejects new pushes, wakes all blocked
+    /// consumers, and lets them empty the lanes before retiring.
+    pub fn drain(&self) {
+        self.state.lock().expect("queue lock").draining = true;
+        self.available.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    #[test]
+    fn fifo_within_a_priority() {
+        let q = JobQueue::new(8);
+        for id in 0..4 {
+            q.try_push(id, 1).unwrap();
+        }
+        assert_eq!(q.depth(), 4);
+        for id in 0..4 {
+            assert_eq!(q.pop_blocking(), Some(id));
+        }
+        assert_eq!(q.depth(), 0);
+    }
+
+    #[test]
+    fn higher_priority_preempts_queue_order() {
+        let q = JobQueue::new(8);
+        q.try_push(10, 0).unwrap();
+        q.try_push(11, 2).unwrap();
+        q.try_push(12, 3).unwrap();
+        q.try_push(13, 2).unwrap();
+        assert_eq!(q.pop_blocking(), Some(12));
+        assert_eq!(q.pop_blocking(), Some(11));
+        assert_eq!(q.pop_blocking(), Some(13));
+        assert_eq!(q.pop_blocking(), Some(10));
+    }
+
+    #[test]
+    fn admission_control_rejects_at_capacity() {
+        let q = JobQueue::new(2);
+        q.try_push(0, 0).unwrap();
+        q.try_push(1, 0).unwrap();
+        assert_eq!(q.try_push(2, 0), Err(PushError::Full));
+        // Claiming one frees a slot.
+        assert_eq!(q.pop_blocking(), Some(0));
+        q.try_push(2, 0).unwrap();
+    }
+
+    #[test]
+    fn out_of_range_priority_is_clamped() {
+        let q = JobQueue::new(2);
+        q.try_push(7, 200).unwrap();
+        q.try_push(8, MAX_PRIORITY).unwrap();
+        assert_eq!(q.pop_blocking(), Some(7));
+        assert_eq!(q.pop_blocking(), Some(8));
+    }
+
+    #[test]
+    fn drain_serves_backlog_then_retires_consumers() {
+        let q = Arc::new(JobQueue::new(8));
+        q.try_push(1, 0).unwrap();
+        q.try_push(2, 0).unwrap();
+        q.drain();
+        assert_eq!(q.try_push(3, 0), Err(PushError::Draining));
+        assert_eq!(q.pop_blocking(), Some(1));
+        assert_eq!(q.pop_blocking(), Some(2));
+        assert_eq!(q.pop_blocking(), None);
+
+        // A consumer blocked on an empty queue wakes and retires.
+        let q2 = Arc::new(JobQueue::new(8));
+        let waiter = {
+            let q2 = Arc::clone(&q2);
+            thread::spawn(move || q2.pop_blocking())
+        };
+        thread::sleep(std::time::Duration::from_millis(20));
+        q2.drain();
+        assert_eq!(waiter.join().unwrap(), None);
+    }
+
+    #[test]
+    fn capacity_floor_is_one() {
+        let q = JobQueue::new(0);
+        assert_eq!(q.capacity(), 1);
+        q.try_push(0, 0).unwrap();
+        assert_eq!(q.try_push(1, 0), Err(PushError::Full));
+    }
+}

@@ -1,0 +1,562 @@
+//! The daemon itself: listener, connection handlers, and the worker pool.
+//!
+//! Threading model:
+//!
+//! * one accept thread, nonblocking with a short poll sleep so it can
+//!   observe the shutdown flag;
+//! * one detached handler thread per connection, reading line-delimited
+//!   requests under the configured size cap and a generous idle timeout;
+//! * `workers` pool threads, each blocking on the job queue, arming the
+//!   job's deadline, installing its cancellation token, and running the
+//!   engine under `catch_unwind` so a panicking job fails that job — not
+//!   the daemon.
+//!
+//! Shutdown (the `shutdown` verb or [`ServerHandle::shutdown`]) is
+//! graceful: the listener stops accepting, new submits are refused with
+//! `shutting_down`, queued jobs drain, and [`ServerHandle::join`] returns
+//! once every worker has retired.
+
+use crate::engine::{self, EngineKind};
+use crate::job::{JobOutcome, JobStatus, JobTable, JobView};
+use crate::json::{self, Json};
+use crate::metrics::Metrics;
+use crate::queue::{JobQueue, PushError};
+use crate::wire::{self, Request, SubmitRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};
+use prop_core::{prof, BalanceConstraint, CancelToken, RunStatus, Side};
+use std::io::{BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::{self, JoinHandle};
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7077` (`:0` for an ephemeral port).
+    pub addr: String,
+    /// Worker pool size (minimum 1).
+    pub workers: usize,
+    /// Job-queue admission capacity.
+    pub queue_cap: usize,
+    /// Per-request line cap in bytes.
+    pub max_request_bytes: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 2,
+            queue_cap: 64,
+            max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+        }
+    }
+}
+
+struct Shared {
+    queue: JobQueue,
+    jobs: JobTable,
+    metrics: Metrics,
+    shutdown: AtomicBool,
+}
+
+/// A running daemon; dropping the handle does **not** stop it — call
+/// [`ServerHandle::shutdown`] (or send the `shutdown` verb) first.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    accept: Option<JoinHandle<()>>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (resolves `:0` to the actual ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Initiates the graceful drain from this process (equivalent to the
+    /// wire `shutdown` verb). Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.shared.queue.drain();
+    }
+
+    /// Blocks until the accept thread and every worker have retired —
+    /// i.e. until a shutdown was requested *and* the queue fully drained.
+    ///
+    /// # Panics
+    ///
+    /// Propagates a panic from the accept or worker threads (the worker
+    /// body is itself panic-contained, so this indicates a daemon bug).
+    pub fn join(mut self) {
+        if let Some(accept) = self.accept.take() {
+            accept.join().expect("accept thread");
+        }
+        for worker in self.workers.drain(..) {
+            worker.join().expect("worker thread");
+        }
+    }
+}
+
+/// Starts the daemon.
+///
+/// # Errors
+///
+/// Fails if the listen address cannot be bound.
+pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(&config.addr)?;
+    listener.set_nonblocking(true)?;
+    let addr = listener.local_addr()?;
+    let shared = Arc::new(Shared {
+        queue: JobQueue::new(config.queue_cap),
+        jobs: JobTable::new(),
+        metrics: Metrics::new(),
+        shutdown: AtomicBool::new(false),
+    });
+
+    let workers = (0..config.workers.max(1))
+        .map(|i| {
+            let shared = Arc::clone(&shared);
+            thread::Builder::new()
+                .name(format!("prop-serve-worker-{i}"))
+                .spawn(move || worker_loop(&shared))
+                .expect("spawn worker")
+        })
+        .collect();
+
+    let accept = {
+        let shared = Arc::clone(&shared);
+        let max_bytes = config.max_request_bytes;
+        thread::Builder::new()
+            .name("prop-serve-accept".into())
+            .spawn(move || accept_loop(&listener, &shared, max_bytes))
+            .expect("spawn acceptor")
+    };
+
+    Ok(ServerHandle {
+        addr,
+        shared,
+        accept: Some(accept),
+        workers,
+    })
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>, max_bytes: usize) {
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _)) => {
+                shared.metrics.connections.fetch_add(1, Ordering::Relaxed);
+                let shared = Arc::clone(shared);
+                // Detached: a handler blocked in `wait` must not delay
+                // other connections or the drain.
+                let _ = thread::Builder::new()
+                    .name("prop-serve-conn".into())
+                    .spawn(move || handle_connection(stream, &shared, max_bytes));
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn ok_obj(fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok", Json::Bool(true))];
+    all.extend(fields);
+    json::obj(all)
+}
+
+fn err_obj(code: &str, message: &str) -> Json {
+    json::obj(vec![
+        ("ok", Json::Bool(false)),
+        ("error", json::str(code)),
+        ("message", json::str(message)),
+    ])
+}
+
+fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, max_bytes: usize) {
+    let _ = stream.set_nodelay(true);
+    // Idle connections are reaped; an in-flight `wait` blocks server-side
+    // between reads, so long jobs are unaffected.
+    let _ = stream.set_read_timeout(Some(Duration::from_secs(300)));
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        let response = match wire::read_request_line(&mut reader, max_bytes) {
+            Ok(None) => break,
+            Ok(bytes) => {
+                let bytes = bytes.unwrap_or_default();
+                match std::str::from_utf8(&bytes) {
+                    Err(_) => {
+                        shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                        err_obj("malformed", &WireError::NotUtf8.to_string())
+                    }
+                    Ok(line) => match wire::parse_request(line) {
+                        Err(e) => {
+                            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                            err_obj("malformed", &e.to_string())
+                        }
+                        Ok(request) => handle_request(request, shared),
+                    },
+                }
+            }
+            Err(e @ WireError::TooLarge { .. }) => {
+                // Framing is lost: answer once, then drop the connection.
+                shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+                let body = err_obj("too_large", &e.to_string());
+                let _ = writeln!(writer, "{}", body.render());
+                break;
+            }
+            // Premature disconnect or read timeout: clean drop.
+            Err(_) => break,
+        };
+        if writeln!(writer, "{}", response.render()).is_err() {
+            break;
+        }
+    }
+}
+
+fn handle_request(request: Request, shared: &Arc<Shared>) -> Json {
+    match request {
+        Request::Ping => ok_obj(vec![("pong", Json::Bool(true))]),
+        Request::Stats => {
+            let body = shared.metrics.to_json(
+                shared.queue.depth(),
+                shared.queue.capacity(),
+                shared.shutdown.load(Ordering::SeqCst),
+            );
+            ok_obj(vec![("stats", body)])
+        }
+        Request::Shutdown => {
+            shared.shutdown.store(true, Ordering::SeqCst);
+            shared.queue.drain();
+            ok_obj(vec![("draining", Json::Bool(true))])
+        }
+        Request::Submit(submit) => handle_submit(submit, shared),
+        Request::Status { job } => match shared.jobs.view(job) {
+            None => err_obj("unknown_job", &format!("no job {job}")),
+            Some(view) => view_json(job, &view),
+        },
+        Request::Wait { job } => match shared.jobs.wait(job) {
+            None => err_obj("unknown_job", &format!("no job {job}")),
+            Some(view) => view_json(job, &view),
+        },
+        Request::Cancel { job } => {
+            if shared.jobs.cancel(job) {
+                ok_obj(vec![("job", json::uint(job)), ("cancelled", Json::Bool(true))])
+            } else {
+                err_obj("unknown_job", &format!("no job {job}"))
+            }
+        }
+    }
+}
+
+fn handle_submit(submit: SubmitRequest, shared: &Arc<Shared>) -> Json {
+    if EngineKind::from_name(&submit.engine).is_none() {
+        shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+        return err_obj(
+            "unknown_engine",
+            &format!("unknown engine {:?} (use prop, prop-paper, fm, fm-tree, ml)", submit.engine),
+        );
+    }
+    let priority = submit.priority;
+    let wait = submit.wait;
+    let id = shared.jobs.insert(submit);
+    match shared.queue.try_push(id, priority) {
+        Ok(()) => {
+            shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+            if wait {
+                match shared.jobs.wait(id) {
+                    Some(view) => view_json(id, &view),
+                    None => err_obj("unknown_job", &format!("no job {id}")),
+                }
+            } else {
+                ok_obj(vec![("job", json::uint(id)), ("queued", Json::Bool(true))])
+            }
+        }
+        Err(PushError::Full) => {
+            shared.jobs.forget(id);
+            shared.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+            err_obj("queue_full", "job queue at capacity; retry later")
+        }
+        Err(PushError::Draining) => {
+            shared.jobs.forget(id);
+            shared
+                .metrics
+                .rejected_shutdown
+                .fetch_add(1, Ordering::Relaxed);
+            err_obj("shutting_down", "daemon is draining; not accepting jobs")
+        }
+    }
+}
+
+fn view_json(id: u64, view: &JobView) -> Json {
+    let mut fields = vec![
+        ("job", json::uint(id)),
+        ("phase", json::str(view.phase.name())),
+        ("cancel_requested", Json::Bool(view.cancel_requested)),
+    ];
+    if let Some(outcome) = &view.outcome {
+        fields.push(("status", json::str(outcome.status.name())));
+        if let Some(error) = &outcome.error {
+            fields.push(("message", json::str(error)));
+        }
+        if let Some(cut) = outcome.cut {
+            fields.push(("cut", json::num(cut)));
+        }
+        fields.push((
+            "sides",
+            Json::Arr(vec![
+                json::uint(outcome.sides.0 as u64),
+                json::uint(outcome.sides.1 as u64),
+            ]),
+        ));
+        fields.push(("passes", json::uint(outcome.passes as u64)));
+        fields.push((
+            "run_cuts",
+            Json::Arr(outcome.run_cuts.iter().map(|&c| json::num(c)).collect()),
+        ));
+        if let Some(hash) = outcome.assignment_hash {
+            fields.push(("assignment_hash", json::hex64(hash)));
+        }
+        fields.push(("started_runs", json::uint(outcome.started_runs as u64)));
+        fields.push(("wall_ms", json::uint(outcome.wall_ms)));
+    }
+    ok_obj(fields)
+}
+
+fn worker_loop(shared: &Arc<Shared>) {
+    while let Some(id) = shared.queue.pop_blocking() {
+        let Some((work, token)) = shared.jobs.take_work(id) else {
+            continue;
+        };
+        let start = Instant::now();
+        if work.timeout_ms > 0 {
+            token.set_timeout(Duration::from_millis(work.timeout_ms));
+        }
+        prof::reset();
+        let ran = catch_unwind(AssertUnwindSafe(|| run_job(&work, &token)));
+        shared.metrics.record_prof(&prof::snapshot());
+        let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
+
+        let outcome = match ran {
+            Ok(Ok((kind, report))) => {
+                shared.metrics.record_latency(kind, wall_ms);
+                let status = match report.status {
+                    RunStatus::Completed => JobStatus::Completed,
+                    // The token trips for both explicit cancels and
+                    // deadlines; the table knows which one it was.
+                    RunStatus::Cancelled if shared.jobs.cancel_requested(id) => {
+                        JobStatus::Cancelled
+                    }
+                    RunStatus::Cancelled => JobStatus::TimedOut,
+                };
+                let counter = match status {
+                    JobStatus::Completed => &shared.metrics.completed,
+                    JobStatus::Cancelled => &shared.metrics.cancelled,
+                    JobStatus::TimedOut => &shared.metrics.timed_out,
+                    JobStatus::Failed => &shared.metrics.failed,
+                };
+                counter.fetch_add(1, Ordering::Relaxed);
+                let result = report.result;
+                JobOutcome {
+                    status,
+                    error: None,
+                    cut: Some(result.cut_cost),
+                    sides: (
+                        result.partition.count(Side::A),
+                        result.partition.count(Side::B),
+                    ),
+                    passes: result.total_passes,
+                    run_cuts: result.run_cuts,
+                    assignment_hash: Some(engine::assignment_hash(result.partition.sides())),
+                    started_runs: report.started_runs,
+                    wall_ms,
+                }
+            }
+            Ok(Err(message)) => {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::failed(message, wall_ms)
+            }
+            Err(_) => {
+                shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                JobOutcome::failed("worker panicked while running the job", wall_ms)
+            }
+        };
+        shared.jobs.finish(id, outcome);
+    }
+}
+
+fn run_job(
+    work: &SubmitRequest,
+    token: &CancelToken,
+) -> Result<(EngineKind, prop_core::MultiRunReport), String> {
+    let kind = EngineKind::from_name(&work.engine)
+        .ok_or_else(|| format!("unknown engine {:?}", work.engine))?;
+    let graph = engine::parse_payload(&work.fmt, &work.payload)?;
+    let balance =
+        BalanceConstraint::weighted(work.r1, work.r2, &graph).map_err(|e| e.to_string())?;
+    engine::execute(kind, &graph, balance, work.runs, work.seed, token)
+        .map(|report| (kind, report))
+        .map_err(|e| e.to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::client::Client;
+    use prop_netlist::format;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+
+    fn tiny_payload() -> String {
+        let g = generate(&GeneratorConfig::new(24, 28, 96).with_seed(11)).unwrap();
+        format::write_hgr(&g)
+    }
+
+    fn start_test_server(workers: usize, queue_cap: usize) -> ServerHandle {
+        start(&ServerConfig {
+            workers,
+            queue_cap,
+            ..ServerConfig::default()
+        })
+        .expect("bind ephemeral server")
+    }
+
+    #[test]
+    fn ping_stats_and_graceful_shutdown() {
+        let handle = start_test_server(1, 4);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let pong = client.ping().unwrap();
+        assert_eq!(pong.get("ok").and_then(Json::as_bool), Some(true));
+
+        let stats = client.stats().unwrap();
+        let body = stats.get("stats").unwrap();
+        assert_eq!(
+            body.get("queue").and_then(|q| q.get("capacity")).and_then(Json::as_u64),
+            Some(4)
+        );
+
+        let resp = client.shutdown().unwrap();
+        assert_eq!(resp.get("draining").and_then(Json::as_bool), Some(true));
+        handle.join();
+    }
+
+    #[test]
+    fn submit_wait_runs_a_job_end_to_end() {
+        let handle = start_test_server(2, 8);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let req = SubmitRequest {
+            engine: "fm".into(),
+            runs: 2,
+            seed: 5,
+            payload: tiny_payload(),
+            wait: true,
+            ..SubmitRequest::default()
+        };
+        let resp = client.submit(&req).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("completed"));
+        assert!(resp.get("cut").and_then(Json::as_f64).is_some());
+        assert_eq!(
+            resp.get("run_cuts").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(2)
+        );
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn submit_then_poll_status_and_wait() {
+        let handle = start_test_server(1, 8);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let req = SubmitRequest {
+            engine: "prop".into(),
+            payload: tiny_payload(),
+            ..SubmitRequest::default()
+        };
+        let resp = client.submit(&req).unwrap();
+        let job = resp.get("job").and_then(Json::as_u64).unwrap();
+        let done = client.wait(job).unwrap();
+        assert_eq!(done.get("phase").and_then(Json::as_str), Some("done"));
+        let again = client.status(job).unwrap();
+        assert_eq!(again.get("status").and_then(Json::as_str), Some("completed"));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn queue_full_and_shutdown_rejections() {
+        // One worker, capacity 1: park a job, fill the queue, overflow.
+        let handle = start_test_server(1, 1);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let slow = SubmitRequest {
+            engine: "prop".into(),
+            runs: 12,
+            payload: tiny_payload(),
+            ..SubmitRequest::default()
+        };
+        let first = client.submit(&slow).unwrap();
+        assert_eq!(first.get("ok").and_then(Json::as_bool), Some(true));
+        // Eventually the worker is busy and one more fills the queue; keep
+        // submitting until a rejection shows up.
+        let mut saw_reject = false;
+        for _ in 0..50 {
+            let resp = client.submit(&slow).unwrap();
+            if resp.get("error").and_then(Json::as_str) == Some("queue_full") {
+                saw_reject = true;
+                break;
+            }
+        }
+        assert!(saw_reject, "queue never reported full");
+
+        client.shutdown().unwrap();
+        let resp = client.submit(&slow).unwrap();
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("shutting_down"));
+        handle.join();
+    }
+
+    #[test]
+    fn unknown_engine_and_unknown_job_errors() {
+        let handle = start_test_server(1, 4);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client
+            .submit(&SubmitRequest {
+                engine: "quantum".into(),
+                payload: "2 2\n1 2\n1 2\n".into(),
+                ..SubmitRequest::default()
+            })
+            .unwrap();
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("unknown_engine"));
+        let resp = client.status(999).unwrap();
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("unknown_job"));
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn bad_payload_fails_the_job_not_the_daemon() {
+        let handle = start_test_server(1, 4);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client
+            .submit(&SubmitRequest {
+                payload: "this is not an hgr file".into(),
+                wait: true,
+                ..SubmitRequest::default()
+            })
+            .unwrap();
+        assert_eq!(resp.get("status").and_then(Json::as_str), Some("failed"));
+        assert!(resp.get("message").and_then(Json::as_str).is_some());
+        // Daemon still healthy.
+        assert!(client.ping().is_ok());
+        client.shutdown().unwrap();
+        handle.join();
+    }
+}

@@ -1,0 +1,484 @@
+//! The line-delimited wire protocol of the `prop-serve` daemon.
+//!
+//! Every request is one `\n`-terminated ASCII line: a verb followed by
+//! space-separated `key=value` fields. Values that may contain arbitrary
+//! bytes (the netlist payload) are percent-encoded, so the framing is
+//! trivially resynchronisable: one line, one request. Every response is
+//! one line of minimal JSON (see [`crate::json`]).
+//!
+//! ```text
+//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 fmt=hgr payload=8%0A1%202%0A...
+//! status job=3
+//! wait job=3
+//! cancel job=3
+//! stats
+//! shutdown
+//! ping
+//! ```
+//!
+//! Robustness contract (exercised by `tests/wire_adversarial.rs`): a
+//! malformed line yields an error response and the connection stays
+//! usable; an oversized line yields an error response and the connection
+//! is dropped (the framing is lost); a premature disconnect mid-line is
+//! a clean drop. Nothing on this path panics.
+
+use std::fmt;
+use std::io::{BufRead, ErrorKind};
+
+/// Default cap on one request line, decoded payload included. Large
+/// enough for multi-million-pin netlists, small enough to bound a
+/// hostile client's memory use.
+pub const DEFAULT_MAX_REQUEST_BYTES: usize = 16 * 1024 * 1024;
+
+/// Highest admissible priority (priorities are `0..=MAX_PRIORITY`,
+/// higher is more urgent, FIFO within a level).
+pub const MAX_PRIORITY: u8 = 3;
+
+/// A parsed request.
+#[derive(Clone, PartialEq, Debug)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Counter / histogram snapshot.
+    Stats,
+    /// Graceful shutdown: stop admitting, drain the queue, exit.
+    Shutdown,
+    /// Enqueue a partitioning job.
+    Submit(SubmitRequest),
+    /// Non-blocking job state query.
+    Status {
+        /// Job id.
+        job: u64,
+    },
+    /// Block until the job reaches a terminal state.
+    Wait {
+        /// Job id.
+        job: u64,
+    },
+    /// Trip the job's cancellation token.
+    Cancel {
+        /// Job id.
+        job: u64,
+    },
+}
+
+/// The fields of a `submit` line.
+#[derive(Clone, PartialEq, Debug)]
+pub struct SubmitRequest {
+    /// Engine name (`prop`, `prop-paper`, `fm`, `fm-tree`, `ml`).
+    pub engine: String,
+    /// Best-of-R multi-start runs (iterative engines).
+    pub runs: usize,
+    /// Base seed.
+    pub seed: u64,
+    /// Balance ratios.
+    pub r1: f64,
+    /// Balance ratios.
+    pub r2: f64,
+    /// Per-job execution deadline in milliseconds; 0 disables it.
+    pub timeout_ms: u64,
+    /// Scheduling priority (`0..=MAX_PRIORITY`, higher first).
+    pub priority: u8,
+    /// Netlist format: `hgr` or `netd`.
+    pub fmt: String,
+    /// The decoded netlist text.
+    pub payload: String,
+    /// When set, the response is sent only once the job is terminal and
+    /// carries the full result.
+    pub wait: bool,
+}
+
+impl Default for SubmitRequest {
+    fn default() -> Self {
+        SubmitRequest {
+            engine: "prop".into(),
+            runs: 1,
+            seed: 0,
+            r1: 0.45,
+            r2: 0.55,
+            timeout_ms: 0,
+            priority: 0,
+            fmt: "hgr".into(),
+            payload: String::new(),
+            wait: false,
+        }
+    }
+}
+
+impl SubmitRequest {
+    /// Renders the request as one wire line (without the trailing `\n`).
+    pub fn render(&self) -> String {
+        format!(
+            "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
+             fmt={} payload={}",
+            self.engine,
+            self.runs,
+            self.seed,
+            self.r1,
+            self.r2,
+            self.timeout_ms,
+            self.priority,
+            u8::from(self.wait),
+            self.fmt,
+            percent_encode(self.payload.as_bytes()),
+        )
+    }
+}
+
+/// A framing or parse failure on the wire.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub enum WireError {
+    /// The line exceeded the configured request cap; framing is lost and
+    /// the connection must be dropped.
+    TooLarge {
+        /// The configured cap.
+        limit: usize,
+    },
+    /// EOF arrived mid-line: the peer disconnected before terminating its
+    /// request.
+    Truncated,
+    /// The line is not valid UTF-8.
+    NotUtf8,
+    /// The line failed to parse; the connection stays usable.
+    Malformed(String),
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::TooLarge { limit } => {
+                write!(f, "request exceeds the {limit}-byte limit")
+            }
+            WireError::Truncated => write!(f, "connection closed mid-request"),
+            WireError::NotUtf8 => write!(f, "request is not valid UTF-8"),
+            WireError::Malformed(m) => write!(f, "malformed request: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Reads one `\n`-terminated line of at most `max_bytes` (terminator
+/// excluded), without buffering past it.
+///
+/// Returns `Ok(None)` on a clean EOF before any byte of a new request.
+///
+/// # Errors
+///
+/// [`WireError::TooLarge`] once the cap is exceeded (the connection must
+/// then be dropped — the rest of the oversized line was not consumed),
+/// [`WireError::Truncated`] on EOF mid-line, and [`WireError::Malformed`]
+/// on I/O errors other than interrupts.
+pub fn read_request_line<R: BufRead>(
+    reader: &mut R,
+    max_bytes: usize,
+) -> Result<Option<Vec<u8>>, WireError> {
+    let mut line: Vec<u8> = Vec::new();
+    loop {
+        let buf = match reader.fill_buf() {
+            Ok(buf) => buf,
+            Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+            Err(e) => return Err(WireError::Malformed(format!("read failed: {e}"))),
+        };
+        if buf.is_empty() {
+            return if line.is_empty() {
+                Ok(None)
+            } else {
+                Err(WireError::Truncated)
+            };
+        }
+        match buf.iter().position(|&b| b == b'\n') {
+            Some(nl) => {
+                if line.len() + nl > max_bytes {
+                    return Err(WireError::TooLarge { limit: max_bytes });
+                }
+                line.extend_from_slice(&buf[..nl]);
+                reader.consume(nl + 1);
+                // Tolerate CRLF clients.
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(Some(line));
+            }
+            None => {
+                let n = buf.len();
+                if line.len() + n > max_bytes {
+                    return Err(WireError::TooLarge { limit: max_bytes });
+                }
+                line.extend_from_slice(buf);
+                reader.consume(n);
+            }
+        }
+    }
+}
+
+/// Percent-encodes arbitrary bytes into the wire's value alphabet
+/// (unreserved ASCII passes through; everything else becomes `%XX`).
+pub fn percent_encode(bytes: &[u8]) -> String {
+    let mut out = String::with_capacity(bytes.len());
+    for &b in bytes {
+        match b {
+            b'A'..=b'Z' | b'a'..=b'z' | b'0'..=b'9' | b'.' | b'_' | b'~' | b'-' => {
+                out.push(b as char)
+            }
+            _ => out.push_str(&format!("%{b:02X}")),
+        }
+    }
+    out
+}
+
+/// Decodes a percent-encoded value back to a UTF-8 string.
+///
+/// # Errors
+///
+/// Fails on truncated or non-hex escapes and on non-UTF-8 decoded bytes.
+pub fn percent_decode(text: &str) -> Result<String, WireError> {
+    let bytes = text.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        if bytes[i] == b'%' {
+            let hex = bytes
+                .get(i + 1..i + 3)
+                .ok_or_else(|| WireError::Malformed("truncated percent escape".into()))?;
+            let hex = std::str::from_utf8(hex)
+                .map_err(|_| WireError::Malformed("bad percent escape".into()))?;
+            let v = u8::from_str_radix(hex, 16)
+                .map_err(|_| WireError::Malformed(format!("bad percent escape %{hex}")))?;
+            out.push(v);
+            i += 3;
+        } else {
+            out.push(bytes[i]);
+            i += 1;
+        }
+    }
+    String::from_utf8(out).map_err(|_| WireError::NotUtf8)
+}
+
+/// Parses one request line (UTF-8, `\n` already stripped).
+///
+/// # Errors
+///
+/// [`WireError::Malformed`] on unknown verbs or keys, bad values, or
+/// missing required fields; [`WireError::NotUtf8`] when the payload
+/// decodes to non-UTF-8 bytes.
+pub fn parse_request(line: &str) -> Result<Request, WireError> {
+    let mut tokens = line.split(' ').filter(|t| !t.is_empty());
+    let verb = tokens
+        .next()
+        .ok_or_else(|| WireError::Malformed("empty request".into()))?;
+    let fields: Vec<(&str, &str)> = tokens
+        .map(|t| {
+            t.split_once('=')
+                .ok_or_else(|| WireError::Malformed(format!("field {t:?} is not key=value")))
+        })
+        .collect::<Result<_, _>>()?;
+
+    let job_field = |fields: &[(&str, &str)]| -> Result<u64, WireError> {
+        let mut job = None;
+        for &(k, v) in fields {
+            match k {
+                "job" => {
+                    job = Some(v.parse::<u64>().map_err(|_| {
+                        WireError::Malformed(format!("bad value {v:?} for job"))
+                    })?)
+                }
+                other => {
+                    return Err(WireError::Malformed(format!("unknown field {other:?}")))
+                }
+            }
+        }
+        job.ok_or_else(|| WireError::Malformed("missing job=<id>".into()))
+    };
+
+    match verb {
+        "ping" | "stats" | "shutdown" => {
+            if let Some(&(k, _)) = fields.first() {
+                return Err(WireError::Malformed(format!(
+                    "{verb} takes no fields (got {k:?})"
+                )));
+            }
+            Ok(match verb {
+                "ping" => Request::Ping,
+                "stats" => Request::Stats,
+                _ => Request::Shutdown,
+            })
+        }
+        "status" => Ok(Request::Status {
+            job: job_field(&fields)?,
+        }),
+        "wait" => Ok(Request::Wait {
+            job: job_field(&fields)?,
+        }),
+        "cancel" => Ok(Request::Cancel {
+            job: job_field(&fields)?,
+        }),
+        "submit" => parse_submit(&fields).map(Request::Submit),
+        other => Err(WireError::Malformed(format!("unknown verb {other:?}"))),
+    }
+}
+
+fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
+    fn val<T: std::str::FromStr>(key: &str, v: &str) -> Result<T, WireError> {
+        v.parse()
+            .map_err(|_| WireError::Malformed(format!("bad value {v:?} for {key}")))
+    }
+    let mut req = SubmitRequest::default();
+    let mut has_payload = false;
+    for &(k, v) in fields {
+        match k {
+            "engine" => req.engine = v.to_string(),
+            "runs" => req.runs = val(k, v)?,
+            "seed" => req.seed = val(k, v)?,
+            "r1" => req.r1 = val(k, v)?,
+            "r2" => req.r2 = val(k, v)?,
+            "timeout_ms" => req.timeout_ms = val(k, v)?,
+            "priority" => {
+                req.priority = val(k, v)?;
+                if req.priority > MAX_PRIORITY {
+                    return Err(WireError::Malformed(format!(
+                        "priority {} exceeds the maximum {MAX_PRIORITY}",
+                        req.priority
+                    )));
+                }
+            }
+            "wait" => {
+                req.wait = match v {
+                    "0" => false,
+                    "1" => true,
+                    _ => {
+                        return Err(WireError::Malformed(format!(
+                            "bad value {v:?} for wait (use 0 or 1)"
+                        )))
+                    }
+                }
+            }
+            "fmt" => {
+                if v != "hgr" && v != "netd" {
+                    return Err(WireError::Malformed(format!(
+                        "unknown netlist format {v:?} (use hgr or netd)"
+                    )));
+                }
+                req.fmt = v.to_string();
+            }
+            "payload" => {
+                req.payload = percent_decode(v)?;
+                has_payload = true;
+            }
+            other => return Err(WireError::Malformed(format!("unknown field {other:?}"))),
+        }
+    }
+    if !has_payload {
+        return Err(WireError::Malformed("submit needs payload=<netlist>".into()));
+    }
+    if req.runs == 0 {
+        return Err(WireError::Malformed("runs must be at least 1".into()));
+    }
+    Ok(req)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::BufReader;
+
+    #[test]
+    fn percent_roundtrip() {
+        let payload = "8 7\n1 2\n% odd ~ bytes\t\r\nümlaut";
+        let enc = percent_encode(payload.as_bytes());
+        assert!(!enc.contains(' ') && !enc.contains('\n'));
+        assert_eq!(percent_decode(&enc).unwrap(), payload);
+    }
+
+    #[test]
+    fn percent_decode_rejects_bad_escapes() {
+        assert!(percent_decode("%").is_err());
+        assert!(percent_decode("%1").is_err());
+        assert!(percent_decode("%zz").is_err());
+        // Valid escape, invalid UTF-8.
+        assert_eq!(percent_decode("%FF"), Err(WireError::NotUtf8));
+    }
+
+    #[test]
+    fn submit_line_roundtrip() {
+        let req = SubmitRequest {
+            engine: "fm".into(),
+            runs: 20,
+            seed: 99,
+            r1: 0.4,
+            r2: 0.6,
+            timeout_ms: 1500,
+            priority: 2,
+            fmt: "hgr".into(),
+            payload: "3 2\n1 2\n2 3\n".into(),
+            wait: true,
+        };
+        let parsed = parse_request(&req.render()).unwrap();
+        assert_eq!(parsed, Request::Submit(req));
+    }
+
+    #[test]
+    fn simple_verbs_parse() {
+        assert_eq!(parse_request("ping").unwrap(), Request::Ping);
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(
+            parse_request("status job=12").unwrap(),
+            Request::Status { job: 12 }
+        );
+        assert_eq!(
+            parse_request("wait job=3").unwrap(),
+            Request::Wait { job: 3 }
+        );
+        assert_eq!(
+            parse_request("cancel job=0").unwrap(),
+            Request::Cancel { job: 0 }
+        );
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "frobnicate",
+            "status",
+            "status job=x",
+            "status jib=1",
+            "ping extra=1",
+            "submit",
+            "submit payload=abc runs=0",
+            "submit payload=abc priority=9",
+            "submit payload=abc wait=yes",
+            "submit payload=abc fmt=xml",
+            "submit payload=%GG",
+            "submit key-without-value payload=a",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should fail");
+        }
+    }
+
+    #[test]
+    fn bounded_line_reader() {
+        let mut r = BufReader::new(&b"hello\nworld\n"[..]);
+        assert_eq!(read_request_line(&mut r, 64).unwrap(), Some(b"hello".to_vec()));
+        assert_eq!(read_request_line(&mut r, 64).unwrap(), Some(b"world".to_vec()));
+        assert_eq!(read_request_line(&mut r, 64).unwrap(), None);
+
+        // CRLF tolerated.
+        let mut r = BufReader::new(&b"ping\r\n"[..]);
+        assert_eq!(read_request_line(&mut r, 64).unwrap(), Some(b"ping".to_vec()));
+
+        // Truncated: bytes then EOF without a newline.
+        let mut r = BufReader::new(&b"no newline"[..]);
+        assert_eq!(read_request_line(&mut r, 64), Err(WireError::Truncated));
+
+        // Oversized: cap excludes the terminator.
+        let mut r = BufReader::new(&b"123456789\n"[..]);
+        assert_eq!(
+            read_request_line(&mut r, 4),
+            Err(WireError::TooLarge { limit: 4 })
+        );
+        let mut r = BufReader::new(&b"1234\n"[..]);
+        assert_eq!(read_request_line(&mut r, 4).unwrap(), Some(b"1234".to_vec()));
+    }
+}

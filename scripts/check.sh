@@ -9,15 +9,22 @@
 #                                   # regression (or a changed best_cut at
 #                                   # matching run counts) vs the committed
 #                                   # BENCH_prop.json
+#   scripts/check.sh --serve        # also run the daemon smoke gate: build
+#                                   # the prop-serve loopback benchmark,
+#                                   # drive it under a 30s budget, and fail
+#                                   # on any contained worker panic in the
+#                                   # daemon's output
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 audit=0
 bench_smoke=0
+serve=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
     --bench-smoke) bench_smoke=1 ;;
+    --serve) serve=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -45,6 +52,22 @@ if [[ "$bench_smoke" -eq 1 ]]; then
   # snapshot itself is regenerated.
   cargo run --release -q -p prop-experiments --bin bench_snapshot -- \
     --quick --compare BENCH_prop.json
+fi
+
+if [[ "$serve" -eq 1 ]]; then
+  # Daemon smoke gate: an in-process loopback daemon serves the quick
+  # benchmark (overhead + throughput, bit-identity asserted inside) under
+  # a 30-second budget. bench_serve already exits non-zero on any
+  # divergence; on top of that, any contained worker panic in the output
+  # fails the gate even though the daemon survived it.
+  cargo build --release -q -p prop-experiments --bin bench_serve
+  serve_log="$(mktemp)"
+  trap 'rm -f "$serve_log"' EXIT
+  timeout 30s ./target/release/bench_serve --quick --jobs 8 2>&1 | tee "$serve_log"
+  if grep -qi "panicked" "$serve_log"; then
+    echo "check.sh: worker panic detected in the serve smoke log" >&2
+    exit 1
+  fi
 fi
 
 echo "check.sh: all gates passed"

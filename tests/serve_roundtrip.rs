@@ -1,0 +1,161 @@
+//! Round-trip equivalence between the `prop-serve` daemon and direct
+//! library calls.
+//!
+//! The daemon's whole value proposition is that putting a socket in
+//! front of the engines changes *nothing*: for each engine, the cut,
+//! the per-run seed trajectory, and the full node→side assignment
+//! (compared by FNV-1a hash) fetched over the wire must be bit-identical
+//! to `run_multi_parallel` on the same inputs — including across
+//! concurrent clients hammering one daemon.
+
+use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig};
+use prop_core::GlobalPartitioner;
+use prop_fm::FmBucket;
+use prop_multilevel::Multilevel;
+use prop_netlist::format;
+use prop_netlist::generate::{generate, GeneratorConfig};
+use prop_serve::{engine, server, Client, Json, ServerConfig, SubmitRequest};
+use std::thread;
+
+const RUNS: usize = 3;
+const SEED: u64 = 41;
+
+fn test_graph(seed: u64) -> prop_netlist::Hypergraph {
+    generate(&GeneratorConfig::new(80, 92, 300).with_seed(seed)).unwrap()
+}
+
+/// The direct-library expectation for one engine: (cut, run_cuts,
+/// assignment hash).
+fn direct_expectation(engine_name: &str, graph: &prop_netlist::Hypergraph) -> (f64, Vec<f64>, u64) {
+    let balance = BalanceConstraint::weighted(0.45, 0.55, graph).unwrap();
+    let result = match engine_name {
+        "prop" => Prop::new(PropConfig::calibrated())
+            .run_multi_parallel(graph, balance, RUNS, SEED, ParallelPolicy::Threads(2))
+            .unwrap(),
+        "fm" => FmBucket::default()
+            .run_multi_parallel(graph, balance, RUNS, SEED, ParallelPolicy::Threads(2))
+            .unwrap(),
+        "ml" => Multilevel::new(Prop::new(PropConfig::calibrated()))
+            .partition(graph, balance)
+            .unwrap(),
+        other => panic!("unexpected engine {other}"),
+    };
+    let hash = engine::assignment_hash(result.partition.sides());
+    (result.cut_cost, result.run_cuts, hash)
+}
+
+fn submit_via_daemon(
+    addr: std::net::SocketAddr,
+    engine_name: &str,
+    payload: &str,
+) -> (f64, Vec<f64>, u64) {
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .submit(&SubmitRequest {
+            engine: engine_name.into(),
+            runs: RUNS,
+            seed: SEED,
+            payload: payload.into(),
+            wait: true,
+            ..SubmitRequest::default()
+        })
+        .unwrap();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{engine_name}: {}",
+        response.render()
+    );
+    assert_eq!(
+        response.get("status").and_then(Json::as_str),
+        Some("completed"),
+        "{engine_name}: {}",
+        response.render()
+    );
+    let cut = response.get("cut").and_then(Json::as_f64).unwrap();
+    let run_cuts: Vec<f64> = response
+        .get("run_cuts")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|c| c.as_f64().unwrap())
+        .collect();
+    let hash = response
+        .get("assignment_hash")
+        .and_then(Json::as_str)
+        .and_then(prop_serve::json::parse_hex64)
+        .unwrap();
+    (cut, run_cuts, hash)
+}
+
+#[test]
+fn concurrent_clients_get_bit_identical_results() {
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_cap: 32,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let addr = handle.addr();
+
+    // Four concurrent clients: prop and fm on two different circuits, ml
+    // on one of them — every (engine, circuit) checked against the
+    // library run on this thread.
+    let jobs: Vec<(&str, u64)> = vec![("prop", 1), ("fm", 1), ("prop", 2), ("ml", 1)];
+    let clients: Vec<_> = jobs
+        .iter()
+        .map(|&(engine_name, graph_seed)| {
+            let payload = format::write_hgr(&test_graph(graph_seed));
+            thread::spawn(move || submit_via_daemon(addr, engine_name, &payload))
+        })
+        .collect();
+    let served: Vec<(f64, Vec<f64>, u64)> =
+        clients.into_iter().map(|c| c.join().unwrap()).collect();
+
+    for (&(engine_name, graph_seed), got) in jobs.iter().zip(&served) {
+        let graph = test_graph(graph_seed);
+        let expect = direct_expectation(engine_name, &graph);
+        assert_eq!(
+            got, &expect,
+            "daemon diverged from direct run for {engine_name} on circuit seed {graph_seed}"
+        );
+    }
+
+    // The hgr round-trip itself must not perturb the circuit either:
+    // same payload, same expectation.
+    let reparsed = format::parse_hgr(&format::write_hgr(&test_graph(1))).unwrap();
+    assert_eq!(
+        direct_expectation("prop", &reparsed),
+        direct_expectation("prop", &test_graph(1))
+    );
+
+    let mut client = Client::connect(addr).unwrap();
+    let stats = client.stats().unwrap();
+    let jobs_stats = stats.get("stats").and_then(|s| s.get("jobs")).unwrap();
+    assert_eq!(
+        jobs_stats.get("completed").and_then(Json::as_u64),
+        Some(4),
+        "{}",
+        stats.render()
+    );
+    client.shutdown().unwrap();
+    handle.join();
+}
+
+#[test]
+fn repeat_submissions_are_deterministic_across_connections() {
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_cap: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let payload = format::write_hgr(&test_graph(3));
+    let first = submit_via_daemon(handle.addr(), "prop", &payload);
+    let second = submit_via_daemon(handle.addr(), "prop", &payload);
+    assert_eq!(first, second);
+    assert_eq!(first.1.len(), RUNS, "seed trajectory covers every run");
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
