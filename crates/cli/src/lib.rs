@@ -30,7 +30,7 @@ use prop_core::{
     RunResult, Side,
 };
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
-use prop_multilevel::Multilevel;
+use prop_multilevel::{Multilevel, MultilevelConfig};
 use prop_netlist::{format, generate, suite, Hypergraph};
 use prop_serve::{Client, Json, SubmitRequest};
 use prop_spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
@@ -112,6 +112,9 @@ pub enum Command {
         threads: Option<usize>,
         /// Optional path for the node→side assignment output.
         assign: Option<String>,
+        /// Multilevel knobs (`--ml-*`, used by the `ml` method; the
+        /// engine seed comes from `seed`).
+        ml: MultilevelConfig,
     },
     /// `prop serve ...`
     Serve {
@@ -144,6 +147,9 @@ pub enum Command {
         priority: u8,
         /// When `false`, block until the job is terminal.
         no_wait: bool,
+        /// Multilevel knobs (`--ml-*`, forwarded on the wire for the
+        /// `ml` engine).
+        ml: MultilevelConfig,
     },
     /// `prop ctl <verb> ...`
     Ctl {
@@ -187,10 +193,10 @@ USAGE:
   prop generate (--circuit <name> | --nodes N --nets E --pins P) [--seed S] [--out FILE]
   prop convert <in> <out>
   prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
-                 [--threads N] [--assign FILE]
+                 [--threads N] [--assign FILE] [--ml-* N]
   prop serve [--addr A] [--workers N] [--queue-cap N]
   prop submit <file> [--addr A] [--engine E] [--runs N] [--seed S] [--r1 X]
-              [--r2 Y] [--timeout-ms T] [--priority P] [--no-wait]
+              [--r2 Y] [--timeout-ms T] [--priority P] [--no-wait] [--ml-* N]
   prop ctl <ping|stats|shutdown|status|wait|cancel> [--addr A] [--job N]
   prop help
 
@@ -199,6 +205,8 @@ Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
 sa, eig1, melo, paraboli, window, ml.
 --threads fans the runs of iterative methods over N worker threads
 (0 = auto-detect); the result is bit-identical to the sequential run.
+The ml method takes --ml-coarsest, --ml-starts, --ml-max-net,
+--ml-refine-passes, and --ml-polish V-cycle knobs (partition and submit).
 serve/submit/ctl default to 127.0.0.1:7077; submit prints the daemon's
 one-line JSON response and exits nonzero if the job did not complete.";
 
@@ -257,6 +265,24 @@ fn parse_num<T: std::str::FromStr>(flag: &str, value: &str) -> Result<T, CliErro
         .map_err(|_| usage(format!("bad value {value:?} for {flag}")))
 }
 
+/// Consumes one `--ml-*` knob flag if `arg` is one, returning whether it
+/// was. Shared by `partition` and `submit`.
+fn parse_ml_flag<'a>(
+    arg: &str,
+    it: &mut std::slice::Iter<'a, &'a String>,
+    ml: &mut MultilevelConfig,
+) -> Result<bool, CliError> {
+    match arg {
+        "--ml-coarsest" => ml.coarsest_nodes = parse_num(arg, take_value(arg, it)?)?,
+        "--ml-starts" => ml.coarsest_starts = parse_num(arg, take_value(arg, it)?)?,
+        "--ml-max-net" => ml.max_match_net = parse_num(arg, take_value(arg, it)?)?,
+        "--ml-refine-passes" => ml.refine_passes = parse_num(arg, take_value(arg, it)?)?,
+        "--ml-polish" => ml.polish_passes = parse_num(arg, take_value(arg, it)?)?,
+        _ => return Ok(false),
+    }
+    Ok(true)
+}
+
 fn parse_generate(rest: &[&String]) -> Result<Command, CliError> {
     let mut nodes = None;
     let mut nets = None;
@@ -300,6 +326,7 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
     let mut seed = 0u64;
     let mut threads = None;
     let mut assign = None;
+    let mut ml = MultilevelConfig::default();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--method" => method = take_value("--method", &mut it)?.to_string(),
@@ -311,7 +338,11 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
                 threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
             }
             "--assign" => assign = Some(take_value("--assign", &mut it)?.to_string()),
-            other => return Err(usage(format!("unknown partition flag {other:?}"))),
+            other => {
+                if !parse_ml_flag(other, &mut it, &mut ml)? {
+                    return Err(usage(format!("unknown partition flag {other:?}")));
+                }
+            }
         }
     }
     Ok(Command::Partition {
@@ -323,6 +354,7 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
         seed,
         threads,
         assign,
+        ml,
     })
 }
 
@@ -365,6 +397,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
     let mut timeout_ms = 0u64;
     let mut priority = 0u8;
     let mut no_wait = false;
+    let mut ml = MultilevelConfig::default();
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
@@ -380,7 +413,11 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
                 priority = parse_num("--priority", take_value("--priority", &mut it)?)?
             }
             "--no-wait" => no_wait = true,
-            other => return Err(usage(format!("unknown submit flag {other:?}"))),
+            other => {
+                if !parse_ml_flag(other, &mut it, &mut ml)? {
+                    return Err(usage(format!("unknown submit flag {other:?}")));
+                }
+            }
         }
     }
     Ok(Command::Submit {
@@ -394,6 +431,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
         timeout_ms,
         priority,
         no_wait,
+        ml,
     })
 }
 
@@ -477,8 +515,8 @@ pub fn thread_policy(threads: Option<usize>) -> ParallelPolicy {
     }
 }
 
-/// Runs the named method on a graph. Iterative methods fan their runs out
-/// according to `policy`; global (one-shot) methods ignore it.
+/// Runs the named method on a graph with the default multilevel knobs;
+/// see [`run_method_ml`].
 ///
 /// # Errors
 ///
@@ -491,6 +529,25 @@ pub fn run_method(
     seed: u64,
     policy: ParallelPolicy,
 ) -> Result<RunResult, CliError> {
+    run_method_ml(method, graph, balance, runs, seed, policy, MultilevelConfig::default())
+}
+
+/// Runs the named method on a graph. Iterative methods — `ml` included,
+/// where each run is one V-cycle seeded from `seed` — fan their runs out
+/// according to `policy`; global (one-shot) methods ignore it.
+///
+/// # Errors
+///
+/// Fails on unknown method names or partitioner errors.
+pub fn run_method_ml(
+    method: &str,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    seed: u64,
+    policy: ParallelPolicy,
+    ml: MultilevelConfig,
+) -> Result<RunResult, CliError> {
     let iterative: Option<Box<dyn Partitioner>> = match method {
         "prop" => Some(Box::new(Prop::new(PropConfig::calibrated()))),
         "prop-paper" => Some(Box::new(Prop::new(PropConfig::default()))),
@@ -500,6 +557,7 @@ pub fn run_method(
         "la3" => Some(Box::new(La::new(3))),
         "kl" => Some(Box::new(Kl::default())),
         "sa" => Some(Box::new(SimulatedAnnealing::default())),
+        "ml" => Some(Box::new(Multilevel::standard(MultilevelConfig { seed, ..ml }))),
         _ => None,
     };
     if let Some(p) = iterative {
@@ -512,7 +570,6 @@ pub fn run_method(
         "melo" => Box::new(MeloStyle::default()),
         "paraboli" => Box::new(ParaboliStyle::default()),
         "window" => Box::new(WindowStyle { runs, seed }),
-        "ml" => Box::new(Multilevel::new(Prop::new(PropConfig::calibrated()))),
         other => return Err(usage(format!("unknown method {other:?}"))),
     };
     global
@@ -598,12 +655,13 @@ pub fn run(command: Command) -> Result<(), CliError> {
             seed,
             threads,
             assign,
+            ml,
         } => {
             let graph = load_netlist(&file)?;
             let balance = BalanceConstraint::weighted(r1, r2, &graph)
                 .map_err(|e| usage(e.to_string()))?;
             let result =
-                run_method(&method, &graph, balance, runs, seed, thread_policy(threads))?;
+                run_method_ml(&method, &graph, balance, runs, seed, thread_policy(threads), ml)?;
             println!(
                 "method={method} cut={} sides={}A/{}B passes={}",
                 result.cut_cost,
@@ -657,6 +715,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
             timeout_ms,
             priority,
             no_wait,
+            ml,
         } => {
             let payload = std::fs::read_to_string(&file)
                 .map_err(|e| failure(format!("cannot read {file}: {e}")))?;
@@ -679,6 +738,11 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 fmt,
                 payload,
                 wait: !no_wait,
+                ml_coarsest: ml.coarsest_nodes,
+                ml_starts: ml.coarsest_starts,
+                ml_max_net: ml.max_match_net,
+                ml_refine_passes: ml.refine_passes,
+                ml_polish: ml.polish_passes,
             };
             let mut client = Client::connect(addr.as_str())
                 .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
@@ -793,6 +857,7 @@ mod tests {
                 seed: 0,
                 threads: None,
                 assign: None,
+                ml: MultilevelConfig::default(),
             }
         );
         let cmd = parse_args(&argv(&[
@@ -807,6 +872,34 @@ mod tests {
         assert!(parse_args(&argv(&["partition", "c.hgr", "--bogus"])).is_err());
         assert!(parse_args(&argv(&["partition", "c.hgr", "--threads", "x"])).is_err());
         assert!(parse_args(&argv(&["partition"])).is_err());
+    }
+
+    #[test]
+    fn parse_ml_knob_flags() {
+        let cmd = parse_args(&argv(&[
+            "partition", "c.hgr", "--method", "ml", "--ml-coarsest", "64", "--ml-starts", "4",
+            "--ml-max-net", "12", "--ml-refine-passes", "2", "--ml-polish", "0",
+        ]))
+        .unwrap();
+        let Command::Partition { ml, .. } = cmd else {
+            panic!("expected partition")
+        };
+        assert_eq!(ml.coarsest_nodes, 64);
+        assert_eq!(ml.coarsest_starts, 4);
+        assert_eq!(ml.max_match_net, 12);
+        assert_eq!(ml.refine_passes, 2);
+        assert_eq!(ml.polish_passes, 0);
+        // Same flags on submit, forwarded onto the wire request.
+        let cmd = parse_args(&argv(&[
+            "submit", "c.hgr", "--engine", "ml", "--ml-coarsest", "64",
+        ]))
+        .unwrap();
+        let Command::Submit { ml, .. } = cmd else {
+            panic!("expected submit")
+        };
+        assert_eq!(ml.coarsest_nodes, 64);
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--ml-coarsest", "x"])).is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--ml-coarsest"])).is_err());
     }
 
     #[test]
@@ -850,6 +943,7 @@ mod tests {
                 timeout_ms: 0,
                 priority: 0,
                 no_wait: false,
+                ml: MultilevelConfig::default(),
             }
         );
         let cmd = parse_args(&argv(&[
@@ -969,7 +1063,7 @@ mod tests {
             // Fanned-out runs must reproduce the sequential result exactly.
             let par =
                 run_method(method, &graph, balance, 2, 0, ParallelPolicy::Threads(2)).unwrap();
-            assert_eq!(par.cut_cost, result.cut_cost, "{method}");
+            assert_eq!(par, result, "{method}");
         }
         assert!(run_method("nope", &graph, balance, 1, 0, ParallelPolicy::Sequential).is_err());
     }

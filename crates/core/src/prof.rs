@@ -24,6 +24,16 @@ pub enum Phase {
     Apply,
     /// Post-move neighbor and top-k gain/probability refreshes.
     Refresh,
+    /// Multilevel: heavy-edge matching + coarse circuit construction.
+    MlCoarsen,
+    /// Multilevel: greedy starts + improvement at the coarsest level.
+    MlInitial,
+    /// Multilevel: projecting a partition one level finer.
+    MlProject,
+    /// Multilevel: per-level refinement during uncoarsening. Overlaps the
+    /// inner engine's own phase counters (a PROP refinement charges both
+    /// `ml_refine_ns` and its Seed/Refine/Select/Apply/Refresh split).
+    MlRefine,
 }
 
 /// Accumulated per-thread profile since the last [`reset`].
@@ -47,12 +57,31 @@ pub struct ProfSnapshot {
     pub net_recomputes: u64,
     /// Gain evaluations (Eqns. 3–4 walks).
     pub gain_recomputes: u64,
+    /// Nanoseconds in [`Phase::MlCoarsen`].
+    pub ml_coarsen_ns: u64,
+    /// Nanoseconds in [`Phase::MlInitial`].
+    pub ml_initial_ns: u64,
+    /// Nanoseconds in [`Phase::MlProject`].
+    pub ml_project_ns: u64,
+    /// Nanoseconds in [`Phase::MlRefine`]. Overlaps the PROP phase
+    /// counters when the inner refiner is PROP, so it is **not** part of
+    /// [`total_ns`](ProfSnapshot::total_ns).
+    pub ml_refine_ns: u64,
+    /// Coarsening levels built by multilevel V-cycles.
+    pub ml_levels: u64,
 }
 
 impl ProfSnapshot {
-    /// Total instrumented nanoseconds across all phases.
+    /// Total instrumented nanoseconds across the engine hot-path phases.
+    /// The `ml_*` overlay counters are excluded: `ml_refine_ns` brackets
+    /// inner-engine work that already charges these phases.
     pub fn total_ns(&self) -> u64 {
         self.seed_ns + self.refine_ns + self.select_ns + self.apply_ns + self.refresh_ns
+    }
+
+    /// Total nanoseconds of the multilevel overlay phases.
+    pub fn ml_total_ns(&self) -> u64 {
+        self.ml_coarsen_ns + self.ml_initial_ns + self.ml_project_ns + self.ml_refine_ns
     }
 }
 
@@ -92,6 +121,10 @@ mod imp {
                 Phase::Select => p.select_ns += ns,
                 Phase::Apply => p.apply_ns += ns,
                 Phase::Refresh => p.refresh_ns += ns,
+                Phase::MlCoarsen => p.ml_coarsen_ns += ns,
+                Phase::MlInitial => p.ml_initial_ns += ns,
+                Phase::MlProject => p.ml_project_ns += ns,
+                Phase::MlRefine => p.ml_refine_ns += ns,
             }
         });
     }
@@ -99,6 +132,11 @@ mod imp {
     /// Counts one applied tentative move.
     pub fn count_move() {
         PROF.with(|p| p.borrow_mut().moves += 1);
+    }
+
+    /// Counts one coarsening level of a multilevel V-cycle.
+    pub fn count_ml_level() {
+        PROF.with(|p| p.borrow_mut().ml_levels += 1);
     }
 
     /// Counts one exact per-net recomputation.
@@ -145,6 +183,10 @@ mod imp {
     #[inline(always)]
     pub fn count_move() {}
 
+    /// Counts one coarsening level of a multilevel V-cycle (no-op).
+    #[inline(always)]
+    pub fn count_ml_level() {}
+
     /// Counts one exact per-net recomputation (no-op).
     #[inline(always)]
     pub fn count_net_recompute() {}
@@ -165,7 +207,8 @@ mod imp {
 }
 
 pub use imp::{
-    count_gain_recompute, count_move, count_net_recompute, reset, snapshot, start, stop, Tick,
+    count_gain_recompute, count_ml_level, count_move, count_net_recompute, reset, snapshot, start,
+    stop, Tick,
 };
 
 #[cfg(test)]

@@ -18,13 +18,17 @@
 //!
 //! * `--large` — add the ~100k-node `golem3` circuit to the suite
 //!   (PROP-only at 1 and max threads; FM at the same settings).
+//! * `--method <name>` — restrict to one engine (`PROP`, `FM-bucket`, or
+//!   `ML`), e.g. to append a single method's rows under a new label
+//!   without re-running the whole suite.
 //! * `--label <s>` — tag the rows and *append* them to an existing
 //!   `BENCH_prop.json` instead of overwriting it, so a trajectory of
 //!   snapshots accumulates in one file.
 //! * `--profile` — single-threaded per-phase timing: prints each PROP
-//!   phase's share of runtime plus work counters. Requires the binary to
-//!   be built with `--features prof`; rows are not written in this mode
-//!   (the instrumentation itself skews the timings).
+//!   phase's share of runtime plus work counters, and the multilevel
+//!   overlay phases when profiling `ML`. Requires the binary to be built
+//!   with `--features prof`; rows are not written in this mode (the
+//!   instrumentation itself skews the timings).
 //! * `--compare <path>` — regression gate: instead of writing anything,
 //!   compare against the single-thread rows of a committed snapshot and
 //!   exit non-zero on a >2x `secs_per_run` regression or (at matching run
@@ -66,13 +70,14 @@ struct SnapshotOptions {
     profile: bool,
     large: bool,
     compare: Option<String>,
+    method: Option<String>,
 }
 
 fn snapshot_usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: bench_snapshot [--quick] [--circuit <name>] [--runs <n>] [--threads <n>] \
-         [--large] [--label <s>] [--profile] [--compare <path>]"
+         [--large] [--method <name>] [--label <s>] [--profile] [--compare <path>]"
     );
     std::process::exit(2)
 }
@@ -86,6 +91,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
         profile: false,
         large: false,
         compare: None,
+        method: None,
     };
     let mut it = leftover.iter();
     while let Some(arg) = it.next() {
@@ -103,6 +109,12 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
                     snapshot_usage("--compare requires a value: --compare <path>")
                 });
                 extra.compare = Some(v.clone());
+            }
+            "--method" => {
+                let v = it.next().unwrap_or_else(|| {
+                    snapshot_usage("--method requires a value: --method <name>")
+                });
+                extra.method = Some(v.clone());
             }
             other => snapshot_usage(&format!("unknown argument {other:?}")),
         }
@@ -307,22 +319,23 @@ fn compare_against(baseline: &[BaselineRow], records: &[Record]) -> usize {
     violations
 }
 
-/// `--profile` mode: single-threaded PROP per circuit, phase breakdown
-/// from the thread-local counters.
-fn profile(circuits: &[&str], runs: usize) {
+/// `--profile` mode: single-threaded runs per circuit, phase breakdown
+/// from the thread-local counters. Profiles PROP by default; with
+/// `--method ML` profiles the multilevel engine instead, adding the
+/// V-cycle overlay phases (coarsen/initial/project/refine, level count).
+fn profile(circuits: &[&str], runs: usize, method: &str, partitioner: &dyn Partitioner) {
     if !prop_core::prof::enabled() {
         snapshot_usage(
             "--profile needs the instrumented build: \
              cargo run --release -p prop-experiments --features prof --bin bench_snapshot",
         );
     }
-    let prop = methods::prop();
     for name in circuits {
         let spec = suite::by_name(name).expect("snapshot circuit");
         let graph = spec.instantiate().expect("valid spec");
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
         prop_core::prof::reset();
-        let rec = measure(name, "PROP", &prop, &graph, balance, runs, 1);
+        let rec = measure(name, method, partitioner, &graph, balance, runs, 1);
         let s = prop_core::prof::snapshot();
         let total = s.total_ns().max(1) as f64;
         let pct = |ns: u64| 100.0 * ns as f64 / total;
@@ -330,6 +343,20 @@ fn profile(circuits: &[&str], runs: usize) {
             "{name}: cut={} {:.3}s total ({} runs)",
             rec.best_cut, rec.secs_total, rec.runs
         );
+        if s.ml_total_ns() > 0 {
+            let ml_total = s.ml_total_ns().max(1) as f64;
+            let ml_pct = |ns: u64| 100.0 * ns as f64 / ml_total;
+            println!(
+                "  ml: coarsen {:6.2}%  initial {:6.2}%  project {:6.2}%  refine {:6.2}%  \
+                 ({} levels, {:.3}s instrumented)",
+                ml_pct(s.ml_coarsen_ns),
+                ml_pct(s.ml_initial_ns),
+                ml_pct(s.ml_project_ns),
+                ml_pct(s.ml_refine_ns),
+                s.ml_levels,
+                ml_total / 1e9
+            );
+        }
         println!(
             "  seed {:6.2}%  refine {:6.2}%  select {:6.2}%  apply {:6.2}%  refresh {:6.2}%",
             pct(s.seed_ns),
@@ -365,27 +392,42 @@ fn main() {
         circuits.retain(|c| c == only);
         if circuits.is_empty() {
             snapshot_usage(&format!(
-                "--circuit {only:?} is not part of the snapshot suite ({})",
-                CIRCUITS.join(", ")
+                "--circuit {only:?} is not part of the snapshot suite ({}; --large adds {})",
+                CIRCUITS.join(", "),
+                LARGE_CIRCUITS.join(", ")
+            ));
+        }
+    }
+
+    let prop = methods::prop();
+    let fm = methods::fm();
+    let ml = methods::ml();
+    let mut engines: Vec<(&str, &dyn Partitioner)> = vec![
+        ("PROP", &prop as &dyn Partitioner),
+        ("FM-bucket", &fm as &dyn Partitioner),
+        ("ML", &ml as &dyn Partitioner),
+    ];
+    if let Some(only) = &extra.method {
+        engines.retain(|(name, _)| name == only);
+        if engines.is_empty() {
+            snapshot_usage(&format!(
+                "--method {only:?} is not a snapshot engine (PROP, FM-bucket, ML)"
             ));
         }
     }
 
     if extra.profile {
-        profile(&circuits, runs);
+        let (method, partitioner) = engines[0];
+        profile(&circuits, runs, method, partitioner);
         return;
     }
 
-    let prop = methods::prop();
-    let fm = methods::fm();
     let mut records = Vec::new();
     for name in &circuits {
         let spec = suite::by_name(name).expect("fixed snapshot circuit");
         let graph = spec.instantiate().expect("valid Table-1 spec");
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
-        for (method, partitioner) in
-            [("PROP", &prop as &dyn Partitioner), ("FM-bucket", &fm as &dyn Partitioner)]
-        {
+        for (method, partitioner) in engines.iter().copied() {
             for threads in [1, max_threads] {
                 let rec = measure(name, method, partitioner, &graph, balance, runs, threads);
                 eprintln!(

@@ -2,6 +2,7 @@
 
 use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig, RunResult};
 use prop_fm::{FmBucket, FmTree, La};
+use prop_multilevel::{MlRefiner, Multilevel, MultilevelConfig};
 use prop_netlist::Hypergraph;
 use prop_spectral::{Eig1, GlobalPartitioner, MeloStyle, ParaboliStyle, WindowStyle};
 use std::time::Instant;
@@ -87,6 +88,12 @@ pub fn prop_paper() -> Prop {
 /// FM with the bucket structure (the paper's baseline FM).
 pub fn fm() -> FmBucket {
     FmBucket::default()
+}
+
+/// The standard multilevel V-cycle engine (heavy-edge coarsening with a
+/// size-adaptive PROP/FM refiner) at its default knobs.
+pub fn ml() -> Multilevel<MlRefiner> {
+    Multilevel::standard(MultilevelConfig::default())
 }
 
 /// FM with the tree structure (the paper's weighted-cost variant).

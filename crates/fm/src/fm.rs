@@ -7,9 +7,11 @@ use prop_netlist::Hypergraph;
 
 /// FM with the classic O(1) gain bucket array (the paper's "FM-bucket").
 ///
-/// Requires unit net costs — gains are then integers bounded by the node
-/// degree, which is what makes the bucket array work. Use [`FmTree`] for
-/// weighted nets.
+/// Requires integral net costs — gains are then integers bounded by the
+/// largest weighted node degree, which is what makes the bucket array
+/// work. Unit costs are the paper's case; integral non-unit costs arise
+/// from coarsened circuits whose merged nets sum their fine unit costs.
+/// Use [`FmTree`] for fractional net weights.
 ///
 /// ```
 /// use prop_core::{BalanceConstraint, Partitioner};
@@ -175,8 +177,8 @@ impl Partitioner for FmBucket {
 
     /// # Panics
     ///
-    /// Panics if the graph has non-unit net weights; the bucket structure
-    /// assumes integral gains (use [`FmTree`] instead).
+    /// Panics if the graph has fractional net weights; the bucket
+    /// structure assumes integral gains (use [`FmTree`] instead).
     fn improve(
         &self,
         graph: &Hypergraph,
@@ -184,11 +186,25 @@ impl Partitioner for FmBucket {
         balance: BalanceConstraint,
     ) -> ImproveStats {
         assert!(
-            graph.has_unit_weights(),
-            "FM-bucket requires unit net costs; use FM-tree for weighted nets"
+            graph.has_integral_weights(),
+            "FM-bucket requires integral net costs; use FM-tree for fractional nets"
         );
-        let max_deg = graph.stats().max_degree as i64;
-        let mut container = BucketContainer::new(graph.num_nodes(), max_deg.max(1));
+        // A node's gain is bounded by its weighted degree (every incident
+        // net fully for or against the move). Unit costs reduce this to
+        // the plain max degree.
+        let max_gain = if graph.has_unit_weights() {
+            graph.stats().max_degree as i64
+        } else {
+            let mut wdeg = vec![0.0f64; graph.num_nodes()];
+            for net in graph.nets() {
+                let w = graph.net_weight(net);
+                for &pin in graph.pins_of(net) {
+                    wdeg[pin.index()] += w;
+                }
+            }
+            wdeg.iter().fold(0.0f64, |a, &b| a.max(b)) as i64
+        };
+        let mut container = BucketContainer::new(graph.num_nodes(), max_gain.max(1));
         let mut state = PassState::new(graph.num_nodes());
         improve_with(
             "FM-bucket",
@@ -324,13 +340,31 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "unit net costs")]
-    fn bucket_rejects_weighted_nets() {
+    #[should_panic(expected = "integral net costs")]
+    fn bucket_rejects_fractional_nets() {
         let mut b = HypergraphBuilder::new(2);
-        b.add_net(2.0, [0, 1]).unwrap();
+        b.add_net(0.5, [0, 1]).unwrap();
         let g = b.build().unwrap();
         let mut p = Bipartition::random(2, &mut StdRng::seed_from_u64(0));
         let _ = FmBucket::default().improve(&g, &mut p, BalanceConstraint::bisection(2));
+    }
+
+    #[test]
+    fn bucket_and_tree_agree_on_integral_weighted_nets() {
+        // The coarse-circuit case: integral non-unit net costs. The bucket
+        // structure must accept them and find the same-quality minimum as
+        // the tree on a circuit with an unambiguous optimum.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(10.0, [0, 1]).unwrap();
+        b.add_net(10.0, [2, 3]).unwrap();
+        b.add_net(2.0, [1, 2]).unwrap();
+        let g = b.build().unwrap();
+        assert!(!g.has_unit_weights() && g.has_integral_weights());
+        let balance = BalanceConstraint::bisection(4);
+        let rb = FmBucket::default().run_multi(&g, balance, 4, 0).unwrap();
+        let rt = FmTree::default().run_multi(&g, balance, 4, 0).unwrap();
+        assert_eq!(rb.cut_cost, 2.0);
+        assert_eq!(rt.cut_cost, 2.0);
     }
 
     #[test]

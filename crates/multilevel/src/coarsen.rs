@@ -4,15 +4,16 @@ use prop_core::{Bipartition, Side};
 use prop_netlist::{Hypergraph, HypergraphBuilder, NodeId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use std::collections::HashMap;
 
 const UNMATCHED: u32 = u32::MAX;
 
-/// One coarsening level: the fine circuit, its coarsened image, and the
-/// node mapping between them.
+/// One coarsening level: the coarsened circuit and the node mapping from
+/// the fine circuit it was built from. The fine circuit itself is not
+/// stored — the V-cycle driver owns the chain of graphs, so a level costs
+/// one mapping vector plus the coarse circuit instead of a full clone of
+/// its parent.
 #[derive(Clone, Debug)]
 pub struct CoarseLevel {
-    fine: Hypergraph,
     /// The coarsened circuit. Supernode weights are the summed weights of
     /// their constituents; nets internal to a supernode are dropped and
     /// identical coarse nets are merged with summed cost, which makes
@@ -23,9 +24,9 @@ pub struct CoarseLevel {
 }
 
 impl CoarseLevel {
-    /// The circuit this level coarsened from.
-    pub fn fine_view(&self) -> &Hypergraph {
-        &self.fine
+    /// Number of nodes of the fine circuit this level coarsened from.
+    pub fn fine_nodes(&self) -> usize {
+        self.map.len()
     }
 
     /// The coarse image of a fine node.
@@ -57,24 +58,60 @@ impl CoarseLevel {
     }
 }
 
+/// Reusable buffers for [`coarsen_with`]. One scratch serves a whole
+/// V-cycle: every level reuses the allocations sized by the finest
+/// circuit instead of reallocating per level.
+#[derive(Default, Debug)]
+pub struct CoarsenScratch {
+    order: Vec<u32>,
+    mate: Vec<u32>,
+    score: Vec<f64>,
+    mark: Vec<u32>,
+    /// Concatenated mapped-and-deduped pin sets of the surviving nets.
+    pin_buf: Vec<u32>,
+    /// `(offset into pin_buf, pin count, summed weight)` per surviving net.
+    net_recs: Vec<(u32, u32, f64)>,
+    sort_idx: Vec<u32>,
+}
+
+/// Coarsens `fine` by one level of heavy-edge matching with a fresh
+/// scratch; see [`coarsen_with`].
+pub fn coarsen(fine: &Hypergraph, max_match_net: usize, seed: u64) -> CoarseLevel {
+    coarsen_with(fine, max_match_net, seed, &mut CoarsenScratch::default())
+}
+
 /// Coarsens `fine` by one level of heavy-edge matching: each node is
 /// matched with its most strongly connected unmatched neighbor
 /// (connectivity = Σ `w/(q−1)` over shared nets of size ≤ `max_match_net`),
 /// visiting nodes in a seeded random order. Unmatchable nodes survive as
 /// singleton supernodes.
-pub fn coarsen(fine: &Hypergraph, max_match_net: usize, seed: u64) -> CoarseLevel {
+pub fn coarsen_with(
+    fine: &Hypergraph,
+    max_match_net: usize,
+    seed: u64,
+    scratch: &mut CoarsenScratch,
+) -> CoarseLevel {
     let n = fine.num_nodes();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x1357_9bdf_2468_ace0);
-    let mut order: Vec<usize> = (0..n).collect();
+    let order = &mut scratch.order;
+    order.clear();
+    order.extend(0..n as u32);
     for i in (1..n).rev() {
         order.swap(i, rng.gen_range(0..=i));
     }
 
-    let mut mate = vec![UNMATCHED; n];
+    let mate = &mut scratch.mate;
+    mate.clear();
+    mate.resize(n, UNMATCHED);
     // Scratch accumulation of connectivity scores, epoch-marked.
-    let mut score = vec![0.0f64; n];
-    let mut mark = vec![u32::MAX; n];
+    scratch.score.clear();
+    scratch.score.resize(n, 0.0);
+    scratch.mark.clear();
+    scratch.mark.resize(n, u32::MAX);
+    let score = &mut scratch.score;
+    let mark = &mut scratch.mark;
     for (epoch, &u) in order.iter().enumerate() {
+        let u = u as usize;
         if mate[u] != UNMATCHED {
             continue;
         }
@@ -142,39 +179,64 @@ pub fn coarsen(fine: &Hypergraph, max_match_net: usize, seed: u64) -> CoarseLeve
     }
     let coarse_n = coarse_weight.len();
 
-    // Coarse nets: drop nets internal to a supernode, merge identical
-    // pin sets with summed cost.
-    let mut merged: HashMap<Vec<u32>, f64> = HashMap::new();
-    let mut pins_scratch: Vec<u32> = Vec::new();
+    // Coarse nets: map every pin set into coarse ids, drop nets that
+    // collapse inside one supernode, then merge identical pin sets with
+    // summed cost. The merge is a flat-buffer sort of net records — no
+    // per-net allocation, no hash map.
+    let pin_buf = &mut scratch.pin_buf;
+    let net_recs = &mut scratch.net_recs;
+    pin_buf.clear();
+    net_recs.clear();
     for net in fine.nets() {
-        pins_scratch.clear();
-        pins_scratch.extend(fine.pins_of(net).iter().map(|&v| map[v.index()]));
-        pins_scratch.sort_unstable();
-        pins_scratch.dedup();
-        if pins_scratch.len() < 2 {
+        let start = pin_buf.len();
+        pin_buf.extend(fine.pins_of(net).iter().map(|&v| map[v.index()]));
+        pin_buf[start..].sort_unstable();
+        let mut len = 0;
+        for i in start..pin_buf.len() {
+            if len == 0 || pin_buf[start + len - 1] != pin_buf[i] {
+                pin_buf[start + len] = pin_buf[i];
+                len += 1;
+            }
+        }
+        pin_buf.truncate(start + len);
+        if len < 2 {
+            pin_buf.truncate(start);
             continue;
         }
-        *merged.entry(pins_scratch.clone()).or_insert(0.0) += fine.net_weight(net);
+        net_recs.push((start as u32, len as u32, fine.net_weight(net)));
     }
-    // Deterministic net order (hash maps iterate in arbitrary order).
-    let mut nets: Vec<(Vec<u32>, f64)> = merged.into_iter().collect();
-    nets.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    // Deterministic lexicographic net order; identical pin sets become
+    // adjacent and merge below.
+    let rec_pins = |&(start, len, _): &(u32, u32, f64)| -> &[u32] {
+        &pin_buf[start as usize..(start + len) as usize]
+    };
+    let sort_idx = &mut scratch.sort_idx;
+    sort_idx.clear();
+    sort_idx.extend(0..net_recs.len() as u32);
+    sort_idx.sort_unstable_by(|&a, &b| {
+        rec_pins(&net_recs[a as usize]).cmp(rec_pins(&net_recs[b as usize]))
+    });
 
     let mut builder = HypergraphBuilder::new(coarse_n);
     builder
         .set_node_weights(coarse_weight)
         .expect("summed positive weights stay positive");
-    for (pins, weight) in nets {
+    let mut i = 0;
+    while i < sort_idx.len() {
+        let pins = rec_pins(&net_recs[sort_idx[i] as usize]);
+        let mut weight = net_recs[sort_idx[i] as usize].2;
+        let mut j = i + 1;
+        while j < sort_idx.len() && rec_pins(&net_recs[sort_idx[j] as usize]) == pins {
+            weight += net_recs[sort_idx[j] as usize].2;
+            j += 1;
+        }
         builder
             .add_net(weight, pins.iter().map(|&p| p as usize))
             .expect("mapped pins are in range");
+        i = j;
     }
     let coarse = builder.build().expect("coarse circuit is well-formed");
-    CoarseLevel {
-        fine: fine.clone(),
-        coarse,
-        map,
-    }
+    CoarseLevel { coarse, map }
 }
 
 #[cfg(test)]
@@ -197,6 +259,7 @@ mod tests {
             (level.coarse.total_node_weight() - g.total_node_weight()).abs() < 1e-9,
             "node weight must be conserved"
         );
+        assert_eq!(level.fine_nodes(), g.num_nodes());
     }
 
     #[test]
@@ -251,6 +314,44 @@ mod tests {
         let c = coarsen(&g, 32, 6);
         // Different seed, almost surely different matching.
         assert_ne!(a.coarse, c.coarse);
+    }
+
+    #[test]
+    fn scratch_reuse_is_equivalent_to_fresh_scratch() {
+        // One scratch threaded through a chain of levels must produce the
+        // same circuits as a fresh scratch per call.
+        let mut scratch = CoarsenScratch::default();
+        let mut g = circuit(12);
+        for level_seed in 0..4 {
+            let reused = coarsen_with(&g, 32, level_seed, &mut scratch);
+            let fresh = coarsen(&g, 32, level_seed);
+            assert_eq!(reused.coarse, fresh.coarse, "level seed {level_seed}");
+            assert_eq!(reused.map, fresh.map);
+            g = reused.coarse;
+        }
+    }
+
+    #[test]
+    fn merged_nets_sum_their_weights() {
+        // Doubled intra-pair nets dominate the connectivity scores, so
+        // every visit order matches (0,1) and (2,3). The two parallel
+        // cross nets then collapse into one coarse net of summed weight.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        b.add_net(1.0, [1, 2]).unwrap();
+        b.add_net(1.0, [0, 3]).unwrap();
+        let g = b.build().unwrap();
+        for seed in 0..4 {
+            let level = coarsen(&g, 32, seed);
+            assert_eq!(level.coarse.num_nodes(), 2);
+            // The two supernodes are joined by exactly one surviving net
+            // carrying both cross nets' weight.
+            assert_eq!(level.coarse.num_nets(), 1);
+            assert!((level.coarse.total_net_weight() - 2.0).abs() < 1e-9);
+        }
     }
 
     #[test]

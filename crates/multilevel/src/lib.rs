@@ -18,6 +18,38 @@
 //! any partition of a coarse level induces a partition of the fine level
 //! with exactly the same cut cost (see [`coarsen::CoarseLevel::project`]).
 //!
+//! # The two faces of [`Multilevel`]
+//!
+//! * As a [`GlobalPartitioner`], [`Multilevel::partition`] runs one
+//!   V-cycle seeded from `config.seed` — the one-shot global method.
+//! * As a [`Partitioner`], [`Multilevel::improve`] runs one V-cycle per
+//!   harness run, which plugs the engine into the multi-start machinery:
+//!   `run_multi_parallel` gives deterministic parallel multi-start
+//!   V-cycles (bit-identical to sequential for every thread count) and
+//!   `run_multi_cancellable` gives cooperative cancellation. The per-run
+//!   V-cycle seed is derived from `config.seed` and a hash of the
+//!   harness-seeded initial partition, so run `r` is fully determined by
+//!   `(config.seed, base_seed + r)` — never by thread scheduling.
+//!
+//! # Seed streams and prefix stability
+//!
+//! All randomness inside a V-cycle is drawn from independent seed
+//! streams derived by [`stream_seed`]: matching order at level `l` uses
+//! `(seed, Matching, l)`, coarsest start `s` uses `(seed, Start, s)`.
+//! Because start `s` never consumes draws from any other start's stream,
+//! raising `coarsest_starts` only *appends* starts: the first `k` initial
+//! bisections are identical for every `coarsest_starts ≥ k`
+//! (prefix-stable, pinned by `tests/multilevel_vcycle.rs`).
+//!
+//! # Cancellation
+//!
+//! The V-cycle polls the thread-local cancellation slot at every level
+//! boundary: between coarsening levels, between coarsest starts, and
+//! before each refinement during uncoarsening. A trip mid-uncoarsening
+//! skips the remaining refinements but **keeps projecting** down to the
+//! input circuit — projection is cut-exact and weight-preserving, so the
+//! partial result is a real (if less refined) partition of the input.
+//!
 //! ```
 //! use prop_core::{BalanceConstraint, GlobalPartitioner, Prop, PropConfig};
 //! use prop_multilevel::Multilevel;
@@ -38,10 +70,11 @@
 
 pub mod coarsen;
 
-use coarsen::{coarsen, CoarseLevel};
+use coarsen::{coarsen_with, CoarseLevel, CoarsenScratch};
+use prop_core::prof::{self, Phase};
 use prop_core::{
-    BalanceConstraint, Bipartition, CutState, GlobalPartitioner, PartitionError, Partitioner,
-    RunResult, Side,
+    cancel, BalanceConstraint, Bipartition, CutState, GlobalPartitioner, ImproveStats,
+    PartitionError, Partitioner, Prop, PropConfig, RunResult, Side, SideWeights,
 };
 use prop_netlist::Hypergraph;
 use rand::rngs::StdRng;
@@ -59,6 +92,30 @@ pub struct MultilevelConfig {
     /// Nets larger than this are ignored when scoring matches (they carry
     /// almost no clustering signal).
     pub max_match_net: usize,
+    /// FM pass cap at *capped* weighted levels of the [`standard`]
+    /// engine — levels above `fm_converge_nodes` nodes (ignored by custom
+    /// inner partitioners, which keep their own pass policy).
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub refine_passes: usize,
+    /// Weighted levels of at most this many nodes run FM to convergence
+    /// in the [`standard`] engine; larger ones get `refine_passes`.
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub fm_converge_nodes: usize,
+    /// Weighted levels larger than this are projected through without
+    /// refinement by the [`standard`] engine: their moves are a strict
+    /// subset of the (much cheaper) moves available at the unit-weight
+    /// finest level, so refining both is redundant work.
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub refine_skip_nodes: usize,
+    /// PROP passes run after FM converges at unit-weight levels (the
+    /// input circuit) in the [`standard`] engine; `0` disables the
+    /// polish.
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub polish_passes: usize,
     /// Seed for matching orders and initial bisections.
     pub seed: u64,
 }
@@ -67,10 +124,147 @@ impl Default for MultilevelConfig {
     fn default() -> Self {
         MultilevelConfig {
             coarsest_nodes: 120,
-            max_levels: 20,
-            coarsest_starts: 4,
-            max_match_net: 32,
+            max_levels: 24,
+            coarsest_starts: 8,
+            max_match_net: 8,
+            refine_passes: 1,
+            fm_converge_nodes: 20_000,
+            refine_skip_nodes: 40_000,
+            polish_passes: 1,
             seed: 0,
+        }
+    }
+}
+
+/// The independent random streams of a V-cycle; see [`stream_seed`].
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum SeedStream {
+    /// Matching order of coarsening level `index`.
+    Matching,
+    /// Greedy initial bisection of coarsest start `index`.
+    Start,
+    /// Whole-V-cycle seed of harness run `index` (where `index` is a hash
+    /// of the run's seeded initial partition).
+    Run,
+}
+
+/// Derives the seed of draw stream `(stream, index)` from the engine seed.
+///
+/// Each `(stream, index)` pair gets a statistically independent seed via a
+/// splitmix64-style finalizer, and no stream ever consumes another
+/// stream's draws. This is what makes the initial-partition draws
+/// *prefix-stable*: changing `coarsest_starts` (or `max_levels`) leaves
+/// every earlier start's (or level's) randomness untouched.
+pub fn stream_seed(seed: u64, stream: SeedStream, index: u64) -> u64 {
+    let salt: u64 = match stream {
+        SeedStream::Matching => 0x9e37_79b9_7f4a_7c15,
+        SeedStream::Start => 0xd1b5_4a32_d192_ed03,
+        SeedStream::Run => 0x8cb9_2ba7_2f3d_8dd7,
+    };
+    let mut z = seed
+        .wrapping_add(salt)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The size- and weight-adaptive refiner of the production `ml` engine.
+///
+/// The cost structure of a V-cycle level is set by its weights, not just
+/// its size. Unit-weight levels (the input circuit itself) refine
+/// cheaply: every FM balance probe is O(1) and the bucket gain structure
+/// applies directly. Weighted coarse levels are where refinement gets
+/// expensive — heavy supernodes force deep balance-feasibility scans per
+/// selected move — while every move available there is also available,
+/// more finely and more cheaply, at the finest level. So the refiner
+/// spends where it is paid:
+///
+/// * **Unit-weight levels** — FM-bucket to convergence, then a capped
+///   PROP polish (`polish_passes`): PROP's probabilistic reordering
+///   escapes the local minimum FM converged to, and this level decides
+///   the reported cut.
+/// * **Weighted levels above `refine_skip_nodes`** — projected through
+///   without refinement (their moves are a strict subset of the finest
+///   level's).
+/// * **Weighted levels above `fm_converge_nodes`** — FM capped at
+///   `refine_passes`.
+/// * **Smaller weighted levels** — FM to convergence.
+///
+/// FM uses the O(1) bucket structure whenever net costs are integral
+/// (unit fine costs stay integral through coarsening, since merged nets
+/// sum them) and the tree only for fractional weights.
+#[derive(Clone, Debug)]
+pub struct MlRefiner {
+    polish: Prop,
+    polish_passes: usize,
+    fm_capped: prop_fm::FmBucket,
+    fm_full: prop_fm::FmBucket,
+    fm_tree_capped: prop_fm::FmTree,
+    fm_tree_full: prop_fm::FmTree,
+    fm_converge_nodes: usize,
+    refine_skip_nodes: usize,
+}
+
+impl MlRefiner {
+    /// Builds the refiner from the tuning knobs of `config`
+    /// (`refine_passes`, `fm_converge_nodes`, `refine_skip_nodes`,
+    /// `polish_passes`).
+    pub fn new(config: &MultilevelConfig) -> Self {
+        let passes = config.refine_passes.max(1);
+        MlRefiner {
+            polish: Prop::new(PropConfig {
+                max_passes: config.polish_passes.max(1),
+                ..PropConfig::calibrated()
+            }),
+            polish_passes: config.polish_passes,
+            fm_capped: prop_fm::FmBucket { max_passes: passes },
+            fm_full: prop_fm::FmBucket::default(),
+            fm_tree_capped: prop_fm::FmTree { max_passes: passes },
+            fm_tree_full: prop_fm::FmTree::default(),
+            fm_converge_nodes: config.fm_converge_nodes,
+            refine_skip_nodes: config.refine_skip_nodes,
+        }
+    }
+}
+
+impl Partitioner for MlRefiner {
+    fn name(&self) -> &str {
+        "ML-refine"
+    }
+
+    fn improve(
+        &self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        balance: BalanceConstraint,
+    ) -> ImproveStats {
+        let n = graph.num_nodes();
+        if graph.has_unit_weights() && graph.has_unit_node_weights() {
+            let fm = self.fm_full.improve(graph, partition, balance);
+            if self.polish_passes == 0 {
+                return fm;
+            }
+            let polish = self.polish.improve(graph, partition, balance);
+            return ImproveStats {
+                passes: fm.passes + polish.passes,
+                cut_cost: polish.cut_cost,
+            };
+        }
+        if n > self.refine_skip_nodes {
+            return ImproveStats {
+                passes: 0,
+                cut_cost: prop_core::cut_cost(graph, partition),
+            };
+        }
+        let capped = n > self.fm_converge_nodes;
+        if graph.has_integral_weights() {
+            if capped { &self.fm_capped } else { &self.fm_full }
+                .improve(graph, partition, balance)
+        } else if capped {
+            self.fm_tree_capped.improve(graph, partition, balance)
+        } else {
+            self.fm_tree_full.improve(graph, partition, balance)
         }
     }
 }
@@ -80,6 +274,15 @@ impl Default for MultilevelConfig {
 pub struct Multilevel<P> {
     config: MultilevelConfig,
     inner: P,
+}
+
+impl Multilevel<MlRefiner> {
+    /// The production `ml` engine: a V-cycle refined by the size- and
+    /// weight-adaptive [`MlRefiner`] built from `config`'s tuning knobs.
+    pub fn standard(config: MultilevelConfig) -> Self {
+        let inner = MlRefiner::new(&config);
+        Multilevel { config, inner }
+    }
 }
 
 impl<P: Partitioner> Multilevel<P> {
@@ -105,6 +308,180 @@ impl<P: Partitioner> Multilevel<P> {
     pub fn config(&self) -> &MultilevelConfig {
         &self.config
     }
+
+    /// Coarsens `graph` all the way down, one scratch for the whole chain.
+    /// Returns the level stack and whether a cancellation trip cut
+    /// coarsening short.
+    fn coarsen_all(&self, graph: &Hypergraph, seed: u64) -> (Vec<CoarseLevel>, bool) {
+        let cfg = &self.config;
+        let mut levels: Vec<CoarseLevel> = Vec::new();
+        let mut scratch = CoarsenScratch::default();
+        loop {
+            let fine: &Hypergraph = levels.last().map_or(graph, |l| &l.coarse);
+            let fine_n = fine.num_nodes();
+            if fine_n <= cfg.coarsest_nodes || levels.len() >= cfg.max_levels {
+                return (levels, false);
+            }
+            if cancel::requested() {
+                return (levels, true);
+            }
+            let tick = prof::start();
+            let level_seed =
+                stream_seed(seed, SeedStream::Matching, levels.len() as u64);
+            let level = coarsen_with(fine, cfg.max_match_net, level_seed, &mut scratch);
+            prof::stop(Phase::MlCoarsen, tick);
+            prof::count_ml_level();
+            // A stalled matching (degenerate circuit) would loop forever.
+            if level.coarse.num_nodes() as f64 > fine_n as f64 * 0.95 {
+                return (levels, false);
+            }
+            levels.push(level);
+        }
+    }
+
+    /// One full V-cycle from `seed`. On a cancellation trip the cycle
+    /// degrades gracefully (see the module docs) but always returns a
+    /// partition of `graph`.
+    fn vcycle(
+        &self,
+        graph: &Hypergraph,
+        balance: BalanceConstraint,
+        seed: u64,
+    ) -> Result<VcycleRun, PartitionError> {
+        if graph.num_nodes() == 0 {
+            return Err(PartitionError::EmptyGraph);
+        }
+        let cfg = &self.config;
+        let (r1, r2) = balance.ratios();
+
+        // Phase 1: coarsen.
+        let (levels, mut cancelled) = self.coarsen_all(graph, seed);
+
+        // Phase 2: partition the coarsest circuit. The inner improver runs
+        // from several greedy weight-balanced starts; each start draws
+        // from its own seed stream (prefix-stable, see module docs).
+        let coarsest: &Hypergraph = levels.last().map_or(graph, |l| &l.coarse);
+        let coarse_balance = if levels.is_empty() {
+            balance
+        } else {
+            BalanceConstraint::weighted(r1, r2, coarsest)?
+        };
+        let mut best: Option<(Bipartition, f64)> = None;
+        let mut passes = 0;
+        let tick = prof::start();
+        for s in 0..cfg.coarsest_starts.max(1) {
+            if cancel::requested() {
+                cancelled = true;
+            }
+            let mut rng =
+                StdRng::seed_from_u64(stream_seed(seed, SeedStream::Start, s as u64));
+            let mut part = greedy_weighted_bisection(coarsest, &mut rng);
+            if cancelled {
+                if best.is_none() {
+                    // Tripped before any start finished: keep the greedy
+                    // bisection unimproved so there is still a partition
+                    // to project.
+                    let cut = CutState::new(coarsest, &part).cut_cost();
+                    best = Some((part, cut));
+                }
+                break;
+            }
+            let stats = self.inner.improve(coarsest, &mut part, coarse_balance);
+            passes += stats.passes;
+            let cut = CutState::new(coarsest, &part).cut_cost();
+            if best.as_ref().is_none_or(|&(_, b)| cut < b) {
+                best = Some((part, cut));
+            }
+        }
+        prof::stop(Phase::MlInitial, tick);
+        let (mut partition, coarsest_cut) = best.expect("at least one start ran");
+
+        // Phase 3: uncoarsen and refine level by level. A cancellation
+        // trip stops refining but keeps projecting: projection is
+        // cut-exact, so the partial result stays an honest partition of
+        // the input circuit.
+        let mut level_cuts = Vec::with_capacity(levels.len() + 1);
+        level_cuts.push(coarsest_cut);
+        for i in (0..levels.len()).rev() {
+            let tick = prof::start();
+            partition = levels[i].project(&partition);
+            prof::stop(Phase::MlProject, tick);
+            if cancel::requested() {
+                cancelled = true;
+            }
+            if cancelled {
+                continue;
+            }
+            let fine: &Hypergraph = if i == 0 { graph } else { &levels[i - 1].coarse };
+            let fine_balance = if i == 0 {
+                balance
+            } else {
+                BalanceConstraint::weighted(r1, r2, fine)?
+            };
+            let tick = prof::start();
+            let stats = self.inner.improve(fine, &mut partition, fine_balance);
+            prof::stop(Phase::MlRefine, tick);
+            passes += stats.passes;
+            level_cuts.push(stats.cut_cost);
+        }
+
+        // Re-derive the final cost from scratch: multi-level bookkeeping
+        // is never trusted for the reported number.
+        let cut = CutState::new(graph, &partition).cut_cost();
+        Ok(VcycleRun {
+            partition,
+            cut,
+            passes,
+            level_cuts,
+        })
+    }
+
+    /// Cut cost of each coarsest-level start, in start order, for the
+    /// given engine seed. Diagnostic hook pinning the prefix-stability
+    /// contract: the vector for `coarsest_starts = k` is a prefix of the
+    /// vector for any larger start count (same `config.seed`).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::EmptyGraph`] for a node-less graph.
+    pub fn coarsest_start_cuts(
+        &self,
+        graph: &Hypergraph,
+        balance: BalanceConstraint,
+    ) -> Result<Vec<f64>, PartitionError> {
+        if graph.num_nodes() == 0 {
+            return Err(PartitionError::EmptyGraph);
+        }
+        let (r1, r2) = balance.ratios();
+        let (levels, _) = self.coarsen_all(graph, self.config.seed);
+        let coarsest: &Hypergraph = levels.last().map_or(graph, |l| &l.coarse);
+        let coarse_balance = if levels.is_empty() {
+            balance
+        } else {
+            BalanceConstraint::weighted(r1, r2, coarsest)?
+        };
+        (0..self.config.coarsest_starts.max(1))
+            .map(|s| {
+                let mut rng = StdRng::seed_from_u64(stream_seed(
+                    self.config.seed,
+                    SeedStream::Start,
+                    s as u64,
+                ));
+                let mut part = greedy_weighted_bisection(coarsest, &mut rng);
+                self.inner.improve(coarsest, &mut part, coarse_balance);
+                Ok(CutState::new(coarsest, &part).cut_cost())
+            })
+            .collect()
+    }
+}
+
+/// Outcome of one V-cycle.
+struct VcycleRun {
+    partition: Bipartition,
+    cut: f64,
+    passes: usize,
+    /// Cut after each refinement stage, coarsest first.
+    level_cuts: Vec<f64>,
 }
 
 impl<P: Partitioner> GlobalPartitioner for Multilevel<P> {
@@ -117,65 +494,79 @@ impl<P: Partitioner> GlobalPartitioner for Multilevel<P> {
         graph: &Hypergraph,
         balance: BalanceConstraint,
     ) -> Result<RunResult, PartitionError> {
-        if graph.num_nodes() == 0 {
-            return Err(PartitionError::EmptyGraph);
-        }
-        let (r1, r2) = balance.ratios();
-        let mut rng = StdRng::seed_from_u64(self.config.seed ^ 0x5151_aaaa_bbbb_7777);
-
-        // Phase 1: coarsen.
-        let mut levels: Vec<CoarseLevel> = Vec::new();
-        let mut current = graph.clone();
-        for _ in 0..self.config.max_levels {
-            if current.num_nodes() <= self.config.coarsest_nodes {
-                break;
-            }
-            let level = coarsen(&current, self.config.max_match_net, rng.gen());
-            // A stalled matching (degenerate circuit) would loop forever.
-            if level.coarse.num_nodes() as f64 > current.num_nodes() as f64 * 0.95 {
-                break;
-            }
-            current = level.coarse.clone();
-            levels.push(level);
-        }
-
-        // Phase 2: partition the coarsest circuit. The inner improver runs
-        // from several greedy weight-balanced starts.
-        let coarse_balance = BalanceConstraint::weighted(r1, r2, &current)?;
-        let mut best: Option<(Bipartition, f64)> = None;
-        let mut total_passes = 0;
-        for _ in 0..self.config.coarsest_starts.max(1) {
-            let mut partition = greedy_weighted_bisection(&current, &mut rng);
-            let stats = self.inner.improve(&current, &mut partition, coarse_balance);
-            total_passes += stats.passes;
-            let cost = CutState::new(&current, &partition).cut_cost();
-            if best.as_ref().is_none_or(|&(_, b)| cost < b) {
-                best = Some((partition, cost));
-            }
-        }
-        let (mut partition, _) = best.expect("at least one start");
-
-        // Phase 3: uncoarsen and refine level by level.
-        let mut run_cuts = Vec::with_capacity(levels.len() + 1);
-        for level in levels.iter().rev() {
-            partition = level.project(&partition);
-            let fine_balance = BalanceConstraint::weighted(r1, r2, level.fine_view())?;
-            let stats = self
-                .inner
-                .improve(level.fine_view(), &mut partition, fine_balance);
-            total_passes += stats.passes;
-            run_cuts.push(stats.cut_cost);
-        }
-
-        let cut_cost = CutState::new(graph, &partition).cut_cost();
-        run_cuts.push(cut_cost);
+        let run = self.vcycle(graph, balance, self.config.seed)?;
         Ok(RunResult {
-            partition,
-            cut_cost,
-            total_passes,
-            run_cuts,
+            partition: run.partition,
+            cut_cost: run.cut,
+            total_passes: run.passes,
+            run_cuts: run.level_cuts,
         })
     }
+}
+
+impl<P: Partitioner> Partitioner for Multilevel<P> {
+    fn name(&self) -> &str {
+        "ML"
+    }
+
+    /// Runs one V-cycle and installs its result when it improves (or
+    /// matches) the incoming partition; otherwise the partition is left
+    /// untouched. The V-cycle seed is derived from `config.seed` and a
+    /// hash of the incoming partition, so under the multi-start harness
+    /// every run gets a distinct, thread-count-independent V-cycle.
+    ///
+    /// An incoming feasible partition is never traded for an infeasible
+    /// one, which upholds the [`Partitioner::improve`] contract even when
+    /// the harness balance differs from the V-cycle's internal
+    /// size-constrained criterion.
+    fn improve(
+        &self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        balance: BalanceConstraint,
+    ) -> ImproveStats {
+        let incoming_cut = CutState::new(graph, partition).cut_cost();
+        let run_seed = stream_seed(self.config.seed, SeedStream::Run, side_hash(partition));
+        match self.vcycle(graph, balance, run_seed) {
+            Ok(run) if run.cut <= incoming_cut && is_feasible(balance, graph, &run.partition) => {
+                *partition = run.partition;
+                ImproveStats {
+                    passes: run.passes,
+                    cut_cost: run.cut,
+                }
+            }
+            Ok(run) => ImproveStats {
+                passes: run.passes,
+                cut_cost: incoming_cut,
+            },
+            // Unreachable through the harness (it rejects empty graphs
+            // first); stand pat to honor the in-place contract anyway.
+            Err(_) => ImproveStats {
+                passes: 0,
+                cut_cost: incoming_cut,
+            },
+        }
+    }
+}
+
+/// FNV-1a 64 over the assignment, one byte per node.
+fn side_hash(partition: &Bipartition) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &s in partition.sides() {
+        hash ^= u64::from(s == Side::B);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// Strict feasibility of a committed partition under `balance`, counting
+/// both sides' cardinalities and weights from scratch.
+fn is_feasible(balance: BalanceConstraint, graph: &Hypergraph, partition: &Bipartition) -> bool {
+    let w = SideWeights::new(graph, partition);
+    balance.is_feasible(
+        [partition.count(Side::A), partition.count(Side::B)],
+        [w.get(Side::A), w.get(Side::B)],
+    )
 }
 
 /// A greedy weight-balanced bisection: nodes in random order, heaviest
@@ -208,7 +599,6 @@ fn greedy_weighted_bisection<R: Rng + ?Sized>(graph: &Hypergraph, rng: &mut R) -
 #[cfg(test)]
 mod tests {
     use super::*;
-    use prop_core::{Prop, PropConfig, SideWeights};
     use prop_fm::FmTree;
     use prop_netlist::generate::{generate, GeneratorConfig};
 
@@ -232,11 +622,12 @@ mod tests {
 
     #[test]
     fn multilevel_matches_or_beats_flat_runs_of_its_refiner() {
-        use prop_core::Partitioner as _;
         let graph = circuit(800, 9);
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
         let flat = FmTree::default().run_multi(&graph, balance, 4, 0).unwrap();
-        let ml = Multilevel::new(FmTree::default()).partition(&graph, balance).unwrap();
+        let ml = Multilevel::new(FmTree::default())
+            .partition(&graph, balance)
+            .unwrap();
         // The clustering pre-phase is the whole point: it should not lose
         // to the same refiner from random starts (allow a small epsilon of
         // slack for unlucky matchings).
@@ -246,6 +637,72 @@ mod tests {
             ml.cut_cost,
             flat.cut_cost
         );
+    }
+
+    #[test]
+    fn improve_is_deterministic_and_never_regresses() {
+        let graph = circuit(500, 21);
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+        let ml = Multilevel::standard(MultilevelConfig::default());
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..3 {
+            let initial = Bipartition::random(graph.num_nodes(), &mut rng);
+            let incoming_cut = CutState::new(&graph, &initial).cut_cost();
+            let mut a = initial.clone();
+            let mut b = initial.clone();
+            let sa = ml.improve(&graph, &mut a, balance);
+            let sb = ml.improve(&graph, &mut b, balance);
+            assert_eq!(a, b, "improve must be deterministic in the input");
+            assert_eq!(sa, sb);
+            assert!(sa.cut_cost <= incoming_cut);
+            assert!(a.is_balanced(balance));
+            assert_eq!(sa.cut_cost, CutState::new(&graph, &a).cut_cost());
+        }
+    }
+
+    #[test]
+    fn improve_runs_differ_across_initial_partitions() {
+        // Distinct incoming partitions must derive distinct V-cycle
+        // seeds — that is what gives best-of-R its diversity.
+        let graph = circuit(400, 5);
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+        let ml = Multilevel::standard(MultilevelConfig::default());
+        let result = ml.run_multi(&graph, balance, 4, 11).unwrap();
+        assert_eq!(result.run_cuts.len(), 4);
+        let best = result.run_cuts.iter().copied().fold(f64::INFINITY, f64::min);
+        assert_eq!(result.cut_cost, best);
+    }
+
+    #[test]
+    fn start_cuts_are_prefix_stable() {
+        let graph = circuit(700, 13);
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+        let few = Multilevel::standard(MultilevelConfig {
+            coarsest_starts: 3,
+            ..MultilevelConfig::default()
+        });
+        let many = Multilevel::standard(MultilevelConfig {
+            coarsest_starts: 9,
+            ..MultilevelConfig::default()
+        });
+        let few_cuts = few.coarsest_start_cuts(&graph, balance).unwrap();
+        let many_cuts = many.coarsest_start_cuts(&graph, balance).unwrap();
+        assert_eq!(few_cuts.len(), 3);
+        assert_eq!(many_cuts.len(), 9);
+        assert_eq!(few_cuts, many_cuts[..3]);
+    }
+
+    #[test]
+    fn stream_seeds_are_pairwise_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for stream in [SeedStream::Matching, SeedStream::Start, SeedStream::Run] {
+            for index in 0..64 {
+                assert!(
+                    seen.insert(stream_seed(42, stream, index)),
+                    "collision at {stream:?}/{index}"
+                );
+            }
+        }
     }
 
     #[test]
@@ -282,7 +739,52 @@ mod tests {
             },
         );
         assert_eq!(ml.config().coarsest_nodes, 64);
-        assert_eq!(ml.name(), "ML");
+        assert_eq!(GlobalPartitioner::name(&ml), "ML");
+        assert_eq!(Partitioner::name(&ml), "ML");
         let _ = ml.inner();
+    }
+
+    #[test]
+    fn refiner_dispatches_by_size_and_weights() {
+        // Unit-weight graph → FM + PROP polish; all paths keep
+        // feasibility and report the true cut.
+        let refiner = MlRefiner::new(&MultilevelConfig::default());
+        let unit = circuit(300, 4);
+        let balance = BalanceConstraint::new(0.45, 0.55, unit.num_nodes()).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut p = Bipartition::random(unit.num_nodes(), &mut rng);
+        let stats = refiner.improve(&unit, &mut p, balance);
+        assert!(p.is_balanced(balance));
+        assert_eq!(stats.cut_cost, CutState::new(&unit, &p).cut_cost());
+        assert_eq!(refiner.name(), "ML-refine");
+
+        // A weighted level above the skip threshold is projected through
+        // untouched, but the reported cut must still be exact.
+        let skipping = MlRefiner::new(&MultilevelConfig {
+            refine_skip_nodes: 100,
+            ..MultilevelConfig::default()
+        });
+        let mut b = prop_netlist::HypergraphBuilder::new(200);
+        for i in 0..199 {
+            b.add_net(2.0, [i, i + 1]).unwrap();
+        }
+        b.set_node_weights(vec![2.0; 200]).unwrap();
+        let weighted = b.build().unwrap();
+        let balance = BalanceConstraint::new(0.45, 0.55, 200).unwrap();
+        let mut p = Bipartition::random(200, &mut rng);
+        let before = p.clone();
+        let stats = skipping.improve(&weighted, &mut p, balance);
+        assert_eq!(p, before, "levels above refine_skip_nodes must not move");
+        assert_eq!(stats.passes, 0);
+        assert_eq!(stats.cut_cost, CutState::new(&weighted, &p).cut_cost());
+
+        // The same circuit below the threshold is actually refined.
+        let refining = MlRefiner::new(&MultilevelConfig {
+            refine_skip_nodes: 100_000,
+            ..MultilevelConfig::default()
+        });
+        let stats = refining.improve(&weighted, &mut p, balance);
+        assert!(stats.passes >= 1);
+        assert!(p.is_balanced(balance));
     }
 }

@@ -109,6 +109,14 @@ impl Hypergraph {
         self.net_weights.iter().all(|&w| w == 1.0)
     }
 
+    /// Returns `true` if every net weight is a (positive) integer. FM
+    /// gains are then integral too, so the bucket-list gain structure
+    /// still applies — the case for coarsened circuits, whose merged net
+    /// weights are sums of the fine unit costs.
+    pub fn has_integral_weights(&self) -> bool {
+        self.net_weights.iter().all(|&w| w.fract() == 0.0)
+    }
+
     /// Size (area) of `node`; 1.0 unless node weights were set.
     ///
     /// # Panics

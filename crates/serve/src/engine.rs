@@ -1,19 +1,19 @@
 //! Engine dispatch for the daemon's workers.
 //!
 //! The configurations here mirror `prop-cli`'s `run_method` exactly, and
-//! iterative engines run through the cancellable multi-start harness with
-//! the [`ParallelPolicy::Sequential`] policy — which the harness guarantees
+//! every engine — the multilevel V-cycle included — runs through the
+//! cancellable multi-start harness with the
+//! [`ParallelPolicy::Sequential`] policy, which the harness guarantees
 //! is bit-identical to `run_multi` / `run_multi_parallel` when the token
 //! never trips. A result fetched through the daemon therefore matches a
 //! direct library call byte for byte (the round-trip test pins this).
 
 use prop_core::{
-    cancel, BalanceConstraint, CancelToken, MultiRunReport, ParallelPolicy, PartitionError,
-    Partitioner, Prop, PropConfig, RunStatus, Side,
+    BalanceConstraint, CancelToken, MultiRunReport, ParallelPolicy, PartitionError, Partitioner,
+    Prop, PropConfig, Side,
 };
-use prop_core::GlobalPartitioner;
 use prop_fm::{FmBucket, FmTree};
-use prop_multilevel::Multilevel;
+use prop_multilevel::{Multilevel, MultilevelConfig};
 use prop_netlist::{format, Hypergraph};
 
 /// The engines the daemon serves.
@@ -27,7 +27,7 @@ pub enum EngineKind {
     Fm,
     /// Tree-ordered FM.
     FmTree,
-    /// Multilevel PROP (a global, single-shot method).
+    /// The multilevel V-cycle engine (one V-cycle per multi-start run).
     Ml,
 }
 
@@ -90,12 +90,8 @@ pub fn parse_payload(fmt: &str, payload: &str) -> Result<Hypergraph, String> {
     }
 }
 
-/// Runs `kind` on `graph` under `token`, reporting whether the execution
-/// completed or stopped early.
-///
-/// Iterative engines use the cancellable sequential multi-start harness;
-/// the multilevel engine installs the token around its single global run
-/// (the inner PROP refinement polls it at pass boundaries).
+/// Runs `kind` on `graph` under `token` with the default multilevel
+/// knobs; see [`execute_with`].
 ///
 /// # Errors
 ///
@@ -108,36 +104,38 @@ pub fn execute(
     seed: u64,
     token: &CancelToken,
 ) -> Result<MultiRunReport, PartitionError> {
-    let iterative: Option<Box<dyn Partitioner>> = match kind {
-        EngineKind::Prop => Some(Box::new(Prop::new(PropConfig::calibrated()))),
-        EngineKind::PropPaper => Some(Box::new(Prop::new(PropConfig::default()))),
-        EngineKind::Fm => Some(Box::new(FmBucket::default())),
-        EngineKind::FmTree => Some(Box::new(FmTree::default())),
-        EngineKind::Ml => None,
+    execute_with(kind, graph, balance, runs, seed, token, MultilevelConfig::default())
+}
+
+/// Runs `kind` on `graph` under `token`, reporting whether the execution
+/// completed or stopped early.
+///
+/// Every engine uses the cancellable sequential multi-start harness. For
+/// the `ml` engine each run is one V-cycle, built from `ml` with its
+/// engine seed set to `seed` (matching `prop-cli`); the V-cycle polls the
+/// token at every level boundary, so a cancelled run still surfaces a
+/// feasible partial partition.
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] from the engine.
+pub fn execute_with(
+    kind: EngineKind,
+    graph: &Hypergraph,
+    balance: BalanceConstraint,
+    runs: usize,
+    seed: u64,
+    token: &CancelToken,
+    ml: MultilevelConfig,
+) -> Result<MultiRunReport, PartitionError> {
+    let p: Box<dyn Partitioner> = match kind {
+        EngineKind::Prop => Box::new(Prop::new(PropConfig::calibrated())),
+        EngineKind::PropPaper => Box::new(Prop::new(PropConfig::default())),
+        EngineKind::Fm => Box::new(FmBucket::default()),
+        EngineKind::FmTree => Box::new(FmTree::default()),
+        EngineKind::Ml => Box::new(Multilevel::standard(MultilevelConfig { seed, ..ml })),
     };
-    match iterative {
-        Some(p) => p.run_multi_cancellable(
-            graph,
-            balance,
-            runs,
-            seed,
-            ParallelPolicy::Sequential,
-            token,
-        ),
-        None => {
-            let ml = Multilevel::new(Prop::new(PropConfig::calibrated()));
-            let result = cancel::scope(token, || ml.partition(graph, balance))?;
-            Ok(MultiRunReport {
-                result,
-                status: if token.is_cancelled() {
-                    RunStatus::Cancelled
-                } else {
-                    RunStatus::Completed
-                },
-                started_runs: 1,
-            })
-        }
-    }
+    p.run_multi_cancellable(graph, balance, runs, seed, ParallelPolicy::Sequential, token)
 }
 
 /// FNV-1a 64 over the node→side assignment (one byte per node, `0` for
@@ -156,6 +154,7 @@ pub fn assignment_hash(sides: &[Side]) -> u64 {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use prop_core::RunStatus;
     use prop_netlist::generate::{generate, GeneratorConfig};
 
     #[test]
@@ -187,14 +186,18 @@ mod tests {
         let g = generate(&GeneratorConfig::new(60, 70, 240).with_seed(3)).unwrap();
         let balance = BalanceConstraint::new(0.45, 0.55, 60).unwrap();
         let token = CancelToken::new();
-        for kind in [EngineKind::Prop, EngineKind::Fm, EngineKind::FmTree] {
+        for kind in [EngineKind::Prop, EngineKind::Fm, EngineKind::FmTree, EngineKind::Ml] {
             let report = execute(kind, &g, balance, 3, 7, &token).unwrap();
             assert_eq!(report.status, RunStatus::Completed);
             assert_eq!(report.started_runs, 3);
             let direct: Box<dyn Partitioner> = match kind {
                 EngineKind::Prop => Box::new(Prop::new(PropConfig::calibrated())),
                 EngineKind::Fm => Box::new(FmBucket::default()),
-                _ => Box::new(FmTree::default()),
+                EngineKind::FmTree => Box::new(FmTree::default()),
+                _ => Box::new(Multilevel::standard(MultilevelConfig {
+                    seed: 7,
+                    ..MultilevelConfig::default()
+                })),
             };
             let expect = direct.run_multi(&g, balance, 3, 7).unwrap();
             assert_eq!(report.result, expect, "{}", kind.name());
@@ -202,13 +205,21 @@ mod tests {
     }
 
     #[test]
-    fn ml_executes_and_reports_completed() {
+    fn ml_knobs_change_the_engine_configuration() {
         let g = generate(&GeneratorConfig::new(80, 90, 300).with_seed(4)).unwrap();
         let balance = BalanceConstraint::new(0.45, 0.55, 80).unwrap();
         let token = CancelToken::new();
-        let report = execute(EngineKind::Ml, &g, balance, 1, 0, &token).unwrap();
+        let knobs = MultilevelConfig {
+            coarsest_nodes: 16,
+            coarsest_starts: 2,
+            ..MultilevelConfig::default()
+        };
+        let report = execute_with(EngineKind::Ml, &g, balance, 2, 9, &token, knobs).unwrap();
         assert_eq!(report.status, RunStatus::Completed);
         assert!(report.result.partition.is_balanced(balance));
+        let direct = Multilevel::standard(MultilevelConfig { seed: 9, ..knobs });
+        let expect = direct.run_multi(&g, balance, 2, 9).unwrap();
+        assert_eq!(report.result, expect);
     }
 
     #[test]

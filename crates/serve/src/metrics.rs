@@ -85,6 +85,11 @@ impl Metrics {
         total.moves += snapshot.moves;
         total.net_recomputes += snapshot.net_recomputes;
         total.gain_recomputes += snapshot.gain_recomputes;
+        total.ml_coarsen_ns += snapshot.ml_coarsen_ns;
+        total.ml_initial_ns += snapshot.ml_initial_ns;
+        total.ml_project_ns += snapshot.ml_project_ns;
+        total.ml_refine_ns += snapshot.ml_refine_ns;
+        total.ml_levels += snapshot.ml_levels;
     }
 
     /// Renders the full `stats` JSON body.
@@ -139,6 +144,11 @@ impl Metrics {
                 ("moves", json::uint(total.moves)),
                 ("net_recomputes", json::uint(total.net_recomputes)),
                 ("gain_recomputes", json::uint(total.gain_recomputes)),
+                ("ml_coarsen_ns", json::uint(total.ml_coarsen_ns)),
+                ("ml_initial_ns", json::uint(total.ml_initial_ns)),
+                ("ml_project_ns", json::uint(total.ml_project_ns)),
+                ("ml_refine_ns", json::uint(total.ml_refine_ns)),
+                ("ml_levels", json::uint(total.ml_levels)),
             ])
         };
         json::obj(vec![
@@ -212,6 +222,8 @@ mod tests {
         m.record_prof(&ProfSnapshot {
             moves: 5,
             gain_recomputes: 2,
+            ml_refine_ns: 40,
+            ml_levels: 6,
             ..ProfSnapshot::default()
         });
         let prof = m.to_json(0, 1, false);
@@ -219,5 +231,7 @@ mod tests {
         assert_eq!(prof.get("moves").and_then(Json::as_u64), Some(15));
         assert_eq!(prof.get("seed_ns").and_then(Json::as_u64), Some(100));
         assert_eq!(prof.get("gain_recomputes").and_then(Json::as_u64), Some(2));
+        assert_eq!(prof.get("ml_refine_ns").and_then(Json::as_u64), Some(40));
+        assert_eq!(prof.get("ml_levels").and_then(Json::as_u64), Some(6));
     }
 }

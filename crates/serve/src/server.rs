@@ -404,9 +404,17 @@ fn run_job(
     let graph = engine::parse_payload(&work.fmt, &work.payload)?;
     let balance =
         BalanceConstraint::weighted(work.r1, work.r2, &graph).map_err(|e| e.to_string())?;
-    engine::execute(kind, &graph, balance, work.runs, work.seed, token)
-        .map(|report| (kind, report))
-        .map_err(|e| e.to_string())
+    engine::execute_with(
+        kind,
+        &graph,
+        balance,
+        work.runs,
+        work.seed,
+        token,
+        work.ml_config(),
+    )
+    .map(|report| (kind, report))
+    .map_err(|e| e.to_string())
 }
 
 #[cfg(test)]

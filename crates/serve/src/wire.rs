@@ -7,7 +7,7 @@
 //! one line of minimal JSON (see [`crate::json`]).
 //!
 //! ```text
-//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 fmt=hgr payload=8%0A1%202%0A...
+//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 fmt=hgr payload=8%0A1%202%0A...
 //! status job=3
 //! wait job=3
 //! cancel job=3
@@ -86,10 +86,23 @@ pub struct SubmitRequest {
     /// When set, the response is sent only once the job is terminal and
     /// carries the full result.
     pub wait: bool,
+    /// Multilevel knob (`ml` engine only, ignored otherwise): stop
+    /// coarsening at this many nodes.
+    pub ml_coarsest: usize,
+    /// Multilevel knob: greedy initial bisections tried at the coarsest
+    /// level.
+    pub ml_starts: usize,
+    /// Multilevel knob: largest net the matcher scores.
+    pub ml_max_net: usize,
+    /// Multilevel knob: FM pass cap at large weighted levels.
+    pub ml_refine_passes: usize,
+    /// Multilevel knob: PROP polish passes at unit-weight levels.
+    pub ml_polish: usize,
 }
 
 impl Default for SubmitRequest {
     fn default() -> Self {
+        let ml = prop_multilevel::MultilevelConfig::default();
         SubmitRequest {
             engine: "prop".into(),
             runs: 1,
@@ -101,6 +114,11 @@ impl Default for SubmitRequest {
             fmt: "hgr".into(),
             payload: String::new(),
             wait: false,
+            ml_coarsest: ml.coarsest_nodes,
+            ml_starts: ml.coarsest_starts,
+            ml_max_net: ml.max_match_net,
+            ml_refine_passes: ml.refine_passes,
+            ml_polish: ml.polish_passes,
         }
     }
 }
@@ -110,6 +128,7 @@ impl SubmitRequest {
     pub fn render(&self) -> String {
         format!(
             "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
+             ml_coarsest={} ml_starts={} ml_max_net={} ml_refine_passes={} ml_polish={} \
              fmt={} payload={}",
             self.engine,
             self.runs,
@@ -119,9 +138,27 @@ impl SubmitRequest {
             self.timeout_ms,
             self.priority,
             u8::from(self.wait),
+            self.ml_coarsest,
+            self.ml_starts,
+            self.ml_max_net,
+            self.ml_refine_passes,
+            self.ml_polish,
             self.fmt,
             percent_encode(self.payload.as_bytes()),
         )
+    }
+
+    /// The multilevel engine configuration a job built from this request
+    /// should run with (the engine seed is set separately, from `seed`).
+    pub fn ml_config(&self) -> prop_multilevel::MultilevelConfig {
+        prop_multilevel::MultilevelConfig {
+            coarsest_nodes: self.ml_coarsest,
+            coarsest_starts: self.ml_starts,
+            max_match_net: self.ml_max_net,
+            refine_passes: self.ml_refine_passes,
+            polish_passes: self.ml_polish,
+            ..prop_multilevel::MultilevelConfig::default()
+        }
     }
 }
 
@@ -361,6 +398,11 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
                 }
                 req.fmt = v.to_string();
             }
+            "ml_coarsest" => req.ml_coarsest = val(k, v)?,
+            "ml_starts" => req.ml_starts = val(k, v)?,
+            "ml_max_net" => req.ml_max_net = val(k, v)?,
+            "ml_refine_passes" => req.ml_refine_passes = val(k, v)?,
+            "ml_polish" => req.ml_polish = val(k, v)?,
             "payload" => {
                 req.payload = percent_decode(v)?;
                 has_payload = true;
@@ -412,9 +454,35 @@ mod tests {
             fmt: "hgr".into(),
             payload: "3 2\n1 2\n2 3\n".into(),
             wait: true,
+            ml_coarsest: 64,
+            ml_starts: 16,
+            ml_max_net: 12,
+            ml_refine_passes: 2,
+            ml_polish: 0,
         };
         let parsed = parse_request(&req.render()).unwrap();
         assert_eq!(parsed, Request::Submit(req));
+    }
+
+    #[test]
+    fn ml_knobs_default_and_map_to_engine_config() {
+        // A submit line without ml fields parses to the engine defaults.
+        let parsed = parse_request("submit engine=ml payload=abc").unwrap();
+        let Request::Submit(req) = parsed else {
+            panic!("expected submit")
+        };
+        assert_eq!(req.ml_config(), prop_multilevel::MultilevelConfig::default());
+
+        // Explicit fields land on the matching config knobs.
+        let parsed =
+            parse_request("submit engine=ml ml_coarsest=50 ml_starts=3 payload=abc").unwrap();
+        let Request::Submit(req) = parsed else {
+            panic!("expected submit")
+        };
+        let cfg = req.ml_config();
+        assert_eq!(cfg.coarsest_nodes, 50);
+        assert_eq!(cfg.coarsest_starts, 3);
+        assert!(parse_request("submit ml_starts=x payload=abc").is_err());
     }
 
     #[test]

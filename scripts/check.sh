@@ -14,17 +14,24 @@
 #                                   # drive it under a 30s budget, and fail
 #                                   # on any contained worker panic in the
 #                                   # daemon's output
+#   scripts/check.sh --ml           # also run the multilevel smoke gate:
+#                                   # one ml-only quick benchmark pass whose
+#                                   # cuts the oracle recounts, plus the
+#                                   # ml-vs-flat CLI path on a generated
+#                                   # circuit through both thread policies
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 audit=0
 bench_smoke=0
 serve=0
+ml=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --serve) serve=1 ;;
+    --ml) ml=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -66,6 +73,28 @@ if [[ "$serve" -eq 1 ]]; then
   timeout 30s ./target/release/bench_serve --quick --jobs 8 2>&1 | tee "$serve_log"
   if grep -qi "panicked" "$serve_log"; then
     echo "check.sh: worker panic detected in the serve smoke log" >&2
+    exit 1
+  fi
+fi
+
+if [[ "$ml" -eq 1 ]]; then
+  # Multilevel smoke gate. First an ml-only quick benchmark pass: the
+  # oracle recounts every reported cut, and --compare trips on a >2x
+  # secs_per_run regression against the committed ML rows.
+  cargo run --release -q -p prop-experiments --bin bench_snapshot -- \
+    --quick --method ML --compare BENCH_prop.json
+  # Then the CLI path: the ml method through both thread policies must
+  # print the identical result line.
+  ml_dir="$(mktemp -d)"
+  trap 'rm -rf "$ml_dir"' EXIT
+  ./target/release/prop generate --circuit struct --out "$ml_dir/struct.hgr" >/dev/null
+  seq_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4)"
+  par_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4 --threads 2)"
+  echo "$seq_line"
+  if [[ "$seq_line" != "$par_line" ]]; then
+    echo "check.sh: ml CLI diverged across thread policies" >&2
+    echo "  sequential: $seq_line" >&2
+    echo "  threads=2:  $par_line" >&2
     exit 1
   fi
 fi

@@ -10,6 +10,7 @@ use prop_core::{
     BalanceConstraint, CancelToken, ParallelPolicy, Partitioner, Prop, PropConfig, RunStatus,
 };
 use prop_fm::FmBucket;
+use prop_multilevel::{Multilevel, MultilevelConfig};
 use prop_netlist::generate::{generate, GeneratorConfig};
 use prop_serve::{server, Client, Json, ServerConfig, SubmitRequest};
 use prop_verify::oracle;
@@ -46,6 +47,7 @@ fn pre_tripped_token_still_yields_a_verified_feasible_partition() {
     for engine in [
         Box::new(Prop::new(PropConfig::calibrated())) as Box<dyn Partitioner>,
         Box::new(FmBucket::default()),
+        Box::new(Multilevel::standard(MultilevelConfig { seed: 3, ..MultilevelConfig::default() })),
     ] {
         let report = engine
             .run_multi_cancellable(&graph, balance, 8, 3, ParallelPolicy::Sequential, &token)
@@ -90,6 +92,38 @@ fn deadline_stops_runs_early_with_a_usable_partial_result() {
 }
 
 #[test]
+fn ml_deadline_stops_vcycles_early_with_a_feasible_partial() {
+    let graph = medium_graph();
+    let balance = BalanceConstraint::weighted(0.45, 0.55, &graph).unwrap();
+    const RUNS: usize = 4000;
+    let ml = Multilevel::standard(MultilevelConfig { seed: 0, ..MultilevelConfig::default() });
+
+    // Untripped: the cancellable harness is bit-identical to run_multi.
+    let token = CancelToken::new();
+    let report = ml
+        .run_multi_cancellable(&graph, balance, 3, 0, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    assert_eq!(report.status, RunStatus::Completed);
+    let direct = ml.run_multi(&graph, balance, 3, 0).unwrap();
+    assert_eq!(report.result, direct);
+
+    // Deadline: far fewer V-cycles than the budget, but the surfaced
+    // partial — possibly from a run cancelled mid-uncoarsening, where
+    // refinement is skipped but projection continues — is feasible and
+    // its cut honest.
+    let token = CancelToken::new();
+    token.set_timeout(Duration::from_millis(25));
+    let report = ml
+        .run_multi_cancellable(&graph, balance, RUNS, 0, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    assert_eq!(report.status, RunStatus::Cancelled);
+    assert!(report.started_runs < RUNS, "expected an early stop");
+    let result = &report.result;
+    assert!(result.partition.is_balanced(balance));
+    assert_eq!(result.cut_cost, oracle::naive_cut(&graph, &result.partition));
+}
+
+#[test]
 fn parallel_cancellation_keeps_the_run_prefix_contiguous() {
     let graph = medium_graph();
     let balance = BalanceConstraint::weighted(0.45, 0.55, &graph).unwrap();
@@ -129,6 +163,26 @@ fn daemon_cancel_and_timeout_report_partial_results() {
         .submit(&SubmitRequest {
             engine: "prop".into(),
             runs: 400,
+            timeout_ms: 25,
+            payload: payload.clone(),
+            wait: true,
+            ..SubmitRequest::default()
+        })
+        .unwrap();
+    assert_eq!(
+        resp.get("status").and_then(Json::as_str),
+        Some("timed_out"),
+        "{}",
+        resp.render()
+    );
+    assert!(resp.get("cut").and_then(Json::as_f64).is_some());
+
+    // The ml engine honors job deadlines too (V-cycles poll the token at
+    // level boundaries) and still reports a usable cut.
+    let resp = client
+        .submit(&SubmitRequest {
+            engine: "ml".into(),
+            runs: 4000,
             timeout_ms: 25,
             payload: payload.clone(),
             wait: true,

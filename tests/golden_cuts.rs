@@ -1,7 +1,8 @@
 //! Golden-cut regression pins.
 //!
 //! Pins the exact `best_cut` of the three benchmark-snapshot circuits for
-//! PROP (calibrated profile, as benched) and FM-bucket under the snapshot
+//! PROP (calibrated profile, as benched), FM-bucket, and the multilevel
+//! V-cycle (standard engine, default knobs) under the snapshot
 //! balance (45–55%), at reduced run counts so the whole file stays cheap
 //! enough for the tier-1 gate. Every engine in this suite is fully
 //! deterministic, so these are equalities, not tolerances: an accidental
@@ -19,22 +20,27 @@
 
 use prop_suite::core::{cut_cost, BalanceConstraint, Partitioner, Prop, PropConfig};
 use prop_suite::fm::FmBucket;
+use prop_suite::multilevel::{Multilevel, MultilevelConfig};
 use prop_suite::netlist::suite;
 
 /// (circuit, method, runs, expected best-of-runs cut with base seed 0).
-const GOLDEN: [(&str, &str, usize, f64); 6] = [
+const GOLDEN: [(&str, &str, usize, f64); 9] = [
     ("balu", "PROP", 5, 18.0),
     ("balu", "FM-bucket", 5, 52.0),
+    ("balu", "ML", 5, 18.0),
     ("struct", "PROP", 3, 28.0),
     ("struct", "FM-bucket", 3, 102.0),
+    ("struct", "ML", 3, 27.0),
     ("p2", "PROP", 2, 55.0),
     ("p2", "FM-bucket", 2, 285.0),
+    ("p2", "ML", 2, 52.0),
 ];
 
 #[test]
 fn snapshot_circuit_cuts_are_pinned() {
     let prop = Prop::new(PropConfig::calibrated());
     let fm = FmBucket::default();
+    let ml = Multilevel::standard(MultilevelConfig::default());
     let mut failures = Vec::new();
     for (circuit, method, runs, expected) in GOLDEN {
         let graph = suite::by_name(circuit)
@@ -45,7 +51,8 @@ fn snapshot_circuit_cuts_are_pinned() {
             BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
         let partitioner: &dyn Partitioner = match method {
             "PROP" => &prop,
-            _ => &fm,
+            "FM-bucket" => &fm,
+            _ => &ml,
         };
         let result = partitioner.run_multi(&graph, balance, runs, 0).expect("non-empty");
         assert_eq!(

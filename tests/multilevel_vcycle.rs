@@ -1,0 +1,181 @@
+//! Property net over the full multilevel V-cycle engine.
+//!
+//! The single-level coarsening invariants live in
+//! `crates/multilevel/tests/proptest_coarsen.rs`; this file exercises
+//! whole coarsening *stacks* and the engine's public API. Three
+//! invariants on arbitrary weighted hypergraphs:
+//!
+//! 1. **Multi-level projection is cut-exact**: a partition of the
+//!    coarsest circuit projected down through every level reaches the
+//!    finest circuit with exactly the same cut and side weights.
+//! 2. **Weight conservation**: every level of a coarsening stack carries
+//!    the same total node weight.
+//! 3. **Determinism in the seed alone**: the engine's multi-start result
+//!    is bit-identical under 1, 2, and 4 worker threads, and its
+//!    reported cut is honest (the independent oracle recounts it) and
+//!    balance-feasible.
+//!
+//! Plus a pin of the prefix-stable seeding contract: raising
+//! `coarsest_starts` appends new initial-bisection draws without
+//! perturbing any earlier start's.
+
+use proptest::prelude::*;
+use prop_suite::core::{
+    BalanceConstraint, Bipartition, CutState, ParallelPolicy, Partitioner, Side,
+};
+use prop_suite::multilevel::coarsen::{coarsen, CoarseLevel};
+use prop_suite::multilevel::{Multilevel, MultilevelConfig};
+use prop_suite::netlist::{Hypergraph, HypergraphBuilder};
+use prop_suite::verify::oracle;
+
+/// Strategy: a random connected-ish hypergraph with 6..48 nodes, nets of
+/// 2..5 pins, and small integer node weights.
+fn arb_weighted_graph() -> impl Strategy<Value = Hypergraph> {
+    (6usize..48).prop_flat_map(|n| {
+        let nets = proptest::collection::vec(proptest::collection::vec(0..n, 2..5), 2..70);
+        let weights = proptest::collection::vec(1u32..4, n);
+        (nets, weights).prop_map(move |(nets, weights)| {
+            let mut b = HypergraphBuilder::new(n);
+            for pins in nets {
+                b.add_net(1.0, pins).expect("valid pins");
+            }
+            b.set_node_weights(weights.into_iter().map(f64::from).collect())
+                .expect("positive weights");
+            b.build().expect("valid graph")
+        })
+    })
+}
+
+/// Same shape with unit node weights, so the bisection balance the
+/// multi-start harness seeds under is always feasible.
+fn arb_unit_graph() -> impl Strategy<Value = Hypergraph> {
+    (8usize..48).prop_flat_map(|n| {
+        let nets = proptest::collection::vec(proptest::collection::vec(0..n, 2..5), 2..70);
+        nets.prop_map(move |nets| {
+            let mut b = HypergraphBuilder::new(n);
+            for pins in nets {
+                b.add_net(1.0, pins).expect("valid pins");
+            }
+            b.build().expect("valid graph")
+        })
+    })
+}
+
+/// Coarsens until a stall or the floor, exactly like the engine does.
+fn coarsen_stack(graph: &Hypergraph, seed: u64) -> Vec<CoarseLevel> {
+    let mut levels: Vec<CoarseLevel> = Vec::new();
+    for l in 0..8u64 {
+        let fine = levels.last().map_or(graph, |lvl| &lvl.coarse);
+        if fine.num_nodes() <= 4 {
+            break;
+        }
+        let level = coarsen(fine, 8, seed.wrapping_add(l));
+        if level.coarse.num_nodes() == fine.num_nodes() {
+            break;
+        }
+        levels.push(level);
+    }
+    levels
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Invariants 1 and 2: project a partition of the coarsest level all
+    /// the way down; cut, per-side weight, and total weight survive
+    /// every hop exactly.
+    #[test]
+    fn multi_level_projection_is_cut_and_weight_exact(
+        g in arb_weighted_graph(),
+        seed in any::<u64>(),
+        mask in any::<u64>(),
+    ) {
+        let levels = coarsen_stack(&g, seed);
+        for level in &levels {
+            prop_assert!(
+                (level.coarse.total_node_weight() - g.total_node_weight()).abs() < 1e-9
+            );
+        }
+        let coarsest = levels.last().map_or(&g, |l| &l.coarse);
+        let sides: Vec<Side> = (0..coarsest.num_nodes())
+            .map(|i| if (mask >> (i % 64)) & 1 == 1 { Side::A } else { Side::B })
+            .collect();
+        let mut part = Bipartition::from_sides(sides);
+        let cut = CutState::new(coarsest, &part).cut_cost();
+        let weight_a: f64 = coarsest
+            .nodes()
+            .filter(|&v| part.side(v) == Side::A)
+            .map(|v| coarsest.node_weight(v))
+            .sum();
+        for level in levels.iter().rev() {
+            part = level.project(&part);
+        }
+        prop_assert_eq!(part.len(), g.num_nodes());
+        let fine_cut = CutState::new(&g, &part).cut_cost();
+        prop_assert!((fine_cut - cut).abs() < 1e-9, "cut drifted {cut} -> {fine_cut}");
+        let fine_weight_a: f64 = g
+            .nodes()
+            .filter(|&v| part.side(v) == Side::A)
+            .map(|v| g.node_weight(v))
+            .sum();
+        prop_assert!((fine_weight_a - weight_a).abs() < 1e-9);
+    }
+
+    /// Invariant 3: the engine result is a function of the seed alone —
+    /// identical across 1/2/4 worker threads — and the reported winner
+    /// is feasible with an oracle-exact cut.
+    #[test]
+    fn vcycle_result_is_seed_deterministic_across_threads(
+        g in arb_unit_graph(),
+        seed in 0u64..1000,
+    ) {
+        let balance = BalanceConstraint::bisection(g.num_nodes());
+        let ml = Multilevel::standard(MultilevelConfig {
+            coarsest_nodes: 8,
+            coarsest_starts: 2,
+            seed,
+            ..MultilevelConfig::default()
+        });
+        let sequential = ml.run_multi(&g, balance, 3, seed).unwrap();
+        prop_assert!(sequential.partition.is_balanced(balance));
+        prop_assert_eq!(
+            sequential.cut_cost,
+            oracle::naive_cut(&g, &sequential.partition)
+        );
+        for threads in [1usize, 2, 4] {
+            let fanned = ml
+                .run_multi_parallel(&g, balance, 3, seed, ParallelPolicy::Threads(threads))
+                .unwrap();
+            prop_assert_eq!(&fanned, &sequential, "diverged at {} threads", threads);
+        }
+    }
+
+    /// Prefix-stable seeding: the coarsest-start cut vector for `k`
+    /// starts is a prefix of the vector for `k + extra` starts.
+    #[test]
+    fn coarsest_start_draws_are_prefix_stable(
+        g in arb_unit_graph(),
+        seed in any::<u64>(),
+        extra in 1usize..6,
+    ) {
+        let balance = BalanceConstraint::bisection(g.num_nodes());
+        let base = MultilevelConfig {
+            coarsest_nodes: 8,
+            coarsest_starts: 3,
+            seed,
+            ..MultilevelConfig::default()
+        };
+        let short = Multilevel::standard(base)
+            .coarsest_start_cuts(&g, balance)
+            .unwrap();
+        let long = Multilevel::standard(MultilevelConfig {
+            coarsest_starts: base.coarsest_starts + extra,
+            ..base
+        })
+        .coarsest_start_cuts(&g, balance)
+        .unwrap();
+        prop_assert_eq!(short.len(), base.coarsest_starts);
+        prop_assert_eq!(long.len(), base.coarsest_starts + extra);
+        prop_assert_eq!(&short[..], &long[..short.len()]);
+    }
+}

@@ -9,9 +9,8 @@
 //! concurrent clients hammering one daemon.
 
 use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner, Prop, PropConfig};
-use prop_core::GlobalPartitioner;
 use prop_fm::FmBucket;
-use prop_multilevel::Multilevel;
+use prop_multilevel::{Multilevel, MultilevelConfig};
 use prop_netlist::format;
 use prop_netlist::generate::{generate, GeneratorConfig};
 use prop_serve::{engine, server, Client, Json, ServerConfig, SubmitRequest};
@@ -35,9 +34,12 @@ fn direct_expectation(engine_name: &str, graph: &prop_netlist::Hypergraph) -> (f
         "fm" => FmBucket::default()
             .run_multi_parallel(graph, balance, RUNS, SEED, ParallelPolicy::Threads(2))
             .unwrap(),
-        "ml" => Multilevel::new(Prop::new(PropConfig::calibrated()))
-            .partition(graph, balance)
-            .unwrap(),
+        "ml" => Multilevel::standard(MultilevelConfig {
+            seed: SEED,
+            ..MultilevelConfig::default()
+        })
+        .run_multi_parallel(graph, balance, RUNS, SEED, ParallelPolicy::Threads(2))
+        .unwrap(),
         other => panic!("unexpected engine {other}"),
     };
     let hash = engine::assignment_hash(result.partition.sides());

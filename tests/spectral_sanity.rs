@@ -1,0 +1,131 @@
+//! First-touch sanity coverage for the spectral/analytical partitioners
+//! of `crates/spectral`: `Eig1`, `MeloStyle`, `ParaboliStyle`, and
+//! `WindowStyle`.
+//!
+//! These are one-shot global methods, so the invariants differ from the
+//! iterative engines': every result must be balance-feasible with an
+//! oracle-exact reported cut, repeat calls must be bit-identical (the
+//! algorithms are deterministic), weighted balance constraints must be
+//! honored, and on a circuit with an obvious two-cluster structure each
+//! method must find a near-minimal cut.
+
+use prop_suite::core::{BalanceConstraint, GlobalPartitioner};
+use prop_suite::netlist::generate::{generate, GeneratorConfig};
+use prop_suite::netlist::HypergraphBuilder;
+use prop_suite::spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
+use prop_suite::verify::oracle;
+
+fn methods() -> Vec<Box<dyn GlobalPartitioner>> {
+    vec![
+        Box::new(Eig1::default()),
+        Box::new(MeloStyle::default()),
+        Box::new(ParaboliStyle::default()),
+        Box::new(WindowStyle::default()),
+    ]
+}
+
+#[test]
+fn spectral_methods_are_feasible_exact_and_deterministic() {
+    let graph = generate(&GeneratorConfig::new(72, 84, 280).with_seed(11)).unwrap();
+    let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+    for method in methods() {
+        let first = method.partition(&graph, balance).unwrap();
+        assert!(
+            first.partition.is_balanced(balance),
+            "{} unbalanced",
+            method.name()
+        );
+        assert_eq!(
+            first.cut_cost,
+            oracle::naive_cut(&graph, &first.partition),
+            "{} reported a cut its partition does not have",
+            method.name()
+        );
+        let second = method.partition(&graph, balance).unwrap();
+        assert_eq!(first, second, "{} is nondeterministic", method.name());
+    }
+}
+
+#[test]
+fn spectral_methods_honor_weighted_balance() {
+    let base = generate(&GeneratorConfig::new(60, 72, 240).with_seed(13)).unwrap();
+    let mut b = HypergraphBuilder::new(base.num_nodes());
+    for net in base.nets() {
+        b.add_net(
+            base.net_weight(net),
+            base.pins_of(net).iter().map(|p| p.index()),
+        )
+        .unwrap();
+    }
+    // Deterministic non-unit node weights in 1..=3.
+    b.set_node_weights((0..base.num_nodes()).map(|i| 1.0 + ((i * 7) % 3) as f64).collect())
+        .unwrap();
+    let graph = b.build().unwrap();
+    let balance = BalanceConstraint::weighted(0.4, 0.6, &graph).unwrap();
+    for method in methods() {
+        let result = method.partition(&graph, balance).unwrap();
+        assert!(
+            result.partition.is_balanced(balance),
+            "{} broke the weighted balance",
+            method.name()
+        );
+        assert_eq!(
+            result.cut_cost,
+            oracle::naive_cut(&graph, &result.partition),
+            "{}",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn spectral_methods_split_two_cliques_along_the_bridge() {
+    // Two 8-node cliques (all pairwise 2-pin nets) joined by one bridge
+    // net. Under the 45-55% balance the sides must have 8 nodes each, so
+    // the minimum cut is the bridge alone.
+    let n = 16;
+    let mut b = HypergraphBuilder::new(n);
+    for side in [0usize, 8] {
+        for i in 0..8 {
+            for j in (i + 1)..8 {
+                b.add_net(1.0, vec![side + i, side + j]).unwrap();
+            }
+        }
+    }
+    b.add_net(1.0, vec![0, 8]).unwrap();
+    let graph = b.build().unwrap();
+    let balance = BalanceConstraint::new(0.45, 0.55, n).unwrap();
+    for method in methods() {
+        let result = method.partition(&graph, balance).unwrap();
+        assert!(result.partition.is_balanced(balance), "{}", method.name());
+        assert_eq!(
+            result.cut_cost,
+            1.0,
+            "{} missed the bridge cut",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn fiedler_vector_separates_the_clusters() {
+    // On the two-clique circuit the Fiedler vector's sign structure is
+    // the cluster indicator: every node agrees in sign with its clique
+    // mates and differs from the other clique.
+    let n = 12;
+    let mut b = HypergraphBuilder::new(n);
+    for side in [0usize, 6] {
+        for i in 0..6 {
+            for j in (i + 1)..6 {
+                b.add_net(1.0, vec![side + i, side + j]).unwrap();
+            }
+        }
+    }
+    b.add_net(1.0, vec![5, 6]).unwrap();
+    let graph = b.build().unwrap();
+    let fiedler = Eig1::default().fiedler_vector(&graph).unwrap();
+    assert_eq!(fiedler.len(), n);
+    let first_cluster_sign = fiedler[0].signum();
+    assert!(fiedler[..6].iter().all(|&x| x.signum() == first_cluster_sign));
+    assert!(fiedler[6..].iter().all(|&x| x.signum() == -first_cluster_sign));
+}
