@@ -1,0 +1,55 @@
+//! Intra-run parallel V-cycle: one full `ml` run per iteration, at the
+//! classic sequential engine and at the deterministic intra-parallel
+//! engine with 1, 2, and 4 workers.
+//!
+//! The `intra/1` vs `intra/2`/`intra/4` spread is the latency payoff of
+//! the synchronous-round algorithms (on a multi-core host); `seq` vs
+//! `intra/1` is the single-thread overhead of the round-based formulation
+//! (the quantity the `scripts/check.sh` regression budget bounds at 5%).
+//! The partitions at `intra/1`, `intra/2`, and `intra/4` are
+//! bit-identical by construction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use prop_bench::circuit;
+use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner};
+use prop_multilevel::{Multilevel, MultilevelConfig};
+
+fn bench_intra(c: &mut Criterion) {
+    let mut group = c.benchmark_group("intra_parallel");
+    group.sample_size(10);
+    for name in ["bm1", "golem3"] {
+        let graph = circuit(name);
+        let balance =
+            BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
+
+        let seq = Multilevel::standard(MultilevelConfig::default());
+        group.bench_with_input(BenchmarkId::new("seq", name), &graph, |b, g| {
+            let mut seed = 0;
+            b.iter(|| {
+                seed += 1;
+                seq.run_seeded(g, balance, seed).expect("valid").cut_cost
+            });
+        });
+        for threads in [1usize, 2, 4] {
+            let engine = Multilevel::standard(MultilevelConfig {
+                intra: ParallelPolicy::Threads(threads),
+                ..MultilevelConfig::default()
+            });
+            group.bench_with_input(
+                BenchmarkId::new(format!("intra/{threads}"), name),
+                &graph,
+                |b, g| {
+                    let mut seed = 0;
+                    b.iter(|| {
+                        seed += 1;
+                        engine.run_seeded(g, balance, seed).expect("valid").cut_cost
+                    });
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_intra);
+criterion_main!(benches);

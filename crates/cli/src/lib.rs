@@ -205,8 +205,14 @@ Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
 sa, eig1, melo, paraboli, window, ml.
 --threads fans the runs of iterative methods over N worker threads
 (0 = auto-detect); the result is bit-identical to the sequential run.
+For --method ml, --threads instead parallelizes *inside* each V-cycle
+(deterministic coarsening + synchronous-round refinement; the result is
+bit-identical at every thread count, but differs from the sequential
+engine, which uses the classic algorithms).
 The ml method takes --ml-coarsest, --ml-starts, --ml-max-net,
---ml-refine-passes, and --ml-polish V-cycle knobs (partition and submit).
+--ml-refine-passes, --ml-polish, and --ml-threads V-cycle knobs
+(partition and submit; --ml-threads N = intra-run workers, 0 = classic
+sequential engine).
 serve/submit/ctl default to 127.0.0.1:7077; submit prints the daemon's
 one-line JSON response and exits nonzero if the job did not complete.";
 
@@ -278,6 +284,12 @@ fn parse_ml_flag<'a>(
         "--ml-max-net" => ml.max_match_net = parse_num(arg, take_value(arg, it)?)?,
         "--ml-refine-passes" => ml.refine_passes = parse_num(arg, take_value(arg, it)?)?,
         "--ml-polish" => ml.polish_passes = parse_num(arg, take_value(arg, it)?)?,
+        "--ml-threads" => {
+            ml.intra = match parse_num::<usize>(arg, take_value(arg, it)?)? {
+                0 => ParallelPolicy::Sequential,
+                n => ParallelPolicy::Threads(n),
+            }
+        }
         _ => return Ok(false),
     }
     Ok(true)
@@ -532,9 +544,12 @@ pub fn run_method(
     run_method_ml(method, graph, balance, runs, seed, policy, MultilevelConfig::default())
 }
 
-/// Runs the named method on a graph. Iterative methods — `ml` included,
-/// where each run is one V-cycle seeded from `seed` — fan their runs out
-/// according to `policy`; global (one-shot) methods ignore it.
+/// Runs the named method on a graph. Iterative methods fan their runs
+/// out according to `policy`; global (one-shot) methods ignore it. For
+/// `ml` the policy instead parallelizes *inside* each V-cycle
+/// (deterministic coarsening + synchronous-round refinement, bit-identical
+/// at every thread count) and the runs themselves stay sequential, so the
+/// multi-start seed stream order is fixed.
 ///
 /// # Errors
 ///
@@ -548,6 +563,20 @@ pub fn run_method_ml(
     policy: ParallelPolicy,
     ml: MultilevelConfig,
 ) -> Result<RunResult, CliError> {
+    if method == "ml" {
+        // --threads routes to the intra-run policy; an explicit
+        // --ml-threads (already in `ml.intra`) wins when --threads is
+        // absent.
+        let intra = if matches!(policy, ParallelPolicy::Sequential) {
+            ml.intra
+        } else {
+            policy
+        };
+        let engine = Multilevel::standard(MultilevelConfig { seed, intra, ..ml });
+        return engine
+            .run_multi_parallel(graph, balance, runs, seed, ParallelPolicy::Sequential)
+            .map_err(|e| failure(e.to_string()));
+    }
     let iterative: Option<Box<dyn Partitioner>> = match method {
         "prop" => Some(Box::new(Prop::new(PropConfig::calibrated()))),
         "prop-paper" => Some(Box::new(Prop::new(PropConfig::default()))),
@@ -557,7 +586,6 @@ pub fn run_method_ml(
         "la3" => Some(Box::new(La::new(3))),
         "kl" => Some(Box::new(Kl::default())),
         "sa" => Some(Box::new(SimulatedAnnealing::default())),
-        "ml" => Some(Box::new(Multilevel::standard(MultilevelConfig { seed, ..ml }))),
         _ => None,
     };
     if let Some(p) = iterative {
@@ -743,6 +771,10 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 ml_max_net: ml.max_match_net,
                 ml_refine_passes: ml.refine_passes,
                 ml_polish: ml.polish_passes,
+                ml_threads: match ml.intra {
+                    ParallelPolicy::Threads(n) => n,
+                    _ => 0,
+                },
             };
             let mut client = Client::connect(addr.as_str())
                 .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
@@ -1060,10 +1092,22 @@ mod tests {
             let result =
                 run_method(method, &graph, balance, 2, 0, ParallelPolicy::Sequential).unwrap();
             assert!(result.partition.is_balanced(balance), "{method}");
-            // Fanned-out runs must reproduce the sequential result exactly.
             let par =
                 run_method(method, &graph, balance, 2, 0, ParallelPolicy::Threads(2)).unwrap();
-            assert_eq!(par, result, "{method}");
+            if method == "ml" {
+                // For ml, --threads engages the deterministic
+                // intra-parallel V-cycle — a different algorithm than the
+                // sequential engine, but bit-identical across thread
+                // counts.
+                assert!(par.partition.is_balanced(balance), "{method}");
+                let one =
+                    run_method(method, &graph, balance, 2, 0, ParallelPolicy::Threads(1)).unwrap();
+                assert_eq!(par, one, "{method}");
+            } else {
+                // Fanned-out runs must reproduce the sequential result
+                // exactly.
+                assert_eq!(par, result, "{method}");
+            }
         }
         assert!(run_method("nope", &graph, balance, 1, 0, ParallelPolicy::Sequential).is_err());
     }

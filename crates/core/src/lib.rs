@@ -67,7 +67,9 @@ pub use cut::{cut_cost, CutState};
 pub use error::PartitionError;
 pub use gain::{fm_gain, fm_gains, probabilistic_gains};
 pub use kway::{recursive_bisection, KwayPartition};
-pub use parallel::{MultiRunReport, ParallelPolicy, RunBudget, RunStatus};
+pub use parallel::{
+    map_chunks, map_chunks_with, MultiRunReport, ParallelPolicy, RunBudget, RunStatus,
+};
 pub use partition::{Bipartition, Side, SideWeights};
 pub use partitioner::{GlobalPartitioner, ImproveStats, Partitioner, RunResult};
 pub use prop::{GainInit, NetHot, PassTrace, Prop, PropConfig, SelectionBackend};

@@ -69,6 +69,17 @@ pub struct ProfSnapshot {
     pub ml_refine_ns: u64,
     /// Coarsening levels built by multilevel V-cycles.
     pub ml_levels: u64,
+    /// Synchronous refinement rounds executed (intra-parallel V-cycle).
+    pub sync_rounds: u64,
+    /// Candidate moves collected across synchronous rounds.
+    pub sync_candidates: u64,
+    /// Moves committed (best-prefix lengths summed) across synchronous
+    /// rounds; `sync_candidates - sync_committed` is the rolled-back or
+    /// balance-skipped tail, the first thing to inspect when an
+    /// intra-parallel run stops converging.
+    pub sync_committed: u64,
+    /// Propose/resolve rounds executed by parallel matching coarsening.
+    pub match_rounds: u64,
 }
 
 impl ProfSnapshot {
@@ -144,6 +155,22 @@ mod imp {
         PROF.with(|p| p.borrow_mut().net_recomputes += 1);
     }
 
+    /// Counts one synchronous refinement round: how many candidates it
+    /// collected and how many moves its best prefix committed.
+    pub fn count_sync_round(candidates: u64, committed: u64) {
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            p.sync_rounds += 1;
+            p.sync_candidates += candidates;
+            p.sync_committed += committed;
+        });
+    }
+
+    /// Counts one propose/resolve round of parallel matching.
+    pub fn count_match_round() {
+        PROF.with(|p| p.borrow_mut().match_rounds += 1);
+    }
+
     /// Counts one gain evaluation.
     pub fn count_gain_recompute() {
         PROF.with(|p| p.borrow_mut().gain_recomputes += 1);
@@ -191,6 +218,14 @@ mod imp {
     #[inline(always)]
     pub fn count_net_recompute() {}
 
+    /// Counts one synchronous refinement round (no-op).
+    #[inline(always)]
+    pub fn count_sync_round(_candidates: u64, _committed: u64) {}
+
+    /// Counts one propose/resolve round of parallel matching (no-op).
+    #[inline(always)]
+    pub fn count_match_round() {}
+
     /// Counts one gain evaluation (no-op).
     #[inline(always)]
     pub fn count_gain_recompute() {}
@@ -207,8 +242,8 @@ mod imp {
 }
 
 pub use imp::{
-    count_gain_recompute, count_ml_level, count_move, count_net_recompute, reset, snapshot, start,
-    stop, Tick,
+    count_gain_recompute, count_match_round, count_ml_level, count_move, count_net_recompute,
+    count_sync_round, reset, snapshot, start, stop, Tick,
 };
 
 #[cfg(test)]
@@ -236,12 +271,19 @@ mod tests {
         count_move();
         count_net_recompute();
         count_gain_recompute();
+        count_sync_round(10, 4);
+        count_sync_round(6, 6);
+        count_match_round();
         let t = start();
         stop(Phase::Seed, t);
         let s = snapshot();
         assert_eq!(s.moves, 2);
         assert_eq!(s.net_recomputes, 1);
         assert_eq!(s.gain_recomputes, 1);
+        assert_eq!(s.sync_rounds, 2);
+        assert_eq!(s.sync_candidates, 16);
+        assert_eq!(s.sync_committed, 10);
+        assert_eq!(s.match_rounds, 1);
         reset();
         assert_eq!(snapshot(), ProfSnapshot::default());
     }

@@ -10,7 +10,13 @@
 //! oracle.
 //!
 //! Every row carries provenance: the machine's available parallelism, the
-//! git revision of the working tree, and an optional free-form label.
+//! git revision of the working tree, an optional free-form label, and
+//! `intra_threads` (the intra-run V-cycle workers of the ML engine; `0`
+//! for classic/sequential rows). Rows written by older versions of this
+//! binary are backfilled with explicit defaults when a labelled run
+//! merges into an existing file, so the schema stays uniform. For the ML
+//! engine the snapshot adds an intra-parallel pair — `intra_threads` 1
+//! and max — whose cuts must match (worker-count invariance).
 //!
 //! Shared options: `--quick` (fewer runs), `--runs <n>`, `--threads <n>`
 //! (override the "max" thread count; 0 = auto-detect). Snapshot-specific
@@ -54,6 +60,9 @@ struct Record {
     method: String,
     runs: usize,
     threads: usize,
+    /// Intra-run V-cycle workers (`ml` engine): `0` marks the classic
+    /// sequential engine, `n >= 1` the deterministic intra-parallel one.
+    intra_threads: usize,
     best_cut: f64,
     secs_total: f64,
 }
@@ -122,6 +131,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
     (opts, extra)
 }
 
+#[allow(clippy::too_many_arguments)] // a flat row-measurement call site
 fn measure(
     circuit: &str,
     method: &str,
@@ -130,6 +140,7 @@ fn measure(
     balance: BalanceConstraint,
     runs: usize,
     threads: usize,
+    intra_threads: usize,
 ) -> Record {
     let policy = if threads <= 1 {
         ParallelPolicy::Sequential
@@ -153,6 +164,7 @@ fn measure(
         method: method.to_string(),
         runs,
         threads,
+        intra_threads,
         best_cut: result.cut_cost,
         secs_total,
     }
@@ -177,12 +189,14 @@ fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str)
         .map(|r| {
             format!(
                 "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"runs\": {}, \"threads\": {}, \
-                 \"best_cut\": {}, \"secs_total\": {:.6}, \"secs_per_run\": {:.6}, \
+                 \"intra_threads\": {}, \"best_cut\": {}, \"secs_total\": {:.6}, \
+                 \"secs_per_run\": {:.6}, \
                  \"threads_avail\": {}, \"git_rev\": \"{}\", \"label\": \"{}\"}}",
                 r.circuit,
                 r.method,
                 r.runs,
                 r.threads,
+                r.intra_threads,
                 r.best_cut,
                 r.secs_total,
                 r.secs_per_run(),
@@ -195,26 +209,49 @@ fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str)
 }
 
 /// The identity of a snapshot row for append-mode deduplication.
-fn row_key(line: &str) -> Option<(String, String, String, String)> {
+fn row_key(line: &str) -> Option<(String, String, String, String, String)> {
     Some((
         field(line, "label")?.to_string(),
         field(line, "circuit")?.to_string(),
         field(line, "method")?.to_string(),
         field(line, "threads")?.to_string(),
+        field(line, "intra_threads").unwrap_or("0").to_string(),
     ))
 }
 
+/// Backfills provenance fields that predate them: rows written before
+/// `threads_avail`/`git_rev`/`label`/`intra_threads` existed get explicit
+/// defaults, so every row of a merged snapshot carries the full schema
+/// (`threads_avail: 0` / `git_rev: "unknown"` mark the provenance as
+/// genuinely unrecorded, not as measured-on-this-machine).
+fn normalize_row(line: &str) -> String {
+    let mut row = line.trim_end().trim_end_matches(',').trim_end().to_string();
+    for (key, default) in [
+        ("intra_threads", "0"),
+        ("threads_avail", "0"),
+        ("git_rev", "\"unknown\""),
+        ("label", "\"\""),
+    ] {
+        if field(&row, key).is_none() && row.ends_with('}') {
+            row.truncate(row.len() - 1);
+            row.push_str(&format!(", \"{key}\": {default}}}"));
+        }
+    }
+    row
+}
+
 /// Merges new rows into an existing snapshot body: any old row with the
-/// same (label, circuit, method, threads) key as a new row is dropped, so
-/// re-running a labelled snapshot updates its trajectory point in place
-/// instead of accumulating duplicates. Rows from other labels are kept.
+/// same (label, circuit, method, threads, intra_threads) key as a new row
+/// is dropped, so re-running a labelled snapshot updates its trajectory
+/// point in place instead of accumulating duplicates. Rows from other
+/// labels are kept, normalized to the full field schema.
 fn merge_rows(existing: &str, rows: &[String]) -> Vec<String> {
     let new_keys: Vec<_> = rows.iter().filter_map(|r| row_key(r)).collect();
     let mut merged: Vec<String> = existing
         .lines()
         .filter(|line| line.contains("\"circuit\""))
+        .map(normalize_row)
         .filter(|line| row_key(line).is_none_or(|key| !new_keys.contains(&key)))
-        .map(|line| line.trim_end().trim_end_matches(',').to_string())
         .collect();
     merged.extend(rows.iter().cloned());
     merged
@@ -242,6 +279,7 @@ struct BaselineRow {
     method: String,
     runs: usize,
     threads: usize,
+    intra_threads: usize,
     best_cut: f64,
     secs_per_run: f64,
 }
@@ -268,6 +306,7 @@ fn parse_baseline(path: &str) -> Vec<BaselineRow> {
                 method: field(line, "method")?.to_string(),
                 runs: field(line, "runs")?.parse().ok()?,
                 threads: field(line, "threads")?.parse().ok()?,
+                intra_threads: field(line, "intra_threads").unwrap_or("0").parse().ok()?,
                 best_cut: field(line, "best_cut")?.parse().ok()?,
                 secs_per_run: field(line, "secs_per_run")?.parse().ok()?,
             })
@@ -281,12 +320,15 @@ fn compare_against(baseline: &[BaselineRow], records: &[Record]) -> usize {
     let mut violations = 0;
     for r in records.iter().filter(|r| r.threads == 1) {
         // The latest matching baseline row wins (an appended trajectory
-        // lists newest rows last).
-        let Some(base) = baseline
-            .iter()
-            .rev()
-            .find(|b| b.circuit == r.circuit && b.method == r.method && b.threads == 1)
-        else {
+        // lists newest rows last). Intra-parallel rows only compare
+        // against baselines at the same intra worker count — the intra
+        // engine is a different algorithm with its own cut and timing.
+        let Some(base) = baseline.iter().rev().find(|b| {
+            b.circuit == r.circuit
+                && b.method == r.method
+                && b.threads == 1
+                && b.intra_threads == r.intra_threads
+        }) else {
             println!("  {}/{}: no baseline row, skipping", r.circuit, r.method);
             continue;
         };
@@ -335,7 +377,7 @@ fn profile(circuits: &[&str], runs: usize, method: &str, partitioner: &dyn Parti
         let graph = spec.instantiate().expect("valid spec");
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
         prop_core::prof::reset();
-        let rec = measure(name, method, partitioner, &graph, balance, runs, 1);
+        let rec = measure(name, method, partitioner, &graph, balance, runs, 1, 0);
         let s = prop_core::prof::snapshot();
         let total = s.total_ns().max(1) as f64;
         let pct = |ns: u64| 100.0 * ns as f64 / total;
@@ -429,7 +471,7 @@ fn main() {
         let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).expect("valid ratios");
         for (method, partitioner) in engines.iter().copied() {
             for threads in [1, max_threads] {
-                let rec = measure(name, method, partitioner, &graph, balance, runs, threads);
+                let rec = measure(name, method, partitioner, &graph, balance, runs, threads, 0);
                 eprintln!(
                     "  {} {} runs={} threads={}: cut={} {:.3}s",
                     rec.circuit, rec.method, rec.runs, rec.threads, rec.best_cut, rec.secs_total
@@ -437,15 +479,34 @@ fn main() {
                 records.push(rec);
             }
         }
+        // Intra-parallel ML rows: runs stay sequential (threads=1); the
+        // V-cycle itself parallelizes. The pair is also the determinism
+        // gate — the chunk check below asserts equal cuts per pair.
+        if engines.iter().any(|(m, _)| *m == "ML") {
+            for intra in [1, max_threads] {
+                let engine = methods::ml_intra(intra);
+                let rec = measure(name, "ML", &engine, &graph, balance, runs, 1, intra);
+                eprintln!(
+                    "  {} {} runs={} intra_threads={}: cut={} {:.3}s",
+                    rec.circuit, rec.method, rec.runs, rec.intra_threads, rec.best_cut,
+                    rec.secs_total
+                );
+                records.push(rec);
+            }
+        }
     }
 
-    // Cross-check determinism and report the headline speedup.
+    // Cross-check determinism and report the headline speedup. Records
+    // arrive in pairs — (threads=1, threads=max) per engine, then
+    // (intra=1, intra=max) for ML — and each pair must agree on the cut:
+    // the across-run harness because fan-out is bit-identical, the intra
+    // pair because the intra-parallel V-cycle is worker-count-invariant.
     for pair in records.chunks(2) {
         let [seq, par] = pair else { continue };
         assert_eq!(
             seq.best_cut, par.best_cut,
-            "parallel harness diverged on {}/{}",
-            seq.circuit, seq.method
+            "parallel harness diverged on {}/{} (intra_threads {}/{})",
+            seq.circuit, seq.method, seq.intra_threads, par.intra_threads
         );
     }
     if max_threads > 1 {
@@ -501,6 +562,7 @@ mod tests {
                 method: method.to_string(),
                 runs: 4,
                 threads,
+                intra_threads: 0,
                 best_cut: cut,
                 secs_total: 1.0,
             }],
@@ -556,6 +618,27 @@ mod tests {
         assert_eq!(merged.len(), 3);
         assert!(merged.iter().any(|l| l.contains("\"label\": \"v2\"")));
         assert!(merged.iter().any(|l| l.contains("\"best_cut\": 20")));
+    }
+
+    #[test]
+    fn merge_backfills_legacy_rows_with_provenance_defaults() {
+        // A row from before the provenance fields existed.
+        let legacy = "  {\"circuit\": \"balu\", \"method\": \"PROP\", \"runs\": 20, \
+                      \"threads\": 1, \"best_cut\": 18, \"secs_total\": 0.3, \
+                      \"secs_per_run\": 0.015},";
+        let merged = merge_rows(legacy, &[row("v1", "p2", "PROP", 1, 150.0)]);
+        assert_eq!(merged.len(), 2);
+        assert_eq!(field(&merged[0], "intra_threads"), Some("0"));
+        assert_eq!(field(&merged[0], "threads_avail"), Some("0"));
+        assert_eq!(field(&merged[0], "git_rev"), Some("unknown"));
+        assert_eq!(field(&merged[0], "label"), Some(""));
+        // The backfill is idempotent: normalizing a full-schema row is a
+        // no-op.
+        assert_eq!(normalize_row(&merged[0]), merged[0]);
+        // And a legacy row now participates in keyed deduplication.
+        let merged = merge_rows(legacy, &[row("", "balu", "PROP", 1, 17.0)]);
+        assert_eq!(merged.len(), 1);
+        assert_eq!(field(&merged[0], "best_cut"), Some("17"));
     }
 
     #[test]

@@ -148,14 +148,16 @@ impl Options {
     }
 
     /// Scales a paper run count (e.g. 20) by the `--quick`/`--runs`
-    /// settings.
+    /// settings. An explicit `--runs <n>` is authoritative: the paper's
+    /// column ratios still apply (`n * paper_runs / 20`), but `--quick`
+    /// does not divide it further, so `--quick --runs 5` really does 5
+    /// runs of a 20-run protocol — what the smoke gates rely on.
     pub fn scaled_runs(&self, paper_runs: usize) -> usize {
-        let base = match self.runs {
-            Some(r) => r * paper_runs / 20,
-            None => paper_runs,
-        };
-        let base = if self.quick { base.div_ceil(4) } else { base };
-        base.max(1)
+        match self.runs {
+            Some(r) => (r * paper_runs / 20).max(1),
+            None if self.quick => paper_runs.div_ceil(4).max(1),
+            None => paper_runs.max(1),
+        }
     }
 }
 
@@ -198,6 +200,19 @@ mod tests {
         };
         assert_eq!(o.scaled_runs(20), 10);
         assert_eq!(o.scaled_runs(100), 50);
+    }
+
+    #[test]
+    fn explicit_runs_is_not_divided_by_quick() {
+        let o = Options {
+            quick: true,
+            runs: Some(5),
+            ..Options::default()
+        };
+        assert_eq!(o.scaled_runs(20), 5);
+        assert_eq!(o.scaled_runs(100), 25);
+        // Never zero, even for tiny columns.
+        assert_eq!(o.scaled_runs(1), 1);
     }
 
     fn parse(args: &[&str]) -> Result<Options, String> {

@@ -96,6 +96,18 @@ pub fn ml() -> Multilevel<MlRefiner> {
     Multilevel::standard(MultilevelConfig::default())
 }
 
+/// The deterministic intra-parallel multilevel engine: the same V-cycle
+/// shape as [`ml`], but with parallel propose/resolve coarsening and
+/// synchronous-round refinement inside each run, at `threads` workers.
+/// The result is bit-identical for every `threads >= 1` (and differs
+/// from [`ml`], which runs the classic sequential algorithms).
+pub fn ml_intra(threads: usize) -> Multilevel<MlRefiner> {
+    Multilevel::standard(MultilevelConfig {
+        intra: ParallelPolicy::Threads(threads),
+        ..MultilevelConfig::default()
+    })
+}
+
 /// FM with the tree structure (the paper's weighted-cost variant).
 pub fn fm_tree() -> FmTree {
     FmTree::default()

@@ -1,0 +1,309 @@
+//! Synchronous-round refinement: the deterministic intra-parallel
+//! counterpart of the FM pass.
+//!
+//! Classic FM is inherently sequential — every selection depends on the
+//! delta-updated gains of all earlier moves. Following Gottesbüren et
+//! al.'s deterministic parallel scheme, [`SyncRoundFm`] replaces the
+//! move-by-move loop with *synchronous rounds*:
+//!
+//! 1. **Collect** (parallel): every node's move gain is evaluated against
+//!    the frozen round-start partition, over fixed node chunks via
+//!    [`prop_core::map_chunks`]. Positive-gain nodes become candidates.
+//!    The candidate set is a pure function of the partition — chunking
+//!    only schedules the evaluation.
+//! 2. **Order** (deterministic): candidates sort by descending round-start
+//!    gain, ties broken by a salted hash of the node id and then the id
+//!    itself — a total order independent of arrival order and thread
+//!    count.
+//! 3. **Apply-prefix** (sequential, cheap): candidates are tentatively
+//!    applied in that order, each recording its *exact* immediate gain
+//!    (recomputed at apply time, so stale round-start gains cannot
+//!    corrupt the cut) and post-move feasibility into a
+//!    [`PrefixTracker`]. The best feasible positive prefix commits; the
+//!    tail rolls back — the same max-prefix rule FM, LA, and PROP share.
+//!
+//! Rounds repeat until no prefix commits. Because a committed prefix has
+//! strictly positive cumulative gain, the cut strictly decreases every
+//! round and the loop terminates. The result is bit-identical for every
+//! [`ParallelPolicy`]: only step 1's *execution* is parallel, never its
+//! outcome.
+
+use prop_core::prof;
+use prop_core::{
+    map_chunks, BalanceConstraint, Bipartition, CutState, ImproveStats, ParallelPolicy,
+    Partitioner, Side, SideWeights,
+};
+use prop_dstruct::PrefixTracker;
+use prop_netlist::{Hypergraph, NodeId};
+
+/// Nodes per collection chunk. Fixed — chunk boundaries are part of the
+/// deterministic contract (they depend only on the node count), though
+/// the *result* is chunking-independent anyway: chunks partition the node
+/// range and candidate selection is per-node.
+const SYNC_CHUNK: usize = 2048;
+
+/// Default salt for the candidate-order tie-break hash.
+const ORDER_SALT: u64 = 0x5bf0_3635_16f5_cd7b;
+
+/// Splitmix64-style finalizer: the same bijective mixer behind the
+/// multilevel seed streams, used here to shuffle equal-gain candidates
+/// deterministically instead of favoring low node ids.
+fn mix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// The synchronous-round refiner. Works for arbitrary node and net
+/// weights (gains stay `f64` — no bucket integrality requirement).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct SyncRoundFm {
+    /// Safety bound on rounds per run (a round ≈ an FM pass in cost).
+    pub max_rounds: usize,
+    /// Worker policy for the parallel collection phase. Results are
+    /// bit-identical across policies; this only sets the execution width.
+    pub policy: ParallelPolicy,
+    /// Salt of the equal-gain tie-break hash.
+    pub salt: u64,
+}
+
+impl Default for SyncRoundFm {
+    fn default() -> Self {
+        SyncRoundFm {
+            max_rounds: 64,
+            policy: ParallelPolicy::Sequential,
+            salt: ORDER_SALT,
+        }
+    }
+}
+
+impl Partitioner for SyncRoundFm {
+    fn name(&self) -> &str {
+        "FM-sync"
+    }
+
+    fn improve(
+        &self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        balance: BalanceConstraint,
+    ) -> ImproveStats {
+        let n = graph.num_nodes();
+        let mut cut = CutState::new(graph, partition);
+        if n == 0 {
+            return ImproveStats {
+                passes: 0,
+                cut_cost: cut.cut_cost(),
+            };
+        }
+        let mut rounds = 0;
+        let mut prefix = PrefixTracker::with_capacity(n.min(4096));
+        let mut moves: Vec<NodeId> = Vec::new();
+        while rounds < self.max_rounds {
+            // Cooperative cancellation at the round boundary; the
+            // collection phase below runs on worker threads, so the
+            // thread-local token slot is polled here, on the calling
+            // thread, like the FM pass loop does.
+            if prop_core::cancel::requested() {
+                break;
+            }
+            rounds += 1;
+
+            // Collect: frozen-partition gains, parallel over node chunks.
+            let frozen: &Bipartition = partition;
+            let frozen_cut = &cut;
+            let mut candidates: Vec<(f64, u32)> =
+                map_chunks(self.policy, n, SYNC_CHUNK, |_, range| {
+                    range
+                        .filter_map(|v| {
+                            let gain = frozen_cut.move_gain(graph, frozen, NodeId::new(v));
+                            (gain > 0.0).then_some((gain, v as u32))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .into_iter()
+                .flatten()
+                .collect();
+            if candidates.is_empty() {
+                prof::count_sync_round(0, 0);
+                break;
+            }
+
+            // Order: gain desc, salted hash, id — a total order, so the
+            // sort result cannot depend on the (already deterministic)
+            // concatenation order of the chunks.
+            let salt = self.salt;
+            candidates.sort_unstable_by(|&(ga, a), &(gb, b)| {
+                gb.partial_cmp(&ga)
+                    .expect("finite gains")
+                    .then_with(|| mix64(salt ^ u64::from(a)).cmp(&mix64(salt ^ u64::from(b))))
+                    .then_with(|| a.cmp(&b))
+            });
+
+            // Apply-prefix: tentative moves in sorted order, exact
+            // immediate gains, best feasible positive prefix commits.
+            let mut side_weights = SideWeights::new(graph, partition);
+            prefix.clear();
+            moves.clear();
+            for &(_, id) in &candidates {
+                let v = NodeId::new(id as usize);
+                let from = partition.side(v);
+                let counts = [partition.count(Side::A), partition.count(Side::B)];
+                let allowed = if balance.is_weighted() {
+                    balance.allows_node_move(
+                        from,
+                        counts,
+                        side_weights.as_array(),
+                        graph.node_weight(v),
+                    )
+                } else {
+                    balance.allows_move(from, counts[0], counts[1])
+                };
+                if !allowed {
+                    continue;
+                }
+                let immediate = cut.apply_move(graph, partition, v);
+                side_weights.apply_move(from, graph.node_weight(v));
+                prefix.push(
+                    immediate,
+                    balance.is_feasible(
+                        [partition.count(Side::A), partition.count(Side::B)],
+                        side_weights.as_array(),
+                    ),
+                );
+                moves.push(v);
+            }
+            let commit = prefix.best().map_or(0, |b| b.moves);
+            for i in (commit..moves.len()).rev() {
+                cut.apply_move(graph, partition, moves[i]);
+            }
+            prof::count_sync_round(candidates.len() as u64, commit as u64);
+            if commit == 0 {
+                break;
+            }
+        }
+        ImproveStats {
+            passes: rounds,
+            cut_cost: cut.cut_cost(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_core::cut_cost;
+    use prop_netlist::generate::{generate, GeneratorConfig};
+    use prop_netlist::HypergraphBuilder;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn circuit(seed: u64) -> Hypergraph {
+        generate(&GeneratorConfig::new(120, 132, 440).with_seed(seed)).unwrap()
+    }
+
+    #[test]
+    fn result_is_policy_independent() {
+        let g = circuit(3);
+        let balance = BalanceConstraint::bisection(g.num_nodes());
+        let mut rng = StdRng::seed_from_u64(7);
+        let initial = Bipartition::random(g.num_nodes(), &mut rng);
+        let mut baseline = initial.clone();
+        let stats = SyncRoundFm::default().improve(&g, &mut baseline, balance);
+        for threads in [1usize, 2, 4] {
+            let refiner = SyncRoundFm {
+                policy: ParallelPolicy::Threads(threads),
+                ..SyncRoundFm::default()
+            };
+            let mut p = initial.clone();
+            let s = refiner.improve(&g, &mut p, balance);
+            assert_eq!(p, baseline, "diverged at {threads} threads");
+            assert_eq!(s, stats);
+        }
+        let auto = SyncRoundFm {
+            policy: ParallelPolicy::Auto,
+            ..SyncRoundFm::default()
+        };
+        let mut p = initial;
+        auto.improve(&g, &mut p, balance);
+        assert_eq!(p, baseline);
+    }
+
+    #[test]
+    fn never_worsens_and_reports_exact_cut() {
+        let g = circuit(11);
+        let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+        for seed in 0..4u64 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut p = Bipartition::random(g.num_nodes(), &mut rng);
+            let before = cut_cost(&g, &p);
+            let stats = SyncRoundFm::default().improve(&g, &mut p, balance);
+            assert!(stats.cut_cost <= before);
+            assert_eq!(stats.cut_cost, cut_cost(&g, &p));
+            assert!(p.is_balanced(balance));
+            assert!(stats.passes >= 1);
+        }
+    }
+
+    #[test]
+    fn improves_materially_from_random() {
+        // Not a quality pin, just a sanity floor: rounds must actually
+        // converge somewhere below the random-cut baseline.
+        let g = circuit(5);
+        let balance = BalanceConstraint::bisection(g.num_nodes());
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut p = Bipartition::random(g.num_nodes(), &mut rng);
+        let before = cut_cost(&g, &p);
+        let stats = SyncRoundFm::default().improve(&g, &mut p, balance);
+        assert!(
+            stats.cut_cost < before * 0.8,
+            "sync rounds barely improved: {before} -> {}",
+            stats.cut_cost
+        );
+    }
+
+    #[test]
+    fn handles_weighted_nets_and_nodes() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(10.0, [0, 1]).unwrap();
+        b.add_net(10.0, [2, 3]).unwrap();
+        b.add_net(0.5, [1, 2]).unwrap();
+        b.set_node_weights(vec![2.0, 1.0, 1.0, 2.0]).unwrap();
+        let g = b.build().unwrap();
+        let balance = BalanceConstraint::weighted(0.4, 0.6, &g).unwrap();
+        // Start from the worst split: heavy nets cut.
+        let mut p = Bipartition::from_sides(vec![Side::A, Side::B, Side::A, Side::B]);
+        let stats = SyncRoundFm::default().improve(&g, &mut p, balance);
+        assert_eq!(stats.cut_cost, 0.5);
+        assert_eq!(stats.cut_cost, cut_cost(&g, &p));
+    }
+
+    #[test]
+    fn empty_graph_is_a_no_op() {
+        let g = HypergraphBuilder::new(0).build().unwrap();
+        let mut p = Bipartition::from_sides(Vec::new());
+        let stats = SyncRoundFm::default().improve(&g, &mut p, BalanceConstraint::bisection(0));
+        assert_eq!(stats.passes, 0);
+        assert_eq!(stats.cut_cost, 0.0);
+    }
+
+    #[test]
+    fn cancellation_stops_at_a_round_boundary() {
+        let g = circuit(9);
+        let balance = BalanceConstraint::bisection(g.num_nodes());
+        let token = prop_core::CancelToken::new();
+        token.cancel();
+        let mut rng = StdRng::seed_from_u64(2);
+        let mut p = Bipartition::random(g.num_nodes(), &mut rng);
+        let before = p.clone();
+        let stats = prop_core::cancel::scope(&token, || {
+            SyncRoundFm::default().improve(&g, &mut p, balance)
+        });
+        // Pre-tripped token: zero rounds run, the partition is untouched
+        // and the reported cut is still exact.
+        assert_eq!(stats.passes, 0);
+        assert_eq!(p, before);
+        assert_eq!(stats.cut_cost, cut_cost(&g, &p));
+    }
+}

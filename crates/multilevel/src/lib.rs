@@ -41,6 +41,19 @@
 //! bisections are identical for every `coarsest_starts ≥ k`
 //! (prefix-stable, pinned by `tests/multilevel_vcycle.rs`).
 //!
+//! # Intra-run parallelism
+//!
+//! [`MultilevelConfig::intra`] parallelizes the inside of a *single*
+//! V-cycle — the production case of one large job — deterministically:
+//! coarsening switches to propose/resolve matching
+//! ([`coarsen::coarsen_sync_with`]) and refinement to synchronous rounds
+//! ([`prop_fm::SyncRoundFm`]), both built on the fixed-chunk
+//! [`prop_core::map_chunks`] grid whose results are independent of the
+//! worker count by construction. `Threads(1)`, `Threads(2)`,
+//! `Threads(4)`, and `Auto` return bit-identical partitions; only the
+//! wall clock changes. The default `Sequential` keeps the classic
+//! sequential algorithms (and their pinned golden cuts) untouched.
+//!
 //! # Cancellation
 //!
 //! The V-cycle polls the thread-local cancellation slot at every level
@@ -70,11 +83,11 @@
 
 pub mod coarsen;
 
-use coarsen::{coarsen_with, CoarseLevel, CoarsenScratch};
+use coarsen::{coarsen_sync_with, coarsen_with, CoarseLevel, CoarsenScratch};
 use prop_core::prof::{self, Phase};
 use prop_core::{
     cancel, BalanceConstraint, Bipartition, CutState, GlobalPartitioner, ImproveStats,
-    PartitionError, Partitioner, Prop, PropConfig, RunResult, Side, SideWeights,
+    ParallelPolicy, PartitionError, Partitioner, Prop, PropConfig, RunResult, Side, SideWeights,
 };
 use prop_netlist::Hypergraph;
 use rand::rngs::StdRng;
@@ -118,6 +131,19 @@ pub struct MultilevelConfig {
     pub polish_passes: usize,
     /// Seed for matching orders and initial bisections.
     pub seed: u64,
+    /// Intra-run worker policy. [`ParallelPolicy::Sequential`] (the
+    /// default) runs the classic sequential V-cycle. Any other policy
+    /// switches the [`standard`] engine to its *deterministic
+    /// intra-parallel* algorithms — propose/resolve matching
+    /// ([`coarsen::coarsen_sync_with`]) and synchronous-round refinement
+    /// ([`prop_fm::SyncRoundFm`]) — whose results are bit-identical for
+    /// every worker count (`Threads(1)`, `Threads(4)`, and `Auto` all
+    /// agree); the policy then only sets how wide the fixed chunk grid is
+    /// executed. The two modes are different algorithms and generally
+    /// produce different (same-quality-class) partitions.
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub intra: ParallelPolicy,
 }
 
 impl Default for MultilevelConfig {
@@ -132,8 +158,15 @@ impl Default for MultilevelConfig {
             refine_skip_nodes: 40_000,
             polish_passes: 1,
             seed: 0,
+            intra: ParallelPolicy::Sequential,
         }
     }
+}
+
+/// Whether a policy engages the intra-parallel (synchronous-round)
+/// algorithms: everything except [`ParallelPolicy::Sequential`].
+fn intra_engaged(policy: ParallelPolicy) -> bool {
+    !matches!(policy, ParallelPolicy::Sequential)
 }
 
 /// The independent random streams of a V-cycle; see [`stream_seed`].
@@ -202,6 +235,9 @@ pub struct MlRefiner {
     fm_full: prop_fm::FmBucket,
     fm_tree_capped: prop_fm::FmTree,
     fm_tree_full: prop_fm::FmTree,
+    sync_capped: prop_fm::SyncRoundFm,
+    sync_full: prop_fm::SyncRoundFm,
+    intra: bool,
     fm_converge_nodes: usize,
     refine_skip_nodes: usize,
 }
@@ -209,7 +245,7 @@ pub struct MlRefiner {
 impl MlRefiner {
     /// Builds the refiner from the tuning knobs of `config`
     /// (`refine_passes`, `fm_converge_nodes`, `refine_skip_nodes`,
-    /// `polish_passes`).
+    /// `polish_passes`, `intra`).
     pub fn new(config: &MultilevelConfig) -> Self {
         let passes = config.refine_passes.max(1);
         MlRefiner {
@@ -222,6 +258,16 @@ impl MlRefiner {
             fm_full: prop_fm::FmBucket::default(),
             fm_tree_capped: prop_fm::FmTree { max_passes: passes },
             fm_tree_full: prop_fm::FmTree::default(),
+            sync_capped: prop_fm::SyncRoundFm {
+                max_rounds: passes,
+                policy: config.intra,
+                ..prop_fm::SyncRoundFm::default()
+            },
+            sync_full: prop_fm::SyncRoundFm {
+                policy: config.intra,
+                ..prop_fm::SyncRoundFm::default()
+            },
+            intra: intra_engaged(config.intra),
             fm_converge_nodes: config.fm_converge_nodes,
             refine_skip_nodes: config.refine_skip_nodes,
         }
@@ -241,7 +287,11 @@ impl Partitioner for MlRefiner {
     ) -> ImproveStats {
         let n = graph.num_nodes();
         if graph.has_unit_weights() && graph.has_unit_node_weights() {
-            let fm = self.fm_full.improve(graph, partition, balance);
+            let fm = if self.intra {
+                self.sync_full.improve(graph, partition, balance)
+            } else {
+                self.fm_full.improve(graph, partition, balance)
+            };
             if self.polish_passes == 0 {
                 return fm;
             }
@@ -258,6 +308,13 @@ impl Partitioner for MlRefiner {
             };
         }
         let capped = n > self.fm_converge_nodes;
+        if self.intra {
+            // Synchronous rounds work for arbitrary weights — no
+            // bucket/tree split — and collect candidates in parallel
+            // under the configured intra policy.
+            return if capped { &self.sync_capped } else { &self.sync_full }
+                .improve(graph, partition, balance);
+        }
         if graph.has_integral_weights() {
             if capped { &self.fm_capped } else { &self.fm_full }
                 .improve(graph, partition, balance)
@@ -328,7 +385,11 @@ impl<P: Partitioner> Multilevel<P> {
             let tick = prof::start();
             let level_seed =
                 stream_seed(seed, SeedStream::Matching, levels.len() as u64);
-            let level = coarsen_with(fine, cfg.max_match_net, level_seed, &mut scratch);
+            let level = if intra_engaged(cfg.intra) {
+                coarsen_sync_with(fine, cfg.max_match_net, level_seed, cfg.intra, &mut scratch)
+            } else {
+                coarsen_with(fine, cfg.max_match_net, level_seed, &mut scratch)
+            };
             prof::stop(Phase::MlCoarsen, tick);
             prof::count_ml_level();
             // A stalled matching (degenerate circuit) would loop forever.
@@ -671,6 +732,58 @@ mod tests {
         assert_eq!(result.run_cuts.len(), 4);
         let best = result.run_cuts.iter().copied().fold(f64::INFINITY, f64::min);
         assert_eq!(result.cut_cost, best);
+    }
+
+    #[test]
+    fn intra_policies_are_bit_identical() {
+        let graph = circuit(500, 33);
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+        let engine = |policy| {
+            Multilevel::standard(MultilevelConfig {
+                intra: policy,
+                seed: 5,
+                ..MultilevelConfig::default()
+            })
+        };
+        let baseline = engine(ParallelPolicy::Threads(1))
+            .run_multi(&graph, balance, 2, 9)
+            .unwrap();
+        assert!(baseline.partition.is_balanced(balance));
+        assert_eq!(
+            baseline.cut_cost,
+            CutState::new(&graph, &baseline.partition).cut_cost()
+        );
+        for policy in [
+            ParallelPolicy::Threads(2),
+            ParallelPolicy::Threads(4),
+            ParallelPolicy::Auto,
+        ] {
+            let got = engine(policy).run_multi(&graph, balance, 2, 9).unwrap();
+            assert_eq!(got, baseline, "{policy:?}");
+        }
+    }
+
+    #[test]
+    fn intra_quality_is_in_the_sequential_class() {
+        // Different algorithm, same quality class: the intra engine must
+        // land within a modest factor of the classic sequential cut.
+        let graph = circuit(600, 8);
+        let balance = BalanceConstraint::new(0.45, 0.55, graph.num_nodes()).unwrap();
+        let classic = Multilevel::standard(MultilevelConfig::default())
+            .run_multi(&graph, balance, 2, 3)
+            .unwrap();
+        let intra = Multilevel::standard(MultilevelConfig {
+            intra: ParallelPolicy::Threads(2),
+            ..MultilevelConfig::default()
+        })
+        .run_multi(&graph, balance, 2, 3)
+        .unwrap();
+        assert!(
+            intra.cut_cost <= classic.cut_cost * 1.25 + 4.0,
+            "intra {} vs classic {}",
+            intra.cut_cost,
+            classic.cut_cost
+        );
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! one line of minimal JSON (see [`crate::json`]).
 //!
 //! ```text
-//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 fmt=hgr payload=8%0A1%202%0A...
+//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 ml_threads=0 fmt=hgr payload=8%0A1%202%0A...
 //! status job=3
 //! wait job=3
 //! cancel job=3
@@ -98,6 +98,11 @@ pub struct SubmitRequest {
     pub ml_refine_passes: usize,
     /// Multilevel knob: PROP polish passes at unit-weight levels.
     pub ml_polish: usize,
+    /// Multilevel knob: intra-run worker threads per V-cycle. `0` (the
+    /// default) keeps the classic sequential engine; `n >= 1` engages the
+    /// deterministic intra-parallel algorithms with `n` workers — the
+    /// result is bit-identical for every `n >= 1`.
+    pub ml_threads: usize,
 }
 
 impl Default for SubmitRequest {
@@ -119,6 +124,7 @@ impl Default for SubmitRequest {
             ml_max_net: ml.max_match_net,
             ml_refine_passes: ml.refine_passes,
             ml_polish: ml.polish_passes,
+            ml_threads: 0,
         }
     }
 }
@@ -129,7 +135,7 @@ impl SubmitRequest {
         format!(
             "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
              ml_coarsest={} ml_starts={} ml_max_net={} ml_refine_passes={} ml_polish={} \
-             fmt={} payload={}",
+             ml_threads={} fmt={} payload={}",
             self.engine,
             self.runs,
             self.seed,
@@ -143,6 +149,7 @@ impl SubmitRequest {
             self.ml_max_net,
             self.ml_refine_passes,
             self.ml_polish,
+            self.ml_threads,
             self.fmt,
             percent_encode(self.payload.as_bytes()),
         )
@@ -157,6 +164,10 @@ impl SubmitRequest {
             max_match_net: self.ml_max_net,
             refine_passes: self.ml_refine_passes,
             polish_passes: self.ml_polish,
+            intra: match self.ml_threads {
+                0 => prop_core::ParallelPolicy::Sequential,
+                n => prop_core::ParallelPolicy::Threads(n),
+            },
             ..prop_multilevel::MultilevelConfig::default()
         }
     }
@@ -403,6 +414,7 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
             "ml_max_net" => req.ml_max_net = val(k, v)?,
             "ml_refine_passes" => req.ml_refine_passes = val(k, v)?,
             "ml_polish" => req.ml_polish = val(k, v)?,
+            "ml_threads" => req.ml_threads = val(k, v)?,
             "payload" => {
                 req.payload = percent_decode(v)?;
                 has_payload = true;
@@ -459,6 +471,7 @@ mod tests {
             ml_max_net: 12,
             ml_refine_passes: 2,
             ml_polish: 0,
+            ml_threads: 4,
         };
         let parsed = parse_request(&req.render()).unwrap();
         assert_eq!(parsed, Request::Submit(req));
@@ -482,6 +495,14 @@ mod tests {
         let cfg = req.ml_config();
         assert_eq!(cfg.coarsest_nodes, 50);
         assert_eq!(cfg.coarsest_starts, 3);
+        assert_eq!(cfg.intra, prop_core::ParallelPolicy::Sequential);
+
+        // ml_threads switches the engine to the intra-parallel V-cycle.
+        let parsed = parse_request("submit engine=ml ml_threads=2 payload=abc").unwrap();
+        let Request::Submit(req) = parsed else {
+            panic!("expected submit")
+        };
+        assert_eq!(req.ml_config().intra, prop_core::ParallelPolicy::Threads(2));
         assert!(parse_request("submit ml_starts=x payload=abc").is_err());
     }
 

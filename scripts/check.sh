@@ -17,8 +17,13 @@
 #   scripts/check.sh --ml           # also run the multilevel smoke gate:
 #                                   # one ml-only quick benchmark pass whose
 #                                   # cuts the oracle recounts, plus the
-#                                   # ml-vs-flat CLI path on a generated
-#                                   # circuit through both thread policies
+#                                   # ml CLI path at intra worker counts 1
+#                                   # and 2, which must print identical
+#                                   # results
+#   scripts/check.sh --par          # also run the intra-run determinism
+#                                   # gate: ml at --threads 1 vs --threads 2
+#                                   # must agree on the result line AND the
+#                                   # full node assignment (diffed file)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -26,12 +31,14 @@ audit=0
 bench_smoke=0
 serve=0
 ml=0
+par=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
     --bench-smoke) bench_smoke=1 ;;
     --serve) serve=1 ;;
     --ml) ml=1 ;;
+    --par) par=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -83,20 +90,58 @@ if [[ "$ml" -eq 1 ]]; then
   # secs_per_run regression against the committed ML rows.
   cargo run --release -q -p prop-experiments --bin bench_snapshot -- \
     --quick --method ML --compare BENCH_prop.json
-  # Then the CLI path: the ml method through both thread policies must
-  # print the identical result line.
+  # Then the CLI path. For ml, --threads N engages the deterministic
+  # intra-parallel V-cycle with N workers (it is a different algorithm
+  # than the sequential engine, so --threads 1 — not the flag's absence —
+  # is the comparison baseline): worker counts 1 and 2 must print the
+  # identical result line.
   ml_dir="$(mktemp -d)"
   trap 'rm -rf "$ml_dir"' EXIT
   ./target/release/prop generate --circuit struct --out "$ml_dir/struct.hgr" >/dev/null
-  seq_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4)"
-  par_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4 --threads 2)"
-  echo "$seq_line"
-  if [[ "$seq_line" != "$par_line" ]]; then
-    echo "check.sh: ml CLI diverged across thread policies" >&2
-    echo "  sequential: $seq_line" >&2
-    echo "  threads=2:  $par_line" >&2
+  one_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4 --threads 1)"
+  two_line="$(./target/release/prop partition "$ml_dir/struct.hgr" --method ml --runs 4 --threads 2)"
+  echo "$one_line"
+  if [[ "$one_line" != "$two_line" ]]; then
+    echo "check.sh: ml CLI diverged across intra worker counts" >&2
+    echo "  threads=1: $one_line" >&2
+    echo "  threads=2: $two_line" >&2
     exit 1
   fi
 fi
 
-echo "check.sh: all gates passed"
+if [[ "$par" -eq 1 ]]; then
+  # Intra-run determinism gate: the ml engine at 1 vs 2 intra workers on
+  # a generated circuit must agree on the printed cut line and on every
+  # node's side (the --assign files are diffed byte-for-byte, a stronger
+  # check than the cut alone).
+  par_dir="$(mktemp -d)"
+  trap 'rm -rf "$par_dir"' EXIT
+  ./target/release/prop generate --circuit struct --out "$par_dir/struct.hgr" >/dev/null
+  t1_out="$(./target/release/prop partition "$par_dir/struct.hgr" --method ml --runs 5 \
+    --threads 1 --assign "$par_dir/assign_t1.txt")"
+  t2_out="$(./target/release/prop partition "$par_dir/struct.hgr" --method ml --runs 5 \
+    --threads 2 --assign "$par_dir/assign_t2.txt")"
+  t1_line="${t1_out%%$'\n'*}"
+  t2_line="${t2_out%%$'\n'*}"
+  echo "$t1_line"
+  if [[ "$t1_line" != "$t2_line" ]]; then
+    echo "check.sh: intra-parallel ml cut diverged across worker counts" >&2
+    echo "  threads=1: $t1_line" >&2
+    echo "  threads=2: $t2_line" >&2
+    exit 1
+  fi
+  if ! diff -q "$par_dir/assign_t1.txt" "$par_dir/assign_t2.txt" >/dev/null; then
+    echo "check.sh: intra-parallel ml assignment diverged across worker counts" >&2
+    diff "$par_dir/assign_t1.txt" "$par_dir/assign_t2.txt" | head -n 5 >&2
+    exit 1
+  fi
+  echo "check.sh: intra-parallel determinism gate passed (cut + assignment identical)"
+fi
+
+gates="build+test+clippy"
+[[ "$audit" -eq 1 ]] && gates="$gates audit"
+[[ "$bench_smoke" -eq 1 ]] && gates="$gates bench-smoke"
+[[ "$serve" -eq 1 ]] && gates="$gates serve"
+[[ "$ml" -eq 1 ]] && gates="$gates ml"
+[[ "$par" -eq 1 ]] && gates="$gates par"
+echo "check.sh: all gates passed ($gates)"

@@ -18,10 +18,18 @@
 //! Plus a pin of the prefix-stable seeding contract: raising
 //! `coarsest_starts` appends new initial-bisection draws without
 //! perturbing any earlier start's.
+//!
+//! The fixed (non-property) tests at the bottom cover the intra-run
+//! parallel engine: the same seed at `intra` worker counts 1, 2, and 4
+//! must produce an identical cut, assignment hash, and coarsest-start
+//! cut vector; and cancellation mid-V-cycle — including mid-round inside
+//! the synchronous refiner — must leave a balance-feasible partial with
+//! an oracle-exact reported cut.
 
 use proptest::prelude::*;
 use prop_suite::core::{
-    BalanceConstraint, Bipartition, CutState, ParallelPolicy, Partitioner, Side,
+    BalanceConstraint, Bipartition, CancelToken, CutState, ParallelPolicy, Partitioner, RunStatus,
+    Side,
 };
 use prop_suite::multilevel::coarsen::{coarsen, CoarseLevel};
 use prop_suite::multilevel::{Multilevel, MultilevelConfig};
@@ -178,4 +186,125 @@ proptest! {
         prop_assert_eq!(long.len(), base.coarsest_starts + extra);
         prop_assert_eq!(&short[..], &long[..short.len()]);
     }
+}
+
+/// FNV-1a over the assignment vector — the same digest `prop-serve`
+/// reports for its jobs, so a divergence shows up as one number.
+fn assignment_hash(partition: &Bipartition) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for i in 0..partition.len() {
+        let byte = match partition.side(prop_suite::netlist::NodeId::new(i)) {
+            Side::A => b'A',
+            Side::B => b'B',
+        };
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// A mid-size fixed circuit: large enough for a few coarsening levels
+/// and several synchronous rounds, small enough for tier-1 wall-clock.
+fn intra_circuit() -> Hypergraph {
+    prop_suite::netlist::generate::generate(
+        &prop_suite::netlist::generate::GeneratorConfig::new(600, 660, 2200).with_seed(42),
+    )
+    .expect("valid generator config")
+}
+
+fn intra_config(threads: usize, seed: u64) -> MultilevelConfig {
+    MultilevelConfig {
+        intra: ParallelPolicy::Threads(threads),
+        seed,
+        ..MultilevelConfig::default()
+    }
+}
+
+/// The intra-parallel engine is a function of the seed alone: worker
+/// counts 1, 2, and 4 agree on the cut, the exact assignment (witnessed
+/// by its FNV hash), and the coarsest-start cut vector.
+#[test]
+fn intra_run_parallelism_is_worker_count_invariant() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    for seed in [0u64, 9] {
+        let base_engine = Multilevel::standard(intra_config(1, seed));
+        let base = base_engine.run_multi(&g, balance, 2, seed).unwrap();
+        assert!(base.partition.is_balanced(balance));
+        assert_eq!(base.cut_cost, oracle::naive_cut(&g, &base.partition));
+        let base_starts = base_engine.coarsest_start_cuts(&g, balance).unwrap();
+        for threads in [2usize, 4] {
+            let engine = Multilevel::standard(intra_config(threads, seed));
+            let result = engine.run_multi(&g, balance, 2, seed).unwrap();
+            assert_eq!(result.cut_cost, base.cut_cost, "cut diverged at {threads} workers");
+            assert_eq!(
+                assignment_hash(&result.partition),
+                assignment_hash(&base.partition),
+                "assignment diverged at {threads} workers"
+            );
+            assert_eq!(&result, &base, "full result diverged at {threads} workers");
+            assert_eq!(
+                engine.coarsest_start_cuts(&g, balance).unwrap(),
+                base_starts,
+                "coarsest starts diverged at {threads} workers"
+            );
+        }
+    }
+}
+
+/// A pre-tripped token: the intra engine stops at the first synchronous
+/// round boundary of the first run, and the partial it reports is still
+/// balance-feasible with an oracle-exact cut.
+#[test]
+fn pre_tripped_cancellation_keeps_the_intra_partial_feasible() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    let engine = Multilevel::standard(intra_config(2, 5));
+    let token = CancelToken::new();
+    token.cancel();
+    let report = engine
+        .run_multi_cancellable(&g, balance, 3, 5, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    assert_eq!(report.status, RunStatus::Cancelled);
+    assert!(report.result.partition.is_balanced(balance));
+    assert_eq!(
+        report.result.cut_cost,
+        oracle::naive_cut(&g, &report.result.partition)
+    );
+}
+
+/// A token tripped from another thread mid-flight lands inside a
+/// synchronous round with high probability; wherever it lands, the
+/// reported partial must be feasible and its cut honest.
+#[test]
+fn mid_round_cancellation_keeps_the_intra_partial_feasible() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    let engine = Multilevel::standard(intra_config(2, 3));
+    let token = CancelToken::new();
+    let tripper = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            token.cancel();
+        })
+    };
+    let report = engine
+        .run_multi_cancellable(&g, balance, 200, 3, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    tripper.join().unwrap();
+    assert!(report.result.partition.is_balanced(balance));
+    assert_eq!(
+        report.result.cut_cost,
+        oracle::naive_cut(&g, &report.result.partition)
+    );
+    // Whatever prefix of the 200 runs completed, each run's recorded cut
+    // is what the winner selection saw: the best equals the reported cut.
+    let best = report
+        .result
+        .run_cuts
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(best, report.result.cut_cost);
 }
