@@ -212,7 +212,9 @@ engine, which uses the classic algorithms).
 The ml method takes --ml-coarsest, --ml-starts, --ml-max-net,
 --ml-refine-passes, --ml-polish, and --ml-threads V-cycle knobs
 (partition and submit; --ml-threads N = intra-run workers, 0 = classic
-sequential engine).
+sequential engine). --ml-flow adds flow-based corridor refinement after
+each level's move passes; --ml-flow-corridor N caps the corridor at N
+nodes per side (implies --ml-flow; default 3000).
 serve/submit/ctl default to 127.0.0.1:7077; submit prints the daemon's
 one-line JSON response and exits nonzero if the job did not complete.";
 
@@ -289,6 +291,11 @@ fn parse_ml_flag<'a>(
                 0 => ParallelPolicy::Sequential,
                 n => ParallelPolicy::Threads(n),
             }
+        }
+        "--ml-flow" => ml.flow.enabled = true,
+        "--ml-flow-corridor" => {
+            ml.flow.enabled = true;
+            ml.flow.corridor_nodes = parse_num(arg, take_value(arg, it)?)?;
         }
         _ => return Ok(false),
     }
@@ -775,6 +782,8 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     ParallelPolicy::Threads(n) => n,
                     _ => 0,
                 },
+                ml_flow: u8::from(ml.flow.enabled),
+                ml_flow_corridor: ml.flow.corridor_nodes,
             };
             let mut client = Client::connect(addr.as_str())
                 .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
@@ -911,6 +920,7 @@ mod tests {
         let cmd = parse_args(&argv(&[
             "partition", "c.hgr", "--method", "ml", "--ml-coarsest", "64", "--ml-starts", "4",
             "--ml-max-net", "12", "--ml-refine-passes", "2", "--ml-polish", "0",
+            "--ml-flow-corridor", "500",
         ]))
         .unwrap();
         let Command::Partition { ml, .. } = cmd else {
@@ -921,6 +931,19 @@ mod tests {
         assert_eq!(ml.max_match_net, 12);
         assert_eq!(ml.refine_passes, 2);
         assert_eq!(ml.polish_passes, 0);
+        assert!(ml.flow.enabled);
+        assert_eq!(ml.flow.corridor_nodes, 500);
+        // --ml-flow alone enables the pass at the default corridor size.
+        let cmd = parse_args(&argv(&["partition", "c.hgr", "--method", "ml", "--ml-flow"]))
+            .unwrap();
+        let Command::Partition { ml, .. } = cmd else {
+            panic!("expected partition")
+        };
+        assert!(ml.flow.enabled);
+        assert_eq!(
+            ml.flow.corridor_nodes,
+            prop_multilevel::FlowConfig::default().corridor_nodes
+        );
         // Same flags on submit, forwarded onto the wire request.
         let cmd = parse_args(&argv(&[
             "submit", "c.hgr", "--engine", "ml", "--ml-coarsest", "64",

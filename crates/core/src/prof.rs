@@ -80,6 +80,14 @@ pub struct ProfSnapshot {
     pub sync_committed: u64,
     /// Propose/resolve rounds executed by parallel matching coarsening.
     pub match_rounds: u64,
+    /// Corridors grown by the flow refinement pass (one per attempted
+    /// min-cut round).
+    pub flow_corridors: u64,
+    /// Augmenting paths pushed by the Dinic max-flow kernel.
+    pub flow_augments: u64,
+    /// Flow-induced bipartitions accepted (feasible and strictly better
+    /// than the oracle-recounted incoming cut).
+    pub flow_accepted: u64,
 }
 
 impl ProfSnapshot {
@@ -171,6 +179,17 @@ mod imp {
         PROF.with(|p| p.borrow_mut().match_rounds += 1);
     }
 
+    /// Counts one flow-refinement corridor: how many augmenting paths its
+    /// max-flow round pushed and whether the induced cut was accepted.
+    pub fn count_flow_round(augments: u64, accepted: bool) {
+        PROF.with(|p| {
+            let mut p = p.borrow_mut();
+            p.flow_corridors += 1;
+            p.flow_augments += augments;
+            p.flow_accepted += u64::from(accepted);
+        });
+    }
+
     /// Counts one gain evaluation.
     pub fn count_gain_recompute() {
         PROF.with(|p| p.borrow_mut().gain_recomputes += 1);
@@ -226,6 +245,10 @@ mod imp {
     #[inline(always)]
     pub fn count_match_round() {}
 
+    /// Counts one flow-refinement corridor (no-op).
+    #[inline(always)]
+    pub fn count_flow_round(_augments: u64, _accepted: bool) {}
+
     /// Counts one gain evaluation (no-op).
     #[inline(always)]
     pub fn count_gain_recompute() {}
@@ -242,8 +265,8 @@ mod imp {
 }
 
 pub use imp::{
-    count_gain_recompute, count_match_round, count_ml_level, count_move, count_net_recompute,
-    count_sync_round, reset, snapshot, start, stop, Tick,
+    count_flow_round, count_gain_recompute, count_match_round, count_ml_level, count_move,
+    count_net_recompute, count_sync_round, reset, snapshot, start, stop, Tick,
 };
 
 #[cfg(test)]
@@ -274,6 +297,8 @@ mod tests {
         count_sync_round(10, 4);
         count_sync_round(6, 6);
         count_match_round();
+        count_flow_round(5, true);
+        count_flow_round(3, false);
         let t = start();
         stop(Phase::Seed, t);
         let s = snapshot();
@@ -284,6 +309,9 @@ mod tests {
         assert_eq!(s.sync_candidates, 16);
         assert_eq!(s.sync_committed, 10);
         assert_eq!(s.match_rounds, 1);
+        assert_eq!(s.flow_corridors, 2);
+        assert_eq!(s.flow_augments, 8);
+        assert_eq!(s.flow_accepted, 1);
         reset();
         assert_eq!(snapshot(), ProfSnapshot::default());
     }

@@ -24,9 +24,9 @@
 //!
 //! * `--large` — add the ~100k-node `golem3` circuit to the suite
 //!   (PROP-only at 1 and max threads; FM at the same settings).
-//! * `--method <name>` — restrict to one engine (`PROP`, `FM-bucket`, or
-//!   `ML`), e.g. to append a single method's rows under a new label
-//!   without re-running the whole suite.
+//! * `--method <name>` — restrict to one engine (`PROP`, `FM-bucket`,
+//!   `ML`, or `ML+flow`), e.g. to append a single method's rows under a
+//!   new label without re-running the whole suite.
 //! * `--label <s>` — tag the rows and *append* them to an existing
 //!   `BENCH_prop.json` instead of overwriting it, so a trajectory of
 //!   snapshots accumulates in one file.
@@ -444,16 +444,18 @@ fn main() {
     let prop = methods::prop();
     let fm = methods::fm();
     let ml = methods::ml();
+    let ml_flow = methods::ml_flow();
     let mut engines: Vec<(&str, &dyn Partitioner)> = vec![
         ("PROP", &prop as &dyn Partitioner),
         ("FM-bucket", &fm as &dyn Partitioner),
         ("ML", &ml as &dyn Partitioner),
+        ("ML+flow", &ml_flow as &dyn Partitioner),
     ];
     if let Some(only) = &extra.method {
         engines.retain(|(name, _)| name == only);
         if engines.is_empty() {
             snapshot_usage(&format!(
-                "--method {only:?} is not a snapshot engine (PROP, FM-bucket, ML)"
+                "--method {only:?} is not a snapshot engine (PROP, FM-bucket, ML, ML+flow)"
             ));
         }
     }

@@ -108,6 +108,20 @@ pub fn ml_intra(threads: usize) -> Multilevel<MlRefiner> {
     })
 }
 
+/// The multilevel engine of [`ml`] with flow-based corridor refinement
+/// enabled at its default corridor size: after move-based refinement at
+/// each uncoarsening level, a min-cut over a slack-bounded corridor
+/// around the cut is solved exactly and accepted iff strictly better.
+pub fn ml_flow() -> Multilevel<MlRefiner> {
+    Multilevel::standard(MultilevelConfig {
+        flow: prop_multilevel::FlowConfig {
+            enabled: true,
+            ..prop_multilevel::FlowConfig::default()
+        },
+        ..MultilevelConfig::default()
+    })
+}
+
 /// FM with the tree structure (the paper's weighted-cost variant).
 pub fn fm_tree() -> FmTree {
     FmTree::default()

@@ -1,0 +1,343 @@
+//! Corridor growth around the current cut, bounded by the balance slack.
+//!
+//! A *corridor* is the set of nodes the flow pass is allowed to
+//! reassign. It is grown by BFS from the cut boundary, one side at a
+//! time, under the invariant that makes the pass safe: **the corridor on
+//! side `S` never outweighs the slack of the opposite side** — so even if
+//! the min cut flips *every* corridor-`S` node across, the opposite side
+//! stays within its balance bound. Any flow-induced bipartition of a
+//! corridor grown here is therefore balance-feasible by construction
+//! (the pass still re-verifies from scratch before accepting).
+//!
+//! Growth is deterministic: seeds and per-layer candidates are visited in
+//! ascending node-id order, so the corridor is a pure function of the
+//! graph, the partition, the balance, and the size cap.
+
+use prop_core::{BalanceConstraint, Bipartition, CutState, Side, SideWeights};
+use prop_netlist::{Hypergraph, NodeId};
+
+/// Nets with more pins than this are not traversed when growing the
+/// corridor: their pins are barely localized around the cut, and walking
+/// them would balloon the frontier. (They still enter the flow network if
+/// a corridor node pins them — exclusion here only shapes *growth*.)
+const GROW_MAX_NET: usize = 512;
+
+/// A size- and slack-bounded node corridor around the cut.
+#[derive(Clone, Debug)]
+pub struct Corridor {
+    /// Corridor nodes in the (deterministic) order they were admitted.
+    pub nodes: Vec<NodeId>,
+    /// Position of each graph node in `nodes`, or `u32::MAX`.
+    position: Vec<u32>,
+    /// Corridor node count per side.
+    pub side_count: [usize; 2],
+    /// Corridor node weight per side.
+    pub side_weight: [f64; 2],
+}
+
+impl Corridor {
+    /// Position of `node` inside [`nodes`](Corridor::nodes), if admitted.
+    #[inline]
+    pub fn position(&self, node: NodeId) -> Option<usize> {
+        let p = self.position[node.index()];
+        (p != u32::MAX).then_some(p as usize)
+    }
+
+    /// Whether `node` is part of the corridor.
+    #[inline]
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.position[node.index()] != u32::MAX
+    }
+
+    /// Number of corridor nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether the corridor is empty.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Builds a corridor from an explicit node list (positions follow the
+    /// list order) — the constructor unit tests and external callers use
+    /// to pin down expansion behavior without growth heuristics.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a node repeats or is out of range.
+    pub fn from_nodes(graph: &Hypergraph, partition: &Bipartition, nodes: Vec<NodeId>) -> Corridor {
+        let mut corridor = Corridor {
+            nodes: Vec::new(),
+            position: vec![u32::MAX; graph.num_nodes()],
+            side_count: [0, 0],
+            side_weight: [0.0, 0.0],
+        };
+        for node in nodes {
+            assert!(
+                corridor.position[node.index()] == u32::MAX,
+                "duplicate corridor node {node}"
+            );
+            admit(
+                &mut corridor,
+                node,
+                partition.side(node),
+                graph.node_weight(node),
+            );
+        }
+        corridor
+    }
+}
+
+/// The admission budget of one side's corridor: how much node weight (or
+/// how many nodes, for count constraints) may flip to the *other* side
+/// without breaking its balance bound.
+struct Budget {
+    /// Remaining weight budget (`f64::INFINITY` for count constraints).
+    weight: f64,
+    /// Remaining node-count budget (`usize::MAX` for weighted ones).
+    count: usize,
+    /// Remaining cap from the corridor-size knob.
+    cap: usize,
+}
+
+impl Budget {
+    fn admits(&self, node_weight: f64) -> bool {
+        self.cap > 0 && self.count > 0 && node_weight <= self.weight + 1e-9
+    }
+
+    fn charge(&mut self, node_weight: f64) {
+        self.cap -= 1;
+        self.count -= 1;
+        self.weight -= node_weight;
+    }
+}
+
+/// Grows the corridor around the current cut of `partition`.
+///
+/// `max_per_side` caps the corridor node count on each side (the
+/// CLI-exposed corridor-size knob); the balance slack caps its weight.
+/// Returns `None` when the cut has no boundary (nothing to refine) or
+/// the slack admits no node at all.
+pub fn grow_corridor(
+    graph: &Hypergraph,
+    partition: &Bipartition,
+    cut: &CutState,
+    balance: BalanceConstraint,
+    max_per_side: usize,
+) -> Option<Corridor> {
+    let n = graph.num_nodes();
+    if cut.cut_nets() == 0 {
+        return None;
+    }
+    let weights = SideWeights::new(graph, partition);
+    let budget = |side: Side| -> Budget {
+        let other = side.other();
+        if balance.is_weighted() {
+            Budget {
+                weight: balance.max_part_weight() - weights.get(other),
+                count: usize::MAX,
+                cap: max_per_side,
+            }
+        } else {
+            Budget {
+                weight: f64::INFINITY,
+                count: balance.max_part().saturating_sub(partition.count(other)),
+                cap: max_per_side,
+            }
+        }
+    };
+    let mut budgets = [budget(Side::A), budget(Side::B)];
+
+    // Seeds: every node pinned by a cut net, in ascending id order.
+    let mut seeded = vec![false; n];
+    for net in 0..graph.num_nets() {
+        let net = prop_netlist::NetId::new(net);
+        if cut.is_cut(net) {
+            for &pin in graph.pins_of(net) {
+                seeded[pin.index()] = true;
+            }
+        }
+    }
+
+    let mut corridor = Corridor {
+        nodes: Vec::new(),
+        position: vec![u32::MAX; n],
+        side_count: [0, 0],
+        side_weight: [0.0, 0.0],
+    };
+    let mut visited = vec![false; n];
+    let mut frontier: Vec<u32> = Vec::new();
+    for v in 0..n {
+        if !seeded[v] {
+            continue;
+        }
+        visited[v] = true;
+        let node = NodeId::new(v);
+        let side = partition.side(node);
+        let w = graph.node_weight(node);
+        if budgets[side.index()].admits(w) {
+            budgets[side.index()].charge(w);
+            admit(&mut corridor, node, side, w);
+            frontier.push(v as u32);
+        }
+    }
+    if corridor.is_empty() {
+        return None;
+    }
+
+    // BFS layers: only admitted nodes expand, candidates are deduped and
+    // visited in ascending id order, and a node that does not fit its
+    // side's remaining budget is skipped (not a growth barrier — a
+    // lighter later candidate may still fit).
+    while !frontier.is_empty() {
+        let mut candidates: Vec<u32> = Vec::new();
+        for &v in &frontier {
+            let node = NodeId::new(v as usize);
+            for &net in graph.nets_of(node) {
+                let pins = graph.pins_of(net);
+                if pins.len() > GROW_MAX_NET {
+                    continue;
+                }
+                for &pin in pins {
+                    if !visited[pin.index()] {
+                        visited[pin.index()] = true;
+                        candidates.push(pin.index() as u32);
+                    }
+                }
+            }
+        }
+        candidates.sort_unstable();
+        frontier.clear();
+        for &v in &candidates {
+            let node = NodeId::new(v as usize);
+            let side = partition.side(node);
+            let w = graph.node_weight(node);
+            if budgets[side.index()].admits(w) {
+                budgets[side.index()].charge(w);
+                admit(&mut corridor, node, side, w);
+                frontier.push(v);
+            }
+        }
+    }
+    Some(corridor)
+}
+
+fn admit(corridor: &mut Corridor, node: NodeId, side: Side, weight: f64) {
+    corridor.position[node.index()] = corridor.nodes.len() as u32;
+    corridor.nodes.push(node);
+    corridor.side_count[side.index()] += 1;
+    corridor.side_weight[side.index()] += weight;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_core::cut_cost;
+    use prop_netlist::HypergraphBuilder;
+
+    /// A path of 6 unit nodes cut between 2 and 3.
+    fn path_graph() -> (Hypergraph, Bipartition) {
+        let mut b = HypergraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let sides = vec![Side::A, Side::A, Side::A, Side::B, Side::B, Side::B];
+        let p = Bipartition::from_sides(sides);
+        (g, p)
+    }
+
+    #[test]
+    fn corridor_grows_outward_from_the_boundary() {
+        let (g, p) = path_graph();
+        let cut = CutState::new(&g, &p);
+        assert_eq!(cut_cost(&g, &p), 1.0);
+        let balance = BalanceConstraint::new(0.3, 0.7, 6).unwrap();
+        // max_part = 4, so each side's corridor admits 4 - 3 = 1 node:
+        // exactly the two boundary nodes.
+        let c = grow_corridor(&g, &p, &cut, balance, 100).unwrap();
+        assert_eq!(c.nodes, vec![NodeId::new(2), NodeId::new(3)]);
+        assert_eq!(c.side_count, [1, 1]);
+        assert_eq!(c.position(NodeId::new(2)), Some(0));
+        assert_eq!(c.position(NodeId::new(3)), Some(1));
+        assert!(!c.contains(NodeId::new(0)));
+        assert!(!c.is_empty());
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn corridor_count_never_exceeds_the_count_slack() {
+        let (g, p) = path_graph();
+        let cut = CutState::new(&g, &p);
+        // Generous ratios: max_part = 5, slack 2 per side. BFS reaches
+        // nodes 1..=4 (layer 2 from each boundary).
+        let balance = BalanceConstraint::new(0.2, 0.9, 6).unwrap();
+        let c = grow_corridor(&g, &p, &cut, balance, 100).unwrap();
+        let slack = balance.max_part() - 3;
+        assert!(c.side_count[0] <= slack);
+        assert!(c.side_count[1] <= slack);
+        assert_eq!(c.side_count, [2, 2]);
+    }
+
+    #[test]
+    fn corridor_weight_never_exceeds_the_weighted_slack() {
+        let mut b = HypergraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        b.set_node_weights(vec![1.0, 2.0, 1.0, 1.0, 2.0, 1.0]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![
+            Side::A,
+            Side::A,
+            Side::A,
+            Side::B,
+            Side::B,
+            Side::B,
+        ]);
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::weighted(0.25, 0.75, &g).unwrap();
+        let c = grow_corridor(&g, &p, &cut, balance, 100).unwrap();
+        let w = SideWeights::new(&g, &p);
+        for side in [Side::A, Side::B] {
+            let slack = balance.max_part_weight() - w.get(side.other());
+            assert!(
+                c.side_weight[side.index()] <= slack + 1e-9,
+                "side {side:?}: corridor weight {} over slack {slack}",
+                c.side_weight[side.index()]
+            );
+        }
+    }
+
+    #[test]
+    fn size_cap_limits_each_side() {
+        let (g, p) = path_graph();
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::new(0.2, 0.9, 6).unwrap();
+        let c = grow_corridor(&g, &p, &cut, balance, 1).unwrap();
+        assert_eq!(c.side_count, [1, 1]);
+    }
+
+    #[test]
+    fn uncut_partition_has_no_corridor() {
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::new(0.25, 0.75, 4).unwrap();
+        assert!(grow_corridor(&g, &p, &cut, balance, 10).is_none());
+    }
+
+    #[test]
+    fn exhausted_slack_yields_no_corridor() {
+        // Exact bisection of 6 nodes: max_part = 3, both sides full, so
+        // no node may be admitted on either side.
+        let (g, p) = path_graph();
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::bisection(6);
+        assert!(grow_corridor(&g, &p, &cut, balance, 10).is_none());
+    }
+}

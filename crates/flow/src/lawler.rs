@@ -1,0 +1,280 @@
+//! Lawler's hypergraph → flow-network expansion over a corridor.
+//!
+//! For every *free* net — one whose fate the corridor can still decide —
+//! the expansion adds a node pair `e_in → e_out` joined by an arc whose
+//! capacity is the net's weight, and connects every distinct endpoint
+//! `v` of the net through infinite arcs `v → e_in` and `e_out → v`. Any
+//! source→sink path must then cross some net's finite bridge arc, so a
+//! minimum cut of the network selects a minimum-weight set of nets to
+//! leave cut — exactly the minimum hypergraph cut over all corridor
+//! bipartitions.
+//!
+//! Pins outside the corridor are contracted into the terminals: an
+//! outside pin on side A *is* the source, an outside pin on side B *is*
+//! the sink. A net with outside pins on both sides is permanently cut no
+//! matter how the corridor flips ([`CorridorNetwork::locked_weight`]),
+//! and a net whose pins collapse to a single endpoint (single-pin and
+//! duplicate-pin nets included) can never be cut; neither enters the
+//! network.
+
+use crate::corridor::Corridor;
+use crate::dinic::FlowNetwork;
+use prop_core::{CutState, Side};
+use prop_netlist::Hypergraph;
+
+/// The flow network of a corridor, terminals contracted.
+#[derive(Clone, Debug)]
+pub struct CorridorNetwork {
+    /// The expanded network: node 0 = source, node 1 = sink, node `2+i` =
+    /// corridor position `i`, then an `(e_in, e_out)` pair per free net.
+    pub network: FlowNetwork,
+    /// Source node index (always 0).
+    pub source: usize,
+    /// Sink node index (always 1).
+    pub sink: usize,
+    /// Number of corridor nodes (block `2..2+corridor_len`).
+    pub corridor_len: usize,
+    /// Number of free nets expanded into the network.
+    pub free_nets: usize,
+    /// Total weight of nets touching the corridor that stay cut under
+    /// every corridor bipartition (outside pins on both sides).
+    pub locked_weight: f64,
+    /// Current cut weight of all nets touching the corridor. The best cut
+    /// reachable by this corridor is `locked_weight + max_flow`, so a
+    /// corridor improves the partition iff that sum is strictly below
+    /// this.
+    pub region_cut_weight: f64,
+}
+
+/// First two node slots of the expansion.
+const SOURCE: usize = 0;
+const SINK: usize = 1;
+
+impl CorridorNetwork {
+    /// Expands the nets touching `corridor` into a flow network, using
+    /// `cut` (consistent with `sides`) to price the current region cut.
+    pub fn build(
+        graph: &Hypergraph,
+        sides: &[Side],
+        cut: &CutState,
+        corridor: &Corridor,
+    ) -> CorridorNetwork {
+        let k = corridor.nodes.len();
+        let mut network = FlowNetwork::new(2 + k);
+        let mut free_nets = 0usize;
+        let mut locked_weight = 0.0f64;
+        let mut region_cut_weight = 0.0f64;
+        let mut seen = vec![false; graph.num_nets()];
+        let mut endpoints: Vec<usize> = Vec::new();
+        for &node in &corridor.nodes {
+            for &net in graph.nets_of(node) {
+                if seen[net.index()] {
+                    continue;
+                }
+                seen[net.index()] = true;
+                let weight = graph.net_weight(net);
+                if cut.is_cut(net) {
+                    region_cut_weight += weight;
+                }
+                endpoints.clear();
+                let mut outside = [false; 2];
+                for &pin in graph.pins_of(net) {
+                    match corridor.position(pin) {
+                        Some(p) => endpoints.push(2 + p),
+                        None => outside[sides[pin.index()].index()] = true,
+                    }
+                }
+                if outside[Side::A.index()] && outside[Side::B.index()] {
+                    // Permanently cut: no corridor assignment frees it.
+                    locked_weight += weight;
+                    continue;
+                }
+                if outside[Side::A.index()] {
+                    endpoints.push(SOURCE);
+                }
+                if outside[Side::B.index()] {
+                    endpoints.push(SINK);
+                }
+                endpoints.sort_unstable();
+                endpoints.dedup();
+                if endpoints.len() < 2 {
+                    // Single-pin nets, duplicate-pin nets collapsing to
+                    // one node, and nets internal to one terminal can
+                    // never be cut.
+                    continue;
+                }
+                let e_in = network.add_node();
+                let e_out = network.add_node();
+                network.add_edge(e_in, e_out, weight);
+                for &v in &endpoints {
+                    network.add_edge(v, e_in, f64::INFINITY);
+                    network.add_edge(e_out, v, f64::INFINITY);
+                }
+                free_nets += 1;
+            }
+        }
+        CorridorNetwork {
+            network,
+            source: SOURCE,
+            sink: SINK,
+            corridor_len: k,
+            free_nets,
+            locked_weight,
+            region_cut_weight,
+        }
+    }
+
+    /// Maps a network-node cut side vector back to corridor assignments:
+    /// element `i` is the side of corridor position `i`.
+    pub fn corridor_sides(&self, source_side: &[bool]) -> Vec<Side> {
+        (0..self.corridor_len)
+            .map(|i| if source_side[2 + i] { Side::A } else { Side::B })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::corridor::grow_corridor;
+    use prop_core::{BalanceConstraint, Bipartition};
+    use prop_netlist::{HypergraphBuilder, NodeId};
+
+    fn full_corridor(graph: &Hypergraph, partition: &Bipartition) -> (CutState, Corridor) {
+        let cut = CutState::new(graph, partition);
+        let nodes = (0..graph.num_nodes()).map(NodeId::new).collect();
+        let c = Corridor::from_nodes(graph, partition, nodes);
+        (cut, c)
+    }
+
+    #[test]
+    fn expansion_counts_on_a_hand_built_hypergraph() {
+        // 4 nodes, 3 nets: (0,1), (1,2), (2,3); cut between 1 and 2.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(2.0, [1, 2]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let (cut, c) = full_corridor(&g, &p);
+        let net = CorridorNetwork::build(&g, p.sides(), &cut, &c);
+        // All three nets free: nodes = 2 terminals + 4 corridor + 3*2 net
+        // nodes; arcs = per net 1 bridge + 2 per endpoint (all 2-pin).
+        assert_eq!(net.free_nets, 3);
+        assert_eq!(net.corridor_len, 4);
+        assert_eq!(net.network.num_nodes(), 2 + 4 + 6);
+        assert_eq!(net.network.num_edges(), 3 * (1 + 2 * 2));
+        assert_eq!(net.locked_weight, 0.0);
+        assert_eq!(net.region_cut_weight, 2.0);
+    }
+
+    #[test]
+    fn outside_pins_contract_into_terminals() {
+        // Path 0-1-2-3-4-5 cut between 2|3; corridor = {2, 3} only.
+        let mut b = HypergraphBuilder::new(6);
+        for i in 0..5 {
+            b.add_net(1.0, [i, i + 1]).unwrap();
+        }
+        let g = b.build().unwrap();
+        let sides = vec![Side::A, Side::A, Side::A, Side::B, Side::B, Side::B];
+        let p = Bipartition::from_sides(sides);
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::new(0.3, 0.7, 6).unwrap();
+        let c = grow_corridor(&g, &p, &cut, balance, 100).unwrap();
+        assert_eq!(c.nodes, vec![NodeId::new(2), NodeId::new(3)]);
+        let net = CorridorNetwork::build(&g, p.sides(), &cut, &c);
+        // Net (0,1) has no corridor pin: not scanned. Net (1,2): pin 1
+        // contracts to source; (2,3) both in corridor; (3,4): pin 4
+        // contracts to sink; (4,5) unscanned.
+        assert_eq!(net.free_nets, 3);
+        assert_eq!(net.network.num_nodes(), 2 + 2 + 6);
+        assert_eq!(net.locked_weight, 0.0);
+        assert_eq!(net.region_cut_weight, 1.0);
+        // The min cut can't beat 1.0 here (the path must be severed).
+        let mut flowed = net.network.clone();
+        let flow = flowed.max_flow(net.source, net.sink).unwrap();
+        assert_eq!(flow.value, 1.0);
+    }
+
+    #[test]
+    fn single_pin_and_duplicate_pin_nets_are_skipped() {
+        let mut b = HypergraphBuilder::new(3);
+        b.add_net(1.0, [0]).unwrap();
+        b.add_net(1.0, [1, 1, 1]).unwrap();
+        b.add_net(1.0, [0, 1, 1, 2]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B]);
+        let (cut, c) = full_corridor(&g, &p);
+        let net = CorridorNetwork::build(&g, p.sides(), &cut, &c);
+        // Only the mixed net survives, with duplicates collapsed to its
+        // three distinct endpoints.
+        assert_eq!(net.free_nets, 1);
+        assert_eq!(net.network.num_edges(), 1 + 2 * 3);
+    }
+
+    #[test]
+    fn nets_locked_by_both_outside_sides_never_expand() {
+        // A net pinning the corridor plus both outside sides is locked.
+        let mut b = HypergraphBuilder::new(4);
+        b.add_net(3.0, [0, 1, 3]).unwrap();
+        b.add_net(1.0, [1, 2]).unwrap();
+        let g = b.build().unwrap();
+        let p = Bipartition::from_sides(vec![Side::A, Side::A, Side::B, Side::B]);
+        let cut = CutState::new(&g, &p);
+        let corridor =
+            Corridor::from_nodes(&g, &p, vec![NodeId::new(1), NodeId::new(2)]);
+        let net = CorridorNetwork::build(&g, p.sides(), &cut, &corridor);
+        assert_eq!(net.locked_weight, 3.0);
+        assert_eq!(net.free_nets, 1);
+        assert_eq!(net.region_cut_weight, 4.0);
+    }
+
+    #[test]
+    fn min_cut_of_the_expansion_is_the_min_hypergraph_cut() {
+        // Two triangles bridged by one net; optimal bisection cuts only
+        // the bridge (weight 1) instead of the current 3-net cut.
+        let mut b = HypergraphBuilder::new(6);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [1, 2]).unwrap();
+        b.add_net(1.0, [0, 2]).unwrap();
+        b.add_net(1.0, [2, 3]).unwrap(); // bridge
+        b.add_net(1.0, [3, 4]).unwrap();
+        b.add_net(1.0, [4, 5]).unwrap();
+        b.add_net(1.0, [3, 5]).unwrap();
+        let g = b.build().unwrap();
+        // Misplaced: node 2 on the wrong side cuts both its triangle
+        // nets (the bridge is internal to B) → cut = 2.
+        let p = Bipartition::from_sides(vec![
+            Side::A,
+            Side::A,
+            Side::B,
+            Side::B,
+            Side::B,
+            Side::B,
+        ]);
+        assert_eq!(prop_core::cut_cost(&g, &p), 2.0);
+        // Corridor {1,2,3,4}: node 0 anchors the source, node 5 the sink.
+        let cut = CutState::new(&g, &p);
+        let c = Corridor::from_nodes(
+            &g,
+            &p,
+            (1..5).map(NodeId::new).collect(),
+        );
+        let net = CorridorNetwork::build(&g, p.sides(), &cut, &c);
+        let mut flowed = net.network.clone();
+        let flow = flowed.max_flow(net.source, net.sink).unwrap();
+        assert_eq!(flow.value + net.locked_weight, 1.0, "flow finds the bridge cut");
+        let side = flowed.min_cut_source_side(net.source);
+        flowed
+            .check_min_cut(net.source, net.sink, flow.value, &side)
+            .unwrap();
+        let assigned = net.corridor_sides(&side);
+        // The induced bipartition puts the triangles back together.
+        let mut sides = p.sides().to_vec();
+        for (i, &node) in c.nodes.iter().enumerate() {
+            sides[node.index()] = assigned[i];
+        }
+        let fixed = Bipartition::from_sides(sides);
+        assert_eq!(prop_core::cut_cost(&g, &fixed), 1.0);
+    }
+}

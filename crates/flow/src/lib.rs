@@ -1,0 +1,60 @@
+//! Flow-based cut refinement for hypergraph bipartitions.
+//!
+//! Move-based refiners (FM, PROP) improve a cut one node at a time and
+//! stop at the first local minimum the move order runs into. This crate
+//! adds the orthogonal, *globally optimal* local step of Heuer, Sanders &
+//! Schlag's flow-based refinement: around the current cut it grows a
+//! size-bounded **corridor** of nodes, expands the corridor's hypergraph
+//! into a directed flow network (Lawler's construction, under which the
+//! network's minimum cut equals the minimum hypergraph cut over all
+//! bipartitions of the corridor), solves max-flow with a from-scratch
+//! Dinic kernel, and adopts the min-cut-induced bipartition iff it is
+//! balance-feasible and strictly improves the from-scratch recounted cut.
+//!
+//! The three layers are usable independently:
+//!
+//! * [`FlowNetwork`] / [`MaxFlow`] — a std-only Dinic (BFS level graph +
+//!   blocking flow) solver over `f64` capacities. Every answer carries a
+//!   checkable certificate: [`FlowNetwork::check_min_cut`] verifies
+//!   conservation, capacity, and that the returned cut's capacity equals
+//!   the flow value (max-flow = min-cut witness), so a wrong answer
+//!   cannot slip through silently.
+//! * [`lawler`] — the hypergraph → flow-network expansion restricted to a
+//!   corridor, with the two frontiers contracted into source and sink.
+//! * [`corridor`] / [`refine`] — corridor growth bounded by the balance
+//!   slack (any reassignment of the corridor stays feasible by
+//!   construction) and the accept-if-strictly-better refinement pass.
+//!
+//! The pass is deterministic — a pure function of the graph, partition,
+//! balance, and [`FlowConfig`]; it draws no randomness — and polls the
+//! thread-local cancellation slot at every augmentation-round boundary,
+//! so a cancelled pass returns with the incoming (feasible) partition
+//! untouched.
+//!
+//! ```
+//! use prop_flow::FlowNetwork;
+//!
+//! // A diamond: s=0, t=3, two disjoint 2-hop paths of capacity 3 and 5.
+//! let mut net = FlowNetwork::new(4);
+//! net.add_edge(0, 1, 3.0);
+//! net.add_edge(1, 3, 3.0);
+//! net.add_edge(0, 2, 5.0);
+//! net.add_edge(2, 3, 5.0);
+//! let flow = net.max_flow(0, 3).expect("not cancelled");
+//! assert_eq!(flow.value, 8.0);
+//! let cut = net.min_cut_source_side(0);
+//! net.check_min_cut(0, 3, flow.value, &cut).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod corridor;
+mod dinic;
+pub mod lawler;
+mod refine;
+
+pub use corridor::{grow_corridor, Corridor};
+pub use dinic::{FlowEdge, FlowNetwork, MaxFlow};
+pub use lawler::CorridorNetwork;
+pub use refine::{refine, FlowConfig, FlowPassStats};

@@ -1,0 +1,150 @@
+//! Corridor and refinement invariants on adversarial netlists.
+//!
+//! `generate_adversarial` produces the degenerate shapes real parsers
+//! let through — single-pin nets, duplicate pins, isolated nodes,
+//! fractional net weights — and the flow pass must hold its invariants
+//! on all of them: the corridor never outgrows the balance slack, the
+//! Lawler expansion never embeds a net that cannot be cut, and the pass
+//! never worsens a feasible partition.
+
+use prop_core::{
+    cut_cost, BalanceConstraint, Bipartition, CutState, Side, SideWeights,
+};
+use prop_flow::{grow_corridor, refine, CorridorNetwork, FlowConfig};
+use prop_netlist::generate::generate_adversarial;
+use prop_netlist::NodeId;
+
+/// A deterministic roughly-alternating partition.
+fn parity_partition(n: usize) -> Bipartition {
+    Bipartition::from_sides(
+        (0..n)
+            .map(|v| if v % 2 == 0 { Side::A } else { Side::B })
+            .collect(),
+    )
+}
+
+#[test]
+fn corridor_respects_the_slack_on_adversarial_graphs() {
+    for seed in 0..60 {
+        let g = generate_adversarial(seed).unwrap();
+        let n = g.num_nodes();
+        let p = parity_partition(n);
+        let cut = CutState::new(&g, &p);
+        for (lo, hi) in [(0.3, 0.7), (0.45, 0.55), (0.1, 0.9)] {
+            let balance = BalanceConstraint::new(lo, hi, n).unwrap();
+            let Some(c) = grow_corridor(&g, &p, &cut, balance, 8) else {
+                continue;
+            };
+            assert!(!c.is_empty());
+            assert!(c.side_count[0] <= 8 && c.side_count[1] <= 8, "seed {seed}");
+            // Count slack: flipping all of side S onto the other side
+            // must keep that side within max_part.
+            for side in [Side::A, Side::B] {
+                let slack = balance.max_part() - p.count(side.other());
+                assert!(
+                    c.side_count[side.index()] <= slack,
+                    "seed {seed}: corridor {} nodes on {side:?}, slack {slack}",
+                    c.side_count[side.index()],
+                );
+            }
+            // Positions are a consistent indexing of `nodes`.
+            for (i, &node) in c.nodes.iter().enumerate() {
+                assert_eq!(c.position(node), Some(i));
+            }
+        }
+    }
+}
+
+#[test]
+fn expansion_never_embeds_uncuttable_nets() {
+    for seed in 0..60 {
+        let g = generate_adversarial(seed).unwrap();
+        let n = g.num_nodes();
+        let p = parity_partition(n);
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::new(0.2, 0.8, n).unwrap();
+        let Some(c) = grow_corridor(&g, &p, &cut, balance, 16) else {
+            continue;
+        };
+        let built = CorridorNetwork::build(&g, p.sides(), &cut, &c);
+        // Single-pin nets and nets whose pins collapse to one endpoint
+        // must not appear: every free net added exactly one finite
+        // bridge arc plus >= 2 endpoint pairs, all infinite.
+        let edges = built.network.edges();
+        let finite = edges.iter().filter(|e| e.capacity.is_finite()).count();
+        assert_eq!(finite, built.free_nets, "seed {seed}");
+        assert!(edges.len() >= built.free_nets * (1 + 2 * 2) || built.free_nets == 0);
+        // The region's locked weight can never exceed its cut weight.
+        assert!(
+            built.locked_weight <= built.region_cut_weight + 1e-9,
+            "seed {seed}: locked {} > region cut {}",
+            built.locked_weight,
+            built.region_cut_weight,
+        );
+    }
+}
+
+#[test]
+fn refine_never_worsens_a_feasible_partition() {
+    let config = FlowConfig {
+        enabled: true,
+        corridor_nodes: 16,
+    };
+    let mut exercised = 0;
+    for seed in 0..60 {
+        let g = generate_adversarial(seed).unwrap();
+        let n = g.num_nodes();
+        let mut p = parity_partition(n);
+        let balance = BalanceConstraint::new(0.3, 0.7, n).unwrap();
+        let w = SideWeights::new(&g, &p);
+        if !balance.is_feasible(
+            [p.count(Side::A), p.count(Side::B)],
+            [w.get(Side::A), w.get(Side::B)],
+        ) {
+            continue;
+        }
+        let before = cut_cost(&g, &p);
+        let stats = refine(&g, &mut p, balance, &config);
+        let after = cut_cost(&g, &p);
+        assert_eq!(stats.cut_cost, after, "seed {seed}");
+        assert!(after <= before, "seed {seed}: {after} > {before}");
+        let w = SideWeights::new(&g, &p);
+        assert!(
+            balance.is_feasible(
+                [p.count(Side::A), p.count(Side::B)],
+                [w.get(Side::A), w.get(Side::B)],
+            ),
+            "seed {seed}: refinement broke feasibility"
+        );
+        if stats.accepted > 0 {
+            exercised += 1;
+            assert!(after < before, "seed {seed}: accepted without improving");
+        }
+        // Re-running from the improved partition must be a no-op or a
+        // further improvement — never a regression.
+        let again = refine(&g, &mut p, balance, &config);
+        assert!(again.cut_cost <= after, "seed {seed}");
+    }
+    assert!(exercised > 0, "no adversarial seed exercised an accept");
+}
+
+#[test]
+fn isolated_nodes_stay_out_of_the_corridor() {
+    // Adversarial graphs leave up to 3 trailing nodes isolated; they pin
+    // no nets, so no corridor may ever contain them.
+    for seed in 0..60 {
+        let g = generate_adversarial(seed).unwrap();
+        let n = g.num_nodes();
+        let p = parity_partition(n);
+        let cut = CutState::new(&g, &p);
+        let balance = BalanceConstraint::new(0.1, 0.9, n).unwrap();
+        let Some(c) = grow_corridor(&g, &p, &cut, balance, usize::MAX) else {
+            continue;
+        };
+        for v in 0..n {
+            if g.nets_of(NodeId::new(v)).is_empty() {
+                assert!(!c.contains(NodeId::new(v)), "seed {seed}: isolated node {v}");
+            }
+        }
+    }
+}

@@ -90,6 +90,7 @@ use prop_core::{
     ParallelPolicy, PartitionError, Partitioner, Prop, PropConfig, RunResult, Side, SideWeights,
 };
 use prop_netlist::Hypergraph;
+pub use prop_flow::FlowConfig;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -144,6 +145,14 @@ pub struct MultilevelConfig {
     ///
     /// [`standard`]: Multilevel::standard
     pub intra: ParallelPolicy,
+    /// Flow-based corridor refinement run by the [`standard`] engine
+    /// after move-based refinement at each level (disabled by default,
+    /// which keeps the engine byte-identical to the classic V-cycle).
+    /// The pass is deterministic and RNG-free, so enabling it preserves
+    /// worker-count invariance in intra mode.
+    ///
+    /// [`standard`]: Multilevel::standard
+    pub flow: FlowConfig,
 }
 
 impl Default for MultilevelConfig {
@@ -159,6 +168,7 @@ impl Default for MultilevelConfig {
             polish_passes: 1,
             seed: 0,
             intra: ParallelPolicy::Sequential,
+            flow: FlowConfig::default(),
         }
     }
 }
@@ -240,6 +250,7 @@ pub struct MlRefiner {
     intra: bool,
     fm_converge_nodes: usize,
     refine_skip_nodes: usize,
+    flow: FlowConfig,
 }
 
 impl MlRefiner {
@@ -270,16 +281,13 @@ impl MlRefiner {
             intra: intra_engaged(config.intra),
             fm_converge_nodes: config.fm_converge_nodes,
             refine_skip_nodes: config.refine_skip_nodes,
+            flow: config.flow,
         }
     }
-}
 
-impl Partitioner for MlRefiner {
-    fn name(&self) -> &str {
-        "ML-refine"
-    }
-
-    fn improve(
+    /// Move-based refinement of one level: the size- and weight-adaptive
+    /// dispatch described on the type.
+    fn improve_moves(
         &self,
         graph: &Hypergraph,
         partition: &mut Bipartition,
@@ -322,6 +330,35 @@ impl Partitioner for MlRefiner {
             self.fm_tree_capped.improve(graph, partition, balance)
         } else {
             self.fm_tree_full.improve(graph, partition, balance)
+        }
+    }
+}
+
+impl Partitioner for MlRefiner {
+    fn name(&self) -> &str {
+        "ML-refine"
+    }
+
+    fn improve(
+        &self,
+        graph: &Hypergraph,
+        partition: &mut Bipartition,
+        balance: BalanceConstraint,
+    ) -> ImproveStats {
+        let moves = self.improve_moves(graph, partition, balance);
+        // Flow refinement escapes minima move-based passes are stuck in,
+        // but skipped weighted levels stay skipped: their corridor moves
+        // reappear more finely at the finest level.
+        if !self.flow.enabled
+            || (!(graph.has_unit_weights() && graph.has_unit_node_weights())
+                && graph.num_nodes() > self.refine_skip_nodes)
+        {
+            return moves;
+        }
+        let flow = prop_flow::refine(graph, partition, balance, &self.flow);
+        ImproveStats {
+            passes: moves.passes + flow.accepted as usize,
+            cut_cost: flow.cut_cost,
         }
     }
 }

@@ -7,7 +7,7 @@
 //! one line of minimal JSON (see [`crate::json`]).
 //!
 //! ```text
-//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 ml_threads=0 fmt=hgr payload=8%0A1%202%0A...
+//! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 ml_threads=0 ml_flow=0 ml_flow_corridor=3000 fmt=hgr payload=8%0A1%202%0A...
 //! status job=3
 //! wait job=3
 //! cancel job=3
@@ -103,6 +103,11 @@ pub struct SubmitRequest {
     /// deterministic intra-parallel algorithms with `n` workers — the
     /// result is bit-identical for every `n >= 1`.
     pub ml_threads: usize,
+    /// Multilevel knob: `1` enables flow-based corridor refinement after
+    /// each level's move passes (`0` = off, the default).
+    pub ml_flow: u8,
+    /// Multilevel knob: corridor node cap per side for the flow pass.
+    pub ml_flow_corridor: usize,
 }
 
 impl Default for SubmitRequest {
@@ -125,6 +130,8 @@ impl Default for SubmitRequest {
             ml_refine_passes: ml.refine_passes,
             ml_polish: ml.polish_passes,
             ml_threads: 0,
+            ml_flow: 0,
+            ml_flow_corridor: ml.flow.corridor_nodes,
         }
     }
 }
@@ -135,7 +142,7 @@ impl SubmitRequest {
         format!(
             "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
              ml_coarsest={} ml_starts={} ml_max_net={} ml_refine_passes={} ml_polish={} \
-             ml_threads={} fmt={} payload={}",
+             ml_threads={} ml_flow={} ml_flow_corridor={} fmt={} payload={}",
             self.engine,
             self.runs,
             self.seed,
@@ -150,6 +157,8 @@ impl SubmitRequest {
             self.ml_refine_passes,
             self.ml_polish,
             self.ml_threads,
+            self.ml_flow,
+            self.ml_flow_corridor,
             self.fmt,
             percent_encode(self.payload.as_bytes()),
         )
@@ -167,6 +176,10 @@ impl SubmitRequest {
             intra: match self.ml_threads {
                 0 => prop_core::ParallelPolicy::Sequential,
                 n => prop_core::ParallelPolicy::Threads(n),
+            },
+            flow: prop_multilevel::FlowConfig {
+                enabled: self.ml_flow != 0,
+                corridor_nodes: self.ml_flow_corridor,
             },
             ..prop_multilevel::MultilevelConfig::default()
         }
@@ -415,6 +428,8 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
             "ml_refine_passes" => req.ml_refine_passes = val(k, v)?,
             "ml_polish" => req.ml_polish = val(k, v)?,
             "ml_threads" => req.ml_threads = val(k, v)?,
+            "ml_flow" => req.ml_flow = val(k, v)?,
+            "ml_flow_corridor" => req.ml_flow_corridor = val(k, v)?,
             "payload" => {
                 req.payload = percent_decode(v)?;
                 has_payload = true;
@@ -472,6 +487,8 @@ mod tests {
             ml_refine_passes: 2,
             ml_polish: 0,
             ml_threads: 4,
+            ml_flow: 1,
+            ml_flow_corridor: 800,
         };
         let parsed = parse_request(&req.render()).unwrap();
         assert_eq!(parsed, Request::Submit(req));
@@ -503,6 +520,17 @@ mod tests {
             panic!("expected submit")
         };
         assert_eq!(req.ml_config().intra, prop_core::ParallelPolicy::Threads(2));
+
+        // ml_flow enables the corridor-flow pass; the corridor knob
+        // passes through.
+        let parsed =
+            parse_request("submit engine=ml ml_flow=1 ml_flow_corridor=250 payload=abc").unwrap();
+        let Request::Submit(req) = parsed else {
+            panic!("expected submit")
+        };
+        let cfg = req.ml_config();
+        assert!(cfg.flow.enabled);
+        assert_eq!(cfg.flow.corridor_nodes, 250);
         assert!(parse_request("submit ml_starts=x payload=abc").is_err());
     }
 

@@ -10,6 +10,9 @@
 //! * [`oracle`] — pure functions recomputing cut cost, FM gains, PROP
 //!   products/gains (Eqns. 2–6), side weights, and the best move prefix
 //!   by direct evaluation.
+//! * [`flow`] — a naive Edmonds–Karp max-flow reference and an
+//!   independent certificate checker for the Dinic kernel in
+//!   `prop-flow` (capacity, conservation, cut capacity = flow value).
 //! * [`OracleAuditor`] — an implementation of `prop_core::audit::Auditor`
 //!   that checks every hook record an engine emits against those oracles
 //!   and panics on the first violation. [`RecordingAuditor`] logs
@@ -44,10 +47,12 @@
 #![warn(missing_docs)]
 
 mod audit;
+pub mod flow;
 pub mod oracle;
 mod reference;
 
 pub use audit::{AuditStats, OracleAuditor, PassLog, RecordingAuditor, AUDIT_TOLERANCE};
+pub use flow::{check_flow_certificate, reference_max_flow, FLOW_TOLERANCE};
 pub use reference::{reference_pass, ReferencePassRecord, ReferenceProp};
 
 #[cfg(feature = "debug-audit")]

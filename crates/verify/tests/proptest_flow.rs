@@ -1,0 +1,80 @@
+//! Property tests pitting the Dinic kernel against the naive reference.
+//!
+//! Networks use small integer capacities so both solvers do exact
+//! floating-point arithmetic (sums and differences of small integers)
+//! and their max-flow values must agree *bitwise*, not just within a
+//! tolerance. Every Dinic answer must also survive the independent
+//! certificate checker on both extreme min cuts.
+
+use proptest::prelude::*;
+use prop_flow::FlowNetwork;
+use prop_verify::{check_flow_certificate, reference_max_flow};
+
+/// A random directed network: node count and a list of arcs with
+/// integer capacities (self-loops allowed — they must change nothing).
+fn arb_network() -> impl Strategy<Value = (usize, Vec<(usize, usize, u8)>)> {
+    (2usize..=12).prop_flat_map(|n| {
+        let edge = (0..n, 0..n, 0u8..=10);
+        (Just(n), proptest::collection::vec(edge, 0..40))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Dinic and Edmonds–Karp agree exactly on random small networks,
+    /// and the Dinic answer's certificate checks out for both extreme
+    /// minimum cuts.
+    #[test]
+    fn dinic_matches_reference(network in arb_network()) {
+        let (n, arcs) = network;
+        let edges: Vec<(usize, usize, f64)> = arcs
+            .iter()
+            .map(|&(u, v, c)| (u, v, f64::from(c)))
+            .collect();
+        let mut net = FlowNetwork::new(n);
+        for &(u, v, c) in &edges {
+            net.add_edge(u, v, c);
+        }
+        let (s, t) = (0, n - 1);
+        let flow = net.max_flow(s, t).expect("not cancelled");
+        let expected = reference_max_flow(n, &edges, s, t);
+        prop_assert_eq!(flow.value, expected);
+
+        let small = net.min_cut_source_side(s);
+        check_flow_certificate(&net.edges(), s, t, flow.value, &small)
+            .map_err(|e| TestCaseError::Fail(format!("source-side cut: {e}")))?;
+        net.check_min_cut(s, t, flow.value, &small)
+            .map_err(|e| TestCaseError::Fail(format!("kernel self-check: {e}")))?;
+        let large = net.min_cut_sink_side_complement(t);
+        check_flow_certificate(&net.edges(), s, t, flow.value, &large)
+            .map_err(|e| TestCaseError::Fail(format!("sink-side cut: {e}")))?;
+        // The extreme cuts bracket the min-cut lattice.
+        for v in 0..n {
+            prop_assert!(!small[v] || large[v]);
+        }
+    }
+
+    /// Max-flow is invariant under arc order: shuffling the insertion
+    /// order of the same arc multiset cannot change the value.
+    #[test]
+    fn flow_value_is_arc_order_invariant(
+        network in arb_network(),
+        rot in 0usize..40,
+    ) {
+        let (n, arcs) = network;
+        let build = |list: &[(usize, usize, u8)]| {
+            let mut net = FlowNetwork::new(n);
+            for &(u, v, c) in list {
+                net.add_edge(u, v, f64::from(c));
+            }
+            net.max_flow(0, n - 1).expect("not cancelled").value
+        };
+        let mut rotated = arcs.clone();
+        if !rotated.is_empty() {
+            let shift = rot % rotated.len();
+            rotated.rotate_left(shift);
+        }
+        prop_assert_eq!(build(&arcs), build(&rotated));
+    }
+}

@@ -24,6 +24,11 @@
 #                                   # gate: ml at --threads 1 vs --threads 2
 #                                   # must agree on the result line AND the
 #                                   # full node assignment (diffed file)
+#   scripts/check.sh --flow         # also run the flow refinement gate:
+#                                   # the Dinic-vs-reference proptests, the
+#                                   # flow crate's own tests, and a CLI
+#                                   # bench asserting cut(ml --ml-flow) <=
+#                                   # cut(ml) on every suite circuit
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -32,6 +37,7 @@ bench_smoke=0
 serve=0
 ml=0
 par=0
+flow=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
@@ -39,6 +45,7 @@ for arg in "$@"; do
     --serve) serve=1 ;;
     --ml) ml=1 ;;
     --par) par=1 ;;
+    --flow) flow=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -138,10 +145,44 @@ if [[ "$par" -eq 1 ]]; then
   echo "check.sh: intra-parallel determinism gate passed (cut + assignment identical)"
 fi
 
+if [[ "$flow" -eq 1 ]]; then
+  # Flow refinement gate. The kernel first: the flow crate's unit and
+  # adversarial tests, then the differential proptests (Dinic vs the
+  # naive Edmonds-Karp reference, plus the independent certificate
+  # checker) in prop-verify.
+  cargo test -q -p prop-flow
+  cargo test -q -p prop-verify --test proptest_flow
+  # Then the quality contract end-to-end through the CLI: on every suite
+  # circuit, the flow-enabled ml engine must cut no more than the plain
+  # ml engine at the same seed and run count.
+  flow_dir="$(mktemp -d)"
+  trap 'rm -rf "$flow_dir"' EXIT
+  for circuit in balu struct p2; do
+    ./target/release/prop generate --circuit "$circuit" --out "$flow_dir/$circuit.hgr" >/dev/null
+    base_line="$(./target/release/prop partition "$flow_dir/$circuit.hgr" --method ml --runs 4)"
+    flow_line="$(./target/release/prop partition "$flow_dir/$circuit.hgr" --method ml --runs 4 --ml-flow)"
+    base_cut="$(sed -n 's/.*cut=\([0-9.]*\).*/\1/p' <<<"$base_line")"
+    flow_cut="$(sed -n 's/.*cut=\([0-9.]*\).*/\1/p' <<<"$flow_line")"
+    if [[ -z "$base_cut" || -z "$flow_cut" ]]; then
+      echo "check.sh: could not parse a cut from the ml result lines" >&2
+      echo "  ml:        $base_line" >&2
+      echo "  ml+flow:   $flow_line" >&2
+      exit 1
+    fi
+    if ! awk -v f="$flow_cut" -v b="$base_cut" 'BEGIN { exit !(f <= b) }'; then
+      echo "check.sh: flow refinement worsened $circuit: cut $flow_cut > $base_cut" >&2
+      exit 1
+    fi
+    echo "check.sh: $circuit ml=$base_cut ml+flow=$flow_cut"
+  done
+  echo "check.sh: flow gate passed (kernel proptests + cut(ml+flow) <= cut(ml) on the suite)"
+fi
+
 gates="build+test+clippy"
 [[ "$audit" -eq 1 ]] && gates="$gates audit"
 [[ "$bench_smoke" -eq 1 ]] && gates="$gates bench-smoke"
 [[ "$serve" -eq 1 ]] && gates="$gates serve"
 [[ "$ml" -eq 1 ]] && gates="$gates ml"
 [[ "$par" -eq 1 ]] && gates="$gates par"
+[[ "$flow" -eq 1 ]] && gates="$gates flow"
 echo "check.sh: all gates passed ($gates)"

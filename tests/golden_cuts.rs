@@ -1,8 +1,9 @@
 //! Golden-cut regression pins.
 //!
 //! Pins the exact `best_cut` of the three benchmark-snapshot circuits for
-//! PROP (calibrated profile, as benched), FM-bucket, and the multilevel
-//! V-cycle (standard engine, default knobs) under the snapshot
+//! PROP (calibrated profile, as benched), FM-bucket, the multilevel
+//! V-cycle (standard engine, default knobs), and the V-cycle with
+//! flow-based corridor refinement enabled, under the snapshot
 //! balance (45–55%), at reduced run counts so the whole file stays cheap
 //! enough for the tier-1 gate. Every engine in this suite is fully
 //! deterministic, so these are equalities, not tolerances: an accidental
@@ -20,20 +21,23 @@
 
 use prop_suite::core::{cut_cost, BalanceConstraint, Partitioner, Prop, PropConfig};
 use prop_suite::fm::FmBucket;
-use prop_suite::multilevel::{Multilevel, MultilevelConfig};
+use prop_suite::multilevel::{FlowConfig, Multilevel, MultilevelConfig};
 use prop_suite::netlist::suite;
 
 /// (circuit, method, runs, expected best-of-runs cut with base seed 0).
-const GOLDEN: [(&str, &str, usize, f64); 9] = [
+const GOLDEN: [(&str, &str, usize, f64); 12] = [
     ("balu", "PROP", 5, 18.0),
     ("balu", "FM-bucket", 5, 52.0),
     ("balu", "ML", 5, 18.0),
+    ("balu", "ML+flow", 5, 18.0),
     ("struct", "PROP", 3, 28.0),
     ("struct", "FM-bucket", 3, 102.0),
     ("struct", "ML", 3, 27.0),
+    ("struct", "ML+flow", 3, 25.0),
     ("p2", "PROP", 2, 55.0),
     ("p2", "FM-bucket", 2, 285.0),
     ("p2", "ML", 2, 52.0),
+    ("p2", "ML+flow", 2, 47.0),
 ];
 
 #[test]
@@ -41,6 +45,13 @@ fn snapshot_circuit_cuts_are_pinned() {
     let prop = Prop::new(PropConfig::calibrated());
     let fm = FmBucket::default();
     let ml = Multilevel::standard(MultilevelConfig::default());
+    let ml_flow = Multilevel::standard(MultilevelConfig {
+        flow: FlowConfig {
+            enabled: true,
+            ..FlowConfig::default()
+        },
+        ..MultilevelConfig::default()
+    });
     let mut failures = Vec::new();
     for (circuit, method, runs, expected) in GOLDEN {
         let graph = suite::by_name(circuit)
@@ -52,6 +63,7 @@ fn snapshot_circuit_cuts_are_pinned() {
         let partitioner: &dyn Partitioner = match method {
             "PROP" => &prop,
             "FM-bucket" => &fm,
+            "ML+flow" => &ml_flow,
             _ => &ml,
         };
         let result = partitioner.run_multi(&graph, balance, runs, 0).expect("non-empty");

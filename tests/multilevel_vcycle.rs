@@ -308,3 +308,125 @@ fn mid_round_cancellation_keeps_the_intra_partial_feasible() {
         .fold(f64::INFINITY, f64::min);
     assert_eq!(best, report.result.cut_cost);
 }
+
+use prop_suite::multilevel::FlowConfig;
+
+fn flow_config(threads: usize, seed: u64) -> MultilevelConfig {
+    MultilevelConfig {
+        flow: FlowConfig {
+            enabled: true,
+            ..FlowConfig::default()
+        },
+        ..intra_config(threads, seed)
+    }
+}
+
+/// The corridor-flow pass draws no randomness and runs sequentially, so
+/// the flow-enabled intra engine stays worker-count invariant: 1, 2, and
+/// 4 workers (and a repeat at the same count) agree on the exact
+/// assignment, and the reported cut never exceeds the flow-off engine's.
+#[test]
+fn flow_refinement_is_worker_count_invariant() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    for seed in [0u64, 9] {
+        let base = Multilevel::standard(flow_config(1, seed))
+            .run_multi(&g, balance, 2, seed)
+            .unwrap();
+        assert!(base.partition.is_balanced(balance));
+        assert_eq!(base.cut_cost, oracle::naive_cut(&g, &base.partition));
+        let no_flow = Multilevel::standard(intra_config(1, seed))
+            .run_multi(&g, balance, 2, seed)
+            .unwrap();
+        assert!(
+            base.cut_cost <= no_flow.cut_cost,
+            "flow worsened the cut: {} > {}",
+            base.cut_cost,
+            no_flow.cut_cost
+        );
+        for threads in [1usize, 2, 4] {
+            let result = Multilevel::standard(flow_config(threads, seed))
+                .run_multi(&g, balance, 2, seed)
+                .unwrap();
+            assert_eq!(&result, &base, "flow run diverged at {threads} workers");
+            assert_eq!(
+                assignment_hash(&result.partition),
+                assignment_hash(&base.partition)
+            );
+        }
+    }
+}
+
+/// `flow.enabled = false` keeps the engine byte-identical to the default
+/// configuration, whatever the other flow knobs say — the master switch
+/// alone decides whether the pass can perturb a V-cycle.
+#[test]
+fn disabled_flow_is_byte_identical_to_the_classic_engine() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    let classic = Multilevel::standard(MultilevelConfig {
+        seed: 7,
+        ..MultilevelConfig::default()
+    })
+    .run_multi(&g, balance, 3, 7)
+    .unwrap();
+    let flow_off = Multilevel::standard(MultilevelConfig {
+        seed: 7,
+        flow: FlowConfig {
+            enabled: false,
+            corridor_nodes: 17, // ignored while disabled
+        },
+        ..MultilevelConfig::default()
+    })
+    .run_multi(&g, balance, 3, 7)
+    .unwrap();
+    assert_eq!(flow_off, classic);
+    assert_eq!(
+        assignment_hash(&flow_off.partition),
+        assignment_hash(&classic.partition)
+    );
+}
+
+/// A token tripped mid-flight with flow enabled lands inside a Dinic
+/// augmentation round with decent probability; wherever it lands, the
+/// interrupted corridor must be abandoned (never half-applied) and the
+/// reported partial stays feasible with an oracle-exact cut.
+#[test]
+fn mid_corridor_cancellation_keeps_the_flow_partial_feasible() {
+    let g = intra_circuit();
+    let balance = BalanceConstraint::new(0.45, 0.55, g.num_nodes()).unwrap();
+    let engine = Multilevel::standard(flow_config(2, 3));
+    let token = CancelToken::new();
+    let tripper = {
+        let token = token.clone();
+        std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(10));
+            token.cancel();
+        })
+    };
+    let report = engine
+        .run_multi_cancellable(&g, balance, 200, 3, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    tripper.join().unwrap();
+    assert!(report.result.partition.is_balanced(balance));
+    assert_eq!(
+        report.result.cut_cost,
+        oracle::naive_cut(&g, &report.result.partition)
+    );
+    let best = report
+        .result
+        .run_cuts
+        .iter()
+        .copied()
+        .fold(f64::INFINITY, f64::min);
+    assert_eq!(best, report.result.cut_cost);
+
+    // A pre-tripped token stops before any corridor work at all.
+    let token = CancelToken::new();
+    token.cancel();
+    let report = engine
+        .run_multi_cancellable(&g, balance, 3, 5, ParallelPolicy::Sequential, &token)
+        .unwrap();
+    assert_eq!(report.status, RunStatus::Cancelled);
+    assert!(report.result.partition.is_balanced(balance));
+}
