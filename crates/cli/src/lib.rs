@@ -11,13 +11,18 @@
 //!   [--seed S] [--assign F]` — bipartition a netlist and report the cut;
 //!   methods: `prop` (default), `prop-paper`, `fm`, `fm-tree`, `la2`,
 //!   `la3`, `kl`, `sa`, `eig1`, `melo`, `paraboli`, `window`, `ml`.
-//! * `prop serve [--addr A] [--workers N] [--queue-cap N]` — run the
-//!   partitioning daemon until a `shutdown` request drains it.
-//! * `prop submit <file> [--addr A] [--engine E] [--runs N] [--seed S]
-//!   [--timeout-ms T] [--priority P] [--no-wait]` — send a netlist to a
-//!   running daemon and print the one-line JSON response.
-//! * `prop ctl <ping|stats|shutdown|status|wait|cancel> [--addr A]
-//!   [--job N]` — control-plane requests against a running daemon.
+//! * `prop serve [--addr A] [--workers N] [--queue-cap N]
+//!   [--store-dir D]` — run the partitioning daemon until a `shutdown`
+//!   request drains it.
+//! * `prop submit (<file> | --circuit-id ID) [--addr A] [--engine E]
+//!   [--runs N] [--seed S] [--timeout-ms T] [--priority P] [--no-wait]` —
+//!   send a netlist (or reference a stored circuit) to a running daemon
+//!   and print the one-line JSON response.
+//! * `prop upload <file> [--id ID] [--addr A] [--by-path]` — store a
+//!   netlist in the daemon's circuit store for submit-by-id sweeps.
+//! * `prop ctl <ping|stats|shutdown|status|wait|cancel|circuits|evict>
+//!   [--addr A] [--job N] [--circuit ID]` — control-plane requests
+//!   against a running daemon.
 //!
 //! The library half exists so the argument handling and command logic are
 //! unit-testable; `main.rs` is a thin wrapper.
@@ -31,8 +36,8 @@ use prop_core::{
 };
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
 use prop_multilevel::{Multilevel, MultilevelConfig};
-use prop_netlist::{format, generate, suite, Hypergraph};
-use prop_serve::{Client, Json, SubmitRequest};
+use prop_netlist::{format, generate, hgb, suite, Hypergraph};
+use prop_serve::{Client, Json, SubmitRequest, UploadRequest};
 use prop_spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
 use std::fmt;
 use std::path::Path;
@@ -124,11 +129,16 @@ pub enum Command {
         workers: usize,
         /// Job-queue admission capacity.
         queue_cap: usize,
+        /// Directory of the daemon's named-circuit store.
+        store_dir: String,
     },
-    /// `prop submit <file> ...`
+    /// `prop submit (<file> | --circuit-id ID) ...`
     Submit {
-        /// Netlist path (extension selects the wire format).
-        file: String,
+        /// Netlist path (extension selects the wire format), or `None`
+        /// when the job references a stored circuit.
+        file: Option<String>,
+        /// Stored circuit to run against instead of an inline payload.
+        circuit_id: Option<String>,
         /// Daemon address.
         addr: String,
         /// Engine name (`prop`, `prop-paper`, `fm`, `fm-tree`, `ml`).
@@ -151,15 +161,29 @@ pub enum Command {
         /// `ml` engine).
         ml: MultilevelConfig,
     },
+    /// `prop upload <file> ...`
+    Upload {
+        /// Netlist path (`.hgr`, `.netd`, or `.hgb`).
+        file: String,
+        /// Circuit id to store under (default: the file stem).
+        id: Option<String>,
+        /// Daemon address.
+        addr: String,
+        /// Send the (daemon-local) file path instead of the inline bytes
+        /// — the route for circuits larger than the request cap.
+        by_path: bool,
+    },
     /// `prop ctl <verb> ...`
     Ctl {
         /// Control verb: `ping`, `stats`, `shutdown`, `status`, `wait`,
-        /// or `cancel`.
+        /// `cancel`, `circuits`, or `evict`.
         verb: String,
         /// Daemon address.
         addr: String,
         /// Job id for `status`/`wait`/`cancel`.
         job: Option<u64>,
+        /// Circuit id for `evict`.
+        circuit: Option<String>,
     },
     /// `prop help`
     Help,
@@ -194,13 +218,22 @@ USAGE:
   prop convert <in> <out>
   prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
                  [--threads N] [--assign FILE] [--ml-* N]
-  prop serve [--addr A] [--workers N] [--queue-cap N]
-  prop submit <file> [--addr A] [--engine E] [--runs N] [--seed S] [--r1 X]
-              [--r2 Y] [--timeout-ms T] [--priority P] [--no-wait] [--ml-* N]
-  prop ctl <ping|stats|shutdown|status|wait|cancel> [--addr A] [--job N]
+  prop serve [--addr A] [--workers N] [--queue-cap N] [--store-dir D]
+  prop submit (<file> | --circuit-id ID) [--addr A] [--engine E] [--runs N]
+              [--seed S] [--r1 X] [--r2 Y] [--timeout-ms T] [--priority P]
+              [--no-wait] [--ml-* N]
+  prop upload <file> [--id ID] [--addr A] [--by-path]
+  prop ctl <ping|stats|shutdown|status|wait|cancel|circuits|evict>
+           [--addr A] [--job N] [--circuit ID]
   prop help
 
-Formats are chosen by extension: .hgr (hMETIS) or .netd (named).
+Formats are chosen by extension: .hgr (hMETIS), .netd (named), or .hgb
+(the zero-copy binary snapshot; stats/partition load it via mmap, and
+convert to .hgb writes the canonical snapshot).
+upload stores a netlist in the daemon's circuit store (--by-path sends a
+daemon-local file path instead of the bytes — the route past the request
+cap); submit --circuit-id then sweeps seeds/engines against the stored
+circuit without re-sending it.
 Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
 sa, eig1, melo, paraboli, window, ml.
 --threads fans the runs of iterative methods over N worker threads
@@ -253,6 +286,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "partition" => parse_partition(&rest),
         "serve" => parse_serve(&rest),
         "submit" => parse_submit(&rest),
+        "upload" => parse_upload(&rest),
         "ctl" => parse_ctl(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
     }
@@ -377,10 +411,14 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
     })
 }
 
+/// The default circuit-store directory for `prop serve`.
+pub const DEFAULT_STORE_DIR: &str = "prop-store";
+
 fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
     let mut addr = DEFAULT_SERVE_ADDR.to_string();
     let mut workers = 0usize;
     let mut queue_cap = 64usize;
+    let mut store_dir = DEFAULT_STORE_DIR.to_string();
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -389,6 +427,7 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
             "--queue-cap" => {
                 queue_cap = parse_num("--queue-cap", take_value("--queue-cap", &mut it)?)?
             }
+            "--store-dir" => store_dir = take_value("--store-dir", &mut it)?.to_string(),
             other => return Err(usage(format!("unknown serve flag {other:?}"))),
         }
     }
@@ -399,14 +438,14 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
         addr,
         workers,
         queue_cap,
+        store_dir,
     })
 }
 
 fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
     let mut it = rest.iter();
-    let Some(file) = it.next() else {
-        return Err(usage("submit needs a netlist file"));
-    };
+    let mut file = None;
+    let mut circuit_id = None;
     let mut addr = DEFAULT_SERVE_ADDR.to_string();
     let mut engine = "prop".to_string();
     let mut runs = 20usize;
@@ -432,15 +471,33 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
                 priority = parse_num("--priority", take_value("--priority", &mut it)?)?
             }
             "--no-wait" => no_wait = true,
+            "--circuit-id" => {
+                circuit_id = Some(take_value("--circuit-id", &mut it)?.to_string())
+            }
             other => {
-                if !parse_ml_flag(other, &mut it, &mut ml)? {
+                if parse_ml_flag(other, &mut it, &mut ml)? {
+                    continue;
+                }
+                if !other.starts_with('-') && file.is_none() {
+                    file = Some(other.to_string());
+                } else {
                     return Err(usage(format!("unknown submit flag {other:?}")));
                 }
             }
         }
     }
+    match (&file, &circuit_id) {
+        (None, None) => {
+            return Err(usage("submit needs a netlist file or --circuit-id <id>"))
+        }
+        (Some(_), Some(_)) => {
+            return Err(usage("submit takes either a netlist file or --circuit-id, not both"))
+        }
+        _ => {}
+    }
     Ok(Command::Submit {
-        file: (*file).clone(),
+        file,
+        circuit_id,
         addr,
         engine,
         runs,
@@ -454,21 +511,58 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
     })
 }
 
+fn parse_upload(rest: &[&String]) -> Result<Command, CliError> {
+    let mut it = rest.iter();
+    let mut file = None;
+    let mut id = None;
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut by_path = false;
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--id" => id = Some(take_value("--id", &mut it)?.to_string()),
+            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+            "--by-path" => by_path = true,
+            other => {
+                if !other.starts_with('-') && file.is_none() {
+                    file = Some(other.to_string());
+                } else {
+                    return Err(usage(format!("unknown upload flag {other:?}")));
+                }
+            }
+        }
+    }
+    let Some(file) = file else {
+        return Err(usage("upload needs a netlist file"));
+    };
+    Ok(Command::Upload {
+        file,
+        id,
+        addr,
+        by_path,
+    })
+}
+
 fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
     let mut it = rest.iter();
     let Some(verb) = it.next() else {
-        return Err(usage("ctl needs a verb: ping, stats, shutdown, status, wait, cancel"));
+        return Err(usage(
+            "ctl needs a verb: ping, stats, shutdown, status, wait, cancel, circuits, evict",
+        ));
     };
     let verb = verb.as_str();
-    if !["ping", "stats", "shutdown", "status", "wait", "cancel"].contains(&verb) {
+    if !["ping", "stats", "shutdown", "status", "wait", "cancel", "circuits", "evict"]
+        .contains(&verb)
+    {
         return Err(usage(format!("unknown ctl verb {verb:?}")));
     }
     let mut addr = DEFAULT_SERVE_ADDR.to_string();
     let mut job = None;
+    let mut circuit = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
             "--job" => job = Some(parse_num("--job", take_value("--job", &mut it)?)?),
+            "--circuit" => circuit = Some(take_value("--circuit", &mut it)?.to_string()),
             other => return Err(usage(format!("unknown ctl flag {other:?}"))),
         }
     }
@@ -479,11 +573,47 @@ fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
     if !needs_job && job.is_some() {
         return Err(usage(format!("ctl {verb} takes no --job")));
     }
+    if verb == "evict" && circuit.is_none() {
+        return Err(usage("ctl evict needs --circuit <id>"));
+    }
+    if verb != "evict" && circuit.is_some() {
+        return Err(usage(format!("ctl {verb} takes no --circuit")));
+    }
     Ok(Command::Ctl {
         verb: verb.to_string(),
         addr,
         job,
+        circuit,
     })
+}
+
+/// Loads a netlist, choosing the parser by file extension. `.hgb`
+/// snapshots go through the zero-copy loader and also return its load
+/// report (backing mode, bytes, elapsed milliseconds).
+///
+/// # Errors
+///
+/// Fails on I/O errors, unknown extensions, and parse errors.
+pub fn load_netlist_reported(
+    path: &str,
+) -> Result<(Hypergraph, Option<hgb::LoadReport>), CliError> {
+    if extension(path) == "hgb" {
+        let (graph, report) =
+            hgb::load_hgb(Path::new(path)).map_err(|e| failure(format!("{path}: {e}")))?;
+        return Ok((graph, Some(report)));
+    }
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
+    let graph = match extension(path) {
+        "hgr" => format::parse_hgr(&text).map_err(|e| failure(format!("{path}: {e}")))?,
+        "netd" => format::parse_netd(&text).map_err(|e| failure(format!("{path}: {e}")))?,
+        other => {
+            return Err(usage(format!(
+                "unknown netlist extension {other:?} (use .hgr, .netd, or .hgb)"
+            )))
+        }
+    };
+    Ok((graph, None))
 }
 
 /// Loads a netlist, choosing the parser by file extension.
@@ -492,18 +622,11 @@ fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
 ///
 /// Fails on I/O errors, unknown extensions, and parse errors.
 pub fn load_netlist(path: &str) -> Result<Hypergraph, CliError> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| failure(format!("cannot read {path}: {e}")))?;
-    match extension(path) {
-        "hgr" => format::parse_hgr(&text).map_err(|e| failure(format!("{path}: {e}"))),
-        "netd" => format::parse_netd(&text).map_err(|e| failure(format!("{path}: {e}"))),
-        other => Err(usage(format!(
-            "unknown netlist extension {other:?} (use .hgr or .netd)"
-        ))),
-    }
+    load_netlist_reported(path).map(|(graph, _)| graph)
 }
 
-/// Serialises a netlist, choosing the writer by file extension.
+/// Serialises a netlist to text, choosing the writer by file extension
+/// (the binary `.hgb` goes through [`write_netlist`] instead).
 ///
 /// # Errors
 ///
@@ -516,6 +639,22 @@ pub fn render_netlist(graph: &Hypergraph, path: &str) -> Result<String, CliError
             "unknown netlist extension {other:?} (use .hgr or .netd)"
         ))),
     }
+}
+
+/// Writes a netlist to `path`, choosing the writer by file extension:
+/// `.hgb` is the canonical binary snapshot, the rest are the text
+/// formats.
+///
+/// # Errors
+///
+/// Fails on unknown extensions and write errors.
+pub fn write_netlist(graph: &Hypergraph, path: &str) -> Result<(), CliError> {
+    if extension(path) == "hgb" {
+        return hgb::write_hgb_file(graph, Path::new(path))
+            .map_err(|e| failure(format!("cannot write {path}: {e}")));
+    }
+    let text = render_netlist(graph, path)?;
+    std::fs::write(path, text).map_err(|e| failure(format!("cannot write {path}: {e}")))
 }
 
 fn extension(path: &str) -> &str {
@@ -642,20 +781,24 @@ pub fn run(command: Command) -> Result<(), CliError> {
             Ok(())
         }
         Command::Stats { file } => {
-            let graph = load_netlist(&file)?;
+            let (graph, report) = load_netlist_reported(&file)?;
             println!("{}", graph.stats());
             println!(
                 "unit net costs: {}; unit node sizes: {}",
                 graph.has_unit_weights(),
                 graph.has_unit_node_weights()
             );
+            if let Some(report) = report {
+                println!(
+                    "snapshot: {} bytes loaded via {} in {} ms",
+                    report.bytes, report.mode, report.millis
+                );
+            }
             Ok(())
         }
         Command::Convert { input, output } => {
             let graph = load_netlist(&input)?;
-            let text = render_netlist(&graph, &output)?;
-            std::fs::write(&output, text)
-                .map_err(|e| failure(format!("cannot write {output}: {e}")))?;
+            write_netlist(&graph, &output)?;
             println!("wrote {} ({})", output, graph.stats());
             Ok(())
         }
@@ -672,9 +815,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
             };
             match out {
                 Some(path) => {
-                    let text = render_netlist(&graph, &path)?;
-                    std::fs::write(&path, text)
-                        .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                    write_netlist(&graph, &path)?;
                     println!("wrote {} ({})", path, graph.stats());
                 }
                 None => print!("{}", format::write_hgr(&graph)),
@@ -715,6 +856,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
             addr,
             workers,
             queue_cap,
+            store_dir,
         } => {
             let workers = if workers == 0 {
                 std::thread::available_parallelism()
@@ -727,12 +869,14 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 addr: addr.clone(),
                 workers,
                 queue_cap,
+                store_dir: Some(store_dir.clone()),
                 ..prop_serve::ServerConfig::default()
             };
             let handle = prop_serve::start(&config)
                 .map_err(|e| failure(format!("cannot bind {addr}: {e}")))?;
             println!(
-                "prop-serve listening on {} ({workers} workers, queue capacity {queue_cap})",
+                "prop-serve listening on {} ({workers} workers, queue capacity {queue_cap}, \
+                 store {store_dir})",
                 handle.addr()
             );
             handle.join();
@@ -741,6 +885,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
         }
         Command::Submit {
             file,
+            circuit_id,
             addr,
             engine,
             runs,
@@ -752,15 +897,22 @@ pub fn run(command: Command) -> Result<(), CliError> {
             no_wait,
             ml,
         } => {
-            let payload = std::fs::read_to_string(&file)
-                .map_err(|e| failure(format!("cannot read {file}: {e}")))?;
-            let fmt = match extension(&file) {
-                ext @ ("hgr" | "netd") => ext.to_string(),
-                other => {
-                    return Err(usage(format!(
-                        "unknown netlist extension {other:?} (use .hgr or .netd)"
-                    )))
+            let (fmt, payload) = match &file {
+                Some(file) => {
+                    let payload = std::fs::read_to_string(file)
+                        .map_err(|e| failure(format!("cannot read {file}: {e}")))?;
+                    let fmt = match extension(file) {
+                        ext @ ("hgr" | "netd") => ext.to_string(),
+                        other => {
+                            return Err(usage(format!(
+                                "unknown netlist extension {other:?} (use .hgr or .netd; \
+                                 upload .hgb snapshots and submit --circuit-id instead)"
+                            )))
+                        }
+                    };
+                    (fmt, payload)
                 }
+                None => ("hgr".to_string(), String::new()),
             };
             let request = SubmitRequest {
                 engine,
@@ -772,6 +924,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 priority,
                 fmt,
                 payload,
+                circuit_id: circuit_id.unwrap_or_default(),
                 wait: !no_wait,
                 ml_coarsest: ml.coarsest_nodes,
                 ml_starts: ml.coarsest_starts,
@@ -796,7 +949,65 @@ pub fn run(command: Command) -> Result<(), CliError> {
             }
             Ok(())
         }
-        Command::Ctl { verb, addr, job } => {
+        Command::Upload {
+            file,
+            id,
+            addr,
+            by_path,
+        } => {
+            let fmt = match extension(&file) {
+                ext @ ("hgr" | "netd" | "hgb") => ext.to_string(),
+                other => {
+                    return Err(usage(format!(
+                        "unknown netlist extension {other:?} (use .hgr, .netd, or .hgb)"
+                    )))
+                }
+            };
+            let circuit = match id {
+                Some(id) => id,
+                None => Path::new(&file)
+                    .file_stem()
+                    .and_then(|s| s.to_str())
+                    .unwrap_or("")
+                    .to_string(),
+            };
+            let request = if by_path {
+                // The daemon reads the file itself, so the path must
+                // resolve from the daemon's point of view; absolutise it
+                // for the local-daemon case.
+                let path = std::fs::canonicalize(&file)
+                    .map_err(|e| failure(format!("cannot resolve {file}: {e}")))?;
+                UploadRequest {
+                    circuit,
+                    fmt,
+                    payload: None,
+                    path: Some(path.to_string_lossy().into_owned()),
+                }
+            } else {
+                let bytes = std::fs::read(&file)
+                    .map_err(|e| failure(format!("cannot read {file}: {e}")))?;
+                UploadRequest {
+                    circuit,
+                    fmt,
+                    payload: Some(bytes),
+                    path: None,
+                }
+            };
+            let mut client = Client::connect(addr.as_str())
+                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let response = client.upload(&request).map_err(|e| failure(e.to_string()))?;
+            println!("{}", response.render());
+            if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(failure("the daemon rejected the upload"));
+            }
+            Ok(())
+        }
+        Command::Ctl {
+            verb,
+            addr,
+            job,
+            circuit,
+        } => {
             let mut client = Client::connect(addr.as_str())
                 .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
             let response = match verb.as_str() {
@@ -806,6 +1017,8 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 "status" => client.status(job.expect("parser enforces --job")),
                 "wait" => client.wait(job.expect("parser enforces --job")),
                 "cancel" => client.cancel(job.expect("parser enforces --job")),
+                "circuits" => client.circuits(),
+                "evict" => client.evict(&circuit.expect("parser enforces --circuit")),
                 other => return Err(usage(format!("unknown ctl verb {other:?}"))),
             }
             .map_err(|e| failure(e.to_string()))?;
@@ -965,17 +1178,20 @@ mod tests {
                 addr: DEFAULT_SERVE_ADDR.into(),
                 workers: 0,
                 queue_cap: 64,
+                store_dir: DEFAULT_STORE_DIR.into(),
             }
         );
         assert_eq!(
             parse_args(&argv(&[
                 "serve", "--addr", "127.0.0.1:0", "--workers", "3", "--queue-cap", "9",
+                "--store-dir", "/tmp/circuits",
             ]))
             .unwrap(),
             Command::Serve {
                 addr: "127.0.0.1:0".into(),
                 workers: 3,
                 queue_cap: 9,
+                store_dir: "/tmp/circuits".into(),
             }
         );
         assert!(parse_args(&argv(&["serve", "--queue-cap", "0"])).is_err());
@@ -988,7 +1204,8 @@ mod tests {
         assert_eq!(
             cmd,
             Command::Submit {
-                file: "c.hgr".into(),
+                file: Some("c.hgr".into()),
+                circuit_id: None,
                 addr: DEFAULT_SERVE_ADDR.into(),
                 engine: "prop".into(),
                 runs: 20,
@@ -1022,6 +1239,51 @@ mod tests {
     }
 
     #[test]
+    fn parse_submit_by_circuit_id() {
+        let cmd = parse_args(&argv(&["submit", "--circuit-id", "golem4", "--engine", "ml"]))
+            .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Submit {
+                file: None,
+                circuit_id: Some(ref id),
+                ..
+            } if id == "golem4"
+        ));
+        // Exactly one netlist source.
+        assert!(parse_args(&argv(&["submit", "c.hgr", "--circuit-id", "x"])).is_err());
+        assert!(parse_args(&argv(&["submit", "--engine", "ml"])).is_err());
+        assert!(parse_args(&argv(&["submit", "a.hgr", "b.hgr"])).is_err());
+    }
+
+    #[test]
+    fn parse_upload_variants() {
+        assert_eq!(
+            parse_args(&argv(&["upload", "golem4.hgb"])).unwrap(),
+            Command::Upload {
+                file: "golem4.hgb".into(),
+                id: None,
+                addr: DEFAULT_SERVE_ADDR.into(),
+                by_path: false,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&[
+                "upload", "big.hgr", "--id", "big-v2", "--addr", "127.0.0.1:9", "--by-path",
+            ]))
+            .unwrap(),
+            Command::Upload {
+                file: "big.hgr".into(),
+                id: Some("big-v2".into()),
+                addr: "127.0.0.1:9".into(),
+                by_path: true,
+            }
+        );
+        assert!(parse_args(&argv(&["upload"])).is_err());
+        assert!(parse_args(&argv(&["upload", "a.hgr", "--bogus"])).is_err());
+    }
+
+    #[test]
     fn parse_ctl_verbs_and_job_requirements() {
         assert_eq!(
             parse_args(&argv(&["ctl", "stats"])).unwrap(),
@@ -1029,6 +1291,7 @@ mod tests {
                 verb: "stats".into(),
                 addr: DEFAULT_SERVE_ADDR.into(),
                 job: None,
+                circuit: None,
             }
         );
         assert_eq!(
@@ -1037,11 +1300,33 @@ mod tests {
                 verb: "cancel".into(),
                 addr: "127.0.0.1:9".into(),
                 job: Some(7),
+                circuit: None,
             }
         );
-        // status/wait/cancel need --job; the others refuse it.
+        assert_eq!(
+            parse_args(&argv(&["ctl", "circuits"])).unwrap(),
+            Command::Ctl {
+                verb: "circuits".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                job: None,
+                circuit: None,
+            }
+        );
+        assert_eq!(
+            parse_args(&argv(&["ctl", "evict", "--circuit", "golem4"])).unwrap(),
+            Command::Ctl {
+                verb: "evict".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                job: None,
+                circuit: Some("golem4".into()),
+            }
+        );
+        // status/wait/cancel need --job; the others refuse it. evict
+        // needs --circuit; the others refuse it.
         assert!(parse_args(&argv(&["ctl", "wait"])).is_err());
         assert!(parse_args(&argv(&["ctl", "ping", "--job", "1"])).is_err());
+        assert!(parse_args(&argv(&["ctl", "evict"])).is_err());
+        assert!(parse_args(&argv(&["ctl", "ping", "--circuit", "x"])).is_err());
         assert!(parse_args(&argv(&["ctl", "reboot"])).is_err());
         assert!(parse_args(&argv(&["ctl"])).is_err());
     }
@@ -1151,6 +1436,7 @@ mod tests {
     #[test]
     fn extension_dispatch() {
         assert!(load_netlist("/definitely/missing.hgr").is_err());
+        assert!(load_netlist("/definitely/missing.hgb").is_err());
         let g = prop_netlist::generate::generate(
             &prop_netlist::generate::GeneratorConfig::new(6, 6, 20).with_seed(3),
         )
@@ -1158,5 +1444,69 @@ mod tests {
         assert!(render_netlist(&g, "x.hgr").is_ok());
         assert!(render_netlist(&g, "x.netd").is_ok());
         assert!(render_netlist(&g, "x.xml").is_err());
+        // The binary snapshot is not a text format.
+        assert!(render_netlist(&g, "x.hgb").is_err());
+    }
+
+    #[test]
+    fn hgb_snapshot_roundtrips_through_the_cli_helpers() {
+        let dir = std::env::temp_dir().join(format!("prop-cli-hgb-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("tiny.hgb");
+        let path = path.to_str().unwrap();
+        let g = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(40, 44, 150).with_seed(9),
+        )
+        .unwrap();
+        write_netlist(&g, path).unwrap();
+        let (loaded, report) = load_netlist_reported(path).unwrap();
+        assert_eq!(loaded, g);
+        let report = report.expect("hgb loads carry a report");
+        assert!(report.bytes > 0);
+        // Text formats carry no snapshot report.
+        let hgr = dir.join("tiny.hgr");
+        let hgr = hgr.to_str().unwrap();
+        write_netlist(&g, hgr).unwrap();
+        let (loaded, report) = load_netlist_reported(hgr).unwrap();
+        assert_eq!(loaded, g);
+        assert!(report.is_none());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn upload_and_submit_by_id_through_the_cli() {
+        let dir = std::env::temp_dir().join(format!("prop-cli-store-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let store_dir = dir.join("store");
+        let handle = prop_serve::start(&prop_serve::ServerConfig {
+            workers: 1,
+            queue_cap: 4,
+            store_dir: Some(store_dir.to_string_lossy().into_owned()),
+            ..prop_serve::ServerConfig::default()
+        })
+        .unwrap();
+        let addr = handle.addr().to_string();
+
+        // Upload a .hgb snapshot, then sweep against it by id.
+        let file = dir.join("tiny.hgb");
+        let g = prop_netlist::generate::generate(
+            &prop_netlist::generate::GeneratorConfig::new(30, 36, 120).with_seed(8),
+        )
+        .unwrap();
+        write_netlist(&g, file.to_str().unwrap()).unwrap();
+        run(parse_args(&argv(&["upload", file.to_str().unwrap(), "--addr", &addr])).unwrap())
+            .unwrap();
+        run(parse_args(&argv(&[
+            "submit", "--circuit-id", "tiny", "--addr", &addr, "--engine", "fm", "--runs", "2",
+        ]))
+        .unwrap())
+        .unwrap();
+        run(parse_args(&argv(&["ctl", "circuits", "--addr", &addr])).unwrap()).unwrap();
+        run(parse_args(&argv(&["ctl", "evict", "--circuit", "tiny", "--addr", &addr])).unwrap())
+            .unwrap();
+
+        run(parse_args(&argv(&["ctl", "shutdown", "--addr", &addr])).unwrap()).unwrap();
+        handle.join();
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -39,10 +39,16 @@
 //!   compare against the single-thread rows of a committed snapshot and
 //!   exit non-zero on a >2x `secs_per_run` regression or (at matching run
 //!   counts) a changed `best_cut`.
+//! * `--io` — loader benchmark instead of partitioning: for each circuit,
+//!   time hgr text parse+build against the `.hgb` snapshot load (mmap
+//!   open + validation, after which the zero-copy view is queryable),
+//!   emit `method: "load"` rows carrying `parse_ms`/`load_ms`, and fail
+//!   unless the golem-tier circuits load at least 10x faster from the
+//!   snapshot. `--large` extends the set with golem3 and golem4.
 
 use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner};
 use prop_experiments::{methods, Options};
-use prop_netlist::suite;
+use prop_netlist::{format, hgb, suite};
 use std::time::Instant;
 
 /// The fixed circuits of the snapshot, smallest to largest.
@@ -50,6 +56,16 @@ const CIRCUITS: [&str; 3] = ["balu", "struct", "p2"];
 
 /// The large-circuit extension behind `--large`.
 const LARGE_CIRCUITS: [&str; 1] = ["golem3"];
+
+/// The extra circuits the `--io --large` loader benchmark covers beyond
+/// [`LARGE_CIRCUITS`] (partitioning golem4 at snapshot run counts is a
+/// separate exercise; loading it is cheap).
+const IO_LARGE_CIRCUITS: [&str; 1] = ["golem4"];
+
+/// Minimum speedup of the mmap `.hgb` load over text parse+build that
+/// `--io` requires on the golem-tier circuits (the point of the binary
+/// format; small Table-1 circuits are too quick to time reliably).
+const IO_SPEEDUP_FLOOR: f64 = 10.0;
 
 /// Maximum tolerated single-thread `secs_per_run` ratio vs the committed
 /// snapshot before `--compare` fails.
@@ -65,6 +81,15 @@ struct Record {
     intra_threads: usize,
     best_cut: f64,
     secs_total: f64,
+    /// Wall-clock milliseconds to load the circuit from its `.hgb`
+    /// snapshot: mmap open + structural parse + deep validation, after
+    /// which the zero-copy CSR view is fully queryable without a single
+    /// allocation. `0` on partitioning rows, which receive the graph
+    /// pre-built.
+    load_ms: f64,
+    /// Wall-clock milliseconds to parse+build the same circuit from hgr
+    /// text. `0` on partitioning rows.
+    parse_ms: f64,
 }
 
 impl Record {
@@ -80,13 +105,14 @@ struct SnapshotOptions {
     large: bool,
     compare: Option<String>,
     method: Option<String>,
+    io: bool,
 }
 
 fn snapshot_usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: bench_snapshot [--quick] [--circuit <name>] [--runs <n>] [--threads <n>] \
-         [--large] [--method <name>] [--label <s>] [--profile] [--compare <path>]"
+         [--large] [--method <name>] [--label <s>] [--profile] [--compare <path>] [--io]"
     );
     std::process::exit(2)
 }
@@ -101,6 +127,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
         large: false,
         compare: None,
         method: None,
+        io: false,
     };
     let mut it = leftover.iter();
     while let Some(arg) = it.next() {
@@ -113,6 +140,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
             }
             "--profile" => extra.profile = true,
             "--large" => extra.large = true,
+            "--io" => extra.io = true,
             "--compare" => {
                 let v = it.next().unwrap_or_else(|| {
                     snapshot_usage("--compare requires a value: --compare <path>")
@@ -167,6 +195,8 @@ fn measure(
         intra_threads,
         best_cut: result.cut_cost,
         secs_total,
+        load_ms: 0.0,
+        parse_ms: 0.0,
     }
 }
 
@@ -190,7 +220,7 @@ fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str)
             format!(
                 "  {{\"circuit\": \"{}\", \"method\": \"{}\", \"runs\": {}, \"threads\": {}, \
                  \"intra_threads\": {}, \"best_cut\": {}, \"secs_total\": {:.6}, \
-                 \"secs_per_run\": {:.6}, \
+                 \"secs_per_run\": {:.6}, \"load_ms\": {:.3}, \"parse_ms\": {:.3}, \
                  \"threads_avail\": {}, \"git_rev\": \"{}\", \"label\": \"{}\"}}",
                 r.circuit,
                 r.method,
@@ -200,6 +230,8 @@ fn render_rows(records: &[Record], threads_avail: usize, rev: &str, label: &str)
                 r.best_cut,
                 r.secs_total,
                 r.secs_per_run(),
+                r.load_ms,
+                r.parse_ms,
                 threads_avail,
                 rev,
                 label
@@ -228,6 +260,8 @@ fn normalize_row(line: &str) -> String {
     let mut row = line.trim_end().trim_end_matches(',').trim_end().to_string();
     for (key, default) in [
         ("intra_threads", "0"),
+        ("load_ms", "0"),
+        ("parse_ms", "0"),
         ("threads_avail", "0"),
         ("git_rev", "\"unknown\""),
         ("label", "\"\""),
@@ -318,7 +352,9 @@ fn parse_baseline(path: &str) -> Vec<BaselineRow> {
 /// baseline. Returns the number of violations (printed as they are found).
 fn compare_against(baseline: &[BaselineRow], records: &[Record]) -> usize {
     let mut violations = 0;
-    for r in records.iter().filter(|r| r.threads == 1) {
+    // Loader rows have no baseline semantics (no cut, machine-bound
+    // timings); the speedup floor inside `--io` is their gate.
+    for r in records.iter().filter(|r| r.threads == 1 && r.method != "load") {
         // The latest matching baseline row wins (an appended trajectory
         // lists newest rows last). Intra-parallel rows only compare
         // against baselines at the same intra worker count — the intra
@@ -418,6 +454,90 @@ fn profile(circuits: &[&str], runs: usize, method: &str, partitioner: &dyn Parti
     }
 }
 
+/// `--io` mode: the loader benchmark. Each circuit is rendered to hgr
+/// text and written as a `.hgb` snapshot in a scratch dir; the row then
+/// times text parse+build against the mmap `.hgb` load (open + deep
+/// validate + materialize) on identical content — the two graphs are
+/// asserted equal before either timing is trusted. Golem-tier circuits
+/// must clear [`IO_SPEEDUP_FLOOR`].
+fn run_io(circuits: &[&str], threads_avail: usize, label: Option<&str>) {
+    let dir = std::env::temp_dir().join(format!("prop-bench-io-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    let mut records = Vec::new();
+    let mut violations = 0usize;
+    for name in circuits {
+        let spec = suite::by_name(name).expect("snapshot circuit");
+        let graph = spec.instantiate().expect("valid spec");
+        let text = format::write_hgr(&graph);
+        let path = dir.join(format!("{name}.hgb"));
+        hgb::write_hgb_file(&graph, &path).expect("write snapshot");
+
+        // Best of three for each side: a single-core box under load can
+        // stretch any one measurement severalfold, and the floor below is
+        // a property of the code, not of scheduler noise.
+        let mut parse_ms = f64::INFINITY;
+        let mut parsed = None;
+        for _ in 0..3 {
+            let start = Instant::now();
+            let graph = format::parse_hgr(&text).expect("hgr reparse");
+            parse_ms = parse_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            parsed = Some(graph);
+        }
+        let parsed = parsed.expect("three parses ran");
+
+        // The snapshot load: open (mmap) + structural parse + deep
+        // validation. At this point the circuit is fully queryable through
+        // the zero-copy CSR view without having allocated anything — that
+        // is the claim of the binary format, and the apples-to-apples
+        // counterpart of "text parse+build to a queryable graph" above.
+        let mut load_ms = f64::INFINITY;
+        let mut file = hgb::HgbFile::open(&path).expect("open snapshot");
+        for _ in 0..3 {
+            let start = Instant::now();
+            let reopened = hgb::HgbFile::open(&path).expect("open snapshot");
+            let view = reopened.view().expect("structural parse");
+            view.validate().expect("deep validation");
+            load_ms = load_ms.min(start.elapsed().as_secs_f64() * 1e3);
+            file = reopened;
+        }
+        let view = file.view().expect("structural parse");
+
+        // Untimed correctness anchor: the two paths materialize the same
+        // graph.
+        let loaded = view.to_hypergraph().expect("materialize");
+        assert_eq!(parsed, loaded, "{name}: text and .hgb materialize differently");
+        let speedup = parse_ms / load_ms.max(1e-6);
+        println!(
+            "  {name}: parse {parse_ms:.1}ms, {} load {load_ms:.1}ms ({speedup:.1}x, {} bytes)",
+            file.mode(),
+            file.bytes().len()
+        );
+        if name.starts_with("golem") && speedup < IO_SPEEDUP_FLOOR {
+            eprintln!("  FAIL {name}: {speedup:.1}x < required {IO_SPEEDUP_FLOOR}x");
+            violations += 1;
+        }
+        records.push(Record {
+            circuit: name.to_string(),
+            method: "load".to_string(),
+            runs: 1,
+            threads: 1,
+            intra_threads: 0,
+            best_cut: 0.0,
+            secs_total: (parse_ms + load_ms) / 1e3,
+            load_ms,
+            parse_ms,
+        });
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+    let rows = render_rows(&records, threads_avail, &git_rev(), label.unwrap_or(""));
+    write_snapshot("BENCH_prop.json", &rows, label.is_some());
+    println!("wrote BENCH_prop.json ({} loader records)", rows.len());
+    if violations > 0 {
+        eprintln!("{violations} loader speedup violation(s)");
+        std::process::exit(1);
+    }
+}
+
 fn main() {
     let (opts, extra) = parse_snapshot_args();
     let runs = opts.scaled_runs(20);
@@ -430,6 +550,9 @@ fn main() {
     if extra.large {
         circuits.extend(LARGE_CIRCUITS);
     }
+    if extra.large && extra.io {
+        circuits.extend(IO_LARGE_CIRCUITS);
+    }
     if let Some(only) = &opts.circuit {
         circuits.retain(|c| c == only);
         if circuits.is_empty() {
@@ -439,6 +562,11 @@ fn main() {
                 LARGE_CIRCUITS.join(", ")
             ));
         }
+    }
+
+    if extra.io {
+        run_io(&circuits, threads_avail, extra.label.as_deref());
+        return;
     }
 
     let prop = methods::prop();
@@ -567,6 +695,8 @@ mod tests {
                 intra_threads: 0,
                 best_cut: cut,
                 secs_total: 1.0,
+                load_ms: 0.0,
+                parse_ms: 0.0,
             }],
             8,
             "deadbeef",
@@ -631,6 +761,8 @@ mod tests {
         let merged = merge_rows(legacy, &[row("v1", "p2", "PROP", 1, 150.0)]);
         assert_eq!(merged.len(), 2);
         assert_eq!(field(&merged[0], "intra_threads"), Some("0"));
+        assert_eq!(field(&merged[0], "load_ms"), Some("0"));
+        assert_eq!(field(&merged[0], "parse_ms"), Some("0"));
         assert_eq!(field(&merged[0], "threads_avail"), Some("0"));
         assert_eq!(field(&merged[0], "git_rev"), Some("unknown"));
         assert_eq!(field(&merged[0], "label"), Some(""));

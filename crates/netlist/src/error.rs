@@ -38,6 +38,148 @@ pub enum NetlistError {
         /// Human-readable description of the inconsistency.
         message: String,
     },
+    /// A `.hgb` binary snapshot failed validation.
+    Hgb(HgbError),
+}
+
+/// Error produced while parsing or validating a `.hgb` binary snapshot.
+///
+/// Every variant corresponds to a specific way a file can be malformed;
+/// the loader is required to return one of these — never panic and never
+/// read out of bounds — no matter what bytes it is handed (see the
+/// adversarial suite in `tests/hgb_adversarial.rs`).
+#[derive(Clone, PartialEq, Debug)]
+#[non_exhaustive]
+pub enum HgbError {
+    /// The file is shorter than the structure it claims to contain.
+    Truncated {
+        /// Bytes required by the header/section being read.
+        needed: usize,
+        /// Bytes actually present.
+        len: usize,
+    },
+    /// The leading magic bytes are not `PROPHGB\0`.
+    BadMagic,
+    /// The format version is newer than this reader understands.
+    UnsupportedVersion {
+        /// Version tag found in the header.
+        version: u32,
+    },
+    /// The endianness tag does not match the little-endian byte order
+    /// `.hgb` files are defined in.
+    ForeignEndianness {
+        /// Tag found in the header.
+        tag: u32,
+    },
+    /// A header count does not fit the platform / the u32 index space.
+    CountOverflow {
+        /// Which count overflowed (`"nodes"`, `"nets"`, `"pins"`).
+        field: &'static str,
+        /// The value found in the header.
+        value: u64,
+    },
+    /// A malformed fixed header field (section count, flags, file length).
+    BadHeader {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+    /// A section-table entry is misaligned, out of bounds, overlapping,
+    /// mis-sized, out of order, or missing.
+    Section {
+        /// Name of the offending section.
+        section: &'static str,
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+    /// A CSR offset array is not monotone or does not close at the pin
+    /// count.
+    Offsets {
+        /// Name of the offending offset section.
+        section: &'static str,
+        /// Index at which monotonicity/closure failed.
+        index: usize,
+    },
+    /// A pin entry references a node/net outside the declared range.
+    PinOutOfRange {
+        /// Name of the offending pin section.
+        section: &'static str,
+        /// Index of the offending entry.
+        index: usize,
+        /// The out-of-range value.
+        value: u32,
+        /// Exclusive upper bound the value had to satisfy.
+        limit: usize,
+    },
+    /// A stored net or node weight is non-finite or not strictly positive.
+    InvalidWeight {
+        /// Index of the offending weight.
+        index: usize,
+        /// Raw IEEE-754 bits found in the file.
+        bits: u64,
+    },
+    /// The two CSR directions disagree: a node's stored degree does not
+    /// match its pin count in the net→node direction.
+    DegreeMismatch {
+        /// The node whose degree disagrees.
+        node: usize,
+    },
+    /// The optional node-name section is internally inconsistent or not
+    /// valid UTF-8.
+    BadNames {
+        /// Human-readable description of the inconsistency.
+        message: String,
+    },
+}
+
+impl fmt::Display for HgbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HgbError::Truncated { needed, len } => {
+                write!(f, "truncated file: need {needed} bytes, have {len}")
+            }
+            HgbError::BadMagic => write!(f, "bad magic (not a .hgb file)"),
+            HgbError::UnsupportedVersion { version } => {
+                write!(f, "unsupported format version {version}")
+            }
+            HgbError::ForeignEndianness { tag } => {
+                write!(f, "endianness tag {tag:#010x} is not little-endian")
+            }
+            HgbError::CountOverflow { field, value } => {
+                write!(f, "{field} count {value} exceeds the addressable range")
+            }
+            HgbError::BadHeader { message } => write!(f, "bad header: {message}"),
+            HgbError::Section { section, message } => {
+                write!(f, "bad section {section}: {message}")
+            }
+            HgbError::Offsets { section, index } => {
+                write!(f, "offset array {section} broken at index {index}")
+            }
+            HgbError::PinOutOfRange {
+                section,
+                index,
+                value,
+                limit,
+            } => write!(
+                f,
+                "pin {section}[{index}] = {value} out of range (< {limit} required)"
+            ),
+            HgbError::InvalidWeight { index, bits } => {
+                write!(f, "weight {index} (bits {bits:#018x}) is not finite and positive")
+            }
+            HgbError::DegreeMismatch { node } => {
+                write!(f, "CSR directions disagree on the degree of node {node}")
+            }
+            HgbError::BadNames { message } => write!(f, "bad name section: {message}"),
+        }
+    }
+}
+
+impl Error for HgbError {}
+
+impl From<HgbError> for NetlistError {
+    fn from(e: HgbError) -> Self {
+        NetlistError::Hgb(e)
+    }
 }
 
 impl fmt::Display for NetlistError {
@@ -59,6 +201,7 @@ impl fmt::Display for NetlistError {
             NetlistError::InvalidGeneratorConfig { message } => {
                 write!(f, "invalid generator configuration: {message}")
             }
+            NetlistError::Hgb(e) => write!(f, "hgb: {e}"),
         }
     }
 }

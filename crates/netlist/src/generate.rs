@@ -81,7 +81,15 @@ impl GeneratorConfig {
         self
     }
 
-    fn validate(&self) -> Result<(), NetlistError> {
+    /// Checks that this configuration is satisfiable (enough pins per
+    /// net, net sizes within the cap, parameters in range) without
+    /// generating anything — cheap even for the multi-million-node tier.
+    ///
+    /// # Errors
+    ///
+    /// [`NetlistError::InvalidGeneratorConfig`] describing the first
+    /// inconsistency found.
+    pub fn validate(&self) -> Result<(), NetlistError> {
         let fail = |message: String| Err(NetlistError::InvalidGeneratorConfig { message });
         if self.nodes < 2 {
             return fail(format!("need at least 2 nodes, got {}", self.nodes));
@@ -229,6 +237,26 @@ pub fn generate_uniform(config: &GeneratorConfig) -> Result<Hypergraph, NetlistE
 pub fn golem3_class_config() -> GeneratorConfig {
     crate::suite::by_name("golem3")
         .expect("golem3 is a fixed suite entry")
+        .generator_config()
+}
+
+/// Generator configuration of the golem4-class proxy: ~1M nodes and ~4M
+/// pins — golem3 scaled 10×, matching the million-node instance sizes
+/// the n-level / deterministic-parallel partitioning literature
+/// evaluates on. Identical to the suite's `golem4` entry.
+pub fn golem4_class_config() -> GeneratorConfig {
+    crate::suite::by_name("golem4")
+        .expect("golem4 is a fixed suite entry")
+        .generator_config()
+}
+
+/// Generator configuration of the golem5-class proxy: ~10M nodes and
+/// ~40M pins — the top of the scaled tier. Identical to the suite's
+/// `golem5` entry. Instantiation takes minutes in debug builds; use
+/// release mode (the `--io --large` benchmark path does).
+pub fn golem5_class_config() -> GeneratorConfig {
+    crate::suite::by_name("golem5")
+        .expect("golem5 is a fixed suite entry")
         .generator_config()
 }
 
@@ -432,6 +460,36 @@ mod tests {
         assert!(cfg.validate().is_ok());
         // Instantiation is covered by the `--large` benchmark path; unit
         // tests only pin the configuration itself.
+    }
+
+    #[test]
+    fn golem_tier_configs_are_valid() {
+        let g4 = golem4_class_config();
+        assert_eq!((g4.nodes, g4.nets, g4.pins), (1_030_480, 1_082_920, 4_006_800));
+        assert!(g4.validate().is_ok());
+        let g5 = golem5_class_config();
+        assert_eq!((g5.nodes, g5.nets, g5.pins), (10_304_800, 10_829_200, 40_068_000));
+        assert!(g5.validate().is_ok());
+        assert_ne!(g4.seed, g5.seed, "name-derived seeds differ");
+    }
+
+    /// Pins the exact generated shape of the million-node golem4 proxy.
+    /// Ignored in tier-1 (a 1M-node generation is multi-second in debug
+    /// builds); `scripts/check.sh --io` runs it in release mode.
+    #[test]
+    #[ignore = "million-node generation; run via scripts/check.sh --io (release)"]
+    fn golem4_instantiates_with_pinned_stats() {
+        let g = crate::suite::by_name("golem4").unwrap().instantiate().unwrap();
+        assert_eq!(g.num_nodes(), 1_030_480);
+        assert_eq!(g.num_nets(), 1_082_920);
+        assert_eq!(g.num_pins(), 4_006_800);
+        let stats = g.stats();
+        // Deterministic: the name-derived seed always produces the same
+        // circuit, so the extremes are exact pins, not ranges.
+        assert_eq!(stats.max_net_size, 13);
+        assert_eq!(stats.max_degree, 16);
+        assert!((stats.avg_pins_per_net - 3.699_996_306_283_013).abs() < 1e-12);
+        assert!((stats.avg_pins_per_node - 3.888_285_071_034_857_3).abs() < 1e-12);
     }
 
     #[test]

@@ -1,0 +1,1346 @@
+//! `.hgb` — the zero-copy binary CSR snapshot format.
+//!
+//! A `.hgb` file is a single little-endian image of a [`Hypergraph`]: a
+//! fixed 64-byte header, a section table, and the CSR arrays (both pin
+//! directions, weights, optional node sizes and names) stored as aligned
+//! `u32`/`u64` slices. Because the file holds *both* CSR directions, a
+//! load never re-runs the builder's counting-sort transpose: the arrays
+//! are validated and used as-is.
+//!
+//! Two load paths exist:
+//!
+//! * [`parse_hgb`] — a copying parser (`u32::from_le_bytes` loops) that
+//!   works on any buffer, any alignment, and any host endianness. This is
+//!   the portable slow path and the reference semantics.
+//! * [`HgbView`] — the zero-copy fast path: structural validation is
+//!   O(header), after which the accessors hand out `&[u32]`/`&[u64]`
+//!   slices borrowed straight from the underlying bytes. Requires an
+//!   8-byte-aligned buffer (which [`HgbFile`] always provides) and a
+//!   little-endian host.
+//!
+//! [`HgbFile`] owns the bytes: on unix it memory-maps the file through a
+//! local `extern "C"` declaration of `mmap(2)` (no crates involved), and
+//! everywhere else — or when the map fails — it falls back to reading the
+//! file into an 8-byte-aligned heap buffer. [`load_hgb`] composes the two
+//! into the one-call "file path → `Hypergraph` + load report" entry the
+//! CLI and the daemon store use.
+//!
+//! On-disk layout (all integers little-endian):
+//!
+//! ```text
+//! offset  size  field
+//!      0     8  magic  b"PROPHGB\0"
+//!      8     4  version               (= 1)
+//!     12     4  endianness tag        (= 0x0102_0304 read as LE)
+//!     16     4  flags                 (bit 0: node weights, bit 1: names)
+//!     20     4  section count
+//!     24     8  num_nodes  n
+//!     32     8  num_nets   e
+//!     40     8  num_pins   m
+//!     48     8  file length in bytes
+//!     56     8  reserved   (= 0)
+//!     64     -  section table: count x { kind u32, pad u32, off u64, len u64 }
+//!      -     -  sections, each 8-byte aligned, in kind order
+//! ```
+//!
+//! Sections (kind → content): 1 node_offsets `(n+1)×u32`, 2 node_pins
+//! `m×u32`, 3 net_offsets `(e+1)×u32`, 4 net_pins `m×u32`, 5 net_weights
+//! `e×u64` (IEEE-754 bits), 6 node_weights `n×u64` (optional), 7
+//! name_offsets `(n+1)×u32` (optional), 8 name_bytes (UTF-8, optional).
+
+use crate::error::{HgbError, NetlistError};
+use crate::hypergraph::Hypergraph;
+use crate::ids::{NetId, NodeId};
+use std::fmt;
+use std::fs::File;
+use std::io::Read;
+use std::path::Path;
+use std::time::Instant;
+
+/// Leading magic bytes of every `.hgb` file.
+pub const HGB_MAGIC: [u8; 8] = *b"PROPHGB\0";
+/// Current format version.
+pub const HGB_VERSION: u32 = 1;
+/// Endianness tag as read by a little-endian `u32` load of the bytes
+/// `01 02 03 04`. A big-endian writer would produce `0x0403_0201`.
+pub const HGB_ENDIAN_TAG: u32 = 0x0403_0201;
+
+const HEADER_LEN: usize = 64;
+const TABLE_ENTRY_LEN: usize = 24;
+const FLAG_NODE_WEIGHTS: u32 = 1;
+const FLAG_NODE_NAMES: u32 = 2;
+
+const KIND_NODE_OFFSETS: u32 = 1;
+const KIND_NODE_PINS: u32 = 2;
+const KIND_NET_OFFSETS: u32 = 3;
+const KIND_NET_PINS: u32 = 4;
+const KIND_NET_WEIGHTS: u32 = 5;
+const KIND_NODE_WEIGHTS: u32 = 6;
+const KIND_NAME_OFFSETS: u32 = 7;
+const KIND_NAME_BYTES: u32 = 8;
+
+const SECTION_NAMES: [&str; 8] = [
+    "node_offsets",
+    "node_pins",
+    "net_offsets",
+    "net_pins",
+    "net_weights",
+    "node_weights",
+    "name_offsets",
+    "name_bytes",
+];
+
+fn section_name(kind: u32) -> &'static str {
+    SECTION_NAMES[(kind as usize) - 1]
+}
+
+/// Unsafe-containing primitives, quarantined: the raw `mmap(2)` binding
+/// and the alignment-checked slice reinterpretations. Everything else in
+/// this module (and crate) is `deny(unsafe_code)`-clean.
+#[allow(unsafe_code)]
+mod raw {
+    /// Reinterprets an 8-byte-aligned little-endian byte run as `&[u32]`.
+    ///
+    /// Returns `None` unless the base pointer is 4-byte aligned and the
+    /// length is a multiple of 4. Only meaningful on little-endian hosts;
+    /// callers gate on that.
+    pub(super) fn cast_u32(bytes: &[u8]) -> Option<&[u32]> {
+        if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u32>())
+            || !bytes.len().is_multiple_of(4)
+        {
+            return None;
+        }
+        // SAFETY: alignment and length were just checked; u32 has no
+        // invalid bit patterns; the lifetime is inherited from `bytes`.
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u32>(), bytes.len() / 4) })
+    }
+
+    /// Reinterprets an 8-byte-aligned little-endian byte run as `&[u64]`.
+    pub(super) fn cast_u64(bytes: &[u8]) -> Option<&[u64]> {
+        if !(bytes.as_ptr() as usize).is_multiple_of(std::mem::align_of::<u64>())
+            || !bytes.len().is_multiple_of(8)
+        {
+            return None;
+        }
+        // SAFETY: as in `cast_u32`.
+        Some(unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<u64>(), bytes.len() / 8) })
+    }
+
+    /// Degree histogram with the per-increment bounds check elided; this
+    /// is the hottest loop of deep validation (random access over the
+    /// whole node range). The caller must have verified every pin index
+    /// against `counts.len()` first (`check_pins` does, as a vectorized
+    /// max-scan). Counts cannot overflow: the total increment count is
+    /// the pin count, which fits `u32` by format construction.
+    pub(super) fn histogram_into(pins: &[u32], counts: &mut [u32]) {
+        for &p in pins {
+            debug_assert!((p as usize) < counts.len());
+            // SAFETY: every pin was bounds-checked against the node count
+            // (== counts.len()) by the preceding max-scan.
+            unsafe { *counts.get_unchecked_mut(p as usize) += 1 }
+        }
+    }
+
+    /// The byte view of a `u64` heap buffer (used so the buffered fallback
+    /// is 8-byte aligned just like a page-aligned mapping).
+    pub(super) fn words_as_bytes(words: &[u64]) -> &[u8] {
+        // SAFETY: every u64 is 8 valid bytes; alignment only loosens.
+        unsafe { std::slice::from_raw_parts(words.as_ptr().cast::<u8>(), words.len() * 8) }
+    }
+
+    /// Mutable byte view of a `u64` heap buffer, for reading a file into
+    /// aligned storage.
+    pub(super) fn words_as_bytes_mut(words: &mut [u64]) -> &mut [u8] {
+        let len = words.len() * 8;
+        // SAFETY: any byte pattern is a valid u64, so writes through the
+        // view cannot create an invalid value.
+        unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), len) }
+    }
+
+    /// A read-only `mmap(2)` of a whole file, on unix only, declared
+    /// locally so no crate dependency is needed. 64-bit `off_t` is
+    /// assumed (true for every tier-1 target; the caller falls back to a
+    /// buffered read when the map fails anyway).
+    #[cfg(unix)]
+    pub(super) mod sys {
+        use std::ffi::c_void;
+        use std::fs::File;
+        use std::os::unix::io::AsRawFd;
+
+        extern "C" {
+            fn mmap(
+                addr: *mut c_void,
+                len: usize,
+                prot: i32,
+                flags: i32,
+                fd: i32,
+                offset: i64,
+            ) -> *mut c_void;
+            fn munmap(addr: *mut c_void, len: usize) -> i32;
+        }
+
+        const PROT_READ: i32 = 0x1;
+        const MAP_PRIVATE: i32 = 0x2;
+
+        /// An owned private read-only mapping; unmapped on drop.
+        pub(crate) struct Mapping {
+            ptr: *mut c_void,
+            len: usize,
+        }
+
+        // SAFETY: the mapping is private and read-only; the raw pointer is
+        // owned exclusively by this struct and only exposed as `&[u8]`.
+        unsafe impl Send for Mapping {}
+        unsafe impl Sync for Mapping {}
+
+        impl Mapping {
+            /// Maps `len` bytes of `file`; `None` when the kernel refuses
+            /// (including the always-invalid `len == 0`).
+            pub(crate) fn map(file: &File, len: usize) -> Option<Mapping> {
+                if len == 0 {
+                    return None;
+                }
+                // SAFETY: a fresh private read-only mapping of an open fd;
+                // all arguments are well-formed, failure is checked below.
+                let ptr = unsafe {
+                    mmap(
+                        std::ptr::null_mut(),
+                        len,
+                        PROT_READ,
+                        MAP_PRIVATE,
+                        file.as_raw_fd(),
+                        0,
+                    )
+                };
+                if ptr.is_null() || ptr as isize == -1 {
+                    return None;
+                }
+                Some(Mapping { ptr, len })
+            }
+
+            /// The mapped bytes.
+            pub(crate) fn bytes(&self) -> &[u8] {
+                // SAFETY: ptr/len describe a live read-only mapping owned
+                // by self; the borrow ties the slice to the mapping's
+                // lifetime.
+                unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>().cast_const(), self.len) }
+            }
+        }
+
+        impl Drop for Mapping {
+            fn drop(&mut self) {
+                // SAFETY: ptr/len came from a successful mmap and are
+                // unmapped exactly once.
+                unsafe {
+                    munmap(self.ptr, self.len);
+                }
+            }
+        }
+    }
+}
+
+/// One parsed section-table entry, offsets already bounds-checked.
+#[derive(Clone, Copy, Debug)]
+struct Section {
+    off: usize,
+    len: usize,
+}
+
+/// The structurally validated shape of a `.hgb` buffer: counts, flags,
+/// and the byte range of every section. Producing a `Layout` is O(header)
+/// — no section payload is read.
+#[derive(Clone, Debug)]
+struct Layout {
+    num_nodes: usize,
+    num_nets: usize,
+    num_pins: usize,
+    node_offsets: Section,
+    node_pins: Section,
+    net_offsets: Section,
+    net_pins: Section,
+    net_weights: Section,
+    node_weights: Option<Section>,
+    names: Option<(Section, Section)>,
+}
+
+fn read_u32(bytes: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(bytes[off..off + 4].try_into().expect("4-byte window"))
+}
+
+fn read_u64(bytes: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8-byte window"))
+}
+
+/// Converts a header count to `usize`, guarding both the platform word
+/// size and the `u32` CSR index space (`n + 1` and `m` must fit in u32).
+fn checked_count(field: &'static str, value: u64, max: u64) -> Result<usize, HgbError> {
+    if value > max {
+        return Err(HgbError::CountOverflow { field, value });
+    }
+    usize::try_from(value).map_err(|_| HgbError::CountOverflow { field, value })
+}
+
+/// Structurally validates `bytes` as a `.hgb` image: magic, version,
+/// endianness, counts, and a section table whose entries must appear in
+/// kind order, 8-byte aligned, sized exactly for the counts, in bounds,
+/// and non-overlapping. O(header); section payloads are not touched.
+fn parse_layout(bytes: &[u8]) -> Result<Layout, HgbError> {
+    if bytes.len() < HEADER_LEN {
+        return Err(HgbError::Truncated {
+            needed: HEADER_LEN,
+            len: bytes.len(),
+        });
+    }
+    if bytes[..8] != HGB_MAGIC {
+        return Err(HgbError::BadMagic);
+    }
+    let version = read_u32(bytes, 8);
+    if version != HGB_VERSION {
+        return Err(HgbError::UnsupportedVersion { version });
+    }
+    let tag = read_u32(bytes, 12);
+    if tag != HGB_ENDIAN_TAG {
+        return Err(HgbError::ForeignEndianness { tag });
+    }
+    let flags = read_u32(bytes, 16);
+    if flags & !(FLAG_NODE_WEIGHTS | FLAG_NODE_NAMES) != 0 {
+        return Err(HgbError::BadHeader {
+            message: format!("unknown flag bits {flags:#x}"),
+        });
+    }
+    let section_count = read_u32(bytes, 20) as usize;
+    // n + 1 and e + 1 must be representable as u32 offset indices, and m
+    // must be addressable by a u32 offset value.
+    let num_nodes = checked_count("nodes", read_u64(bytes, 24), u64::from(u32::MAX) - 1)?;
+    let num_nets = checked_count("nets", read_u64(bytes, 32), u64::from(u32::MAX) - 1)?;
+    let num_pins = checked_count("pins", read_u64(bytes, 40), u64::from(u32::MAX))?;
+    let file_len = read_u64(bytes, 48);
+    if file_len != bytes.len() as u64 {
+        if file_len > bytes.len() as u64 {
+            return Err(HgbError::Truncated {
+                needed: usize::try_from(file_len).unwrap_or(usize::MAX),
+                len: bytes.len(),
+            });
+        }
+        return Err(HgbError::BadHeader {
+            message: format!("declared length {file_len} != actual {}", bytes.len()),
+        });
+    }
+    if read_u64(bytes, 56) != 0 {
+        return Err(HgbError::BadHeader {
+            message: "reserved header word is not zero".into(),
+        });
+    }
+
+    let mut expected: Vec<(u32, Option<usize>)> = vec![
+        (KIND_NODE_OFFSETS, Some((num_nodes + 1) * 4)),
+        (KIND_NODE_PINS, Some(num_pins * 4)),
+        (KIND_NET_OFFSETS, Some((num_nets + 1) * 4)),
+        (KIND_NET_PINS, Some(num_pins * 4)),
+        (KIND_NET_WEIGHTS, Some(num_nets * 8)),
+    ];
+    if flags & FLAG_NODE_WEIGHTS != 0 {
+        expected.push((KIND_NODE_WEIGHTS, Some(num_nodes * 8)));
+    }
+    if flags & FLAG_NODE_NAMES != 0 {
+        expected.push((KIND_NAME_OFFSETS, Some((num_nodes + 1) * 4)));
+        expected.push((KIND_NAME_BYTES, None)); // free-length; checked deeply later
+    }
+    if section_count != expected.len() {
+        return Err(HgbError::BadHeader {
+            message: format!(
+                "section count {section_count} does not match flags (expected {})",
+                expected.len()
+            ),
+        });
+    }
+    let table_end = HEADER_LEN + section_count * TABLE_ENTRY_LEN;
+    if bytes.len() < table_end {
+        return Err(HgbError::Truncated {
+            needed: table_end,
+            len: bytes.len(),
+        });
+    }
+
+    let mut sections = Vec::with_capacity(expected.len());
+    let mut cursor = table_end as u64;
+    for (i, &(want_kind, want_len)) in expected.iter().enumerate() {
+        let entry = HEADER_LEN + i * TABLE_ENTRY_LEN;
+        let kind = read_u32(bytes, entry);
+        let name = section_name(want_kind);
+        if kind != want_kind {
+            return Err(HgbError::Section {
+                section: name,
+                message: format!("expected kind {want_kind} at table slot {i}, found {kind}"),
+            });
+        }
+        if read_u32(bytes, entry + 4) != 0 {
+            return Err(HgbError::Section {
+                section: name,
+                message: "table padding word is not zero".into(),
+            });
+        }
+        let off = read_u64(bytes, entry + 8);
+        let len = read_u64(bytes, entry + 16);
+        if !off.is_multiple_of(8) {
+            return Err(HgbError::Section {
+                section: name,
+                message: format!("offset {off} is not 8-byte aligned"),
+            });
+        }
+        if off < cursor {
+            return Err(HgbError::Section {
+                section: name,
+                message: format!("offset {off} overlaps the previous section (ends {cursor})"),
+            });
+        }
+        let end = off.checked_add(len).ok_or_else(|| HgbError::Section {
+            section: name,
+            message: "offset + length overflows".into(),
+        })?;
+        if end > bytes.len() as u64 {
+            return Err(HgbError::Section {
+                section: name,
+                message: format!("section [{off}, {end}) exceeds file length {}", bytes.len()),
+            });
+        }
+        if let Some(want) = want_len {
+            if len != want as u64 {
+                return Err(HgbError::Section {
+                    section: name,
+                    message: format!("length {len} != expected {want}"),
+                });
+            }
+        }
+        cursor = end;
+        sections.push(Section {
+            off: usize::try_from(off).expect("bounded by file length"),
+            len: usize::try_from(len).expect("bounded by file length"),
+        });
+    }
+
+    let mut it = sections.into_iter();
+    let node_offsets = it.next().expect("five mandatory sections");
+    let node_pins = it.next().expect("five mandatory sections");
+    let net_offsets = it.next().expect("five mandatory sections");
+    let net_pins = it.next().expect("five mandatory sections");
+    let net_weights = it.next().expect("five mandatory sections");
+    let node_weights = (flags & FLAG_NODE_WEIGHTS != 0).then(|| it.next().expect("flagged"));
+    let names = (flags & FLAG_NODE_NAMES != 0)
+        .then(|| (it.next().expect("flagged"), it.next().expect("flagged")));
+    Ok(Layout {
+        num_nodes,
+        num_nets,
+        num_pins,
+        node_offsets,
+        node_pins,
+        net_offsets,
+        net_pins,
+        net_weights,
+        node_weights,
+        names,
+    })
+}
+
+/// Deep validation of decoded section content, shared verbatim by the
+/// copying parser and the zero-copy view so both paths accept exactly the
+/// same set of files. O(file).
+#[allow(clippy::too_many_arguments)]
+fn validate_deep(
+    num_nodes: usize,
+    num_nets: usize,
+    num_pins: usize,
+    node_offsets: &[u32],
+    node_pins: &[u32],
+    net_offsets: &[u32],
+    net_pins: &[u32],
+    net_weight_bits: &[u64],
+    node_weight_bits: Option<&[u64]>,
+    names: Option<(&[u32], &[u8])>,
+) -> Result<(), HgbError> {
+    check_offsets("node_offsets", node_offsets, num_pins)?;
+    check_offsets("net_offsets", net_offsets, num_pins)?;
+    check_pins("node_pins", node_pins, num_nets)?;
+    check_pins("net_pins", net_pins, num_nodes)?;
+    // Count each node's pins in the net→node direction and cross-check
+    // against the node→net offsets: the two stored directions must agree
+    // on every degree. (A permuted-but-degree-preserving file still
+    // loads; in-bounds consistency is what safety and the engines need.)
+    let mut degree = vec![0u32; num_nodes];
+    raw::histogram_into(net_pins, &mut degree);
+    // Branchless accumulate; the index rescan only runs on failure, so the
+    // hot path stays a straight-line vectorizable loop.
+    let mut mismatch = false;
+    for v in 0..num_nodes {
+        mismatch |= node_offsets[v + 1] - node_offsets[v] != degree[v];
+    }
+    if mismatch {
+        let v = (0..num_nodes)
+            .find(|&v| node_offsets[v + 1] - node_offsets[v] != degree[v])
+            .expect("mismatch flagged");
+        return Err(HgbError::DegreeMismatch { node: v });
+    }
+    check_weights(net_weight_bits)?;
+    if let Some(bits) = node_weight_bits {
+        check_weights(bits)?;
+    }
+    if let Some((offsets, bytes)) = names {
+        if offsets[0] != 0 {
+            return Err(HgbError::BadNames {
+                message: "first name offset is not zero".into(),
+            });
+        }
+        for i in 0..num_nodes {
+            if offsets[i + 1] < offsets[i] {
+                return Err(HgbError::BadNames {
+                    message: format!("name offsets decrease at index {i}"),
+                });
+            }
+        }
+        if offsets[num_nodes] as usize != bytes.len() {
+            return Err(HgbError::BadNames {
+                message: format!(
+                    "name offsets close at {} but name bytes hold {}",
+                    offsets[num_nodes],
+                    bytes.len()
+                ),
+            });
+        }
+        for i in 0..num_nodes {
+            let lo = offsets[i] as usize;
+            let hi = offsets[i + 1] as usize;
+            if std::str::from_utf8(&bytes[lo..hi]).is_err() {
+                return Err(HgbError::BadNames {
+                    message: format!("name {i} is not valid UTF-8"),
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+fn check_offsets(section: &'static str, offsets: &[u32], num_pins: usize) -> Result<(), HgbError> {
+    if offsets[0] != 0 {
+        return Err(HgbError::Offsets { section, index: 0 });
+    }
+    // Monotonicity as a branchless pairwise scan (vectorizes); the index
+    // is recovered by a rescan only on the failure path.
+    let decreasing = offsets
+        .windows(2)
+        .fold(false, |acc, w| acc | (w[1] < w[0]));
+    if decreasing {
+        let i = (1..offsets.len())
+            .find(|&i| offsets[i] < offsets[i - 1])
+            .expect("decrease flagged");
+        return Err(HgbError::Offsets { section, index: i });
+    }
+    let last = offsets[offsets.len() - 1] as usize;
+    if last != num_pins {
+        return Err(HgbError::Offsets {
+            section,
+            index: offsets.len() - 1,
+        });
+    }
+    Ok(())
+}
+
+/// Bounds check of a pin array as a vectorizable max-scan; the offending
+/// index is recovered by a rescan only when the scan fails.
+fn check_pins(section: &'static str, pins: &[u32], limit: usize) -> Result<(), HgbError> {
+    let max = pins.iter().copied().max().unwrap_or(0);
+    if (max as usize) < limit || pins.is_empty() {
+        return Ok(());
+    }
+    let index = pins
+        .iter()
+        .position(|&p| p as usize >= limit)
+        .expect("max exceeded limit");
+    Err(HgbError::PinOutOfRange {
+        section,
+        index,
+        value: pins[index],
+        limit,
+    })
+}
+
+/// Weight-bits check (finite, strictly positive) as a branchless
+/// accumulate; the offending index is recovered on the failure path.
+fn check_weights(bits: &[u64]) -> Result<(), HgbError> {
+    let mut all_ok = true;
+    for &b in bits {
+        let w = f64::from_bits(b);
+        all_ok &= w.is_finite() & (w > 0.0);
+    }
+    if all_ok {
+        return Ok(());
+    }
+    let index = bits
+        .iter()
+        .position(|&b| {
+            let w = f64::from_bits(b);
+            !w.is_finite() || w <= 0.0
+        })
+        .expect("bad weight flagged");
+    Err(HgbError::InvalidWeight {
+        index,
+        bits: bits[index],
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn pad8(buf: &mut Vec<u8>) {
+    while !buf.len().is_multiple_of(8) {
+        buf.push(0);
+    }
+}
+
+fn push_u32s<I: IntoIterator<Item = u32>>(buf: &mut Vec<u8>, values: I) {
+    for v in values {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+}
+
+/// Serializes a hypergraph to the `.hgb` byte image.
+///
+/// The output is canonical: the same graph always produces the same
+/// bytes, and `parse_hgb(&write_hgb(g)) == g` exactly (weights are stored
+/// as raw IEEE-754 bits, names byte-for-byte).
+pub fn write_hgb(graph: &Hypergraph) -> Vec<u8> {
+    let n = graph.num_nodes();
+    let e = graph.num_nets();
+    let m = graph.num_pins();
+    let node_weights = graph.raw_node_weights();
+    let names = graph.raw_node_names();
+    let mut flags = 0u32;
+    if node_weights.is_some() {
+        flags |= FLAG_NODE_WEIGHTS;
+    }
+    if names.is_some() {
+        flags |= FLAG_NODE_NAMES;
+    }
+
+    // (kind, payload length in bytes), in kind order.
+    let name_bytes_len: usize = names
+        .map(|ns| ns.iter().map(String::len).sum())
+        .unwrap_or(0);
+    let mut plan: Vec<(u32, usize)> = vec![
+        (KIND_NODE_OFFSETS, (n + 1) * 4),
+        (KIND_NODE_PINS, m * 4),
+        (KIND_NET_OFFSETS, (e + 1) * 4),
+        (KIND_NET_PINS, m * 4),
+        (KIND_NET_WEIGHTS, e * 8),
+    ];
+    if node_weights.is_some() {
+        plan.push((KIND_NODE_WEIGHTS, n * 8));
+    }
+    if names.is_some() {
+        plan.push((KIND_NAME_OFFSETS, (n + 1) * 4));
+        plan.push((KIND_NAME_BYTES, name_bytes_len));
+    }
+
+    let table_end = HEADER_LEN + plan.len() * TABLE_ENTRY_LEN;
+    let mut offsets = Vec::with_capacity(plan.len());
+    let mut cursor = table_end;
+    for &(_, len) in &plan {
+        cursor = cursor.next_multiple_of(8);
+        offsets.push(cursor);
+        cursor += len;
+    }
+    let file_len = cursor;
+
+    let mut buf = Vec::with_capacity(file_len);
+    buf.extend_from_slice(&HGB_MAGIC);
+    push_u32s(&mut buf, [HGB_VERSION, HGB_ENDIAN_TAG, flags, plan.len() as u32]);
+    for count in [n as u64, e as u64, m as u64, file_len as u64, 0u64] {
+        buf.extend_from_slice(&count.to_le_bytes());
+    }
+    for (&(kind, len), &off) in plan.iter().zip(&offsets) {
+        push_u32s(&mut buf, [kind, 0]);
+        buf.extend_from_slice(&(off as u64).to_le_bytes());
+        buf.extend_from_slice(&(len as u64).to_le_bytes());
+    }
+
+    pad8(&mut buf);
+    push_u32s(&mut buf, graph.raw_node_offsets().iter().copied());
+    pad8(&mut buf);
+    push_u32s(&mut buf, graph.raw_node_pins().iter().map(|&id| u32::from(id)));
+    pad8(&mut buf);
+    push_u32s(&mut buf, graph.raw_net_offsets().iter().copied());
+    pad8(&mut buf);
+    push_u32s(&mut buf, graph.raw_net_pins().iter().map(|&id| u32::from(id)));
+    pad8(&mut buf);
+    for &w in graph.raw_net_weights() {
+        buf.extend_from_slice(&w.to_bits().to_le_bytes());
+    }
+    if let Some(weights) = node_weights {
+        pad8(&mut buf);
+        for &w in weights {
+            buf.extend_from_slice(&w.to_bits().to_le_bytes());
+        }
+    }
+    if let Some(ns) = names {
+        pad8(&mut buf);
+        let mut acc = 0u32;
+        push_u32s(
+            &mut buf,
+            std::iter::once(0).chain(ns.iter().map(|s| {
+                acc += s.len() as u32;
+                acc
+            })),
+        );
+        pad8(&mut buf);
+        for s in ns {
+            buf.extend_from_slice(s.as_bytes());
+        }
+    }
+    debug_assert_eq!(buf.len(), file_len);
+    buf
+}
+
+/// Serializes `graph` and writes it to `path` (convenience wrapper used
+/// by `prop convert` and the daemon store).
+pub fn write_hgb_file(graph: &Hypergraph, path: &Path) -> std::io::Result<()> {
+    std::fs::write(path, write_hgb(graph))
+}
+
+// ---------------------------------------------------------------------------
+// Copying parser (portable reference path)
+// ---------------------------------------------------------------------------
+
+fn copy_u32s(bytes: &[u8], s: Section) -> Vec<u32> {
+    bytes[s.off..s.off + s.len]
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("4-byte chunk")))
+        .collect()
+}
+
+fn copy_u64s(bytes: &[u8], s: Section) -> Vec<u64> {
+    bytes[s.off..s.off + s.len]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[allow(clippy::too_many_arguments)]
+fn materialize(
+    layout: &Layout,
+    node_offsets: Vec<u32>,
+    node_pins: Vec<u32>,
+    net_offsets: Vec<u32>,
+    net_pins: Vec<u32>,
+    net_weight_bits: Vec<u64>,
+    node_weight_bits: Option<Vec<u64>>,
+    names: Option<(Vec<u32>, &[u8])>,
+) -> Hypergraph {
+    let node_names = names.map(|(offsets, bytes)| {
+        (0..layout.num_nodes)
+            .map(|i| {
+                let lo = offsets[i] as usize;
+                let hi = offsets[i + 1] as usize;
+                String::from_utf8(bytes[lo..hi].to_vec()).expect("validated UTF-8")
+            })
+            .collect()
+    });
+    Hypergraph::from_validated_parts(
+        node_offsets,
+        node_pins.into_iter().map(NetId::from).collect(),
+        net_offsets,
+        net_pins.into_iter().map(NodeId::from).collect(),
+        net_weight_bits.into_iter().map(f64::from_bits).collect(),
+        node_weight_bits.map(|bits| bits.into_iter().map(f64::from_bits).collect()),
+        node_names,
+    )
+}
+
+/// Parses a `.hgb` byte image into a [`Hypergraph`] by copying every
+/// section out of the buffer.
+///
+/// This is the portable path: it accepts any alignment and works on any
+/// host endianness (all loads go through `from_le_bytes`). It performs
+/// the same structural + deep validation as [`HgbView`], so the two paths
+/// accept and reject exactly the same files.
+pub fn parse_hgb(bytes: &[u8]) -> Result<Hypergraph, NetlistError> {
+    let layout = parse_layout(bytes)?;
+    let node_offsets = copy_u32s(bytes, layout.node_offsets);
+    let node_pins = copy_u32s(bytes, layout.node_pins);
+    let net_offsets = copy_u32s(bytes, layout.net_offsets);
+    let net_pins = copy_u32s(bytes, layout.net_pins);
+    let net_weight_bits = copy_u64s(bytes, layout.net_weights);
+    let node_weight_bits = layout.node_weights.map(|s| copy_u64s(bytes, s));
+    let names = layout
+        .names
+        .map(|(o, b)| (copy_u32s(bytes, o), &bytes[b.off..b.off + b.len]));
+    validate_deep(
+        layout.num_nodes,
+        layout.num_nets,
+        layout.num_pins,
+        &node_offsets,
+        &node_pins,
+        &net_offsets,
+        &net_pins,
+        &net_weight_bits,
+        node_weight_bits.as_deref(),
+        names.as_ref().map(|(o, b)| (o.as_slice(), *b)),
+    )?;
+    Ok(materialize(
+        &layout,
+        node_offsets,
+        node_pins,
+        net_offsets,
+        net_pins,
+        net_weight_bits,
+        node_weight_bits,
+        names,
+    ))
+}
+
+// ---------------------------------------------------------------------------
+// Zero-copy view
+// ---------------------------------------------------------------------------
+
+/// A zero-copy view over a `.hgb` buffer.
+///
+/// [`HgbView::parse`] runs the O(header) structural validation and then
+/// borrows each section as a typed slice straight out of `bytes` — no
+/// section payload is read, copied, or checksummed at parse time. Call
+/// [`HgbView::validate`] (or [`HgbView::to_hypergraph`], which implies
+/// it) before trusting pin indices from an untrusted file; the raw
+/// accessors themselves are bounds-checked and cannot read outside the
+/// buffer either way.
+///
+/// Requirements checked at parse time: the buffer base must be 8-byte
+/// aligned ([`HgbFile`] guarantees this for both backings) and the host
+/// must be little-endian (on a big-endian host use [`parse_hgb`], which
+/// byte-swaps; [`load_hgb`] selects automatically).
+pub struct HgbView<'a> {
+    num_nodes: usize,
+    num_nets: usize,
+    num_pins: usize,
+    node_offsets: &'a [u32],
+    node_pins: &'a [u32],
+    net_offsets: &'a [u32],
+    net_pins: &'a [u32],
+    net_weight_bits: &'a [u64],
+    node_weight_bits: Option<&'a [u64]>,
+    name_offsets: Option<&'a [u32]>,
+    name_bytes: Option<&'a [u8]>,
+}
+
+impl<'a> HgbView<'a> {
+    /// Structurally validates `bytes` and borrows the section slices.
+    /// O(header).
+    pub fn parse(bytes: &'a [u8]) -> Result<HgbView<'a>, NetlistError> {
+        if cfg!(target_endian = "big") {
+            // The zero-copy cast would read the arrays byte-swapped; the
+            // copying parser is the correct path on such hosts.
+            return Err(NetlistError::Hgb(HgbError::ForeignEndianness {
+                tag: HGB_ENDIAN_TAG.swap_bytes(),
+            }));
+        }
+        if !(bytes.as_ptr() as usize).is_multiple_of(8) {
+            return Err(NetlistError::Hgb(HgbError::Section {
+                section: "file",
+                message: "buffer base is not 8-byte aligned (use HgbFile or parse_hgb)".into(),
+            }));
+        }
+        let layout = parse_layout(bytes)?;
+        let u32s = |s: Section, name: &'static str| {
+            raw::cast_u32(&bytes[s.off..s.off + s.len]).ok_or(HgbError::Section {
+                section: name,
+                message: "section is not u32-aligned".into(),
+            })
+        };
+        let u64s = |s: Section, name: &'static str| {
+            raw::cast_u64(&bytes[s.off..s.off + s.len]).ok_or(HgbError::Section {
+                section: name,
+                message: "section is not u64-aligned".into(),
+            })
+        };
+        Ok(HgbView {
+            num_nodes: layout.num_nodes,
+            num_nets: layout.num_nets,
+            num_pins: layout.num_pins,
+            node_offsets: u32s(layout.node_offsets, "node_offsets")?,
+            node_pins: u32s(layout.node_pins, "node_pins")?,
+            net_offsets: u32s(layout.net_offsets, "net_offsets")?,
+            net_pins: u32s(layout.net_pins, "net_pins")?,
+            net_weight_bits: u64s(layout.net_weights, "net_weights")?,
+            node_weight_bits: layout
+                .node_weights
+                .map(|s| u64s(s, "node_weights"))
+                .transpose()?,
+            name_offsets: layout
+                .names
+                .map(|(o, _)| u32s(o, "name_offsets"))
+                .transpose()?,
+            name_bytes: layout.names.map(|(_, b)| &bytes[b.off..b.off + b.len]),
+        })
+    }
+
+    /// Number of nodes `n`.
+    pub fn num_nodes(&self) -> usize {
+        self.num_nodes
+    }
+
+    /// Number of nets `e`.
+    pub fn num_nets(&self) -> usize {
+        self.num_nets
+    }
+
+    /// Number of pins `m`.
+    pub fn num_pins(&self) -> usize {
+        self.num_pins
+    }
+
+    /// The borrowed node→net CSR offsets (`n + 1` entries).
+    pub fn node_offsets(&self) -> &'a [u32] {
+        self.node_offsets
+    }
+
+    /// The borrowed net→node CSR offsets (`e + 1` entries).
+    pub fn net_offsets(&self) -> &'a [u32] {
+        self.net_offsets
+    }
+
+    /// The nets incident to `node`, or `None` when `node` is out of range
+    /// or the stored offsets for it are inconsistent (never panics).
+    pub fn nets_of(&self, node: usize) -> Option<&'a [u32]> {
+        let lo = *self.node_offsets.get(node)? as usize;
+        let hi = *self.node_offsets.get(node + 1)? as usize;
+        self.node_pins.get(lo..hi)
+    }
+
+    /// The nodes on `net`, or `None` when out of range (never panics).
+    pub fn pins_of(&self, net: usize) -> Option<&'a [u32]> {
+        let lo = *self.net_offsets.get(net)? as usize;
+        let hi = *self.net_offsets.get(net + 1)? as usize;
+        self.net_pins.get(lo..hi)
+    }
+
+    /// The weight of `net`, or `None` when out of range.
+    pub fn net_weight(&self, net: usize) -> Option<f64> {
+        self.net_weight_bits.get(net).map(|&b| f64::from_bits(b))
+    }
+
+    /// The stored name of `node`, when the file carries names and the
+    /// stored bytes are in range and valid UTF-8.
+    pub fn node_name(&self, node: usize) -> Option<&'a str> {
+        let offsets = self.name_offsets?;
+        let bytes = self.name_bytes?;
+        let lo = *offsets.get(node)? as usize;
+        let hi = *offsets.get(node + 1)? as usize;
+        std::str::from_utf8(bytes.get(lo..hi)?).ok()
+    }
+
+    /// Deep validation: offset monotonicity/closure, pin bounds, degree
+    /// agreement between the two CSR directions, weight finiteness, name
+    /// consistency. O(file). Identical semantics to [`parse_hgb`].
+    pub fn validate(&self) -> Result<(), NetlistError> {
+        validate_deep(
+            self.num_nodes,
+            self.num_nets,
+            self.num_pins,
+            self.node_offsets,
+            self.node_pins,
+            self.net_offsets,
+            self.net_pins,
+            self.net_weight_bits,
+            self.node_weight_bits,
+            self.name_offsets.zip(self.name_bytes),
+        )?;
+        Ok(())
+    }
+
+    /// Deep-validates and materializes an owned [`Hypergraph`] (straight
+    /// memcpy of the validated arrays — the builder's counting-sort
+    /// transpose is never re-run).
+    pub fn to_hypergraph(&self) -> Result<Hypergraph, NetlistError> {
+        self.validate()?;
+        let node_names = self.name_offsets.zip(self.name_bytes).map(|(offsets, bytes)| {
+            (0..self.num_nodes)
+                .map(|i| {
+                    let lo = offsets[i] as usize;
+                    let hi = offsets[i + 1] as usize;
+                    String::from_utf8(bytes[lo..hi].to_vec()).expect("validated UTF-8")
+                })
+                .collect()
+        });
+        Ok(Hypergraph::from_validated_parts(
+            self.node_offsets.to_vec(),
+            self.node_pins.iter().copied().map(NetId::from).collect(),
+            self.net_offsets.to_vec(),
+            self.net_pins.iter().copied().map(NodeId::from).collect(),
+            self.net_weight_bits
+                .iter()
+                .map(|&b| f64::from_bits(b))
+                .collect(),
+            self.node_weight_bits
+                .map(|bits| bits.iter().map(|&b| f64::from_bits(b)).collect()),
+            node_names,
+        ))
+    }
+}
+
+/// Header-only circuit stats of a `.hgb` buffer, readable in O(header)
+/// without touching any section (the daemon store's `circuits` listing
+/// uses this).
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct HgbStats {
+    /// Number of nodes.
+    pub nodes: u64,
+    /// Number of nets.
+    pub nets: u64,
+    /// Number of pins.
+    pub pins: u64,
+    /// Whether the file carries per-node weights.
+    pub has_node_weights: bool,
+    /// Whether the file carries node names.
+    pub has_node_names: bool,
+}
+
+/// Reads the header-level stats of a `.hgb` image after structural
+/// validation only (no section payload is touched).
+pub fn peek_stats(bytes: &[u8]) -> Result<HgbStats, NetlistError> {
+    let layout = parse_layout(bytes)?;
+    Ok(HgbStats {
+        nodes: layout.num_nodes as u64,
+        nets: layout.num_nets as u64,
+        pins: layout.num_pins as u64,
+        has_node_weights: layout.node_weights.is_some(),
+        has_node_names: layout.names.is_some(),
+    })
+}
+
+// ---------------------------------------------------------------------------
+// File backing: mmap fast path, aligned-read fallback
+// ---------------------------------------------------------------------------
+
+/// How an [`HgbFile`]'s bytes are backed.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub enum LoadMode {
+    /// `mmap(2)`-backed: the load was O(header), pages fault in on use.
+    Mmap,
+    /// Buffered read into an aligned heap buffer (non-unix, empty file,
+    /// or a refused mapping).
+    Read,
+}
+
+impl fmt::Display for LoadMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LoadMode::Mmap => "mmap",
+            LoadMode::Read => "read",
+        })
+    }
+}
+
+enum Backing {
+    #[cfg(unix)]
+    Map(raw::sys::Mapping),
+    Heap(Vec<u64>),
+}
+
+/// An opened `.hgb` file: owns the bytes (mapping or aligned heap buffer)
+/// and guarantees an 8-byte-aligned base, so [`HgbView::parse`] always
+/// applies.
+///
+/// The store and the CLI treat `.hgb` files as immutable once written
+/// (writes go to a temp file and `rename(2)` into place), which is what
+/// makes handing out mmap-backed slices sound: no live mapping ever
+/// observes a mutation.
+pub struct HgbFile {
+    backing: Backing,
+    len: usize,
+}
+
+impl HgbFile {
+    /// Opens `path`, memory-mapping it on unix when possible and falling
+    /// back to a buffered aligned read otherwise.
+    pub fn open(path: &Path) -> std::io::Result<HgbFile> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        #[cfg(unix)]
+        if let Some(map) = raw::sys::Mapping::map(&file, len) {
+            return Ok(HgbFile {
+                backing: Backing::Map(map),
+                len,
+            });
+        }
+        Self::read_aligned(&mut file, len)
+    }
+
+    /// Opens `path` through the buffered-read path unconditionally (used
+    /// to prove mmap and read loads are byte-identical, and by callers
+    /// that must not hold a mapping).
+    pub fn open_buffered(path: &Path) -> std::io::Result<HgbFile> {
+        let mut file = File::open(path)?;
+        let len = usize::try_from(file.metadata()?.len()).map_err(|_| {
+            std::io::Error::new(std::io::ErrorKind::InvalidData, "file exceeds address space")
+        })?;
+        Self::read_aligned(&mut file, len)
+    }
+
+    fn read_aligned(file: &mut File, len: usize) -> std::io::Result<HgbFile> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        file.read_exact(&mut raw::words_as_bytes_mut(&mut words)[..len])?;
+        Ok(HgbFile {
+            backing: Backing::Heap(words),
+            len,
+        })
+    }
+
+    /// Which backing this file ended up with.
+    pub fn mode(&self) -> LoadMode {
+        match self.backing {
+            #[cfg(unix)]
+            Backing::Map(_) => LoadMode::Mmap,
+            Backing::Heap(_) => LoadMode::Read,
+        }
+    }
+
+    /// The raw file bytes; base address is always 8-byte aligned.
+    pub fn bytes(&self) -> &[u8] {
+        match &self.backing {
+            #[cfg(unix)]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(words) => &raw::words_as_bytes(words)[..self.len],
+        }
+    }
+
+    /// A validated zero-copy view over the file.
+    pub fn view(&self) -> Result<HgbView<'_>, NetlistError> {
+        HgbView::parse(self.bytes())
+    }
+}
+
+/// What [`load_hgb`] did: backing mode, file size, and wall time.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadReport {
+    /// Mmap fast path or buffered read.
+    pub mode: LoadMode,
+    /// File size in bytes.
+    pub bytes: usize,
+    /// Wall-clock milliseconds for open + validate + materialize.
+    pub millis: f64,
+}
+
+/// An error from [`load_hgb`]: either the file could not be read at all,
+/// or its content failed `.hgb` validation.
+#[derive(Debug)]
+pub enum HgbLoadError {
+    /// Filesystem-level failure.
+    Io(std::io::Error),
+    /// The bytes are not a valid `.hgb` image.
+    Format(NetlistError),
+}
+
+impl fmt::Display for HgbLoadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HgbLoadError::Io(e) => write!(f, "io: {e}"),
+            HgbLoadError::Format(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for HgbLoadError {}
+
+impl From<NetlistError> for HgbLoadError {
+    fn from(e: NetlistError) -> Self {
+        HgbLoadError::Format(e)
+    }
+}
+
+impl From<std::io::Error> for HgbLoadError {
+    fn from(e: std::io::Error) -> Self {
+        HgbLoadError::Io(e)
+    }
+}
+
+/// Opens, validates, and materializes a `.hgb` file: mmap + zero-copy
+/// view on little-endian hosts, buffered byte-swapping parse elsewhere.
+/// Returns the graph and a [`LoadReport`] describing how the load went.
+pub fn load_hgb(path: &Path) -> Result<(Hypergraph, LoadReport), HgbLoadError> {
+    let start = Instant::now();
+    let file = HgbFile::open(path)?;
+    let graph = if cfg!(target_endian = "little") {
+        file.view()?.to_hypergraph()?
+    } else {
+        parse_hgb(file.bytes())?
+    };
+    Ok((
+        graph,
+        LoadReport {
+            mode: file.mode(),
+            bytes: file.bytes().len(),
+            millis: start.elapsed().as_secs_f64() * 1e3,
+        },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypergraph::HypergraphBuilder;
+
+    fn sample() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(5);
+        b.add_net(1.0, [0, 1, 2]).unwrap();
+        b.add_net(2.5, [2, 3]).unwrap();
+        b.add_net(0.75, [0, 3, 4]).unwrap();
+        b.build().unwrap()
+    }
+
+    fn decorated() -> Hypergraph {
+        let mut b = HypergraphBuilder::new(3);
+        b.set_node_weights(vec![1.5, 2.0, 0.5]).unwrap();
+        b.set_node_names(vec!["alpha".into(), "".into(), "γ".into()]);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(3.0, [1, 2]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn roundtrip_plain() {
+        let g = sample();
+        let bytes = write_hgb(&g);
+        assert_eq!(parse_hgb(&bytes).unwrap(), g);
+    }
+
+    #[test]
+    fn roundtrip_with_weights_and_names() {
+        let g = decorated();
+        let bytes = write_hgb(&g);
+        let back = parse_hgb(&bytes).unwrap();
+        assert_eq!(back, g);
+        assert_eq!(back.node_name(NodeId::new(2)), Some("γ"));
+    }
+
+    #[test]
+    fn writer_is_canonical() {
+        let g = sample();
+        assert_eq!(write_hgb(&g), write_hgb(&g));
+        assert_eq!(write_hgb(&g), write_hgb(&parse_hgb(&write_hgb(&g)).unwrap()));
+    }
+
+    #[test]
+    fn peek_stats_reads_header_only() {
+        let g = decorated();
+        let bytes = write_hgb(&g);
+        let stats = peek_stats(&bytes).unwrap();
+        assert_eq!(
+            stats,
+            HgbStats {
+                nodes: 3,
+                nets: 2,
+                pins: 4,
+                has_node_weights: true,
+                has_node_names: true,
+            }
+        );
+    }
+
+    #[test]
+    fn file_roundtrip_both_modes() {
+        let g = decorated();
+        let dir = std::env::temp_dir().join(format!("hgb-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("decorated.hgb");
+        write_hgb_file(&g, &path).unwrap();
+
+        let mapped = HgbFile::open(&path).unwrap();
+        let buffered = HgbFile::open_buffered(&path).unwrap();
+        assert_eq!(buffered.mode(), LoadMode::Read);
+        assert_eq!(mapped.bytes(), buffered.bytes(), "backings are byte-identical");
+        assert_eq!(mapped.view().unwrap().to_hypergraph().unwrap(), g);
+        assert_eq!(buffered.view().unwrap().to_hypergraph().unwrap(), g);
+
+        let (loaded, report) = load_hgb(&path).unwrap();
+        assert_eq!(loaded, g);
+        assert_eq!(report.bytes, mapped.bytes().len());
+
+        std::fs::remove_file(&path).ok();
+        std::fs::remove_dir(&dir).ok();
+    }
+
+    #[test]
+    fn view_accessors_match_graph() {
+        let g = sample();
+        let bytes = write_hgb(&g);
+        // Vec<u8> gives no alignment promise; round through the aligned
+        // heap backing the way real callers do.
+        let mut words = vec![0u64; bytes.len().div_ceil(8)];
+        super::raw::words_as_bytes_mut(&mut words)[..bytes.len()].copy_from_slice(&bytes);
+        let aligned = &super::raw::words_as_bytes(&words)[..bytes.len()];
+        let view = HgbView::parse(aligned).unwrap();
+        assert_eq!(view.num_nodes(), g.num_nodes());
+        assert_eq!(view.num_nets(), g.num_nets());
+        assert_eq!(view.num_pins(), g.num_pins());
+        for v in 0..g.num_nodes() {
+            let expect: Vec<u32> = g
+                .nets_of(NodeId::new(v))
+                .iter()
+                .map(|&id| u32::from(id))
+                .collect();
+            assert_eq!(view.nets_of(v).unwrap(), expect.as_slice());
+        }
+        for e in 0..g.num_nets() {
+            let expect: Vec<u32> = g
+                .pins_of(NetId::new(e))
+                .iter()
+                .map(|&id| u32::from(id))
+                .collect();
+            assert_eq!(view.pins_of(e).unwrap(), expect.as_slice());
+            assert_eq!(view.net_weight(e), Some(g.net_weight(NetId::new(e))));
+        }
+        assert_eq!(view.nets_of(g.num_nodes()), None, "OOB is None, not a panic");
+        assert_eq!(view.pins_of(g.num_nets()), None);
+        view.validate().unwrap();
+    }
+
+    #[test]
+    fn truncated_and_corrupt_inputs_error() {
+        let g = sample();
+        let bytes = write_hgb(&g);
+        assert!(matches!(
+            parse_hgb(&bytes[..HEADER_LEN - 1]),
+            Err(NetlistError::Hgb(HgbError::Truncated { .. }))
+        ));
+        let mut bad = bytes.clone();
+        bad[0] ^= 0xff;
+        assert!(matches!(
+            parse_hgb(&bad),
+            Err(NetlistError::Hgb(HgbError::BadMagic))
+        ));
+        let mut bad = bytes.clone();
+        bad[8] = 99;
+        assert!(matches!(
+            parse_hgb(&bad),
+            Err(NetlistError::Hgb(HgbError::UnsupportedVersion { version: 99 }))
+        ));
+        let mut bad = bytes.clone();
+        bad[12..16].copy_from_slice(&HGB_ENDIAN_TAG.swap_bytes().to_le_bytes());
+        assert!(matches!(
+            parse_hgb(&bad),
+            Err(NetlistError::Hgb(HgbError::ForeignEndianness { .. }))
+        ));
+        let mut bad = bytes;
+        bad.truncate(bad.len() - 1);
+        assert!(matches!(
+            parse_hgb(&bad),
+            Err(NetlistError::Hgb(HgbError::Truncated { .. }))
+        ));
+    }
+
+    #[test]
+    fn empty_graph_roundtrips() {
+        let g = HypergraphBuilder::new(2).build().unwrap();
+        let bytes = write_hgb(&g);
+        assert_eq!(parse_hgb(&bytes).unwrap(), g);
+    }
+}

@@ -36,6 +36,68 @@ pub struct Hypergraph {
 }
 
 impl Hypergraph {
+    /// Assembles a hypergraph directly from pre-validated CSR arrays,
+    /// bypassing the builder's counting-sort transpose. Used by the `.hgb`
+    /// loader, which stores *both* CSR directions in the file; the caller
+    /// (the hgb module) is responsible for having validated monotonicity,
+    /// bounds, weights, and degree agreement between the directions.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_validated_parts(
+        node_offsets: Vec<u32>,
+        node_pins: Vec<NetId>,
+        net_offsets: Vec<u32>,
+        net_pins: Vec<NodeId>,
+        net_weights: Vec<f64>,
+        node_weights: Option<Vec<f64>>,
+        node_names: Option<Vec<String>>,
+    ) -> Hypergraph {
+        Hypergraph {
+            node_offsets,
+            node_pins,
+            net_offsets,
+            net_pins,
+            net_weights,
+            node_weights,
+            node_names,
+        }
+    }
+
+    /// Raw node→net CSR offsets (`num_nodes + 1` entries). Snapshot access
+    /// for the `.hgb` writer.
+    pub(crate) fn raw_node_offsets(&self) -> &[u32] {
+        &self.node_offsets
+    }
+
+    /// Raw concatenated incident-net lists.
+    pub(crate) fn raw_node_pins(&self) -> &[NetId] {
+        &self.node_pins
+    }
+
+    /// Raw net→node CSR offsets (`num_nets + 1` entries).
+    pub(crate) fn raw_net_offsets(&self) -> &[u32] {
+        &self.net_offsets
+    }
+
+    /// Raw concatenated pin lists.
+    pub(crate) fn raw_net_pins(&self) -> &[NodeId] {
+        &self.net_pins
+    }
+
+    /// Raw per-net weights.
+    pub(crate) fn raw_net_weights(&self) -> &[f64] {
+        &self.net_weights
+    }
+
+    /// Raw per-node weights, if any were set.
+    pub(crate) fn raw_node_weights(&self) -> Option<&[f64]> {
+        self.node_weights.as_deref()
+    }
+
+    /// Raw node names, if any were set.
+    pub(crate) fn raw_node_names(&self) -> Option<&[String]> {
+        self.node_names.as_deref()
+    }
+
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {

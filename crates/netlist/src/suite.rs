@@ -84,12 +84,20 @@ pub const TABLE1: [CircuitSpec; 16] = [
     CircuitSpec { name: "t6", nodes: 1752, nets: 1541, pins: 6638 },
 ];
 
-/// Beyond Table 1: the golem3-class large proxy, at the ~100k-node scale
-/// the PARABOLI/MELO comparisons report. Kept out of [`table1`] so the
-/// paper's 16-circuit protocol and the quick gates stay unchanged;
-/// [`by_name`] resolves it for the large-circuit benchmark path.
-pub const LARGE: [CircuitSpec; 1] =
-    [CircuitSpec { name: "golem3", nodes: 103_048, nets: 108_292, pins: 400_680 }];
+/// Beyond Table 1: the scaled proxy tier. `golem3` sits at the ~100k-node
+/// scale the PARABOLI/MELO comparisons report; `golem4` (~1M nodes) and
+/// `golem5` (~10M nodes) extend the ladder by successive 10× steps, each
+/// preserving golem3's pins-per-net ratio (q ≈ 3.7), so the multilevel
+/// engine and the `.hgb` load path can be measured at the million-node
+/// instance sizes the n-level/deterministic-parallel literature uses.
+/// Kept out of [`table1`] so the paper's 16-circuit protocol and the
+/// quick gates stay unchanged; [`by_name`] resolves them for the
+/// large-circuit benchmark path.
+pub const LARGE: [CircuitSpec; 3] = [
+    CircuitSpec { name: "golem3", nodes: 103_048, nets: 108_292, pins: 400_680 },
+    CircuitSpec { name: "golem4", nodes: 1_030_480, nets: 1_082_920, pins: 4_006_800 },
+    CircuitSpec { name: "golem5", nodes: 10_304_800, nets: 10_829_200, pins: 40_068_000 },
+];
 
 /// Returns the full Table-1 suite in the paper's order.
 pub fn table1() -> Vec<CircuitSpec> {
@@ -151,6 +159,34 @@ mod tests {
         assert_eq!(table1().len(), 16);
         assert!(table1().iter().all(|s| s.name != "golem3"));
         assert!(small_suite().iter().all(|s| s.name != "golem3"));
+    }
+
+    #[test]
+    fn golem_tier_scales_by_ten_and_stays_out_of_table1() {
+        let golem3 = by_name("golem3").unwrap();
+        let golem4 = by_name("golem4").unwrap();
+        let golem5 = by_name("golem5").unwrap();
+        assert_eq!(golem4.nodes, 1_030_480);
+        assert_eq!(golem4.nets, 1_082_920);
+        assert_eq!(golem4.pins, 4_006_800);
+        for (small, big) in [(golem3, golem4), (golem4, golem5)] {
+            assert_eq!(big.nodes, small.nodes * 10, "{}", big.name);
+            assert_eq!(big.nets, small.nets * 10, "{}", big.name);
+            assert_eq!(big.pins, small.pins * 10, "{}", big.name);
+        }
+        for spec in [golem4, golem5] {
+            // The scaled tier keeps golem3's circuit-like pin ratio and a
+            // valid (instantiable) generator configuration without
+            // actually instantiating millions of nodes in a unit test.
+            let q = spec.pins as f64 / spec.nets as f64;
+            assert!((2.0..6.0).contains(&q), "{}: q={q}", spec.name);
+            spec.generator_config().validate().unwrap();
+            assert!(table1().iter().all(|s| s.name != spec.name));
+            assert!(small_suite().iter().all(|s| s.name != spec.name));
+        }
+        // Distinct name-derived seeds across the tier.
+        assert_ne!(golem3.generator_config().seed, golem4.generator_config().seed);
+        assert_ne!(golem4.generator_config().seed, golem5.generator_config().seed);
     }
 
     #[test]

@@ -1,0 +1,307 @@
+//! Adversarial fuzzing of the `.hgb` snapshot loader.
+//!
+//! Contract (mirror of `wire_adversarial.rs` for the binary format): on
+//! truncated, corrupted, out-of-bounds, overlapping, or wrong-endian
+//! snapshot bytes every entry point — `peek_stats`, `parse_hgb`, and the
+//! zero-copy `HgbView` path — returns a typed [`NetlistError::Hgb`]
+//! error or a valid graph; nothing on this path panics. Any mutated
+//! input the loader still accepts must materialize a graph that survives
+//! a canonical write/parse round-trip.
+
+use prop_netlist::generate::{generate, generate_adversarial, GeneratorConfig};
+use prop_netlist::hgb::{self, HGB_VERSION};
+use prop_netlist::{format, Hypergraph, NetlistError};
+
+/// A tiny deterministic xorshift so every failure reproduces from its
+/// seed alone.
+struct XorShift(u64);
+
+impl XorShift {
+    fn next(&mut self) -> u64 {
+        let mut x = self.0;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.0 = x;
+        x
+    }
+
+    fn below(&mut self, n: usize) -> usize {
+        (self.next() % n.max(1) as u64) as usize
+    }
+}
+
+/// Base corpus: a plain clustered graph, a weighted+named graph, and the
+/// adversarial generator's degenerate shapes.
+fn corpus() -> Vec<Hypergraph> {
+    let mut graphs = vec![
+        generate(&GeneratorConfig::new(40, 44, 150).with_seed(5)).unwrap(),
+        // Named nodes and non-unit net weights exercise the optional
+        // name/weight sections.
+        format::parse_netd("node a\nnode b\nnode c\nnet 2 a b\nnet 0.5 b c\n").unwrap(),
+        // Node weights (hgr format flag 11: net weights + node weights).
+        format::parse_hgr("1 2 11\n5 1 2\n2\n3\n").unwrap(),
+    ];
+    for seed in 0..12 {
+        graphs.push(generate_adversarial(seed).unwrap());
+    }
+    graphs
+}
+
+/// The never-panic probe: every entry point must return `Ok` or a typed
+/// error, and accepted bytes must re-roundtrip canonically.
+fn probe(bytes: &[u8]) {
+    let stats = hgb::peek_stats(bytes);
+    match hgb::parse_hgb(bytes) {
+        Ok(g) => {
+            assert!(stats.is_ok(), "parse ok but peek_stats failed");
+            let again = hgb::parse_hgb(&hgb::write_hgb(&g)).expect("canonical re-parse");
+            assert_eq!(g, again, "accepted bytes must round-trip");
+        }
+        Err(e) => assert!(
+            matches!(e, NetlistError::Hgb(_)),
+            "untyped loader error: {e}"
+        ),
+    }
+    if let Err(e) = stats {
+        assert!(matches!(e, NetlistError::Hgb(_)), "untyped stats error: {e}");
+    }
+}
+
+#[test]
+fn truncation_at_every_boundary_is_a_typed_error() {
+    let graph = generate(&GeneratorConfig::new(20, 22, 70).with_seed(1)).unwrap();
+    let bytes = hgb::write_hgb(&graph);
+    // `file_len` is in the header, so every proper prefix must fail.
+    for len in 0..bytes.len() {
+        let cut = &bytes[..len];
+        assert!(hgb::parse_hgb(cut).is_err(), "prefix of {len} bytes accepted");
+        probe(cut);
+    }
+    // ... and so must trailing junk.
+    let mut extended = bytes.clone();
+    extended.extend_from_slice(&[0u8; 13]);
+    assert!(hgb::parse_hgb(&extended).is_err(), "trailing junk accepted");
+    probe(&extended);
+}
+
+#[test]
+fn corrupt_header_fields_hit_the_documented_errors() {
+    let graph = generate(&GeneratorConfig::new(16, 18, 60).with_seed(2)).unwrap();
+    let base = hgb::write_hgb(&graph);
+
+    let mut magic = base.clone();
+    magic[0] ^= 0x20;
+    assert!(
+        matches!(hgb::parse_hgb(&magic), Err(NetlistError::Hgb(prop_netlist::HgbError::BadMagic))),
+        "flipped magic must be BadMagic"
+    );
+
+    let mut version = base.clone();
+    version[8..12].copy_from_slice(&(HGB_VERSION + 1).to_le_bytes());
+    assert!(
+        matches!(
+            hgb::parse_hgb(&version),
+            Err(NetlistError::Hgb(prop_netlist::HgbError::UnsupportedVersion { .. }))
+        ),
+        "future version must be UnsupportedVersion"
+    );
+
+    // A big-endian writer would lay the tag bytes down reversed.
+    let mut endian = base.clone();
+    endian[12..16].reverse();
+    assert!(
+        matches!(
+            hgb::parse_hgb(&endian),
+            Err(NetlistError::Hgb(prop_netlist::HgbError::ForeignEndianness { .. }))
+        ),
+        "byte-swapped endian tag must be ForeignEndianness"
+    );
+
+    // Absurd counts must be refused without attempting an allocation.
+    let mut counts = base.clone();
+    counts[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+    assert!(hgb::parse_hgb(&counts).is_err());
+    probe(&counts);
+
+    // A file_len that disagrees with the buffer is structural corruption.
+    let mut len_lie = base.clone();
+    len_lie[48..56].copy_from_slice(&(base.len() as u64 + 8).to_le_bytes());
+    assert!(hgb::parse_hgb(&len_lie).is_err());
+    probe(&len_lie);
+}
+
+#[test]
+fn section_table_attacks_never_panic() {
+    let graph = generate(&GeneratorConfig::new(24, 26, 90).with_seed(3)).unwrap();
+    let base = hgb::write_hgb(&graph);
+    let table = 64usize; // section table starts after the header
+    let entry = 24usize; // {kind u32, pad u32, off u64, len u64}
+    let entries = (0..5).map(|i| table + i * entry).collect::<Vec<_>>();
+
+    for &e in &entries {
+        // Offset far out of bounds.
+        let mut oob = base.clone();
+        oob[e + 8..e + 16].copy_from_slice(&(base.len() as u64 * 3).to_le_bytes());
+        assert!(hgb::parse_hgb(&oob).is_err());
+        probe(&oob);
+
+        // Length overflowing the file.
+        let mut long = base.clone();
+        long[e + 16..e + 24].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(hgb::parse_hgb(&long).is_err());
+        probe(&long);
+
+        // Misaligned offset (sections are 8-byte aligned by contract).
+        let mut skew = base.clone();
+        let off = u64::from_le_bytes(skew[e + 8..e + 16].try_into().unwrap());
+        skew[e + 8..e + 16].copy_from_slice(&(off + 1).to_le_bytes());
+        assert!(hgb::parse_hgb(&skew).is_err());
+        probe(&skew);
+    }
+
+    // Two sections forced onto the same bytes (overlap).
+    let mut overlap = base.clone();
+    let first_off = u64::from_le_bytes(overlap[table + 8..table + 16].try_into().unwrap());
+    overlap[entries[1] + 8..entries[1] + 16].copy_from_slice(&first_off.to_le_bytes());
+    assert!(hgb::parse_hgb(&overlap).is_err());
+    probe(&overlap);
+
+    // A duplicated / out-of-order section kind.
+    let mut dup = base.clone();
+    let kind0 = dup[table..table + 4].to_vec();
+    dup[entries[1]..entries[1] + 4].copy_from_slice(&kind0);
+    assert!(hgb::parse_hgb(&dup).is_err());
+    probe(&dup);
+}
+
+#[test]
+fn payload_corruption_is_caught_by_deep_validation() {
+    let graph = generate(&GeneratorConfig::new(30, 34, 120).with_seed(4)).unwrap();
+    let base = hgb::write_hgb(&graph);
+    let mut rng = XorShift(0x0b5e_55ed_bad5_eed5);
+    let mut rejected = 0usize;
+    for _ in 0..400 {
+        let mut bytes = base.clone();
+        // Corrupt only the payload region (past header + table) so the
+        // structural layer accepts it and the deep checks must catch it.
+        let payload_start = 64 + 5 * 24;
+        let i = payload_start + rng.below(bytes.len() - payload_start);
+        bytes[i] ^= 1 << rng.below(8);
+        probe(&bytes);
+        if hgb::parse_hgb(&bytes).is_err() {
+            rejected += 1;
+        }
+    }
+    // Most single-bit payload flips break an offset/pin/degree invariant;
+    // the rest merely reorder pins and still form a valid graph. The
+    // deep checks must be doing real work here.
+    assert!(rejected > 200, "only {rejected}/400 corruptions rejected");
+}
+
+#[test]
+fn random_mutations_never_panic_any_entry_point() {
+    let mut rng = XorShift(0x5eed_f00d_0000_0001);
+    for graph in corpus() {
+        let base = hgb::write_hgb(&graph);
+        let mut bytes = base.clone();
+        for round in 0..60 {
+            match rng.below(6) {
+                0 => {
+                    // Flip one bit anywhere.
+                    let i = rng.below(bytes.len());
+                    bytes[i] ^= 1 << rng.below(8);
+                }
+                1 => {
+                    // Overwrite a byte.
+                    let i = rng.below(bytes.len());
+                    bytes[i] = rng.next() as u8;
+                }
+                2 => {
+                    // Truncate.
+                    bytes.truncate(rng.below(bytes.len() + 1));
+                }
+                3 => {
+                    // Extend with junk.
+                    for _ in 0..rng.below(16) + 1 {
+                        bytes.push(rng.next() as u8);
+                    }
+                }
+                4 => {
+                    // Swap two aligned 8-byte words.
+                    if bytes.len() >= 16 {
+                        let words = bytes.len() / 8;
+                        let (a, b) = (rng.below(words) * 8, rng.below(words) * 8);
+                        for k in 0..8 {
+                            bytes.swap(a + k, b + k);
+                        }
+                    }
+                }
+                _ => {
+                    // Zero a short range.
+                    if !bytes.is_empty() {
+                        let i = rng.below(bytes.len());
+                        let n = rng.below(32).min(bytes.len() - i);
+                        bytes[i..i + n].fill(0);
+                    }
+                }
+            }
+            probe(&bytes);
+            // Restart from a clean snapshot now and then so the stream
+            // keeps visiting near-valid inputs, the interesting regime.
+            if round % 20 == 19 || bytes.is_empty() {
+                bytes = base.clone();
+            }
+        }
+    }
+}
+
+/// The mmap-backed and buffered file paths must agree with the in-memory
+/// parser on mutated files: same accept/reject outcome, same bytes, and
+/// the same graph when accepted.
+#[test]
+fn file_backed_views_agree_with_in_memory_parsing() {
+    let dir = std::env::temp_dir().join(format!("prop-hgb-fuzz-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("mutant.hgb");
+
+    let graph = generate(&GeneratorConfig::new(26, 30, 100).with_seed(6)).unwrap();
+    let base = hgb::write_hgb(&graph);
+    let mut rng = XorShift(0xfee1_dead_beef_cafe);
+    for case in 0..48 {
+        let mut bytes = base.clone();
+        match case % 4 {
+            0 => {
+                let i = rng.below(bytes.len());
+                bytes[i] ^= 1 << rng.below(8);
+            }
+            1 => bytes.truncate(rng.below(bytes.len() + 1)),
+            2 => {
+                let i = rng.below(bytes.len());
+                bytes[i] = rng.next() as u8;
+            }
+            _ => {} // pristine every fourth case
+        }
+        std::fs::write(&path, &bytes).unwrap();
+
+        let mapped = hgb::HgbFile::open(&path).unwrap();
+        let buffered = hgb::HgbFile::open_buffered(&path).unwrap();
+        assert_eq!(mapped.bytes(), bytes.as_slice(), "mapped bytes differ");
+        assert_eq!(buffered.bytes(), bytes.as_slice(), "buffered bytes differ");
+
+        let direct = hgb::parse_hgb(&bytes);
+        for file in [&mapped, &buffered] {
+            match file.view().and_then(|v| v.to_hypergraph()) {
+                Ok(g) => {
+                    let d = direct.as_ref().expect("view accepted, parse rejected");
+                    assert_eq!(&g, d, "view and parse materialize differently");
+                }
+                Err(e) => {
+                    assert!(direct.is_err(), "view rejected, parse accepted: {e}");
+                    assert!(matches!(e, NetlistError::Hgb(_)), "untyped view error: {e}");
+                }
+            }
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

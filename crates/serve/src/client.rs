@@ -2,7 +2,7 @@
 //! CLI `submit` command, the integration tests, and the serve benchmark.
 
 use crate::json::{self, Json};
-use crate::wire::SubmitRequest;
+use crate::wire::{SubmitRequest, UploadRequest};
 use std::fmt;
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
@@ -135,5 +135,32 @@ impl Client {
     /// See [`Client::roundtrip`].
     pub fn cancel(&mut self, job: u64) -> Result<Json, ClientError> {
         self.roundtrip(&format!("cancel job={job}"))
+    }
+
+    /// Stores a netlist under a circuit id in the daemon's store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn upload(&mut self, request: &UploadRequest) -> Result<Json, ClientError> {
+        self.roundtrip(&request.render())
+    }
+
+    /// Lists the circuits in the daemon's store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn circuits(&mut self) -> Result<Json, ClientError> {
+        self.roundtrip("circuits")
+    }
+
+    /// Removes a circuit from the daemon's store.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn evict(&mut self, circuit: &str) -> Result<Json, ClientError> {
+        self.roundtrip(&format!("evict circuit={circuit}"))
     }
 }

@@ -45,6 +45,7 @@ pub mod json;
 pub mod metrics;
 pub mod queue;
 pub mod server;
+pub mod store;
 pub mod wire;
 
 pub use client::{Client, ClientError};
@@ -54,4 +55,5 @@ pub use json::Json;
 pub use metrics::Metrics;
 pub use queue::{JobQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle};
-pub use wire::{Request, SubmitRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};
+pub use store::{CircuitStore, StoreError, StoredCircuit};
+pub use wire::{Request, SubmitRequest, UploadRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};

@@ -21,11 +21,14 @@ use crate::job::{JobOutcome, JobStatus, JobTable, JobView};
 use crate::json::{self, Json};
 use crate::metrics::Metrics;
 use crate::queue::{JobQueue, PushError};
-use crate::wire::{self, Request, SubmitRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};
+use crate::store::CircuitStore;
+use crate::wire::{self, Request, SubmitRequest, UploadRequest, WireError, DEFAULT_MAX_REQUEST_BYTES};
 use prop_core::{prof, BalanceConstraint, CancelToken, RunStatus, Side};
+use prop_netlist::{hgb, Hypergraph};
 use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::Path;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
@@ -42,6 +45,9 @@ pub struct ServerConfig {
     pub queue_cap: usize,
     /// Per-request line cap in bytes.
     pub max_request_bytes: usize,
+    /// Directory for the named-circuit store (`upload` / `circuits` /
+    /// `evict`, `submit circuit_id=`). `None` disables the store verbs.
+    pub store_dir: Option<String>,
 }
 
 impl Default for ServerConfig {
@@ -51,6 +57,7 @@ impl Default for ServerConfig {
             workers: 2,
             queue_cap: 64,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
+            store_dir: None,
         }
     }
 }
@@ -60,6 +67,7 @@ struct Shared {
     jobs: JobTable,
     metrics: Metrics,
     shutdown: AtomicBool,
+    store: Option<CircuitStore>,
 }
 
 /// A running daemon; dropping the handle does **not** stop it — call
@@ -115,6 +123,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         jobs: JobTable::new(),
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
+        store: config.store_dir.as_deref().map(CircuitStore::new),
     });
 
     let workers = (0..config.workers.max(1))
@@ -255,6 +264,110 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Json {
                 err_obj("unknown_job", &format!("no job {job}"))
             }
         }
+        Request::Upload(upload) => handle_upload(upload, shared),
+        Request::Circuits => match require_store(shared) {
+            Err(resp) => resp,
+            Ok(store) => match store.list() {
+                Err(e) => err_obj(e.code(), &e.to_string()),
+                Ok(list) => ok_obj(vec![(
+                    "circuits",
+                    Json::Arr(
+                        list.iter()
+                            .map(|c| {
+                                json::obj(vec![
+                                    ("id", json::str(&c.id)),
+                                    ("nodes", json::uint(c.nodes)),
+                                    ("nets", json::uint(c.nets)),
+                                    ("pins", json::uint(c.pins)),
+                                    ("bytes", json::uint(c.bytes)),
+                                    ("cached", Json::Bool(c.cached)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                )]),
+            },
+        },
+        Request::Evict { circuit } => match require_store(shared) {
+            Err(resp) => resp,
+            Ok(store) => match store.evict(&circuit) {
+                Ok(existed) => ok_obj(vec![
+                    ("circuit", json::str(&circuit)),
+                    ("evicted", Json::Bool(existed)),
+                ]),
+                Err(e) => err_obj(e.code(), &e.to_string()),
+            },
+        },
+    }
+}
+
+fn require_store(shared: &Arc<Shared>) -> Result<&CircuitStore, Json> {
+    shared.store.as_ref().ok_or_else(|| {
+        err_obj(
+            "store_disabled",
+            "daemon started without a circuit store (set store_dir / --store-dir)",
+        )
+    })
+}
+
+/// Decodes an uploaded netlist — inline bytes in the declared format, or
+/// a daemon-local file picked by extension — into a hypergraph.
+fn ingest_upload(upload: &UploadRequest) -> Result<Hypergraph, (&'static str, String)> {
+    if let Some(payload) = &upload.payload {
+        return parse_circuit_bytes(&upload.fmt, payload)
+            .map_err(|m| ("invalid_netlist", m));
+    }
+    let path = upload.path.as_deref().unwrap_or_default();
+    let fmt = Path::new(path)
+        .extension()
+        .and_then(|e| e.to_str())
+        .unwrap_or("");
+    if fmt == "hgb" {
+        // The mmap fast path: the snapshot is validated and materialized
+        // without an intermediate copy of the file.
+        return match hgb::load_hgb(Path::new(path)) {
+            Ok((graph, _report)) => Ok(graph),
+            Err(hgb::HgbLoadError::Io(e)) => Err(("store_io", format!("{path}: {e}"))),
+            Err(hgb::HgbLoadError::Format(e)) => Err(("invalid_netlist", e.to_string())),
+        };
+    }
+    let bytes = std::fs::read(path).map_err(|e| ("store_io", format!("{path}: {e}")))?;
+    parse_circuit_bytes(fmt, &bytes).map_err(|m| ("invalid_netlist", m))
+}
+
+fn parse_circuit_bytes(fmt: &str, bytes: &[u8]) -> Result<Hypergraph, String> {
+    match fmt {
+        "hgb" => hgb::parse_hgb(bytes).map_err(|e| e.to_string()),
+        "hgr" | "netd" => {
+            let text = std::str::from_utf8(bytes)
+                .map_err(|_| format!("{fmt} payload is not valid UTF-8"))?;
+            engine::parse_payload(fmt, text)
+        }
+        other => Err(format!("unknown netlist format {other:?} (use hgr, netd, or hgb)")),
+    }
+}
+
+fn handle_upload(upload: UploadRequest, shared: &Arc<Shared>) -> Json {
+    let store = match require_store(shared) {
+        Ok(store) => store,
+        Err(resp) => return resp,
+    };
+    let graph = match ingest_upload(&upload) {
+        Ok(graph) => graph,
+        Err((code, message)) => {
+            shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
+            return err_obj(code, &message);
+        }
+    };
+    match store.put(&upload.circuit, graph) {
+        Ok(info) => ok_obj(vec![
+            ("circuit", json::str(&info.id)),
+            ("nodes", json::uint(info.nodes)),
+            ("nets", json::uint(info.nets)),
+            ("pins", json::uint(info.pins)),
+            ("bytes", json::uint(info.bytes)),
+        ]),
+        Err(e) => err_obj(e.code(), &e.to_string()),
     }
 }
 
@@ -265,6 +378,24 @@ fn handle_submit(submit: SubmitRequest, shared: &Arc<Shared>) -> Json {
             "unknown_engine",
             &format!("unknown engine {:?} (use prop, prop-paper, fm, fm-tree, ml)", submit.engine),
         );
+    }
+    if !submit.circuit_id.is_empty() {
+        // Cheap admission probe so a typo'd circuit id is refused here,
+        // not minutes later as a failed job.
+        let store = match require_store(shared) {
+            Ok(store) => store,
+            Err(resp) => return resp,
+        };
+        match store.contains(&submit.circuit_id) {
+            Ok(true) => {}
+            Ok(false) => {
+                return err_obj(
+                    "unknown_circuit",
+                    &format!("unknown circuit {:?}", submit.circuit_id),
+                )
+            }
+            Err(e) => return err_obj(e.code(), &e.to_string()),
+        }
     }
     let priority = submit.priority;
     let wait = submit.wait;
@@ -342,7 +473,9 @@ fn worker_loop(shared: &Arc<Shared>) {
             token.set_timeout(Duration::from_millis(work.timeout_ms));
         }
         prof::reset();
-        let ran = catch_unwind(AssertUnwindSafe(|| run_job(&work, &token)));
+        let ran = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&work, &token, shared.store.as_ref())
+        }));
         shared.metrics.record_prof(&prof::snapshot());
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
 
@@ -398,15 +531,26 @@ fn worker_loop(shared: &Arc<Shared>) {
 fn run_job(
     work: &SubmitRequest,
     token: &CancelToken,
+    store: Option<&CircuitStore>,
 ) -> Result<(EngineKind, prop_core::MultiRunReport), String> {
     let kind = EngineKind::from_name(&work.engine)
         .ok_or_else(|| format!("unknown engine {:?}", work.engine))?;
-    let graph = engine::parse_payload(&work.fmt, &work.payload)?;
+    // A stored circuit is shared by every job of a sweep through one
+    // cached `Arc`; an inline payload is parsed per job.
+    let graph: Arc<Hypergraph> = if work.circuit_id.is_empty() {
+        Arc::new(engine::parse_payload(&work.fmt, &work.payload)?)
+    } else {
+        store
+            .ok_or_else(|| "daemon has no circuit store".to_string())?
+            .get(&work.circuit_id)
+            .map_err(|e| e.to_string())?
+    };
+    let graph = &*graph;
     let balance =
-        BalanceConstraint::weighted(work.r1, work.r2, &graph).map_err(|e| e.to_string())?;
+        BalanceConstraint::weighted(work.r1, work.r2, graph).map_err(|e| e.to_string())?;
     engine::execute_with(
         kind,
-        &graph,
+        graph,
         balance,
         work.runs,
         work.seed,
@@ -547,6 +691,107 @@ mod tests {
         assert_eq!(resp.get("error").and_then(Json::as_str), Some("unknown_job"));
         client.shutdown().unwrap();
         handle.join();
+    }
+
+    #[test]
+    fn store_verbs_require_a_store_dir() {
+        let handle = start_test_server(1, 4);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        for line in [
+            "circuits",
+            "evict circuit=x",
+            "upload circuit=x payload=abc",
+            "submit engine=prop circuit_id=x",
+        ] {
+            let resp = client.roundtrip(line).unwrap();
+            assert_eq!(
+                resp.get("error").and_then(Json::as_str),
+                Some("store_disabled"),
+                "{line}"
+            );
+        }
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn upload_once_submit_by_id_matches_inline() {
+        let dir = std::env::temp_dir().join(format!("prop-serve-store-{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let handle = start(&ServerConfig {
+            workers: 2,
+            queue_cap: 8,
+            store_dir: Some(dir.to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(handle.addr()).unwrap();
+
+        let payload = tiny_payload();
+        let up = client
+            .upload(&crate::wire::UploadRequest {
+                circuit: "tiny".into(),
+                fmt: "hgr".into(),
+                payload: Some(payload.clone().into_bytes()),
+                path: None,
+            })
+            .unwrap();
+        assert_eq!(up.get("ok").and_then(Json::as_bool), Some(true), "{up:?}");
+        assert_eq!(up.get("nodes").and_then(Json::as_u64), Some(24));
+
+        let listed = client.circuits().unwrap();
+        let arr = listed.get("circuits").and_then(Json::as_arr).unwrap();
+        assert_eq!(arr.len(), 1);
+        assert_eq!(arr[0].get("id").and_then(Json::as_str), Some("tiny"));
+        assert_eq!(arr[0].get("cached").and_then(Json::as_bool), Some(true));
+
+        let inline = client
+            .submit(&SubmitRequest {
+                engine: "fm".into(),
+                runs: 2,
+                seed: 9,
+                payload,
+                wait: true,
+                ..SubmitRequest::default()
+            })
+            .unwrap();
+        let stored = client
+            .submit(&SubmitRequest {
+                engine: "fm".into(),
+                runs: 2,
+                seed: 9,
+                circuit_id: "tiny".into(),
+                wait: true,
+                ..SubmitRequest::default()
+            })
+            .unwrap();
+        for key in ["cut", "assignment_hash", "run_cuts"] {
+            assert_eq!(inline.get(key), stored.get(key), "{key} differs");
+        }
+        assert_eq!(stored.get("status").and_then(Json::as_str), Some("completed"));
+
+        // Unknown ids are refused at admission, not at run time.
+        let resp = client
+            .submit(&SubmitRequest {
+                engine: "fm".into(),
+                circuit_id: "ghost".into(),
+                wait: true,
+                ..SubmitRequest::default()
+            })
+            .unwrap();
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("unknown_circuit"));
+
+        let resp = client.evict("tiny").unwrap();
+        assert_eq!(resp.get("evicted").and_then(Json::as_bool), Some(true));
+        let listed = client.circuits().unwrap();
+        assert_eq!(
+            listed.get("circuits").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(0)
+        );
+
+        client.shutdown().unwrap();
+        handle.join();
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -8,6 +8,11 @@
 //!
 //! ```text
 //! submit engine=prop runs=4 seed=7 r1=0.45 r2=0.55 timeout_ms=0 priority=0 wait=1 ml_coarsest=120 ml_starts=8 ml_max_net=8 ml_refine_passes=1 ml_polish=1 ml_threads=0 ml_flow=0 ml_flow_corridor=3000 fmt=hgr payload=8%0A1%202%0A...
+//! submit engine=ml runs=8 seed=7 circuit_id=golem4 wait=1
+//! upload circuit=golem4 fmt=hgb payload=%50%52...
+//! upload circuit=golem4 fmt=hgr path=%2Fdata%2Fgolem4.hgr
+//! circuits
+//! evict circuit=golem4
 //! status job=3
 //! wait job=3
 //! cancel job=3
@@ -60,6 +65,49 @@ pub enum Request {
         /// Job id.
         job: u64,
     },
+    /// Persist a netlist under a circuit id in the daemon's store.
+    Upload(UploadRequest),
+    /// List the circuits in the daemon's store.
+    Circuits,
+    /// Remove a circuit from the daemon's store.
+    Evict {
+        /// Circuit id to remove.
+        circuit: String,
+    },
+}
+
+/// The fields of an `upload` line: exactly one netlist source (an inline
+/// percent-encoded `payload` or a daemon-local `path`), persisted as a
+/// `.hgb` snapshot under `circuit`.
+#[derive(Clone, PartialEq, Debug)]
+pub struct UploadRequest {
+    /// Circuit id to store under (`[A-Za-z0-9_.-]`, no leading dot).
+    pub circuit: String,
+    /// Format of the inline payload: `hgr`, `netd`, or `hgb`. Ignored for
+    /// `path` uploads, where the extension decides.
+    pub fmt: String,
+    /// Inline netlist bytes (text for `hgr`/`netd`, the binary image for
+    /// `hgb`), or `None` for a `path` upload.
+    pub payload: Option<Vec<u8>>,
+    /// Daemon-local file to ingest instead of an inline payload — the
+    /// route for circuits larger than the request cap.
+    pub path: Option<String>,
+}
+
+impl UploadRequest {
+    /// Renders the request as one wire line (without the trailing `\n`).
+    pub fn render(&self) -> String {
+        let mut line = format!("upload circuit={} fmt={}", self.circuit, self.fmt);
+        if let Some(path) = &self.path {
+            line.push_str(" path=");
+            line.push_str(&percent_encode(path.as_bytes()));
+        }
+        if let Some(payload) = &self.payload {
+            line.push_str(" payload=");
+            line.push_str(&percent_encode(payload));
+        }
+        line
+    }
 }
 
 /// The fields of a `submit` line.
@@ -81,8 +129,13 @@ pub struct SubmitRequest {
     pub priority: u8,
     /// Netlist format: `hgr` or `netd`.
     pub fmt: String,
-    /// The decoded netlist text.
+    /// The decoded netlist text. Empty when the job references a stored
+    /// circuit via `circuit_id` instead.
     pub payload: String,
+    /// When non-empty, the job runs against this circuit from the
+    /// daemon's store (uploaded once via the `upload` verb) instead of an
+    /// inline payload — upload once, sweep seeds/methods/ε after.
+    pub circuit_id: String,
     /// When set, the response is sent only once the job is terminal and
     /// carries the full result.
     pub wait: bool,
@@ -123,6 +176,7 @@ impl Default for SubmitRequest {
             priority: 0,
             fmt: "hgr".into(),
             payload: String::new(),
+            circuit_id: String::new(),
             wait: false,
             ml_coarsest: ml.coarsest_nodes,
             ml_starts: ml.coarsest_starts,
@@ -138,11 +192,18 @@ impl Default for SubmitRequest {
 
 impl SubmitRequest {
     /// Renders the request as one wire line (without the trailing `\n`).
+    /// The netlist source is `circuit_id=` when one is set, the inline
+    /// `payload=` otherwise.
     pub fn render(&self) -> String {
+        let source = if self.circuit_id.is_empty() {
+            format!("payload={}", percent_encode(self.payload.as_bytes()))
+        } else {
+            format!("circuit_id={}", self.circuit_id)
+        };
         format!(
             "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
              ml_coarsest={} ml_starts={} ml_max_net={} ml_refine_passes={} ml_polish={} \
-             ml_threads={} ml_flow={} ml_flow_corridor={} fmt={} payload={}",
+             ml_threads={} ml_flow={} ml_flow_corridor={} fmt={} {source}",
             self.engine,
             self.runs,
             self.seed,
@@ -160,7 +221,6 @@ impl SubmitRequest {
             self.ml_flow,
             self.ml_flow_corridor,
             self.fmt,
-            percent_encode(self.payload.as_bytes()),
         )
     }
 
@@ -288,12 +348,13 @@ pub fn percent_encode(bytes: &[u8]) -> String {
     out
 }
 
-/// Decodes a percent-encoded value back to a UTF-8 string.
+/// Decodes a percent-encoded value back to raw bytes (the payload of a
+/// binary `.hgb` upload is not UTF-8, so no string round-trip applies).
 ///
 /// # Errors
 ///
-/// Fails on truncated or non-hex escapes and on non-UTF-8 decoded bytes.
-pub fn percent_decode(text: &str) -> Result<String, WireError> {
+/// Fails on truncated or non-hex escapes.
+pub fn percent_decode_bytes(text: &str) -> Result<Vec<u8>, WireError> {
     let bytes = text.as_bytes();
     let mut out = Vec::with_capacity(bytes.len());
     let mut i = 0;
@@ -313,7 +374,16 @@ pub fn percent_decode(text: &str) -> Result<String, WireError> {
             i += 1;
         }
     }
-    String::from_utf8(out).map_err(|_| WireError::NotUtf8)
+    Ok(out)
+}
+
+/// Decodes a percent-encoded value back to a UTF-8 string.
+///
+/// # Errors
+///
+/// Fails on truncated or non-hex escapes and on non-UTF-8 decoded bytes.
+pub fn percent_decode(text: &str) -> Result<String, WireError> {
+    String::from_utf8(percent_decode_bytes(text)?).map_err(|_| WireError::NotUtf8)
 }
 
 /// Parses one request line (UTF-8, `\n` already stripped).
@@ -375,8 +445,68 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             job: job_field(&fields)?,
         }),
         "submit" => parse_submit(&fields).map(Request::Submit),
+        "upload" => parse_upload(&fields).map(Request::Upload),
+        "circuits" => {
+            if let Some(&(k, _)) = fields.first() {
+                return Err(WireError::Malformed(format!(
+                    "circuits takes no fields (got {k:?})"
+                )));
+            }
+            Ok(Request::Circuits)
+        }
+        "evict" => {
+            let mut circuit = None;
+            for &(k, v) in &fields {
+                match k {
+                    "circuit" => circuit = Some(v.to_string()),
+                    other => {
+                        return Err(WireError::Malformed(format!("unknown field {other:?}")))
+                    }
+                }
+            }
+            Ok(Request::Evict {
+                circuit: circuit
+                    .ok_or_else(|| WireError::Malformed("missing circuit=<id>".into()))?,
+            })
+        }
         other => Err(WireError::Malformed(format!("unknown verb {other:?}"))),
     }
+}
+
+fn parse_upload(fields: &[(&str, &str)]) -> Result<UploadRequest, WireError> {
+    let mut circuit = None;
+    let mut fmt = "hgr".to_string();
+    let mut payload = None;
+    let mut path = None;
+    for &(k, v) in fields {
+        match k {
+            "circuit" => circuit = Some(v.to_string()),
+            "fmt" => {
+                if v != "hgr" && v != "netd" && v != "hgb" {
+                    return Err(WireError::Malformed(format!(
+                        "unknown netlist format {v:?} (use hgr, netd, or hgb)"
+                    )));
+                }
+                fmt = v.to_string();
+            }
+            "payload" => payload = Some(percent_decode_bytes(v)?),
+            "path" => path = Some(percent_decode(v)?),
+            other => return Err(WireError::Malformed(format!("unknown field {other:?}"))),
+        }
+    }
+    let circuit =
+        circuit.ok_or_else(|| WireError::Malformed("upload needs circuit=<id>".into()))?;
+    if payload.is_some() == path.is_some() {
+        return Err(WireError::Malformed(
+            "upload needs exactly one of payload=<netlist> or path=<file>".into(),
+        ));
+    }
+    Ok(UploadRequest {
+        circuit,
+        fmt,
+        payload,
+        path,
+    })
 }
 
 fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
@@ -434,11 +564,19 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
                 req.payload = percent_decode(v)?;
                 has_payload = true;
             }
+            "circuit_id" => req.circuit_id = v.to_string(),
             other => return Err(WireError::Malformed(format!("unknown field {other:?}"))),
         }
     }
-    if !has_payload {
-        return Err(WireError::Malformed("submit needs payload=<netlist>".into()));
+    if has_payload && !req.circuit_id.is_empty() {
+        return Err(WireError::Malformed(
+            "submit takes either payload=<netlist> or circuit_id=<id>, not both".into(),
+        ));
+    }
+    if !has_payload && req.circuit_id.is_empty() {
+        return Err(WireError::Malformed(
+            "submit needs payload=<netlist> or circuit_id=<id>".into(),
+        ));
     }
     if req.runs == 0 {
         return Err(WireError::Malformed("runs must be at least 1".into()));
@@ -480,6 +618,7 @@ mod tests {
             priority: 2,
             fmt: "hgr".into(),
             payload: "3 2\n1 2\n2 3\n".into(),
+            circuit_id: String::new(),
             wait: true,
             ml_coarsest: 64,
             ml_starts: 16,
@@ -492,6 +631,72 @@ mod tests {
         };
         let parsed = parse_request(&req.render()).unwrap();
         assert_eq!(parsed, Request::Submit(req));
+    }
+
+    #[test]
+    fn submit_by_circuit_id_roundtrip() {
+        let req = SubmitRequest {
+            engine: "ml".into(),
+            circuit_id: "golem4".into(),
+            runs: 3,
+            seed: 11,
+            wait: true,
+            ..SubmitRequest::default()
+        };
+        let line = req.render();
+        assert!(line.contains("circuit_id=golem4"));
+        assert!(!line.contains("payload="), "no inline payload when stored");
+        assert_eq!(parse_request(&line).unwrap(), Request::Submit(req));
+        // Exactly one netlist source.
+        assert!(parse_request("submit circuit_id=a payload=b").is_err());
+        assert!(parse_request("submit engine=ml runs=2").is_err());
+    }
+
+    #[test]
+    fn upload_roundtrips_inline_and_path() {
+        let req = UploadRequest {
+            circuit: "c17".into(),
+            fmt: "hgb".into(),
+            payload: Some(vec![0x00, 0xff, b'\n', b'%', 0x7f]),
+            path: None,
+        };
+        assert_eq!(parse_request(&req.render()).unwrap(), Request::Upload(req));
+
+        let req = UploadRequest {
+            circuit: "big".into(),
+            fmt: "hgr".into(),
+            payload: None,
+            path: Some("/tmp/some dir/big.hgb".into()),
+        };
+        assert_eq!(parse_request(&req.render()).unwrap(), Request::Upload(req));
+
+        // Exactly one source, and a circuit id, are required.
+        assert!(parse_request("upload circuit=x").is_err());
+        assert!(parse_request("upload circuit=x payload=a path=b").is_err());
+        assert!(parse_request("upload payload=a").is_err());
+        assert!(parse_request("upload circuit=x fmt=xml payload=a").is_err());
+    }
+
+    #[test]
+    fn circuits_and_evict_parse() {
+        assert_eq!(parse_request("circuits").unwrap(), Request::Circuits);
+        assert!(parse_request("circuits extra=1").is_err());
+        assert_eq!(
+            parse_request("evict circuit=golem3").unwrap(),
+            Request::Evict {
+                circuit: "golem3".into()
+            }
+        );
+        assert!(parse_request("evict").is_err());
+    }
+
+    #[test]
+    fn percent_decode_bytes_handles_binary() {
+        let raw: Vec<u8> = (0..=255).collect();
+        let enc = percent_encode(&raw);
+        assert_eq!(percent_decode_bytes(&enc).unwrap(), raw);
+        // The str decoder still rejects non-UTF-8.
+        assert_eq!(percent_decode("%FF"), Err(WireError::NotUtf8));
     }
 
     #[test]

@@ -189,12 +189,10 @@ fn binary_flood_never_panics_a_worker() {
     // surviving is).
     let mut reader = BufReader::new(stream.try_clone().unwrap());
     let mut line = String::new();
-    while reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
+    // One response is enough (count is not the point; surviving is).
+    if reader.read_line(&mut line).map(|n| n > 0).unwrap_or(false) {
         let body = prop_serve::json::parse(line.trim_end()).unwrap();
         assert_eq!(body.get("ok").and_then(Json::as_bool), Some(false));
-        line.clear();
-        // Stop reading once we've seen a few; then check health.
-        break;
     }
     drop(stream);
 

@@ -29,6 +29,15 @@
 #                                   # flow crate's own tests, and a CLI
 #                                   # bench asserting cut(ml --ml-flow) <=
 #                                   # cut(ml) on every suite circuit
+#   scripts/check.sh --io           # also run the .hgb snapshot gate:
+#                                   # round-trip + adversarial loader
+#                                   # fuzzing tests, convert/stats/partition
+#                                   # on .hgb through the CLI, the >=10x
+#                                   # loader benchmark (golem tier), one
+#                                   # million-node ml run through the CLI
+#                                   # and through the daemon's circuit
+#                                   # store, and submit-by-circuit-id vs
+#                                   # inline bit-identity
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -38,6 +47,7 @@ serve=0
 ml=0
 par=0
 flow=0
+io=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
@@ -46,6 +56,7 @@ for arg in "$@"; do
     --ml) ml=1 ;;
     --par) par=1 ;;
     --flow) flow=1 ;;
+    --io) io=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -178,6 +189,101 @@ if [[ "$flow" -eq 1 ]]; then
   echo "check.sh: flow gate passed (kernel proptests + cut(ml+flow) <= cut(ml) on the suite)"
 fi
 
+if [[ "$io" -eq 1 ]]; then
+  # .hgb snapshot gate. The loader's test surface first: canonical
+  # round-trips (including mmap-vs-buffered identity and the cut recount
+  # oracle) and the adversarial fuzzer (truncations, corrupt headers,
+  # section-table attacks, payload bit flips — typed errors, no panics).
+  cargo test -q --test formats_roundtrip
+  cargo test -q -p prop-netlist --test hgb_adversarial
+
+  io_dir="$(mktemp -d)"
+  trap 'rm -rf "$io_dir"' EXIT
+  # The CLI surface: convert text -> snapshot, O(header) stats, and a
+  # partition run that must print the identical result line from either
+  # representation of the same circuit.
+  for circuit in balu struct p2; do
+    ./target/release/prop generate --circuit "$circuit" --out "$io_dir/$circuit.hgr" >/dev/null
+    ./target/release/prop convert "$io_dir/$circuit.hgr" "$io_dir/$circuit.hgb" >/dev/null
+    ./target/release/prop stats "$io_dir/$circuit.hgb" >/dev/null
+    text_line="$(./target/release/prop partition "$io_dir/$circuit.hgr" --method prop --runs 3)"
+    hgb_line="$(./target/release/prop partition "$io_dir/$circuit.hgb" --method prop --runs 3)"
+    if [[ "$text_line" != "$hgb_line" ]]; then
+      echo "check.sh: $circuit partitions differently from .hgr vs .hgb" >&2
+      echo "  hgr: $text_line" >&2
+      echo "  hgb: $hgb_line" >&2
+      exit 1
+    fi
+    echo "check.sh: $circuit .hgr == .hgb ($hgb_line)"
+  done
+
+  # The performance contract: on the golem tier the mmap load (open +
+  # structural parse + deep validation, zero-copy view ready) must beat
+  # text parse+build by >=10x; the binary enforces the floor and exits
+  # non-zero on a violation. Run from the scratch dir so the committed
+  # BENCH_prop.json is not rewritten by the gate.
+  cargo build --release -q -p prop-experiments --bin bench_snapshot
+  bench="$PWD/target/release/bench_snapshot"
+  (cd "$io_dir" && "$bench" --io --large)
+
+  # Million-node end-to-end, CLI first: generate golem4 straight to a
+  # snapshot (no 50 MB text intermediate) and run the multilevel engine.
+  ./target/release/prop generate --circuit golem4 --out "$io_dir/golem4.hgb" >/dev/null
+  golem_cli="$(./target/release/prop partition "$io_dir/golem4.hgb" --method ml --runs 1)"
+  echo "check.sh: golem4 CLI $golem_cli"
+
+  # ... then through the daemon's circuit store: a --by-path upload (the
+  # 49 MB snapshot never crosses the wire), an O(header) listing, and the
+  # same million-node ml job resolved by circuit id.
+  io_addr="127.0.0.1:7177"
+  ./target/release/prop serve --addr "$io_addr" --workers 1 --queue-cap 8 \
+    --store-dir "$io_dir/store" > "$io_dir/serve.log" 2>&1 &
+  io_serve_pid=$!
+  # From here the trap must also reap the daemon, or an early exit
+  # orphans it (and its inherited stdout keeps the caller's pipe open).
+  trap 'kill "$io_serve_pid" 2>/dev/null || true; rm -rf "$io_dir"' EXIT
+  for _ in $(seq 1 50); do
+    ./target/release/prop ctl ping --addr "$io_addr" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  ./target/release/prop upload "$io_dir/golem4.hgb" --id golem4 --by-path --addr "$io_addr"
+  ./target/release/prop ctl circuits --addr "$io_addr"
+  golem_daemon="$(./target/release/prop submit --circuit-id golem4 --engine ml --runs 1 \
+    --addr "$io_addr")"
+  echo "check.sh: golem4 daemon $golem_daemon"
+  if [[ "$golem_daemon" != *'"status":"completed"'* ]]; then
+    echo "check.sh: golem4 job did not complete through the daemon" >&2
+    exit 1
+  fi
+
+  # Bit-identity: a job submitted by circuit id must match the same job
+  # submitted inline — cut, full per-run cut trajectory, and the
+  # assignment hash (a circuit small enough for the inline request cap).
+  ./target/release/prop upload "$io_dir/struct.hgb" --id struct --addr "$io_addr"
+  inline="$(./target/release/prop submit "$io_dir/struct.hgr" --engine prop --runs 4 \
+    --addr "$io_addr")"
+  stored="$(./target/release/prop submit --circuit-id struct --engine prop --runs 4 \
+    --addr "$io_addr")"
+  extract() { sed -n "s/.*\"$2\":\($3\).*/\1/p" <<<"$1"; }
+  for field_pat in 'cut [0-9.eE+-]*' 'run_cuts \[[^]]*\]' 'assignment_hash "[0-9a-f]*"'; do
+    field="${field_pat%% *}"
+    pat="${field_pat#* }"
+    inline_v="$(extract "$inline" "$field" "$pat")"
+    stored_v="$(extract "$stored" "$field" "$pat")"
+    if [[ -z "$inline_v" || "$inline_v" != "$stored_v" ]]; then
+      echo "check.sh: submit-by-id diverged from inline submit on $field" >&2
+      echo "  inline: $inline" >&2
+      echo "  stored: $stored" >&2
+      exit 1
+    fi
+  done
+  echo "check.sh: submit --circuit-id is bit-identical to inline (cut + run_cuts + assignment_hash)"
+  ./target/release/prop ctl evict --circuit struct --addr "$io_addr" >/dev/null
+  ./target/release/prop ctl shutdown --addr "$io_addr" >/dev/null
+  wait "$io_serve_pid"
+  echo "check.sh: io gate passed (round-trip + fuzz + 10x loader + million-node CLI/daemon)"
+fi
+
 gates="build+test+clippy"
 [[ "$audit" -eq 1 ]] && gates="$gates audit"
 [[ "$bench_smoke" -eq 1 ]] && gates="$gates bench-smoke"
@@ -185,4 +291,5 @@ gates="build+test+clippy"
 [[ "$ml" -eq 1 ]] && gates="$gates ml"
 [[ "$par" -eq 1 ]] && gates="$gates par"
 [[ "$flow" -eq 1 ]] && gates="$gates flow"
+[[ "$io" -eq 1 ]] && gates="$gates io"
 echo "check.sh: all gates passed ($gates)"

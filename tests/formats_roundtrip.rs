@@ -1,10 +1,11 @@
 //! Integration: text formats round-trip real suite circuits, a parsed-back
-//! circuit partitions identically to the original, and the parsers survive
-//! adversarial circuits and mutated text without panicking.
+//! circuit partitions identically to the original, the binary `.hgb`
+//! snapshot agrees with the text formats bit-for-bit, and the parsers
+//! survive adversarial circuits and mutated text without panicking.
 
 use prop_suite::core::{BalanceConstraint, Partitioner, Prop, PropConfig};
 use prop_suite::netlist::generate::generate_adversarial;
-use prop_suite::netlist::{format, suite};
+use prop_suite::netlist::{format, hgb, suite};
 
 #[test]
 fn hgr_roundtrip_preserves_suite_circuits() {
@@ -50,6 +51,70 @@ fn adversarial_circuits_roundtrip_both_formats() {
         let reparsed = format::parse_netd(&netd).expect("netd reparse");
         // netd synthesises node names; compare structure via hgr text.
         assert_eq!(hgr, format::write_hgr(&reparsed), "netd seed {seed}");
+    }
+}
+
+/// Every Table 1 suite circuit survives text → `.hgb` → [`Hypergraph`]
+/// with exact equality (weights are carried as raw f64 bits, so this is
+/// bit-for-bit, not approximate).
+#[test]
+fn hgb_snapshot_preserves_every_suite_circuit() {
+    for spec in suite::table1() {
+        let graph = spec.instantiate().unwrap();
+        let bytes = hgb::write_hgb(&graph);
+        let parsed = hgb::parse_hgb(&bytes).unwrap();
+        assert_eq!(graph, parsed, "{}", spec.name);
+        // Header stats agree without touching the sections.
+        let stats = hgb::peek_stats(&bytes).unwrap();
+        assert_eq!(stats.nodes as usize, graph.num_nodes(), "{}", spec.name);
+        assert_eq!(stats.nets as usize, graph.num_nets(), "{}", spec.name);
+        assert_eq!(stats.pins as usize, graph.num_pins(), "{}", spec.name);
+    }
+}
+
+/// The mmap-backed and buffered-read load paths observe byte-identical
+/// file images and materialize equal graphs.
+#[test]
+fn hgb_mmap_and_buffered_loads_are_byte_identical() {
+    let dir = std::env::temp_dir().join(format!("prop-fmt-hgb-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("t5.hgb");
+    let graph = suite::by_name("t5").unwrap().instantiate().unwrap();
+    hgb::write_hgb_file(&graph, &path).unwrap();
+
+    let mapped = hgb::HgbFile::open(&path).unwrap();
+    let buffered = hgb::HgbFile::open_buffered(&path).unwrap();
+    assert_eq!(buffered.mode().to_string(), "read");
+    assert_eq!(mapped.bytes(), buffered.bytes(), "load paths disagree on bytes");
+
+    let from_map = mapped.view().unwrap().to_hypergraph().unwrap();
+    let from_read = buffered.view().unwrap().to_hypergraph().unwrap();
+    assert_eq!(from_map, from_read);
+    assert_eq!(from_map, graph);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Cut recount oracle: a partition computed once scores bit-for-bit the
+/// same whether the circuit was loaded from text or from its `.hgb`
+/// snapshot — the binary format introduces no weight drift.
+#[test]
+fn hgb_cut_recount_matches_text_bit_for_bit() {
+    use prop_suite::verify::oracle::naive_cut;
+    for name in ["balu", "t2", "bm1"] {
+        let text_graph = suite::by_name(name).unwrap().instantiate().unwrap();
+        let hgb_graph = hgb::parse_hgb(&hgb::write_hgb(&text_graph)).unwrap();
+
+        let balance = BalanceConstraint::bisection(text_graph.num_nodes());
+        let prop = Prop::new(PropConfig::calibrated());
+        let result = prop.run_seeded(&text_graph, balance, 11).unwrap();
+
+        let cut_text = naive_cut(&text_graph, &result.partition);
+        let cut_hgb = naive_cut(&hgb_graph, &result.partition);
+        assert_eq!(
+            cut_text.to_bits(),
+            cut_hgb.to_bits(),
+            "{name}: text {cut_text} vs hgb {cut_hgb}"
+        );
     }
 }
 
