@@ -12,17 +12,24 @@
 //!   methods: `prop` (default), `prop-paper`, `fm`, `fm-tree`, `la2`,
 //!   `la3`, `kl`, `sa`, `eig1`, `melo`, `paraboli`, `window`, `ml`.
 //! * `prop serve [--addr A] [--workers N] [--queue-cap N]
-//!   [--store-dir D]` — run the partitioning daemon until a `shutdown`
-//!   request drains it.
+//!   [--store-dir D] [--coordinator W1,W2,...] [--heartbeat-ms N]
+//!   [--retries N]` — run the partitioning daemon until a `shutdown`
+//!   request drains it; `--coordinator` additionally shards `batch`
+//!   sweeps across the listed worker daemons.
 //! * `prop submit (<file> | --circuit-id ID) [--addr A] [--engine E]
 //!   [--runs N] [--seed S] [--timeout-ms T] [--priority P] [--no-wait]` —
 //!   send a netlist (or reference a stored circuit) to a running daemon
 //!   and print the one-line JSON response.
+//! * `prop batch --circuit-id ID [--addr A] [--engines E1,E2]
+//!   [--eps R1:R2,...] [--runs N] [--seed S] [--chunk N]
+//!   [--timeout-ms T] [--no-wait]` — submit a sharded sweep to a
+//!   coordinator and stream its progress events.
 //! * `prop upload <file> [--id ID] [--addr A] [--by-path]` — store a
 //!   netlist in the daemon's circuit store for submit-by-id sweeps.
-//! * `prop ctl <ping|stats|shutdown|status|wait|cancel|circuits|evict>
-//!   [--addr A] [--job N] [--circuit ID]` — control-plane requests
-//!   against a running daemon.
+//! * `prop ctl <ping|stats|shutdown|status|wait|cancel|watch|circuits|
+//!   evict> [--addr A] [--job N] [--circuit ID]` — control-plane
+//!   requests against a running daemon (`watch` streams a batch's
+//!   events).
 //!
 //! The library half exists so the argument handling and command logic are
 //! unit-testable; `main.rs` is a thin wrapper.
@@ -37,7 +44,7 @@ use prop_core::{
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
 use prop_multilevel::{Multilevel, MultilevelConfig};
 use prop_netlist::{format, generate, hgb, suite, Hypergraph};
-use prop_serve::{Client, Json, SubmitRequest, UploadRequest};
+use prop_serve::{BatchRequest, Client, ConnectRetry, Json, SubmitRequest, UploadRequest};
 use prop_spectral::{Eig1, MeloStyle, ParaboliStyle, WindowStyle};
 use std::fmt;
 use std::path::Path;
@@ -131,6 +138,14 @@ pub enum Command {
         queue_cap: usize,
         /// Directory of the daemon's named-circuit store.
         store_dir: String,
+        /// Coordinator mode: comma-separated worker daemon addresses to
+        /// shard `batch` sweeps across (`None` = plain daemon).
+        coordinator: Option<Vec<String>>,
+        /// Worker heartbeat interval in milliseconds (coordinator mode).
+        heartbeat_ms: u64,
+        /// Bounded per-sub-job retries before a batch fails
+        /// (coordinator mode).
+        retries: u32,
     },
     /// `prop submit (<file> | --circuit-id ID) ...`
     Submit {
@@ -161,6 +176,28 @@ pub enum Command {
         /// `ml` engine).
         ml: MultilevelConfig,
     },
+    /// `prop batch --circuit-id ID ...`
+    Batch {
+        /// Stored circuit the sweep runs against.
+        circuit_id: String,
+        /// Coordinator address.
+        addr: String,
+        /// Engines dimension of the sweep.
+        engines: Vec<String>,
+        /// Balance (ε) dimension: `(r1, r2)` pairs.
+        eps: Vec<(f64, f64)>,
+        /// Multi-start runs per (engine, ε) group.
+        runs: usize,
+        /// Base seed.
+        seed: u64,
+        /// Consecutive runs per sub-job (the sharding grain).
+        chunk: usize,
+        /// Per-sub-job deadline in milliseconds (0 = none).
+        timeout_ms: u64,
+        /// When `false`, stream `watch` events until the terminal
+        /// `done` line.
+        no_wait: bool,
+    },
     /// `prop upload <file> ...`
     Upload {
         /// Netlist path (`.hgr`, `.netd`, or `.hgb`).
@@ -176,11 +213,11 @@ pub enum Command {
     /// `prop ctl <verb> ...`
     Ctl {
         /// Control verb: `ping`, `stats`, `shutdown`, `status`, `wait`,
-        /// `cancel`, `circuits`, or `evict`.
+        /// `cancel`, `watch`, `circuits`, or `evict`.
         verb: String,
         /// Daemon address.
         addr: String,
-        /// Job id for `status`/`wait`/`cancel`.
+        /// Job id for `status`/`wait`/`cancel`/`watch`.
         job: Option<u64>,
         /// Circuit id for `evict`.
         circuit: Option<String>,
@@ -219,11 +256,14 @@ USAGE:
   prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
                  [--threads N] [--assign FILE] [--ml-* N]
   prop serve [--addr A] [--workers N] [--queue-cap N] [--store-dir D]
+             [--coordinator W1,W2,...] [--heartbeat-ms N] [--retries N]
   prop submit (<file> | --circuit-id ID) [--addr A] [--engine E] [--runs N]
               [--seed S] [--r1 X] [--r2 Y] [--timeout-ms T] [--priority P]
               [--no-wait] [--ml-* N]
+  prop batch --circuit-id ID [--addr A] [--engines E1,E2] [--eps R1:R2,...]
+             [--runs N] [--seed S] [--chunk N] [--timeout-ms T] [--no-wait]
   prop upload <file> [--id ID] [--addr A] [--by-path]
-  prop ctl <ping|stats|shutdown|status|wait|cancel|circuits|evict>
+  prop ctl <ping|stats|shutdown|status|wait|cancel|watch|circuits|evict>
            [--addr A] [--job N] [--circuit ID]
   prop help
 
@@ -249,7 +289,13 @@ sequential engine). --ml-flow adds flow-based corridor refinement after
 each level's move passes; --ml-flow-corridor N caps the corridor at N
 nodes per side (implies --ml-flow; default 3000).
 serve/submit/ctl default to 127.0.0.1:7077; submit prints the daemon's
-one-line JSON response and exits nonzero if the job did not complete.";
+one-line JSON response and exits nonzero if the job did not complete.
+serve --coordinator W1,W2,... additionally shards `batch` sweeps across
+the listed worker daemons, with heartbeat health checks (--heartbeat-ms)
+and bounded retry-on-loss (--retries); batch expands a stored circuit
+into a seeds x engines x eps sweep, streams per-sub-job progress lines,
+and prints a final merged result bit-identical to the same sweep run
+sequentially. ctl watch --job N re-streams a batch's event log.";
 
 /// Parses a full argument list (without the program name).
 ///
@@ -286,6 +332,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "partition" => parse_partition(&rest),
         "serve" => parse_serve(&rest),
         "submit" => parse_submit(&rest),
+        "batch" => parse_batch(&rest),
         "upload" => parse_upload(&rest),
         "ctl" => parse_ctl(&rest),
         other => Err(usage(format!("unknown command {other:?}"))),
@@ -419,6 +466,9 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
     let mut workers = 0usize;
     let mut queue_cap = 64usize;
     let mut store_dir = DEFAULT_STORE_DIR.to_string();
+    let mut coordinator = None;
+    let mut heartbeat_ms = 500u64;
+    let mut retries = 3u32;
     let mut it = rest.iter();
     while let Some(arg) = it.next() {
         match arg.as_str() {
@@ -428,17 +478,110 @@ fn parse_serve(rest: &[&String]) -> Result<Command, CliError> {
                 queue_cap = parse_num("--queue-cap", take_value("--queue-cap", &mut it)?)?
             }
             "--store-dir" => store_dir = take_value("--store-dir", &mut it)?.to_string(),
+            "--coordinator" => {
+                let list: Vec<String> = take_value("--coordinator", &mut it)?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if list.is_empty() {
+                    return Err(usage(
+                        "--coordinator needs a comma-separated worker address list",
+                    ));
+                }
+                coordinator = Some(list);
+            }
+            "--heartbeat-ms" => {
+                heartbeat_ms =
+                    parse_num("--heartbeat-ms", take_value("--heartbeat-ms", &mut it)?)?
+            }
+            "--retries" => retries = parse_num("--retries", take_value("--retries", &mut it)?)?,
             other => return Err(usage(format!("unknown serve flag {other:?}"))),
         }
     }
     if queue_cap == 0 {
         return Err(usage("--queue-cap must be at least 1"));
     }
+    if heartbeat_ms == 0 {
+        return Err(usage("--heartbeat-ms must be at least 1"));
+    }
     Ok(Command::Serve {
         addr,
         workers,
         queue_cap,
         store_dir,
+        coordinator,
+        heartbeat_ms,
+        retries,
+    })
+}
+
+fn parse_batch(rest: &[&String]) -> Result<Command, CliError> {
+    let mut circuit_id = None;
+    let mut addr = DEFAULT_SERVE_ADDR.to_string();
+    let mut engines = vec!["prop".to_string()];
+    let mut eps = vec![(0.45, 0.55)];
+    let mut runs = 20usize;
+    let mut seed = 0u64;
+    let mut chunk = 1usize;
+    let mut timeout_ms = 0u64;
+    let mut no_wait = false;
+    let mut it = rest.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--circuit-id" => {
+                circuit_id = Some(take_value("--circuit-id", &mut it)?.to_string())
+            }
+            "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
+            "--engines" => {
+                engines = take_value("--engines", &mut it)?
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(str::to_string)
+                    .collect();
+                if engines.is_empty() {
+                    return Err(usage("--engines needs a comma-separated engine list"));
+                }
+            }
+            "--eps" => {
+                eps = take_value("--eps", &mut it)?
+                    .split(',')
+                    .map(|pair| {
+                        let (r1, r2) = pair
+                            .split_once(':')
+                            .ok_or_else(|| usage(format!("bad --eps pair {pair:?} (use R1:R2)")))?;
+                        Ok((parse_num("--eps", r1.trim())?, parse_num("--eps", r2.trim())?))
+                    })
+                    .collect::<Result<Vec<(f64, f64)>, CliError>>()?;
+                if eps.is_empty() {
+                    return Err(usage("--eps needs a comma-separated R1:R2 list"));
+                }
+            }
+            "--runs" => runs = parse_num("--runs", take_value("--runs", &mut it)?)?,
+            "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
+            "--chunk" => chunk = parse_num("--chunk", take_value("--chunk", &mut it)?)?,
+            "--timeout-ms" => {
+                timeout_ms = parse_num("--timeout-ms", take_value("--timeout-ms", &mut it)?)?
+            }
+            "--no-wait" => no_wait = true,
+            other => return Err(usage(format!("unknown batch flag {other:?}"))),
+        }
+    }
+    let Some(circuit_id) = circuit_id else {
+        return Err(usage("batch needs --circuit-id <id> (upload the circuit first)"));
+    };
+    Ok(Command::Batch {
+        circuit_id,
+        addr,
+        engines,
+        eps,
+        runs,
+        seed,
+        chunk,
+        timeout_ms,
+        no_wait,
     })
 }
 
@@ -546,11 +689,11 @@ fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
     let mut it = rest.iter();
     let Some(verb) = it.next() else {
         return Err(usage(
-            "ctl needs a verb: ping, stats, shutdown, status, wait, cancel, circuits, evict",
+            "ctl needs a verb: ping, stats, shutdown, status, wait, cancel, watch, circuits, evict",
         ));
     };
     let verb = verb.as_str();
-    if !["ping", "stats", "shutdown", "status", "wait", "cancel", "circuits", "evict"]
+    if !["ping", "stats", "shutdown", "status", "wait", "cancel", "watch", "circuits", "evict"]
         .contains(&verb)
     {
         return Err(usage(format!("unknown ctl verb {verb:?}")));
@@ -566,7 +709,7 @@ fn parse_ctl(rest: &[&String]) -> Result<Command, CliError> {
             other => return Err(usage(format!("unknown ctl flag {other:?}"))),
         }
     }
-    let needs_job = ["status", "wait", "cancel"].contains(&verb);
+    let needs_job = ["status", "wait", "cancel", "watch"].contains(&verb);
     if needs_job && job.is_none() {
         return Err(usage(format!("ctl {verb} needs --job <id>")));
     }
@@ -655,6 +798,13 @@ pub fn write_netlist(graph: &Hypergraph, path: &str) -> Result<(), CliError> {
     }
     let text = render_netlist(graph, path)?;
     std::fs::write(path, text).map_err(|e| failure(format!("cannot write {path}: {e}")))
+}
+
+/// Dials a daemon with the CLI's default bounded-retry policy, mapping
+/// exhaustion to the typed `connect_failed` message instead of a raw
+/// socket error.
+fn connect_daemon(addr: &str) -> Result<Client, CliError> {
+    Client::connect_retry(addr, &ConnectRetry::default()).map_err(|e| failure(e.to_string()))
 }
 
 fn extension(path: &str) -> &str {
@@ -857,6 +1007,9 @@ pub fn run(command: Command) -> Result<(), CliError> {
             workers,
             queue_cap,
             store_dir,
+            coordinator,
+            heartbeat_ms,
+            retries,
         } => {
             let workers = if workers == 0 {
                 std::thread::available_parallelism()
@@ -865,18 +1018,31 @@ pub fn run(command: Command) -> Result<(), CliError> {
             } else {
                 workers
             };
+            let cluster = coordinator.map(|list| prop_serve::ClusterConfig {
+                workers: list,
+                heartbeat_ms,
+                // Lost after 4 consecutive missed heartbeats.
+                heartbeat_timeout_ms: heartbeat_ms.saturating_mul(4),
+                max_retries: retries,
+                ..prop_serve::ClusterConfig::default()
+            });
+            let cluster_note = cluster
+                .as_ref()
+                .map(|c| format!(", coordinating {} cluster workers", c.workers.len()))
+                .unwrap_or_default();
             let config = prop_serve::ServerConfig {
                 addr: addr.clone(),
                 workers,
                 queue_cap,
                 store_dir: Some(store_dir.clone()),
+                cluster,
                 ..prop_serve::ServerConfig::default()
             };
             let handle = prop_serve::start(&config)
-                .map_err(|e| failure(format!("cannot bind {addr}: {e}")))?;
+                .map_err(|e| failure(format!("cannot start on {addr}: {e}")))?;
             println!(
                 "prop-serve listening on {} ({workers} workers, queue capacity {queue_cap}, \
-                 store {store_dir})",
+                 store {store_dir}{cluster_note})",
                 handle.addr()
             );
             handle.join();
@@ -938,14 +1104,58 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 ml_flow: u8::from(ml.flow.enabled),
                 ml_flow_corridor: ml.flow.corridor_nodes,
             };
-            let mut client = Client::connect(addr.as_str())
-                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let mut client = connect_daemon(&addr)?;
             let response = client.submit(&request).map_err(|e| failure(e.to_string()))?;
             println!("{}", response.render());
             let ok = response.get("ok").and_then(Json::as_bool) == Some(true);
             let failed = response.get("status").and_then(Json::as_str) == Some("failed");
             if !ok || failed {
                 return Err(failure("the daemon did not complete the job"));
+            }
+            Ok(())
+        }
+        Command::Batch {
+            circuit_id,
+            addr,
+            engines,
+            eps,
+            runs,
+            seed,
+            chunk,
+            timeout_ms,
+            no_wait,
+        } => {
+            let spec = BatchRequest {
+                circuit_id,
+                engines,
+                eps,
+                runs,
+                seed,
+                chunk,
+                timeout_ms,
+            };
+            let mut client = connect_daemon(&addr)?;
+            let response = client.batch(&spec).map_err(|e| failure(e.to_string()))?;
+            println!("{}", response.render());
+            if response.get("ok").and_then(Json::as_bool) != Some(true) {
+                return Err(failure("the coordinator rejected the batch"));
+            }
+            if no_wait {
+                return Ok(());
+            }
+            let job = response
+                .get("job")
+                .and_then(Json::as_u64)
+                .ok_or_else(|| failure("batch response carries no job id"))?;
+            // Stream the event log: one JSON line per progress/result
+            // event, ending with the terminal `done` line.
+            let done = client
+                .watch(job, |event| println!("{}", event.render()))
+                .map_err(|e| failure(e.to_string()))?;
+            let completed = done.get("ok").and_then(Json::as_bool) == Some(true)
+                && done.get("status").and_then(Json::as_str) == Some("completed");
+            if !completed {
+                return Err(failure("the batch did not complete"));
             }
             Ok(())
         }
@@ -993,8 +1203,7 @@ pub fn run(command: Command) -> Result<(), CliError> {
                     path: None,
                 }
             };
-            let mut client = Client::connect(addr.as_str())
-                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let mut client = connect_daemon(&addr)?;
             let response = client.upload(&request).map_err(|e| failure(e.to_string()))?;
             println!("{}", response.render());
             if response.get("ok").and_then(Json::as_bool) != Some(true) {
@@ -1008,8 +1217,18 @@ pub fn run(command: Command) -> Result<(), CliError> {
             job,
             circuit,
         } => {
-            let mut client = Client::connect(addr.as_str())
-                .map_err(|e| failure(format!("cannot connect to {addr}: {e}")))?;
+            let mut client = connect_daemon(&addr)?;
+            if verb == "watch" {
+                let done = client
+                    .watch(job.expect("parser enforces --job"), |event| {
+                        println!("{}", event.render());
+                    })
+                    .map_err(|e| failure(e.to_string()))?;
+                if done.get("ok").and_then(Json::as_bool) != Some(true) {
+                    return Err(failure("ctl watch failed"));
+                }
+                return Ok(());
+            }
             let response = match verb.as_str() {
                 "ping" => client.ping(),
                 "stats" => client.stats(),
@@ -1179,6 +1398,9 @@ mod tests {
                 workers: 0,
                 queue_cap: 64,
                 store_dir: DEFAULT_STORE_DIR.into(),
+                coordinator: None,
+                heartbeat_ms: 500,
+                retries: 3,
             }
         );
         assert_eq!(
@@ -1192,10 +1414,77 @@ mod tests {
                 workers: 3,
                 queue_cap: 9,
                 store_dir: "/tmp/circuits".into(),
+                coordinator: None,
+                heartbeat_ms: 500,
+                retries: 3,
             }
         );
         assert!(parse_args(&argv(&["serve", "--queue-cap", "0"])).is_err());
         assert!(parse_args(&argv(&["serve", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parse_serve_coordinator_flags() {
+        let cmd = parse_args(&argv(&[
+            "serve", "--coordinator", "127.0.0.1:7171, 127.0.0.1:7172", "--heartbeat-ms", "250",
+            "--retries", "5",
+        ]))
+        .unwrap();
+        assert!(matches!(
+            cmd,
+            Command::Serve {
+                coordinator: Some(ref w),
+                heartbeat_ms: 250,
+                retries: 5,
+                ..
+            } if w == &vec!["127.0.0.1:7171".to_string(), "127.0.0.1:7172".to_string()]
+        ));
+        assert!(parse_args(&argv(&["serve", "--coordinator", ","])).is_err());
+        assert!(parse_args(&argv(&["serve", "--coordinator"])).is_err());
+        assert!(parse_args(&argv(&["serve", "--heartbeat-ms", "0"])).is_err());
+    }
+
+    #[test]
+    fn parse_batch_defaults_and_flags() {
+        assert_eq!(
+            parse_args(&argv(&["batch", "--circuit-id", "golem3"])).unwrap(),
+            Command::Batch {
+                circuit_id: "golem3".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                engines: vec!["prop".into()],
+                eps: vec![(0.45, 0.55)],
+                runs: 20,
+                seed: 0,
+                chunk: 1,
+                timeout_ms: 0,
+                no_wait: false,
+            }
+        );
+        let cmd = parse_args(&argv(&[
+            "batch", "--circuit-id", "c", "--engines", "fm, prop", "--eps",
+            "0.45:0.55,0.4:0.6", "--runs", "8", "--seed", "3", "--chunk", "2",
+            "--timeout-ms", "100", "--no-wait",
+        ]))
+        .unwrap();
+        assert_eq!(
+            cmd,
+            Command::Batch {
+                circuit_id: "c".into(),
+                addr: DEFAULT_SERVE_ADDR.into(),
+                engines: vec!["fm".into(), "prop".into()],
+                eps: vec![(0.45, 0.55), (0.4, 0.6)],
+                runs: 8,
+                seed: 3,
+                chunk: 2,
+                timeout_ms: 100,
+                no_wait: true,
+            }
+        );
+        // --circuit-id is mandatory; malformed eps pairs are refused.
+        assert!(parse_args(&argv(&["batch"])).is_err());
+        assert!(parse_args(&argv(&["batch", "--circuit-id", "c", "--eps", "0.45"])).is_err());
+        assert!(parse_args(&argv(&["batch", "--circuit-id", "c", "--eps", "a:b"])).is_err());
+        assert!(parse_args(&argv(&["batch", "--circuit-id", "c", "--bogus"])).is_err());
     }
 
     #[test]
@@ -1321,9 +1610,14 @@ mod tests {
                 circuit: Some("golem4".into()),
             }
         );
-        // status/wait/cancel need --job; the others refuse it. evict
-        // needs --circuit; the others refuse it.
+        // status/wait/cancel/watch need --job; the others refuse it.
+        // evict needs --circuit; the others refuse it.
         assert!(parse_args(&argv(&["ctl", "wait"])).is_err());
+        assert!(parse_args(&argv(&["ctl", "watch"])).is_err());
+        assert!(matches!(
+            parse_args(&argv(&["ctl", "watch", "--job", "4"])).unwrap(),
+            Command::Ctl { ref verb, job: Some(4), .. } if verb == "watch"
+        ));
         assert!(parse_args(&argv(&["ctl", "ping", "--job", "1"])).is_err());
         assert!(parse_args(&argv(&["ctl", "evict"])).is_err());
         assert!(parse_args(&argv(&["ctl", "ping", "--circuit", "x"])).is_err());

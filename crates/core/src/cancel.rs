@@ -76,6 +76,30 @@ impl CancelToken {
         self.set_deadline(Instant::now() + timeout);
     }
 
+    /// Sleeps for `duration` unless (or until) the token trips, polling
+    /// in small chunks so a cancel fan-out is observed promptly. Returns
+    /// `true` when the sleep was cut short by cancellation — the caller's
+    /// cue to stop retrying / heartbeating rather than continue its loop.
+    ///
+    /// This is the backoff/heartbeat primitive for drivers that wait
+    /// *between* jobs (retry backoff, health-check intervals): a plain
+    /// `thread::sleep` there would ignore cancellation for the whole
+    /// interval, turning a cooperative cancel into a stall.
+    pub fn sleep(&self, duration: Duration) -> bool {
+        const CHUNK: Duration = Duration::from_millis(20);
+        let end = Instant::now() + duration;
+        loop {
+            if self.is_cancelled() {
+                return true;
+            }
+            let now = Instant::now();
+            if now >= end {
+                return false;
+            }
+            std::thread::sleep((end - now).min(CHUNK));
+        }
+    }
+
     /// Whether the token has been tripped (explicitly or by deadline).
     /// A deadline crossing is latched into the flag, so the (cheap) flag
     /// check short-circuits all later polls.
@@ -163,6 +187,23 @@ mod tests {
         let t = CancelToken::new();
         t.set_timeout(Duration::from_secs(3600));
         assert!(!t.is_cancelled());
+    }
+
+    #[test]
+    fn cancellable_sleep_runs_to_completion_when_untripped() {
+        let t = CancelToken::new();
+        let start = Instant::now();
+        assert!(!t.sleep(Duration::from_millis(30)));
+        assert!(start.elapsed() >= Duration::from_millis(30));
+    }
+
+    #[test]
+    fn cancellable_sleep_returns_early_once_tripped() {
+        let t = CancelToken::new();
+        t.cancel();
+        let start = Instant::now();
+        assert!(t.sleep(Duration::from_secs(3600)));
+        assert!(start.elapsed() < Duration::from_secs(5));
     }
 
     #[test]

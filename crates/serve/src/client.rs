@@ -1,26 +1,61 @@
 //! A small blocking client for the daemon's wire protocol, used by the
-//! CLI `submit` command, the integration tests, and the serve benchmark.
+//! CLI `submit` command, the coordinator's worker dispatchers, the
+//! integration tests, and the serve benchmark.
 
+use crate::batch::BatchRequest;
 use crate::json::{self, Json};
 use crate::wire::{SubmitRequest, UploadRequest};
 use std::fmt;
+use std::hash::{BuildHasher, RandomState};
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 /// A client-side failure.
 #[derive(Debug)]
 pub enum ClientError {
     /// Socket-level failure.
     Io(io::Error),
+    /// The daemon could not be reached within the retry budget — the
+    /// typed `connect_failed` error CLI callers print instead of a raw
+    /// io error.
+    ConnectFailed {
+        /// The address dialed.
+        addr: String,
+        /// Connection attempts made.
+        attempts: u32,
+        /// The last attempt's socket error.
+        last: io::Error,
+    },
     /// The server's response line was not valid protocol JSON (or the
     /// connection closed before a response arrived).
     Protocol(String),
+}
+
+impl ClientError {
+    /// Machine-readable error tag (mirrors the wire's `error` codes).
+    pub fn code(&self) -> &'static str {
+        match self {
+            ClientError::Io(_) => "io",
+            ClientError::ConnectFailed { .. } => "connect_failed",
+            ClientError::Protocol(_) => "protocol",
+        }
+    }
 }
 
 impl fmt::Display for ClientError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::ConnectFailed {
+                addr,
+                attempts,
+                last,
+            } => write!(
+                f,
+                "connect_failed: cannot reach {addr} after {attempts} attempt{}: {last}",
+                if *attempts == 1 { "" } else { "s" }
+            ),
             ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
         }
     }
@@ -34,14 +69,56 @@ impl From<io::Error> for ClientError {
     }
 }
 
+/// Bounded-retry policy for [`Client::connect_retry`]: `attempts` dials
+/// with exponential backoff from `base_delay_ms`, each delay jittered so
+/// a burst of clients retrying against one recovering daemon does not
+/// reconnect in lockstep.
+#[derive(Clone, Copy, PartialEq, Eq, Debug)]
+pub struct ConnectRetry {
+    /// Total connection attempts (≥ 1).
+    pub attempts: u32,
+    /// Backoff before retry `k` is `base_delay_ms << (k-1)` plus jitter.
+    pub base_delay_ms: u64,
+}
+
+impl Default for ConnectRetry {
+    fn default() -> Self {
+        ConnectRetry {
+            attempts: 3,
+            base_delay_ms: 25,
+        }
+    }
+}
+
+impl ConnectRetry {
+    /// A single-attempt policy (no retry, but still the typed error).
+    pub fn once() -> Self {
+        ConnectRetry {
+            attempts: 1,
+            base_delay_ms: 0,
+        }
+    }
+
+    /// The backoff before attempt `attempt + 1` (0-based failed
+    /// attempt), jittered by up to the base delay.
+    fn delay(&self, addr: &str, attempt: u32) -> Duration {
+        let exp = self.base_delay_ms << attempt.min(6);
+        // std-only jitter: RandomState seeds each hasher from process
+        // entropy, so the low bits vary per process and per attempt.
+        let jitter = RandomState::new().hash_one((addr, attempt)) % (self.base_delay_ms + 1);
+        Duration::from_millis(exp + jitter)
+    }
+}
+
 /// A blocking connection to a `prop-serve` daemon.
+#[derive(Debug)]
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
 }
 
 impl Client {
-    /// Connects to a running daemon.
+    /// Connects to a running daemon with one attempt.
     ///
     /// # Errors
     ///
@@ -51,6 +128,43 @@ impl Client {
         writer.set_nodelay(true)?;
         let reader = BufReader::new(writer.try_clone()?);
         Ok(Client { reader, writer })
+    }
+
+    /// Connects with bounded retry and jittered exponential backoff —
+    /// the CLI and coordinator entry point, so a daemon that is still
+    /// binding its socket (or briefly restarting) does not fail the
+    /// whole command on the first refused connect.
+    ///
+    /// # Errors
+    ///
+    /// [`ClientError::ConnectFailed`] once every attempt has failed.
+    pub fn connect_retry(addr: &str, retry: &ConnectRetry) -> Result<Self, ClientError> {
+        let attempts = retry.attempts.max(1);
+        let mut last = None;
+        for attempt in 0..attempts {
+            if attempt > 0 {
+                std::thread::sleep(retry.delay(addr, attempt - 1));
+            }
+            match Client::connect(addr) {
+                Ok(client) => return Ok(client),
+                Err(e) => last = Some(e),
+            }
+        }
+        Err(ClientError::ConnectFailed {
+            addr: addr.to_string(),
+            attempts,
+            last: last.expect("at least one attempt"),
+        })
+    }
+
+    /// Sets the read timeout on the response side of the connection
+    /// (`None` blocks indefinitely — the default).
+    ///
+    /// # Errors
+    ///
+    /// Propagates socket errors.
+    pub fn set_read_timeout(&self, timeout: Option<Duration>) -> io::Result<()> {
+        self.reader.get_ref().set_read_timeout(timeout)
     }
 
     /// Sends one request line and reads the one-line JSON response.
@@ -63,6 +177,16 @@ impl Client {
         self.writer.write_all(line.as_bytes())?;
         self.writer.write_all(b"\n")?;
         self.writer.flush()?;
+        self.read_event()
+    }
+
+    /// Reads one more JSON line from the server — the `watch` stream's
+    /// per-event read.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn read_event(&mut self) -> Result<Json, ClientError> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;
         if n == 0 {
@@ -108,6 +232,42 @@ impl Client {
     /// See [`Client::roundtrip`].
     pub fn submit(&mut self, request: &SubmitRequest) -> Result<Json, ClientError> {
         self.roundtrip(&request.render())
+    }
+
+    /// Submits a sharded sweep to a coordinator.
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`].
+    pub fn batch(&mut self, request: &BatchRequest) -> Result<Json, ClientError> {
+        self.roundtrip(&request.render())
+    }
+
+    /// Streams a batch's progress: sends `watch job=`, hands every
+    /// event line to `on_event`, and returns the terminal event (the
+    /// `done` line, or the single error object for unknown/non-batch
+    /// ids).
+    ///
+    /// # Errors
+    ///
+    /// See [`Client::roundtrip`]; a truncated stream (server gone
+    /// mid-watch) surfaces as [`ClientError::Protocol`].
+    pub fn watch(
+        &mut self,
+        job: u64,
+        mut on_event: impl FnMut(&Json),
+    ) -> Result<Json, ClientError> {
+        self.writer.write_all(format!("watch job={job}\n").as_bytes())?;
+        self.writer.flush()?;
+        loop {
+            let event = self.read_event()?;
+            on_event(&event);
+            let terminal = event.get("ok").and_then(Json::as_bool) != Some(true)
+                || event.get("event").and_then(Json::as_str) == Some("done");
+            if terminal {
+                return Ok(event);
+            }
+        }
     }
 
     /// Queries a job without blocking.
@@ -162,5 +322,53 @@ impl Client {
     /// See [`Client::roundtrip`].
     pub fn evict(&mut self, circuit: &str) -> Result<Json, ClientError> {
         self.roundtrip(&format!("evict circuit={circuit}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connect_retry_reports_the_typed_error() {
+        // A port from the dynamic range nothing in the test environment
+        // listens on: bind-then-drop guarantees it was just free.
+        let addr = {
+            let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            listener.local_addr().unwrap().to_string()
+        };
+        let retry = ConnectRetry {
+            attempts: 3,
+            base_delay_ms: 1,
+        };
+        let err = Client::connect_retry(&addr, &retry).unwrap_err();
+        assert_eq!(err.code(), "connect_failed");
+        let ClientError::ConnectFailed { attempts, addr: a, .. } = &err else {
+            panic!("expected ConnectFailed, got {err:?}");
+        };
+        assert_eq!(*attempts, 3);
+        assert_eq!(*a, addr);
+        assert!(err.to_string().contains("connect_failed"));
+    }
+
+    #[test]
+    fn connect_retry_succeeds_against_a_listener() {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap().to_string();
+        Client::connect_retry(&addr, &ConnectRetry::default()).unwrap();
+        Client::connect_retry(&addr, &ConnectRetry::once()).unwrap();
+    }
+
+    #[test]
+    fn backoff_delays_are_bounded() {
+        let retry = ConnectRetry {
+            attempts: 8,
+            base_delay_ms: 10,
+        };
+        for attempt in 0..16 {
+            let d = retry.delay("host:1", attempt);
+            // Exponent clamps at 6: 10 << 6 = 640ms, plus ≤10ms jitter.
+            assert!(d <= Duration::from_millis(650), "attempt {attempt}: {d:?}");
+        }
     }
 }

@@ -173,6 +173,17 @@ impl JobTable {
         id
     }
 
+    /// Allocates an id from the shared namespace without inserting an
+    /// entry. The coordinator's batches live in their own table but
+    /// draw ids here, so `status`/`wait`/`cancel`/`watch` address jobs
+    /// and batches through one number space with no collisions.
+    pub fn reserve(&self) -> u64 {
+        let mut state = self.state.lock().expect("job table lock");
+        let id = state.next_id;
+        state.next_id += 1;
+        id
+    }
+
     /// Claims a queued job for a worker: marks it `Running` and hands
     /// back its payload plus the cancellation token to install. `None`
     /// if the id is unknown or already claimed.
@@ -318,5 +329,10 @@ mod tests {
         let a = table.insert(submit());
         let b = table.insert(submit());
         assert!(b > a);
+        // Reserved ids share the namespace but own no entry.
+        let r = table.reserve();
+        assert!(r > b);
+        assert!(table.view(r).is_none());
+        assert!(table.insert(submit()) > r);
     }
 }

@@ -38,7 +38,9 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod client;
+pub mod cluster;
 pub mod engine;
 pub mod job;
 pub mod json;
@@ -48,11 +50,13 @@ pub mod server;
 pub mod store;
 pub mod wire;
 
-pub use client::{Client, ClientError};
+pub use batch::{BatchRequest, BatchResult, GroupResult, SubJob, SubJobOutcome};
+pub use client::{Client, ClientError, ConnectRetry};
+pub use cluster::{ClusterConfig, Coordinator};
 pub use engine::EngineKind;
 pub use job::{JobOutcome, JobPhase, JobStatus, JobTable, JobView};
 pub use json::Json;
-pub use metrics::Metrics;
+pub use metrics::{LatencyHistogram, Metrics};
 pub use queue::{JobQueue, PushError};
 pub use server::{start, ServerConfig, ServerHandle};
 pub use store::{CircuitStore, StoreError, StoredCircuit};

@@ -20,11 +20,47 @@ use std::sync::Mutex;
 /// `wall_ms in [2^i - 1, 2^(i+1) - 1)`; the last bucket is open-ended.
 pub const LATENCY_BUCKETS: usize = 16;
 
+/// A lock-free log2 latency histogram: one lane of the per-engine
+/// `stats` section, and the per-worker latency surface of the
+/// coordinator's cluster metrics.
 #[derive(Default)]
-struct EngineLatency {
+pub struct LatencyHistogram {
     count: AtomicU64,
     total_ms: AtomicU64,
     buckets: [AtomicU64; LATENCY_BUCKETS],
+}
+
+impl LatencyHistogram {
+    /// A zeroed histogram.
+    pub fn new() -> Self {
+        LatencyHistogram::default()
+    }
+
+    /// Records one observation.
+    pub fn record(&self, wall_ms: u64) {
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.total_ms.fetch_add(wall_ms, Ordering::Relaxed);
+        self.buckets[bucket_of(wall_ms)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Renders `{count, total_ms, log2_ms_buckets}`.
+    pub fn to_json(&self) -> Json {
+        let buckets: Vec<Json> = self
+            .buckets
+            .iter()
+            .map(|b| json::uint(b.load(Ordering::Relaxed)))
+            .collect();
+        json::obj(vec![
+            ("count", json::uint(self.count())),
+            ("total_ms", json::uint(self.total_ms.load(Ordering::Relaxed))),
+            ("log2_ms_buckets", Json::Arr(buckets)),
+        ])
+    }
 }
 
 /// The daemon-wide metrics registry.
@@ -50,7 +86,7 @@ pub struct Metrics {
     pub worker_panics: AtomicU64,
     /// Connections accepted since start.
     pub connections: AtomicU64,
-    latency: [EngineLatency; 5],
+    latency: [LatencyHistogram; 5],
     prof: Mutex<ProfSnapshot>,
 }
 
@@ -68,10 +104,7 @@ impl Metrics {
 
     /// Records one finished job's wall time under its engine.
     pub fn record_latency(&self, engine: EngineKind, wall_ms: u64) {
-        let lane = &self.latency[engine.index()];
-        lane.count.fetch_add(1, Ordering::Relaxed);
-        lane.total_ms.fetch_add(wall_ms, Ordering::Relaxed);
-        lane.buckets[bucket_of(wall_ms)].fetch_add(1, Ordering::Relaxed);
+        self.latency[engine.index()].record(wall_ms);
     }
 
     /// Folds one job's engine-profile snapshot into the totals.
@@ -114,23 +147,10 @@ impl Metrics {
         let mut engines = Vec::new();
         for kind in ALL_ENGINES {
             let lane = &self.latency[kind.index()];
-            let count = lane.count.load(Ordering::Relaxed);
-            if count == 0 {
+            if lane.count() == 0 {
                 continue;
             }
-            let buckets: Vec<Json> = lane
-                .buckets
-                .iter()
-                .map(|b| json::uint(b.load(Ordering::Relaxed)))
-                .collect();
-            engines.push((
-                kind.name(),
-                json::obj(vec![
-                    ("count", json::uint(count)),
-                    ("total_ms", json::uint(lane.total_ms.load(Ordering::Relaxed))),
-                    ("log2_ms_buckets", Json::Arr(buckets)),
-                ]),
-            ));
+            engines.push((kind.name(), lane.to_json()));
         }
         let prof = {
             let total = self.prof.lock().expect("prof totals lock");

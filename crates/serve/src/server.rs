@@ -16,6 +16,8 @@
 //! `shutting_down`, queued jobs drain, and [`ServerHandle::join`] returns
 //! once every worker has retired.
 
+use crate::batch::BatchRequest;
+use crate::cluster::{ClusterConfig, Coordinator};
 use crate::engine::{self, EngineKind};
 use crate::job::{JobOutcome, JobStatus, JobTable, JobView};
 use crate::json::{self, Json};
@@ -48,6 +50,10 @@ pub struct ServerConfig {
     /// Directory for the named-circuit store (`upload` / `circuits` /
     /// `evict`, `submit circuit_id=`). `None` disables the store verbs.
     pub store_dir: Option<String>,
+    /// Coordinator mode: the worker set and health/retry knobs for the
+    /// `batch` / `watch` verbs. `None` runs a plain single-node daemon.
+    /// Requires `store_dir` (batches reference stored circuits).
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -58,6 +64,7 @@ impl Default for ServerConfig {
             queue_cap: 64,
             max_request_bytes: DEFAULT_MAX_REQUEST_BYTES,
             store_dir: None,
+            cluster: None,
         }
     }
 }
@@ -68,6 +75,7 @@ struct Shared {
     metrics: Metrics,
     shutdown: AtomicBool,
     store: Option<CircuitStore>,
+    cluster: Option<Coordinator>,
 }
 
 /// A running daemon; dropping the handle does **not** stop it — call
@@ -90,6 +98,9 @@ impl ServerHandle {
     pub fn shutdown(&self) {
         self.shared.shutdown.store(true, Ordering::SeqCst);
         self.shared.queue.drain();
+        if let Some(cluster) = self.shared.cluster.as_ref() {
+            cluster.stop();
+        }
     }
 
     /// Blocks until the accept thread and every worker have retired —
@@ -115,6 +126,22 @@ impl ServerHandle {
 ///
 /// Fails if the listen address cannot be bound.
 pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+    if let Some(cluster) = &config.cluster {
+        // Batches reference stored circuits and the coordinator ships
+        // snapshots worker-to-worker, so both requirements are structural.
+        if config.store_dir.is_none() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "coordinator mode requires a circuit store (set store_dir / --store-dir)",
+            ));
+        }
+        if cluster.workers.is_empty() {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "coordinator mode requires at least one worker address",
+            ));
+        }
+    }
     let listener = TcpListener::bind(&config.addr)?;
     listener.set_nonblocking(true)?;
     let addr = listener.local_addr()?;
@@ -124,6 +151,7 @@ pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         metrics: Metrics::new(),
         shutdown: AtomicBool::new(false),
         store: config.store_dir.as_deref().map(CircuitStore::new),
+        cluster: config.cluster.clone().map(Coordinator::new),
     });
 
     let workers = (0..config.workers.max(1))
@@ -212,6 +240,14 @@ fn handle_connection(stream: TcpStream, shared: &Arc<Shared>, max_bytes: usize) 
                             shared.metrics.malformed.fetch_add(1, Ordering::Relaxed);
                             err_obj("malformed", &e.to_string())
                         }
+                        // The one multi-line response: stream batch
+                        // events directly, then keep the connection.
+                        Ok(Request::Watch { job }) => {
+                            if stream_watch(job, shared, &mut writer).is_err() {
+                                break;
+                            }
+                            continue;
+                        }
                         Ok(request) => handle_request(request, shared),
                     },
                 }
@@ -236,29 +272,55 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Json {
     match request {
         Request::Ping => ok_obj(vec![("pong", Json::Bool(true))]),
         Request::Stats => {
-            let body = shared.metrics.to_json(
+            let mut body = shared.metrics.to_json(
                 shared.queue.depth(),
                 shared.queue.capacity(),
                 shared.shutdown.load(Ordering::SeqCst),
             );
+            if let Some(cluster) = shared.cluster.as_ref() {
+                if let Json::Obj(fields) = &mut body {
+                    fields.push(("cluster".to_string(), cluster.stats_json()));
+                }
+            }
             ok_obj(vec![("stats", body)])
         }
         Request::Shutdown => {
             shared.shutdown.store(true, Ordering::SeqCst);
             shared.queue.drain();
+            if let Some(cluster) = shared.cluster.as_ref() {
+                cluster.stop();
+            }
             ok_obj(vec![("draining", Json::Bool(true))])
         }
         Request::Submit(submit) => handle_submit(submit, shared),
-        Request::Status { job } => match shared.jobs.view(job) {
-            None => err_obj("unknown_job", &format!("no job {job}")),
-            Some(view) => view_json(job, &view),
+        Request::Batch(spec) => handle_batch(spec, shared),
+        // Intercepted by the connection loop (the one streaming verb);
+        // reachable only through direct library calls.
+        Request::Watch { job } => match shared.cluster.as_ref().and_then(|c| c.batch(job)) {
+            Some(batch) => batch.view(),
+            None => err_obj("unknown_job", &format!("no batch {job}")),
         },
-        Request::Wait { job } => match shared.jobs.wait(job) {
-            None => err_obj("unknown_job", &format!("no job {job}")),
-            Some(view) => view_json(job, &view),
-        },
+        Request::Status { job } => {
+            if let Some(batch) = shared.cluster.as_ref().and_then(|c| c.batch(job)) {
+                return batch.view();
+            }
+            match shared.jobs.view(job) {
+                None => err_obj("unknown_job", &format!("no job {job}")),
+                Some(view) => view_json(job, &view),
+            }
+        }
+        Request::Wait { job } => {
+            if let Some(batch) = shared.cluster.as_ref().and_then(|c| c.batch(job)) {
+                return batch.wait_view();
+            }
+            match shared.jobs.wait(job) {
+                None => err_obj("unknown_job", &format!("no job {job}")),
+                Some(view) => view_json(job, &view),
+            }
+        }
         Request::Cancel { job } => {
-            if shared.jobs.cancel(job) {
+            let hit_batch = shared.cluster.as_ref().is_some_and(|c| c.cancel(job));
+            if hit_batch || shared.jobs.cancel(job) {
                 ok_obj(vec![("job", json::uint(job)), ("cancelled", Json::Bool(true))])
             } else {
                 err_obj("unknown_job", &format!("no job {job}"))
@@ -299,6 +361,84 @@ fn handle_request(request: Request, shared: &Arc<Shared>) -> Json {
             },
         },
     }
+}
+
+/// Streams a batch's event log: replay from the start, then follow live
+/// until the terminal `done` event. Unknown ids and non-coordinator
+/// daemons get a single error line (the connection stays usable).
+/// `Err` means the client went away mid-stream — drop the connection.
+fn stream_watch(job: u64, shared: &Arc<Shared>, writer: &mut TcpStream) -> Result<(), ()> {
+    let batch = match shared.cluster.as_ref() {
+        None => {
+            let body = err_obj(
+                "not_coordinator",
+                "watch requires a coordinator daemon (serve --coordinator)",
+            );
+            return writeln!(writer, "{}", body.render()).map_err(|_| ());
+        }
+        Some(cluster) => match cluster.batch(job) {
+            Some(batch) => batch,
+            None => {
+                let body = err_obj("unknown_job", &format!("no batch {job}"));
+                return writeln!(writer, "{}", body.render()).map_err(|_| ());
+            }
+        },
+    };
+    let mut next = 0;
+    while let Some(event) = batch.event(next) {
+        writeln!(writer, "{}", event.render()).map_err(|_| ())?;
+        next += 1;
+    }
+    Ok(())
+}
+
+/// Admits a `batch`: snapshot + pin the circuit, reserve a job id, and
+/// hand the sweep to the coordinator's dispatchers.
+fn handle_batch(spec: BatchRequest, shared: &Arc<Shared>) -> Json {
+    let Some(cluster) = shared.cluster.as_ref() else {
+        return err_obj(
+            "not_coordinator",
+            "batch requires a coordinator daemon (serve --coordinator --workers host:port,...)",
+        );
+    };
+    if shared.shutdown.load(Ordering::SeqCst) {
+        shared
+            .metrics
+            .rejected_shutdown
+            .fetch_add(1, Ordering::Relaxed);
+        return err_obj("shutting_down", "daemon is draining; not accepting batches");
+    }
+    let store = match require_store(shared) {
+        Ok(store) => store,
+        Err(resp) => return resp,
+    };
+    // Snapshot before pin: both fail with the same typed errors, and a
+    // failed admission must leave no pin behind.
+    let snapshot = match store.snapshot_bytes(&spec.circuit_id) {
+        Ok(bytes) => bytes,
+        Err(e) => return err_obj(e.code(), &e.to_string()),
+    };
+    if let Err(e) = store.pin(&spec.circuit_id) {
+        return err_obj(e.code(), &e.to_string());
+    }
+    let id = shared.jobs.reserve();
+    let unpin = {
+        let shared = Arc::clone(shared);
+        let circuit = spec.circuit_id.clone();
+        Box::new(move || {
+            if let Some(store) = shared.store.as_ref() {
+                store.unpin(&circuit);
+            }
+        })
+    };
+    let sub_jobs = cluster.submit_batch(id, spec, snapshot, unpin);
+    shared.metrics.accepted.fetch_add(1, Ordering::Relaxed);
+    ok_obj(vec![
+        ("job", json::uint(id)),
+        ("batch", Json::Bool(true)),
+        ("sub_jobs", json::uint(sub_jobs as u64)),
+        ("queued", Json::Bool(true)),
+    ])
 }
 
 fn require_store(shared: &Arc<Shared>) -> Result<&CircuitStore, Json> {
@@ -379,24 +519,26 @@ fn handle_submit(submit: SubmitRequest, shared: &Arc<Shared>) -> Json {
             &format!("unknown engine {:?} (use prop, prop-paper, fm, fm-tree, ml)", submit.engine),
         );
     }
-    if !submit.circuit_id.is_empty() {
-        // Cheap admission probe so a typo'd circuit id is refused here,
-        // not minutes later as a failed job.
+    let circuit_id = submit.circuit_id.clone();
+    if !circuit_id.is_empty() {
+        // The admission probe doubles as the eviction pin: a typo'd id
+        // is refused here (not minutes later as a failed job), and a
+        // valid one cannot be evicted out from under the queued job.
         let store = match require_store(shared) {
             Ok(store) => store,
             Err(resp) => return resp,
         };
-        match store.contains(&submit.circuit_id) {
-            Ok(true) => {}
-            Ok(false) => {
-                return err_obj(
-                    "unknown_circuit",
-                    &format!("unknown circuit {:?}", submit.circuit_id),
-                )
-            }
-            Err(e) => return err_obj(e.code(), &e.to_string()),
+        if let Err(e) = store.pin(&circuit_id) {
+            return err_obj(e.code(), &e.to_string());
         }
     }
+    let unpin = |shared: &Arc<Shared>| {
+        if !circuit_id.is_empty() {
+            if let Some(store) = shared.store.as_ref() {
+                store.unpin(&circuit_id);
+            }
+        }
+    };
     let priority = submit.priority;
     let wait = submit.wait;
     let id = shared.jobs.insert(submit);
@@ -413,11 +555,13 @@ fn handle_submit(submit: SubmitRequest, shared: &Arc<Shared>) -> Json {
             }
         }
         Err(PushError::Full) => {
+            unpin(shared);
             shared.jobs.forget(id);
             shared.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
             err_obj("queue_full", "job queue at capacity; retry later")
         }
         Err(PushError::Draining) => {
+            unpin(shared);
             shared.jobs.forget(id);
             shared
                 .metrics
@@ -524,6 +668,14 @@ fn worker_loop(shared: &Arc<Shared>) {
                 JobOutcome::failed("worker panicked while running the job", wall_ms)
             }
         };
+        // Release the admission-time eviction pin before publishing the
+        // terminal state: a client that saw the job complete must be able
+        // to evict the circuit immediately.
+        if !work.circuit_id.is_empty() {
+            if let Some(store) = shared.store.as_ref() {
+                store.unpin(&work.circuit_id);
+            }
+        }
         shared.jobs.finish(id, outcome);
     }
 }
@@ -792,6 +944,155 @@ mod tests {
         client.shutdown().unwrap();
         handle.join();
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn batch_and_watch_require_a_coordinator() {
+        let handle = start_test_server(1, 4);
+        let mut client = Client::connect(handle.addr()).unwrap();
+        let resp = client.roundtrip("batch circuit_id=c").unwrap();
+        assert_eq!(resp.get("error").and_then(Json::as_str), Some("not_coordinator"));
+        let terminal = client.watch(1, |_| {}).unwrap();
+        assert_eq!(
+            terminal.get("error").and_then(Json::as_str),
+            Some("not_coordinator")
+        );
+        // The connection survives the error lines.
+        assert!(client.ping().is_ok());
+        client.shutdown().unwrap();
+        handle.join();
+    }
+
+    #[test]
+    fn coordinator_mode_validates_its_config() {
+        let no_store = start(&ServerConfig {
+            cluster: Some(crate::cluster::ClusterConfig {
+                workers: vec!["127.0.0.1:1".into()],
+                ..crate::cluster::ClusterConfig::default()
+            }),
+            ..ServerConfig::default()
+        });
+        assert_eq!(
+            no_store.err().map(|e| e.kind()),
+            Some(std::io::ErrorKind::InvalidInput)
+        );
+        let no_workers = start(&ServerConfig {
+            store_dir: Some("unused".into()),
+            cluster: Some(crate::cluster::ClusterConfig::default()),
+            ..ServerConfig::default()
+        });
+        assert_eq!(
+            no_workers.err().map(|e| e.kind()),
+            Some(std::io::ErrorKind::InvalidInput)
+        );
+    }
+
+    #[test]
+    fn coordinator_runs_a_batch_end_to_end() {
+        let base = std::env::temp_dir().join(format!(
+            "prop-serve-cluster-{}-{}",
+            std::process::id(),
+            line!()
+        ));
+        std::fs::remove_dir_all(&base).ok();
+        let worker = start(&ServerConfig {
+            workers: 1,
+            queue_cap: 16,
+            store_dir: Some(base.join("w").to_string_lossy().into_owned()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let coordinator = start(&ServerConfig {
+            workers: 1,
+            queue_cap: 16,
+            store_dir: Some(base.join("c").to_string_lossy().into_owned()),
+            cluster: Some(crate::cluster::ClusterConfig {
+                workers: vec![worker.addr().to_string()],
+                heartbeat_ms: 50,
+                ..crate::cluster::ClusterConfig::default()
+            }),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let mut client = Client::connect(coordinator.addr()).unwrap();
+        client
+            .upload(&crate::wire::UploadRequest {
+                circuit: "tiny".into(),
+                fmt: "hgr".into(),
+                payload: Some(tiny_payload().into_bytes()),
+                path: None,
+            })
+            .unwrap();
+
+        let spec = crate::batch::BatchRequest {
+            circuit_id: "tiny".into(),
+            engines: vec!["fm".into()],
+            runs: 4,
+            seed: 3,
+            chunk: 2,
+            ..crate::batch::BatchRequest::default()
+        };
+        let resp = client.batch(&spec).unwrap();
+        assert_eq!(resp.get("ok").and_then(Json::as_bool), Some(true), "{resp:?}");
+        assert_eq!(resp.get("sub_jobs").and_then(Json::as_u64), Some(2));
+        let job = resp.get("job").and_then(Json::as_u64).unwrap();
+
+        // The circuit is pinned while the batch is live: evict is busy
+        // until the done event lands (it may already have landed on a
+        // fast machine, so only assert the typed code when refused).
+        let evict = client.evict("tiny").unwrap();
+        if evict.get("ok").and_then(Json::as_bool) != Some(true) {
+            assert_eq!(evict.get("error").and_then(Json::as_str), Some("circuit_busy"));
+        }
+
+        let mut events = Vec::new();
+        let done = client.watch(job, |e| events.push(e.clone())).unwrap();
+        assert_eq!(done.get("event").and_then(Json::as_str), Some("done"));
+        assert_eq!(done.get("status").and_then(Json::as_str), Some("completed"));
+        assert!(done.get("cut").and_then(Json::as_f64).is_some());
+        assert_eq!(
+            done.get("run_cuts").and_then(Json::as_arr).map(<[Json]>::len),
+            Some(4)
+        );
+        assert!(
+            events
+                .iter()
+                .any(|e| e.get("event").and_then(Json::as_str) == Some("result")),
+            "per-sub-job result events streamed"
+        );
+
+        // status/wait on a finished batch return the terminal view; a
+        // second watch replays the full log.
+        let status = client.status(job).unwrap();
+        assert_eq!(status.get("status").and_then(Json::as_str), Some("completed"));
+        assert_eq!(client.wait(job).unwrap(), status);
+        let replay = client.watch(job, |_| {}).unwrap();
+        assert_eq!(replay, done);
+
+        // Batch done → pin released → evict succeeds.
+        let evict = client.evict("tiny").unwrap();
+        assert_eq!(evict.get("ok").and_then(Json::as_bool), Some(true), "{evict:?}");
+
+        let stats = client.stats().unwrap();
+        let cluster = stats.get("stats").and_then(|s| s.get("cluster")).unwrap();
+        let workers = cluster.get("workers").and_then(Json::as_arr).unwrap();
+        assert_eq!(workers.len(), 1);
+        assert!(workers[0].get("completed").and_then(Json::as_u64).unwrap() >= 2);
+        assert_eq!(workers[0].get("uploads").and_then(Json::as_u64), Some(1));
+        assert_eq!(
+            cluster
+                .get("batches")
+                .and_then(|b| b.get("completed"))
+                .and_then(Json::as_u64),
+            Some(1)
+        );
+
+        client.shutdown().unwrap();
+        coordinator.join();
+        let mut wclient = Client::connect(worker.addr()).unwrap();
+        wclient.shutdown().unwrap();
+        worker.join();
+        std::fs::remove_dir_all(&base).ok();
     }
 
     #[test]

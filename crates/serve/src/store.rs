@@ -34,6 +34,9 @@ pub enum StoreError {
     Unknown(String),
     /// The netlist bytes failed to parse or validate.
     Invalid(String),
+    /// The circuit is pinned by queued or running work and cannot be
+    /// evicted — the eviction would unmap the file under a job.
+    Busy(String),
     /// A filesystem operation failed.
     Io(String),
 }
@@ -45,6 +48,7 @@ impl StoreError {
             StoreError::InvalidId(_) => "invalid_circuit_id",
             StoreError::Unknown(_) => "unknown_circuit",
             StoreError::Invalid(_) => "invalid_netlist",
+            StoreError::Busy(_) => "circuit_busy",
             StoreError::Io(_) => "store_io",
         }
     }
@@ -59,6 +63,9 @@ impl fmt::Display for StoreError {
             ),
             StoreError::Unknown(id) => write!(f, "unknown circuit {id:?}"),
             StoreError::Invalid(m) => write!(f, "invalid netlist: {m}"),
+            StoreError::Busy(id) => {
+                write!(f, "circuit {id:?} is referenced by queued or running work")
+            }
             StoreError::Io(m) => write!(f, "store I/O failure: {m}"),
         }
     }
@@ -90,6 +97,11 @@ pub struct StoredCircuit {
 pub struct CircuitStore {
     dir: PathBuf,
     cache: Mutex<HashMap<String, Arc<Hypergraph>>>,
+    /// Reference counts of circuits held by queued or running work
+    /// (jobs and batches). A pinned circuit refuses `evict` with
+    /// [`StoreError::Busy`] — a job must never partition against an
+    /// unmapped snapshot.
+    pins: Mutex<HashMap<String, usize>>,
 }
 
 /// Whether `id` is an admissible circuit id (file-name-safe by
@@ -109,6 +121,7 @@ impl CircuitStore {
         CircuitStore {
             dir: dir.into(),
             cache: Mutex::new(HashMap::new()),
+            pins: Mutex::new(HashMap::new()),
         }
     }
 
@@ -221,10 +234,83 @@ impl CircuitStore {
         Ok(out)
     }
 
+    /// Pins `id` against eviction for the lifetime of one queued or
+    /// running piece of work. Pins nest (a batch and its sub-jobs may
+    /// each hold one); every pin must be paired with an [`unpin`].
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unknown`] when no such circuit is stored — pinning
+    /// happens at admission time, where the existence probe lives.
+    ///
+    /// [`unpin`]: CircuitStore::unpin
+    pub fn pin(&self, id: &str) -> Result<(), StoreError> {
+        if !self.contains(id)? {
+            return Err(StoreError::Unknown(id.to_string()));
+        }
+        *self
+            .pins
+            .lock()
+            .expect("circuit store pin lock")
+            .entry(id.to_string())
+            .or_insert(0) += 1;
+        Ok(())
+    }
+
+    /// Releases one pin on `id`. A no-op for unpinned ids, so release
+    /// paths (job finish, rejected admission, batch teardown) can call
+    /// it unconditionally.
+    pub fn unpin(&self, id: &str) {
+        let mut pins = self.pins.lock().expect("circuit store pin lock");
+        if let Some(count) = pins.get_mut(id) {
+            *count -= 1;
+            if *count == 0 {
+                pins.remove(id);
+            }
+        }
+    }
+
+    /// Whether `id` is currently pinned by queued or running work.
+    pub fn pinned(&self, id: &str) -> bool {
+        self.pins
+            .lock()
+            .expect("circuit store pin lock")
+            .contains_key(id)
+    }
+
+    /// The raw `.hgb` snapshot bytes of `id` — what a coordinator ships
+    /// to a worker that lacks the circuit (store-to-store transfer).
+    /// Reads the on-disk image; falls back to re-serializing the cached
+    /// graph when only the cache holds it.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Unknown`] when the circuit is not stored,
+    /// [`StoreError::Io`] on read failures.
+    pub fn snapshot_bytes(&self, id: &str) -> Result<Vec<u8>, StoreError> {
+        let path = self.file_of(id)?;
+        match std::fs::read(&path) {
+            Ok(bytes) => Ok(bytes),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => match self.cache().get(id) {
+                Some(graph) => Ok(hgb::write_hgb(graph)),
+                None => Err(StoreError::Unknown(id.to_string())),
+            },
+            Err(e) => Err(StoreError::Io(e.to_string())),
+        }
+    }
+
     /// Removes `id` from the cache and deletes its snapshot. Returns
     /// whether the circuit existed.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Busy`] while the circuit is pinned by queued or
+    /// running work — eviction must never unmap a file under a job.
     pub fn evict(&self, id: &str) -> Result<bool, StoreError> {
         let path = self.file_of(id)?;
+        if self.pinned(id) {
+            return Err(StoreError::Busy(id.to_string()));
+        }
         let cached = self.cache().remove(id).is_some();
         match std::fs::remove_file(&path) {
             Ok(()) => Ok(true),
@@ -333,6 +419,55 @@ mod tests {
             assert!(matches!(store.contains(id), Err(StoreError::InvalidId(_))));
         }
         assert!(!dir.exists(), "no write ever happened");
+    }
+
+    #[test]
+    fn pinned_circuits_refuse_eviction() {
+        let dir = test_dir("pins");
+        let store = CircuitStore::new(&dir);
+        let g = small_graph(6);
+        store.put("busy", g.clone()).unwrap();
+
+        store.pin("busy").unwrap();
+        store.pin("busy").unwrap(); // pins nest
+        let err = store.evict("busy").unwrap_err();
+        assert!(matches!(err, StoreError::Busy(_)));
+        assert_eq!(err.code(), "circuit_busy");
+        assert!(store.contains("busy").unwrap(), "nothing was removed");
+        assert_eq!(*store.get("busy").unwrap(), g, "still mapped and readable");
+
+        store.unpin("busy");
+        assert!(store.evict("busy").is_err(), "one pin still held");
+        store.unpin("busy");
+        assert!(!store.pinned("busy"));
+        assert!(store.evict("busy").unwrap(), "unpinned circuit evicts");
+
+        // Pinning a missing circuit is an admission-time error; unpin
+        // of an unpinned id is a safe no-op.
+        assert!(matches!(store.pin("ghost"), Err(StoreError::Unknown(_))));
+        store.unpin("ghost");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn snapshot_bytes_round_trip_through_a_second_store() {
+        let dir_a = test_dir("snap-a");
+        let dir_b = test_dir("snap-b");
+        let a = CircuitStore::new(&dir_a);
+        let b = CircuitStore::new(&dir_b);
+        let g = small_graph(8);
+        a.put("xfer", g.clone()).unwrap();
+
+        // The store-to-store transfer path: ship raw .hgb bytes, parse
+        // on the receiving side, store under the same id.
+        let bytes = a.snapshot_bytes("xfer").unwrap();
+        let parsed = hgb::parse_hgb(&bytes).unwrap();
+        b.put("xfer", parsed).unwrap();
+        assert_eq!(*b.get("xfer").unwrap(), g);
+
+        assert!(matches!(a.snapshot_bytes("ghost"), Err(StoreError::Unknown(_))));
+        std::fs::remove_dir_all(&dir_a).ok();
+        std::fs::remove_dir_all(&dir_b).ok();
     }
 
     #[test]

@@ -13,6 +13,8 @@
 //! upload circuit=golem4 fmt=hgr path=%2Fdata%2Fgolem4.hgr
 //! circuits
 //! evict circuit=golem4
+//! batch circuit_id=golem4 engines=fm,ml eps=0.45:0.55 runs=16 seed=7 chunk=2 timeout_ms=0
+//! watch job=5
 //! status job=3
 //! wait job=3
 //! cancel job=3
@@ -73,6 +75,15 @@ pub enum Request {
     Evict {
         /// Circuit id to remove.
         circuit: String,
+    },
+    /// Submit a sharded sweep (coordinator mode only).
+    Batch(crate::batch::BatchRequest),
+    /// Stream a batch's progress events until its terminal `done` line
+    /// (coordinator mode only). The one multi-line response in the
+    /// protocol: each event is still one line of minimal JSON.
+    Watch {
+        /// Batch job id.
+        job: u64,
     },
 }
 
@@ -445,6 +456,10 @@ pub fn parse_request(line: &str) -> Result<Request, WireError> {
             job: job_field(&fields)?,
         }),
         "submit" => parse_submit(&fields).map(Request::Submit),
+        "batch" => crate::batch::BatchRequest::parse(&fields).map(Request::Batch),
+        "watch" => Ok(Request::Watch {
+            job: job_field(&fields)?,
+        }),
         "upload" => parse_upload(&fields).map(Request::Upload),
         "circuits" => {
             if let Some(&(k, _)) = fields.first() {
@@ -756,6 +771,47 @@ mod tests {
             parse_request("cancel job=0").unwrap(),
             Request::Cancel { job: 0 }
         );
+    }
+
+    #[test]
+    fn batch_and_watch_roundtrip() {
+        let req = crate::batch::BatchRequest {
+            circuit_id: "golem3".into(),
+            engines: vec!["fm".into(), "ml".into()],
+            eps: vec![(0.45, 0.55), (0.4, 0.6)],
+            runs: 12,
+            seed: 41,
+            chunk: 2,
+            timeout_ms: 2500,
+        };
+        assert_eq!(
+            parse_request(&req.render()).unwrap(),
+            Request::Batch(req.clone())
+        );
+        // Defaults apply when only the circuit is named.
+        let parsed = parse_request("batch circuit_id=c17").unwrap();
+        let Request::Batch(minimal) = parsed else {
+            panic!("expected batch")
+        };
+        assert_eq!(minimal.engines, vec!["prop".to_string()]);
+        assert_eq!(minimal.eps, vec![(0.45, 0.55)]);
+        assert_eq!(minimal.runs, 1);
+
+        assert_eq!(parse_request("watch job=9").unwrap(), Request::Watch { job: 9 });
+        for bad in [
+            "batch",
+            "batch circuit_id=c runs=0",
+            "batch circuit_id=c chunk=0",
+            "batch circuit_id=c engines=sa2",
+            "batch circuit_id=c eps=0.6:0.4",
+            "batch circuit_id=c eps=half",
+            "batch circuit_id=c frobnicate=1",
+            "watch",
+            "watch job=x",
+            "watch circuit=c",
+        ] {
+            assert!(parse_request(bad).is_err(), "{bad:?} should fail");
+        }
     }
 
     #[test]

@@ -29,6 +29,13 @@
 #                                   # flow crate's own tests, and a CLI
 #                                   # bench asserting cut(ml --ml-flow) <=
 #                                   # cut(ml) on every suite circuit
+#   scripts/check.sh --cluster      # also run the cluster gate: two worker
+#                                   # daemons plus a coordinator, a golem3
+#                                   # seed-sweep batch with one worker
+#                                   # SIGKILLed mid-batch, and the final
+#                                   # (cut, run_cuts, assignment_hash) must
+#                                   # be bit-identical to the same sweep run
+#                                   # sequentially on one daemon
 #   scripts/check.sh --io           # also run the .hgb snapshot gate:
 #                                   # round-trip + adversarial loader
 #                                   # fuzzing tests, convert/stats/partition
@@ -48,6 +55,7 @@ ml=0
 par=0
 flow=0
 io=0
+cluster=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
@@ -57,6 +65,7 @@ for arg in "$@"; do
     --par) par=1 ;;
     --flow) flow=1 ;;
     --io) io=1 ;;
+    --cluster) cluster=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -284,6 +293,84 @@ if [[ "$io" -eq 1 ]]; then
   echo "check.sh: io gate passed (round-trip + fuzz + 10x loader + million-node CLI/daemon)"
 fi
 
+if [[ "$cluster" -eq 1 ]]; then
+  # Cluster gate: two worker daemons plus a coordinator sharding a golem3
+  # seed sweep across them, with one worker SIGKILLed mid-batch. The
+  # coordinator must reschedule the lost worker's sub-jobs onto the
+  # survivor and still produce a result bit-identical to the same sweep
+  # run sequentially as one daemon job — cut, full per-run cut
+  # trajectory, and assignment hash.
+  cluster_dir="$(mktemp -d)"
+  w1_addr="127.0.0.1:7277"
+  w2_addr="127.0.0.1:7278"
+  co_addr="127.0.0.1:7279"
+  ./target/release/prop serve --addr "$w1_addr" --workers 1 --queue-cap 16 \
+    --store-dir "$cluster_dir/w1" > "$cluster_dir/w1.log" 2>&1 &
+  w1_pid=$!
+  ./target/release/prop serve --addr "$w2_addr" --workers 1 --queue-cap 16 \
+    --store-dir "$cluster_dir/w2" > "$cluster_dir/w2.log" 2>&1 &
+  w2_pid=$!
+  ./target/release/prop serve --addr "$co_addr" --workers 1 --queue-cap 16 \
+    --store-dir "$cluster_dir/co" --coordinator "$w1_addr,$w2_addr" \
+    --heartbeat-ms 50 --retries 10 > "$cluster_dir/co.log" 2>&1 &
+  co_pid=$!
+  # The trap must reap every daemon we spawned, or an early exit orphans
+  # them and their ports stay bound for the next run.
+  trap 'kill "$w1_pid" "$w2_pid" "$co_pid" 2>/dev/null || true; rm -rf "$cluster_dir"' EXIT
+  for addr in "$w1_addr" "$w2_addr" "$co_addr"; do
+    for _ in $(seq 1 50); do
+      ./target/release/prop ctl ping --addr "$addr" >/dev/null 2>&1 && break
+      sleep 0.2
+    done
+  done
+
+  ./target/release/prop generate --circuit golem3 --out "$cluster_dir/golem3.hgb" >/dev/null
+  ./target/release/prop upload "$cluster_dir/golem3.hgb" --id golem3 --by-path --addr "$co_addr"
+
+  # An 8-run fm seed sweep in single-run chunks: enough sub-jobs that
+  # both workers hold work when worker 2 dies ~1.5s in.
+  ./target/release/prop batch --circuit-id golem3 --engines fm --runs 8 --seed 7 \
+    --chunk 1 --addr "$co_addr" > "$cluster_dir/batch.log" 2>&1 &
+  batch_pid=$!
+  sleep 1.5
+  kill -9 "$w2_pid"
+  echo "check.sh: SIGKILLed worker 2 mid-batch"
+  if ! wait "$batch_pid"; then
+    echo "check.sh: cluster batch failed after the worker kill" >&2
+    cat "$cluster_dir/batch.log" >&2
+    exit 1
+  fi
+  done_line="$(tail -n 1 "$cluster_dir/batch.log")"
+  if [[ "$done_line" != *'"status":"completed"'* ]]; then
+    echo "check.sh: cluster batch did not complete: $done_line" >&2
+    exit 1
+  fi
+  echo "check.sh: batch done $(sed -n 's/.*\("rescheduled":[0-9]*\).*/\1/p' <<<"$done_line")"
+
+  # The sequential reference: the identical sweep as one plain daemon job
+  # on the coordinator (it executes submits locally like any daemon).
+  seq_line="$(./target/release/prop submit --circuit-id golem3 --engine fm --runs 8 \
+    --seed 7 --addr "$co_addr")"
+  extract() { sed -n "s/.*\"$2\":\($3\).*/\1/p" <<<"$1"; }
+  for field_pat in 'cut [0-9.eE+-]*' 'run_cuts \[[^]]*\]' 'assignment_hash "[0-9a-f]*"'; do
+    field="${field_pat%% *}"
+    pat="${field_pat#* }"
+    batch_v="$(extract "$done_line" "$field" "$pat")"
+    seq_v="$(extract "$seq_line" "$field" "$pat")"
+    if [[ -z "$batch_v" || "$batch_v" != "$seq_v" ]]; then
+      echo "check.sh: cluster batch diverged from the sequential sweep on $field" >&2
+      echo "  batch:      $done_line" >&2
+      echo "  sequential: $seq_line" >&2
+      exit 1
+    fi
+  done
+  echo "check.sh: batch result is bit-identical to the sequential sweep (cut + run_cuts + assignment_hash)"
+  ./target/release/prop ctl shutdown --addr "$co_addr" >/dev/null
+  ./target/release/prop ctl shutdown --addr "$w1_addr" >/dev/null
+  wait "$co_pid" "$w1_pid" 2>/dev/null || true
+  echo "check.sh: cluster gate passed (2 workers, mid-batch SIGKILL, deterministic merge)"
+fi
+
 gates="build+test+clippy"
 [[ "$audit" -eq 1 ]] && gates="$gates audit"
 [[ "$bench_smoke" -eq 1 ]] && gates="$gates bench-smoke"
@@ -292,4 +379,5 @@ gates="build+test+clippy"
 [[ "$par" -eq 1 ]] && gates="$gates par"
 [[ "$flow" -eq 1 ]] && gates="$gates flow"
 [[ "$io" -eq 1 ]] && gates="$gates io"
+[[ "$cluster" -eq 1 ]] && gates="$gates cluster"
 echo "check.sh: all gates passed ($gates)"
