@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 
 use prop_core::{
-    BalanceConstraint, GlobalPartitioner, ParallelPolicy, Partitioner, Prop, PropConfig,
-    RunResult, Side,
+    partition_kway, BalanceConstraint, GlobalPartitioner, KwayConfig, KwayPartition,
+    ParallelPolicy, Partitioner, Prop, PropConfig, RunResult, Side,
 };
 use prop_fm::{FmBucket, FmTree, Kl, La, SimulatedAnnealing};
 use prop_multilevel::{Multilevel, MultilevelConfig};
@@ -127,6 +127,12 @@ pub enum Command {
         /// Multilevel knobs (`--ml-*`, used by the `ml` method; the
         /// engine seed comes from `seed`).
         ml: MultilevelConfig,
+        /// Number of parts; `2` (the default) runs the classic
+        /// bipartition path, anything else the recursive k-way driver.
+        k: usize,
+        /// Per-part area budgets (`--budgets`); routes through the k-way
+        /// driver even at `k = 2`.
+        budgets: Option<Vec<f64>>,
     },
     /// `prop serve ...`
     Serve {
@@ -175,6 +181,10 @@ pub enum Command {
         /// Multilevel knobs (`--ml-*`, forwarded on the wire for the
         /// `ml` engine).
         ml: MultilevelConfig,
+        /// Number of parts (`--k`, default 2 = classic bipartition).
+        k: usize,
+        /// Per-part area budgets (`--budgets`), forwarded on the wire.
+        budgets: Option<Vec<f64>>,
     },
     /// `prop batch --circuit-id ID ...`
     Batch {
@@ -255,11 +265,12 @@ USAGE:
   prop convert <in> <out>
   prop partition <file> [--method M] [--r1 X] [--r2 Y] [--runs N] [--seed S]
                  [--threads N] [--assign FILE] [--ml-* N]
+                 [--k K] [--budgets A1,A2,...]
   prop serve [--addr A] [--workers N] [--queue-cap N] [--store-dir D]
              [--coordinator W1,W2,...] [--heartbeat-ms N] [--retries N]
   prop submit (<file> | --circuit-id ID) [--addr A] [--engine E] [--runs N]
               [--seed S] [--r1 X] [--r2 Y] [--timeout-ms T] [--priority P]
-              [--no-wait] [--ml-* N]
+              [--no-wait] [--ml-* N] [--k K] [--budgets A1,A2,...]
   prop batch --circuit-id ID [--addr A] [--engines E1,E2] [--eps R1:R2,...]
              [--runs N] [--seed S] [--chunk N] [--timeout-ms T] [--no-wait]
   prop upload <file> [--id ID] [--addr A] [--by-path]
@@ -276,6 +287,13 @@ cap); submit --circuit-id then sweeps seeds/engines against the stored
 circuit without re-sending it.
 Partition methods: prop (default), prop-paper, fm, fm-tree, la2, la3, kl,
 sa, eig1, melo, paraboli, window, ml.
+--k K partitions into K parts by recursive bisection (iterative methods
+and ml only); --budgets A1,...,AK caps each part's node weight by an
+absolute area (multi-FPGA style, k-way driver even at K=2). The k-way
+result line reports both objectives (hyperedge cut and connectivity
+lambda-1), per-part sizes and weights; --assign then writes node->part
+numbers. submit forwards --k/--budgets on the wire; infeasible budgets
+fail the job with a typed message.
 --threads fans the runs of iterative methods over N worker threads
 (0 = auto-detect); the result is bit-identical to the sequential run.
 For --method ml, --threads instead parallelizes *inside* each V-cycle
@@ -427,6 +445,8 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
     let mut threads = None;
     let mut assign = None;
     let mut ml = MultilevelConfig::default();
+    let mut k = 2usize;
+    let mut budgets = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--method" => method = take_value("--method", &mut it)?.to_string(),
@@ -438,6 +458,8 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
                 threads = Some(parse_num("--threads", take_value("--threads", &mut it)?)?)
             }
             "--assign" => assign = Some(take_value("--assign", &mut it)?.to_string()),
+            "--k" => k = parse_num("--k", take_value("--k", &mut it)?)?,
+            "--budgets" => budgets = Some(parse_budgets(take_value("--budgets", &mut it)?)?),
             other => {
                 if !parse_ml_flag(other, &mut it, &mut ml)? {
                     return Err(usage(format!("unknown partition flag {other:?}")));
@@ -445,6 +467,7 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
             }
         }
     }
+    validate_kway_flags(k, budgets.as_deref())?;
     Ok(Command::Partition {
         file: (*file).clone(),
         method,
@@ -455,7 +478,40 @@ fn parse_partition(rest: &[&String]) -> Result<Command, CliError> {
         threads,
         assign,
         ml,
+        k,
+        budgets,
     })
+}
+
+/// Parses a `--budgets` comma-separated area list.
+fn parse_budgets(value: &str) -> Result<Vec<f64>, CliError> {
+    let budgets = value
+        .split(',')
+        .map(|b| parse_num("--budgets", b.trim()))
+        .collect::<Result<Vec<f64>, CliError>>()?;
+    if budgets.is_empty() {
+        return Err(usage("--budgets needs a comma-separated list of areas"));
+    }
+    Ok(budgets)
+}
+
+/// Shared `--k` / `--budgets` validation for partition and submit.
+fn validate_kway_flags(k: usize, budgets: Option<&[f64]>) -> Result<(), CliError> {
+    if k < 2 {
+        return Err(usage("--k must be at least 2"));
+    }
+    if let Some(budgets) = budgets {
+        if budgets.len() != k {
+            return Err(usage(format!(
+                "--budgets lists {} areas for --k {k} parts",
+                budgets.len()
+            )));
+        }
+        if budgets.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+            return Err(usage("--budgets areas must be finite and positive"));
+        }
+    }
+    Ok(())
 }
 
 /// The default circuit-store directory for `prop serve`.
@@ -599,10 +655,14 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
     let mut priority = 0u8;
     let mut no_wait = false;
     let mut ml = MultilevelConfig::default();
+    let mut k = 2usize;
+    let mut budgets = None;
     while let Some(arg) = it.next() {
         match arg.as_str() {
             "--addr" => addr = take_value("--addr", &mut it)?.to_string(),
             "--engine" => engine = take_value("--engine", &mut it)?.to_string(),
+            "--k" => k = parse_num("--k", take_value("--k", &mut it)?)?,
+            "--budgets" => budgets = Some(parse_budgets(take_value("--budgets", &mut it)?)?),
             "--runs" => runs = parse_num("--runs", take_value("--runs", &mut it)?)?,
             "--seed" => seed = parse_num("--seed", take_value("--seed", &mut it)?)?,
             "--r1" => r1 = parse_num("--r1", take_value("--r1", &mut it)?)?,
@@ -638,6 +698,7 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
         }
         _ => {}
     }
+    validate_kway_flags(k, budgets.as_deref())?;
     Ok(Command::Submit {
         file,
         circuit_id,
@@ -651,6 +712,8 @@ fn parse_submit(rest: &[&String]) -> Result<Command, CliError> {
         priority,
         no_wait,
         ml,
+        k,
+        budgets,
     })
 }
 
@@ -901,6 +964,105 @@ pub fn run_method_ml(
         .map_err(|e| failure(e.to_string()))
 }
 
+/// Builds the 2-way engine the recursive k-way driver recurses with,
+/// mirroring [`run_method_ml`]'s dispatch; one-shot global methods have
+/// no `improve` step to recurse with and are rejected. Returns the
+/// engine and the run-harness policy: `ml` routes `--threads` to the
+/// intra-run workers and keeps the runs sequential, exactly like the
+/// 2-way path.
+fn kway_engine(
+    method: &str,
+    seed: u64,
+    policy: ParallelPolicy,
+    ml: MultilevelConfig,
+) -> Result<(Box<dyn Partitioner>, ParallelPolicy), CliError> {
+    if method == "ml" {
+        let intra = if matches!(policy, ParallelPolicy::Sequential) {
+            ml.intra
+        } else {
+            policy
+        };
+        let engine = Multilevel::standard(MultilevelConfig { seed, intra, ..ml });
+        return Ok((Box::new(engine), ParallelPolicy::Sequential));
+    }
+    let engine: Box<dyn Partitioner> = match method {
+        "prop" => Box::new(Prop::new(PropConfig::calibrated())),
+        "prop-paper" => Box::new(Prop::new(PropConfig::default())),
+        "fm" => Box::new(FmBucket::default()),
+        "fm-tree" => Box::new(FmTree::default()),
+        "la2" => Box::new(La::new(2)),
+        "la3" => Box::new(La::new(3)),
+        "kl" => Box::new(Kl::default()),
+        "sa" => Box::new(SimulatedAnnealing::default()),
+        other => {
+            return Err(usage(format!(
+                "method {other:?} cannot drive k-way recursion (use an iterative method)"
+            )))
+        }
+    };
+    Ok((engine, policy))
+}
+
+/// Runs the recursive k-way driver for `prop partition --k/--budgets`
+/// and prints the result line.
+///
+/// # Errors
+///
+/// Fails on non-iterative methods, infeasible budgets, and partitioner
+/// errors.
+#[allow(clippy::too_many_arguments)]
+pub fn run_kway(
+    method: &str,
+    graph: &Hypergraph,
+    k: usize,
+    budgets: Option<Vec<f64>>,
+    r1: f64,
+    r2: f64,
+    runs: usize,
+    seed: u64,
+    threads: Option<usize>,
+    ml: MultilevelConfig,
+) -> Result<KwayPartition, CliError> {
+    let (engine, policy) = kway_engine(method, seed, thread_policy(threads), ml)?;
+    let config = KwayConfig {
+        k,
+        budgets,
+        runs,
+        seed,
+        r1,
+        r2,
+        policy,
+    };
+    let report =
+        partition_kway(graph, engine.as_ref(), &config).map_err(|e| failure(e.to_string()))?;
+    let partition = report.partition;
+    let sizes: Vec<String> = partition.block_sizes().iter().map(usize::to_string).collect();
+    let weights: Vec<String> = partition.part_weights().iter().map(f64::to_string).collect();
+    println!(
+        "method={method} k={k} cut={} connectivity={} parts={} weights={} passes={}",
+        partition.cut_cost(graph),
+        partition.connectivity_cost(graph),
+        sizes.join("/"),
+        weights.join(","),
+        report.total_passes
+    );
+    Ok(partition)
+}
+
+/// Renders the node→part assignment of a k-way partition (one
+/// `<node-or-name> <part>` line per node).
+pub fn render_kway_assignment(graph: &Hypergraph, partition: &KwayPartition) -> String {
+    let mut out = String::new();
+    for v in graph.nodes() {
+        let name = graph
+            .node_name(v)
+            .map(str::to_owned)
+            .unwrap_or_else(|| v.to_string());
+        out.push_str(&format!("{name} {}\n", partition.block(v)));
+    }
+    out
+}
+
 /// Renders the node→side assignment (one `<node-or-name> <A|B>` line per
 /// node).
 pub fn render_assignment(graph: &Hypergraph, result: &RunResult) -> String {
@@ -982,8 +1144,20 @@ pub fn run(command: Command) -> Result<(), CliError> {
             threads,
             assign,
             ml,
+            k,
+            budgets,
         } => {
             let graph = load_netlist(&file)?;
+            if k != 2 || budgets.is_some() {
+                let partition =
+                    run_kway(&method, &graph, k, budgets, r1, r2, runs, seed, threads, ml)?;
+                if let Some(path) = assign {
+                    std::fs::write(&path, render_kway_assignment(&graph, &partition))
+                        .map_err(|e| failure(format!("cannot write {path}: {e}")))?;
+                    println!("assignment written to {path}");
+                }
+                return Ok(());
+            }
             let balance = BalanceConstraint::weighted(r1, r2, &graph)
                 .map_err(|e| usage(e.to_string()))?;
             let result =
@@ -1062,6 +1236,8 @@ pub fn run(command: Command) -> Result<(), CliError> {
             priority,
             no_wait,
             ml,
+            k,
+            budgets,
         } => {
             let (fmt, payload) = match &file {
                 Some(file) => {
@@ -1103,6 +1279,8 @@ pub fn run(command: Command) -> Result<(), CliError> {
                 },
                 ml_flow: u8::from(ml.flow.enabled),
                 ml_flow_corridor: ml.flow.corridor_nodes,
+                k,
+                budgets: budgets.unwrap_or_default(),
             };
             let mut client = connect_daemon(&addr)?;
             let response = client.submit(&request).map_err(|e| failure(e.to_string()))?;
@@ -1331,6 +1509,8 @@ mod tests {
                 threads: None,
                 assign: None,
                 ml: MultilevelConfig::default(),
+                k: 2,
+                budgets: None,
             }
         );
         let cmd = parse_args(&argv(&[
@@ -1345,6 +1525,42 @@ mod tests {
         assert!(parse_args(&argv(&["partition", "c.hgr", "--bogus"])).is_err());
         assert!(parse_args(&argv(&["partition", "c.hgr", "--threads", "x"])).is_err());
         assert!(parse_args(&argv(&["partition"])).is_err());
+    }
+
+    #[test]
+    fn parse_kway_flags() {
+        let cmd = parse_args(&argv(&["partition", "c.hgr", "--k", "4"])).unwrap();
+        assert!(matches!(cmd, Command::Partition { k: 4, budgets: None, .. }));
+        let cmd = parse_args(&argv(&[
+            "partition", "c.hgr", "--k", "3", "--budgets", "120,60.5,40",
+        ]))
+        .unwrap();
+        let Command::Partition { k, budgets, .. } = cmd else {
+            panic!("expected partition")
+        };
+        assert_eq!(k, 3);
+        assert_eq!(budgets, Some(vec![120.0, 60.5, 40.0]));
+        // Budgets without --k imply arity 2 and engage the k-way driver.
+        let cmd = parse_args(&argv(&["partition", "c.hgr", "--budgets", "90,60"])).unwrap();
+        assert!(matches!(cmd, Command::Partition { k: 2, budgets: Some(_), .. }));
+        // Validation: k >= 2, arity match, finite positive entries.
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--k", "1"])).is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--k", "3", "--budgets", "1,2"]))
+            .is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--budgets", "1,-2"])).is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--budgets", "1,nan"])).is_err());
+        assert!(parse_args(&argv(&["partition", "c.hgr", "--budgets", ""])).is_err());
+        // Same flags ride the submit wire request.
+        let cmd = parse_args(&argv(&[
+            "submit", "c.hgr", "--engine", "ml", "--k", "4", "--budgets", "10,20,30,40",
+        ]))
+        .unwrap();
+        let Command::Submit { k, budgets, .. } = cmd else {
+            panic!("expected submit")
+        };
+        assert_eq!(k, 4);
+        assert_eq!(budgets, Some(vec![10.0, 20.0, 30.0, 40.0]));
+        assert!(parse_args(&argv(&["submit", "c.hgr", "--k", "0"])).is_err());
     }
 
     #[test]
@@ -1505,6 +1721,8 @@ mod tests {
                 priority: 0,
                 no_wait: false,
                 ml: MultilevelConfig::default(),
+                k: 2,
+                budgets: None,
             }
         );
         let cmd = parse_args(&argv(&[

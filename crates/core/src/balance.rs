@@ -49,12 +49,19 @@ pub struct BalanceConstraint {
 /// Weight bounds of a size-constrained balance criterion.
 #[derive(Clone, Copy, PartialEq, Debug)]
 struct WeightedBounds {
-    /// Largest committed weight of either side.
-    max_weight: f64,
-    /// Pass slack: a side may transiently exceed `max_weight` by less
-    /// than the largest node size, mirroring the one-node slack of the
+    /// Largest committed weight of each side, indexed like [`Side`]:
+    /// `[cap_A, cap_B]`. Ratio-derived constraints keep the two equal; a
+    /// budgeted constraint may cap the sides asymmetrically.
+    max_weight: [f64; 2],
+    /// Pass slack: a side may transiently exceed its cap by less than
+    /// the largest node size, mirroring the one-node slack of the
     /// unit-size case.
     slack: f64,
+    /// Whether the caps are absolute per-side budgets. Budgeted caps
+    /// survive [`BalanceConstraint::for_graph`] unchanged (coarsening
+    /// preserves total weight), where ratio-derived bounds are recomputed
+    /// from the ratios.
+    budgeted: bool,
 }
 
 /// Comparison tolerance for accumulated side weights.
@@ -116,11 +123,108 @@ impl BalanceConstraint {
         let max_weight = (r2 * total).max((total + w_max) / 2.0).min(total);
         Ok(BalanceConstraint {
             weighted: Some(WeightedBounds {
-                max_weight,
+                max_weight: [max_weight; 2],
                 slack: w_max,
+                budgeted: false,
             }),
             ..base
         })
+    }
+
+    /// Builds a *budgeted* balance for `graph`: side A's committed weight
+    /// must stay within `cap_a` and side B's within `cap_b`, as absolute
+    /// area budgets (multi-FPGA style) rather than ratios of the total.
+    /// The caps may be asymmetric, and the constraint is weight-based
+    /// even for unit node sizes (a unit-weight node simply weighs 1).
+    ///
+    /// Unlike the ratio constructors, budgeted caps are preserved as-is
+    /// by [`for_graph`]: coarsening a graph does not change its total
+    /// weight, so the same absolute budgets remain meaningful at every
+    /// level of a multilevel scheme.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PartitionError::InvalidConfig`] for non-finite or
+    /// non-positive caps, and [`PartitionError::InfeasibleBudgets`] when
+    /// the caps sum below the graph's total node weight (no assignment
+    /// can fit).
+    ///
+    /// [`for_graph`]: BalanceConstraint::for_graph
+    pub fn budgeted(
+        cap_a: f64,
+        cap_b: f64,
+        graph: &prop_netlist::Hypergraph,
+    ) -> Result<Self, PartitionError> {
+        if !(cap_a.is_finite() && cap_b.is_finite()) || cap_a <= 0.0 || cap_b <= 0.0 {
+            return Err(PartitionError::InvalidConfig {
+                message: format!("side budgets ({cap_a}, {cap_b}) must be finite and positive"),
+            });
+        }
+        let total = graph.total_node_weight();
+        if cap_a + cap_b < total - WEIGHT_EPS {
+            return Err(PartitionError::InfeasibleBudgets {
+                message: format!(
+                    "side budgets {cap_a} + {cap_b} cannot hold the total node weight {total}"
+                ),
+            });
+        }
+        let n = graph.num_nodes();
+        // Informational ratios (the nearest ratio description of the
+        // caps); the weighted path below is what constrains moves.
+        let r2 = if total > 0.0 {
+            (cap_a.max(cap_b) / total).clamp(0.5, 1.0)
+        } else {
+            0.5
+        };
+        Ok(BalanceConstraint {
+            num_nodes: n,
+            min_part: 0,
+            max_part: n,
+            ratios: ((1.0 - r2).max(0.0), r2),
+            weighted: Some(WeightedBounds {
+                max_weight: [cap_a, cap_b],
+                slack: graph.max_node_weight(),
+                budgeted: true,
+            }),
+        })
+    }
+
+    /// Re-derives this constraint for another graph of the same circuit
+    /// (a coarsened or refined level of a multilevel scheme, or an
+    /// induced subcircuit of the same total weight).
+    ///
+    /// Ratio-based constraints — weighted or count-based — are rebuilt
+    /// through [`weighted`] from their original `(r1, r2)`, exactly as
+    /// the V-cycle has always done. Budgeted constraints keep their
+    /// absolute per-side caps (the total weight is invariant) and only
+    /// refresh the pass slack to the new graph's heaviest node.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`weighted`].
+    ///
+    /// [`weighted`]: BalanceConstraint::weighted
+    pub fn for_graph(
+        &self,
+        graph: &prop_netlist::Hypergraph,
+    ) -> Result<Self, PartitionError> {
+        match self.weighted {
+            Some(w) if w.budgeted => Ok(BalanceConstraint {
+                num_nodes: graph.num_nodes(),
+                min_part: 0,
+                max_part: graph.num_nodes(),
+                ratios: self.ratios,
+                weighted: Some(WeightedBounds {
+                    max_weight: w.max_weight,
+                    slack: graph.max_node_weight(),
+                    budgeted: true,
+                }),
+            }),
+            _ => {
+                let (r1, r2) = self.ratios;
+                Self::weighted(r1, r2, graph)
+            }
+        }
     }
 
     /// Whether this constraint bounds side *weights* rather than counts.
@@ -129,11 +233,31 @@ impl BalanceConstraint {
         self.weighted.is_some()
     }
 
-    /// Largest committed weight of either side (total weight for a pure
-    /// count constraint, where weights are unconstrained).
+    /// Whether this constraint carries absolute per-side budgets (built
+    /// by [`budgeted`]) rather than ratio-derived bounds.
+    ///
+    /// [`budgeted`]: BalanceConstraint::budgeted
+    #[inline]
+    pub fn is_budgeted(&self) -> bool {
+        self.weighted.is_some_and(|w| w.budgeted)
+    }
+
+    /// Largest committed weight of either side (the looser cap when the
+    /// sides are budgeted asymmetrically).
     pub fn max_part_weight(&self) -> f64 {
         match self.weighted {
-            Some(w) => w.max_weight,
+            Some(w) => w.max_weight[0].max(w.max_weight[1]),
+            None => self.max_part as f64,
+        }
+    }
+
+    /// The committed weight cap of one side: its budget under a weighted
+    /// constraint, its node-count bound otherwise (each node weighs 1 in
+    /// the count regime, so the bound doubles as a weight cap).
+    #[inline]
+    pub fn side_capacity(&self, side: Side) -> f64 {
+        match self.weighted {
+            Some(w) => w.max_weight[side.index()],
             None => self.max_part as f64,
         }
     }
@@ -143,7 +267,10 @@ impl BalanceConstraint {
     #[inline]
     pub fn is_feasible(&self, counts: [usize; 2], weights: [f64; 2]) -> bool {
         match self.weighted {
-            Some(w) => weights[0].max(weights[1]) <= w.max_weight + WEIGHT_EPS,
+            Some(w) => {
+                weights[0] <= w.max_weight[0] + WEIGHT_EPS
+                    && weights[1] <= w.max_weight[1] + WEIGHT_EPS
+            }
             None => self.is_feasible_counts(counts[0], counts[1]),
         }
     }
@@ -161,8 +288,8 @@ impl BalanceConstraint {
     ) -> bool {
         match self.weighted {
             Some(w) => {
-                let dest = weights[from.other().index()];
-                dest + moving_weight <= w.max_weight + w.slack + WEIGHT_EPS
+                let to = from.other().index();
+                weights[to] + moving_weight <= w.max_weight[to] + w.slack + WEIGHT_EPS
             }
             None => self.allows_move(from, counts[0], counts[1]),
         }
@@ -339,6 +466,92 @@ mod tests {
         assert!(b.is_feasible([5, 5], [9.0, 1.0]));
         assert!(b.allows_node_move(Side::A, [5, 5], [5.0, 5.0], 1.0));
         assert!(!b.allows_node_move(Side::B, [6, 4], [6.0, 4.0], 1.0));
+    }
+
+    #[test]
+    fn budgeted_caps_are_per_side() {
+        let mut b = prop_netlist::HypergraphBuilder::new(5);
+        b.add_net(1.0, [0, 1, 2, 3, 4]).unwrap();
+        b.set_node_weights(vec![2.0, 2.0, 2.0, 2.0, 2.0]).unwrap();
+        let g = b.build().unwrap();
+        // Total 10 into caps (7, 4): asymmetric, feasible.
+        let c = BalanceConstraint::budgeted(7.0, 4.0, &g).unwrap();
+        assert!(c.is_weighted());
+        assert!(c.is_budgeted());
+        assert_eq!(c.side_capacity(Side::A), 7.0);
+        assert_eq!(c.side_capacity(Side::B), 4.0);
+        assert_eq!(c.max_part_weight(), 7.0);
+        assert!(c.is_feasible([3, 2], [6.0, 4.0]));
+        // Feasible under the old symmetric rule, not under per-side caps.
+        assert!(!c.is_feasible([2, 3], [4.0, 6.0]));
+        // Moves respect the destination's own cap (+ one-node slack 2).
+        assert!(c.allows_node_move(Side::A, [3, 2], [6.0, 4.0], 2.0));
+        assert!(!c.allows_node_move(Side::A, [2, 3], [4.0, 6.0], 2.0));
+    }
+
+    #[test]
+    fn budgeted_applies_to_unit_weight_graphs() {
+        let mut b = prop_netlist::HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1, 2, 3]).unwrap();
+        let g = b.build().unwrap();
+        let c = BalanceConstraint::budgeted(3.0, 1.0, &g).unwrap();
+        // Unlike `weighted`, unit node sizes do not fall back to counts:
+        // the caps must bind.
+        assert!(c.is_weighted());
+        assert!(c.is_feasible([3, 1], [3.0, 1.0]));
+        assert!(!c.is_feasible([1, 3], [1.0, 3.0]));
+    }
+
+    #[test]
+    fn budgeted_rejects_bad_caps() {
+        let mut b = prop_netlist::HypergraphBuilder::new(2);
+        b.add_net(1.0, [0, 1]).unwrap();
+        let g = b.build().unwrap();
+        assert!(matches!(
+            BalanceConstraint::budgeted(0.0, 2.0, &g),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+        assert!(matches!(
+            BalanceConstraint::budgeted(f64::NAN, 2.0, &g),
+            Err(PartitionError::InvalidConfig { .. })
+        ));
+        // Caps that cannot hold the total weight are typed infeasible.
+        assert!(matches!(
+            BalanceConstraint::budgeted(0.6, 0.6, &g),
+            Err(PartitionError::InfeasibleBudgets { .. })
+        ));
+    }
+
+    #[test]
+    fn for_graph_rederives_ratios_and_preserves_budgets() {
+        let mut b = prop_netlist::HypergraphBuilder::new(4);
+        b.add_net(1.0, [0, 1, 2, 3]).unwrap();
+        b.set_node_weights(vec![4.0, 2.0, 2.0, 2.0]).unwrap();
+        let g = b.build().unwrap();
+        // Ratio constraint: for_graph must equal a fresh `weighted` on
+        // the target graph — the historical V-cycle re-derivation.
+        let r = BalanceConstraint::new(0.45, 0.55, 100).unwrap();
+        assert_eq!(
+            r.for_graph(&g).unwrap(),
+            BalanceConstraint::weighted(0.45, 0.55, &g).unwrap()
+        );
+        // Budgeted constraint: caps survive, slack follows the graph.
+        let c = BalanceConstraint::budgeted(7.0, 4.0, &g).unwrap();
+        let mut coarse = prop_netlist::HypergraphBuilder::new(2);
+        coarse.add_net(1.0, [0, 1]).unwrap();
+        coarse.set_node_weights(vec![6.0, 4.0]).unwrap();
+        let cg = coarse.build().unwrap();
+        let cc = c.for_graph(&cg).unwrap();
+        assert!(cc.is_budgeted());
+        assert_eq!(cc.side_capacity(Side::A), 7.0);
+        assert_eq!(cc.side_capacity(Side::B), 4.0);
+        assert_eq!(cc.num_nodes(), 2);
+        // Slack refreshed to the coarse graph's heaviest node (6): a
+        // 6-weight supernode may transiently push B to 10 = 4 + 6, but
+        // not to 12.
+        assert!(cc.allows_node_move(Side::A, [1, 1], [6.0, 4.0], 6.0));
+        assert!(!cc.allows_node_move(Side::A, [1, 1], [4.0, 6.0], 6.0));
+        assert!(cc.allows_node_move(Side::B, [1, 1], [4.0, 6.0], 6.0));
     }
 
     #[test]

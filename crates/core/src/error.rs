@@ -28,6 +28,13 @@ pub enum PartitionError {
         /// Nodes in the graph.
         graph_nodes: usize,
     },
+    /// The per-part area budgets of a k-way request admit no feasible
+    /// assignment (budgets sum below the total node weight, a budget
+    /// below the heaviest node, or no packing within the caps exists).
+    InfeasibleBudgets {
+        /// Human-readable description of the failed feasibility check.
+        message: String,
+    },
 }
 
 impl fmt::Display for PartitionError {
@@ -47,6 +54,9 @@ impl fmt::Display for PartitionError {
                 f,
                 "partition over {partition_nodes} nodes used with a graph of {graph_nodes} nodes"
             ),
+            PartitionError::InfeasibleBudgets { message } => {
+                write!(f, "infeasible k-way budgets: {message}")
+            }
         }
     }
 }

@@ -60,13 +60,17 @@ mod partition;
 mod partitioner;
 pub mod prof;
 pub mod prop;
+pub mod seed;
 
 pub use balance::BalanceConstraint;
 pub use cancel::CancelToken;
 pub use cut::{cut_cost, CutState};
 pub use error::PartitionError;
 pub use gain::{fm_gain, fm_gains, probabilistic_gains};
-pub use kway::{recursive_bisection, KwayPartition};
+pub use kway::{
+    partition_kway, partition_kway_cancellable, recursive_bisection, KwayConfig, KwayPartition,
+    KwayReport,
+};
 pub use parallel::{
     map_chunks, map_chunks_with, MultiRunReport, ParallelPolicy, RunBudget, RunStatus,
 };

@@ -1,0 +1,50 @@
+//! Salted splitmix64 seed streams.
+//!
+//! Deterministic components that need several independent randomness
+//! streams from one engine seed (the multilevel V-cycle's matching /
+//! start / run streams, the k-way driver's per-recursion-node seeds)
+//! derive each stream seed through the same splitmix64-style finalizer:
+//! `finalize(seed + salt + index · γ)`. Each `(salt, index)` pair yields
+//! a statistically independent seed, no stream ever consumes another
+//! stream's draws, and the derivation is *prefix-stable* — adding
+//! streams or raising an index bound leaves every existing stream's
+//! randomness untouched.
+
+/// Derives the seed of the stream identified by `(salt, index)` from an
+/// engine seed.
+///
+/// The finalizer is the splitmix64 output mix; `salt` separates stream
+/// *families* (each family picks one fixed odd constant) and `index`
+/// separates streams within a family.
+#[must_use]
+pub fn salted_stream_seed(seed: u64, salt: u64, index: u64) -> u64 {
+    let mut z = seed
+        .wrapping_add(salt)
+        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn streams_are_deterministic_and_separated() {
+        let a = salted_stream_seed(7, 0x9e37_79b9_7f4a_7c15, 0);
+        assert_eq!(a, salted_stream_seed(7, 0x9e37_79b9_7f4a_7c15, 0));
+        // Different salt, index, or seed each move the stream.
+        assert_ne!(a, salted_stream_seed(7, 0xd1b5_4a32_d192_ed03, 0));
+        assert_ne!(a, salted_stream_seed(7, 0x9e37_79b9_7f4a_7c15, 1));
+        assert_ne!(a, salted_stream_seed(8, 0x9e37_79b9_7f4a_7c15, 0));
+    }
+
+    #[test]
+    fn pinned_finalizer_values() {
+        // The exact finalizer output is part of the determinism contract
+        // (committed golden results depend on it), so pin a few values.
+        assert_eq!(salted_stream_seed(0, 0, 0), 0);
+        assert_eq!(salted_stream_seed(0, 0x9e37_79b9_7f4a_7c15, 0), 0xe220_a839_7b1d_cdaf);
+    }
+}

@@ -39,6 +39,13 @@
 //!   compare against the single-thread rows of a committed snapshot and
 //!   exit non-zero on a >2x `secs_per_run` regression or (at matching run
 //!   counts) a changed `best_cut`.
+//! * `--kway` — recursive k-way benchmark instead of bipartitioning:
+//!   for each circuit run the k-way driver over the multilevel V-cycle at
+//!   `k = 4` and `k = 8`, once with one intra-run worker and once with
+//!   the machine's worker count, emit `ML-k4`/`ML-k8` rows whose
+//!   `best_cut` is the hyperedge cut, and fail unless each worker pair is
+//!   bit-identical and the cut matches the independent k-way oracle.
+//!   `--large` extends the set with golem3.
 //! * `--io` — loader benchmark instead of partitioning: for each circuit,
 //!   time hgr text parse+build against the `.hgb` snapshot load (mmap
 //!   open + validation, after which the zero-copy view is queryable),
@@ -46,7 +53,7 @@
 //!   unless the golem-tier circuits load at least 10x faster from the
 //!   snapshot. `--large` extends the set with golem3 and golem4.
 
-use prop_core::{BalanceConstraint, ParallelPolicy, Partitioner};
+use prop_core::{BalanceConstraint, KwayConfig, ParallelPolicy, Partitioner};
 use prop_experiments::{methods, Options};
 use prop_netlist::{format, hgb, suite};
 use std::time::Instant;
@@ -106,13 +113,14 @@ struct SnapshotOptions {
     compare: Option<String>,
     method: Option<String>,
     io: bool,
+    kway: bool,
 }
 
 fn snapshot_usage(message: &str) -> ! {
     eprintln!("error: {message}");
     eprintln!(
         "usage: bench_snapshot [--quick] [--circuit <name>] [--runs <n>] [--threads <n>] \
-         [--large] [--method <name>] [--label <s>] [--profile] [--compare <path>] [--io]"
+         [--large] [--method <name>] [--label <s>] [--profile] [--compare <path>] [--io] [--kway]"
     );
     std::process::exit(2)
 }
@@ -128,6 +136,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
         compare: None,
         method: None,
         io: false,
+        kway: false,
     };
     let mut it = leftover.iter();
     while let Some(arg) = it.next() {
@@ -141,6 +150,7 @@ fn parse_snapshot_args() -> (Options, SnapshotOptions) {
             "--profile" => extra.profile = true,
             "--large" => extra.large = true,
             "--io" => extra.io = true,
+            "--kway" => extra.kway = true,
             "--compare" => {
                 let v = it.next().unwrap_or_else(|| {
                     snapshot_usage("--compare requires a value: --compare <path>")
@@ -538,6 +548,73 @@ fn run_io(circuits: &[&str], threads_avail: usize, label: Option<&str>) {
     }
 }
 
+/// `--kway` mode: the recursive k-way benchmark. For each circuit the
+/// multilevel V-cycle drives the recursive bisection at `k` = 4 and 8,
+/// once per intra-run worker count in `{1, max}`. Each worker pair must
+/// be bit-identical (same assignment hash, so same cut, connectivity,
+/// and part weights), and every reported cut is recounted by the
+/// independent k-way oracle before the row is trusted.
+fn run_kway(circuits: &[&str], runs: usize, max_threads: usize, threads_avail: usize,
+            label: Option<&str>) {
+    use std::collections::hash_map::DefaultHasher;
+    use std::hash::{Hash, Hasher};
+    let mut records = Vec::new();
+    for name in circuits {
+        let spec = suite::by_name(name).expect("snapshot circuit");
+        let graph = spec.instantiate().expect("valid spec");
+        for k in [4usize, 8] {
+            let mut pair_hashes = Vec::new();
+            // Even on a single-core box the second row runs with two
+            // intra workers: worker-count invariance is a determinism
+            // property, not a speedup claim.
+            for intra in [1, max_threads.max(2)] {
+                let engine = methods::ml_intra(intra);
+                let config = KwayConfig {
+                    runs,
+                    ..KwayConfig::new(k)
+                };
+                let start = Instant::now();
+                let report =
+                    prop_core::partition_kway(&graph, &engine, &config).expect("k-way succeeds");
+                let secs_total = start.elapsed().as_secs_f64();
+                let cut = report.partition.cut_cost(&graph);
+                let recount =
+                    prop_verify::kway::kway_cut(&graph, report.partition.assignment(), k as u32);
+                assert_eq!(
+                    cut, recount,
+                    "{name}/ML-k{k}: reported cut diverged from the k-way oracle"
+                );
+                let mut h = DefaultHasher::new();
+                report.partition.assignment().hash(&mut h);
+                pair_hashes.push(h.finish());
+                eprintln!(
+                    "  {name} ML-k{k} runs={runs} intra_threads={intra}: cut={cut} \
+                     lambda={} {secs_total:.3}s",
+                    report.partition.connectivity_cost(&graph)
+                );
+                records.push(Record {
+                    circuit: name.to_string(),
+                    method: format!("ML-k{k}"),
+                    runs,
+                    threads: 1,
+                    intra_threads: intra,
+                    best_cut: cut,
+                    secs_total,
+                    load_ms: 0.0,
+                    parse_ms: 0.0,
+                });
+            }
+            assert!(
+                pair_hashes.windows(2).all(|w| w[0] == w[1]),
+                "{name}/ML-k{k}: assignment differs across intra worker counts"
+            );
+        }
+    }
+    let rows = render_rows(&records, threads_avail, &git_rev(), label.unwrap_or(""));
+    write_snapshot("BENCH_prop.json", &rows, label.is_some());
+    println!("wrote BENCH_prop.json ({} k-way records)", rows.len());
+}
+
 fn main() {
     let (opts, extra) = parse_snapshot_args();
     let runs = opts.scaled_runs(20);
@@ -566,6 +643,17 @@ fn main() {
 
     if extra.io {
         run_io(&circuits, threads_avail, extra.label.as_deref());
+        return;
+    }
+
+    if extra.kway {
+        run_kway(
+            &circuits,
+            opts.scaled_runs(5),
+            max_threads,
+            threads_avail,
+            extra.label.as_deref(),
+        );
         return;
     }
 

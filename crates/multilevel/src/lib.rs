@@ -193,23 +193,19 @@ pub enum SeedStream {
 
 /// Derives the seed of draw stream `(stream, index)` from the engine seed.
 ///
-/// Each `(stream, index)` pair gets a statistically independent seed via a
-/// splitmix64-style finalizer, and no stream ever consumes another
-/// stream's draws. This is what makes the initial-partition draws
-/// *prefix-stable*: changing `coarsest_starts` (or `max_levels`) leaves
-/// every earlier start's (or level's) randomness untouched.
+/// Each `(stream, index)` pair gets a statistically independent seed via
+/// the shared salted finalizer of [`prop_core::seed`], and no stream ever
+/// consumes another stream's draws. This is what makes the
+/// initial-partition draws *prefix-stable*: changing `coarsest_starts`
+/// (or `max_levels`) leaves every earlier start's (or level's) randomness
+/// untouched.
 pub fn stream_seed(seed: u64, stream: SeedStream, index: u64) -> u64 {
     let salt: u64 = match stream {
         SeedStream::Matching => 0x9e37_79b9_7f4a_7c15,
         SeedStream::Start => 0xd1b5_4a32_d192_ed03,
         SeedStream::Run => 0x8cb9_2ba7_2f3d_8dd7,
     };
-    let mut z = seed
-        .wrapping_add(salt)
-        .wrapping_add(index.wrapping_mul(0xbf58_476d_1ce4_e5b9));
-    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
-    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
-    z ^ (z >> 31)
+    prop_core::seed::salted_stream_seed(seed, salt, index)
 }
 
 /// The size- and weight-adaptive refiner of the production `ml` engine.
@@ -450,7 +446,6 @@ impl<P: Partitioner> Multilevel<P> {
             return Err(PartitionError::EmptyGraph);
         }
         let cfg = &self.config;
-        let (r1, r2) = balance.ratios();
 
         // Phase 1: coarsen.
         let (levels, mut cancelled) = self.coarsen_all(graph, seed);
@@ -462,7 +457,7 @@ impl<P: Partitioner> Multilevel<P> {
         let coarse_balance = if levels.is_empty() {
             balance
         } else {
-            BalanceConstraint::weighted(r1, r2, coarsest)?
+            balance.for_graph(coarsest)?
         };
         let mut best: Option<(Bipartition, f64)> = None;
         let mut passes = 0;
@@ -473,7 +468,7 @@ impl<P: Partitioner> Multilevel<P> {
             }
             let mut rng =
                 StdRng::seed_from_u64(stream_seed(seed, SeedStream::Start, s as u64));
-            let mut part = greedy_weighted_bisection(coarsest, &mut rng);
+            let mut part = greedy_start(coarsest, &mut rng, coarse_balance);
             if cancelled {
                 if best.is_none() {
                     // Tripped before any start finished: keep the greedy
@@ -514,7 +509,7 @@ impl<P: Partitioner> Multilevel<P> {
             let fine_balance = if i == 0 {
                 balance
             } else {
-                BalanceConstraint::weighted(r1, r2, fine)?
+                balance.for_graph(fine)?
             };
             let tick = prof::start();
             let stats = self.inner.improve(fine, &mut partition, fine_balance);
@@ -550,13 +545,12 @@ impl<P: Partitioner> Multilevel<P> {
         if graph.num_nodes() == 0 {
             return Err(PartitionError::EmptyGraph);
         }
-        let (r1, r2) = balance.ratios();
         let (levels, _) = self.coarsen_all(graph, self.config.seed);
         let coarsest: &Hypergraph = levels.last().map_or(graph, |l| &l.coarse);
         let coarse_balance = if levels.is_empty() {
             balance
         } else {
-            BalanceConstraint::weighted(r1, r2, coarsest)?
+            balance.for_graph(coarsest)?
         };
         (0..self.config.coarsest_starts.max(1))
             .map(|s| {
@@ -565,7 +559,7 @@ impl<P: Partitioner> Multilevel<P> {
                     SeedStream::Start,
                     s as u64,
                 ));
-                let mut part = greedy_weighted_bisection(coarsest, &mut rng);
+                let mut part = greedy_start(coarsest, &mut rng, coarse_balance);
                 self.inner.improve(coarsest, &mut part, coarse_balance);
                 Ok(CutState::new(coarsest, &part).cut_cost())
             })
@@ -667,6 +661,28 @@ fn is_feasible(balance: BalanceConstraint, graph: &Hypergraph, partition: &Bipar
     )
 }
 
+/// The greedy initial bisection of one coarsest start: the classic
+/// lighter-side rule for symmetric constraints, or capacity-aware
+/// placement under asymmetric budget caps. The branch keeps the
+/// symmetric path byte-identical to the classic V-cycle (its committed
+/// golden cuts depend on the exact `weight[0] <= weight[1]`
+/// tie-breaking), which a unified remaining-capacity rule would not be.
+fn greedy_start<R: Rng + ?Sized>(
+    graph: &Hypergraph,
+    rng: &mut R,
+    balance: BalanceConstraint,
+) -> Bipartition {
+    if balance.is_budgeted() {
+        greedy_budgeted_bisection(
+            graph,
+            rng,
+            [balance.side_capacity(Side::A), balance.side_capacity(Side::B)],
+        )
+    } else {
+        greedy_weighted_bisection(graph, rng)
+    }
+}
+
 /// A greedy weight-balanced bisection: nodes in random order, heaviest
 /// concerns resolved by always placing on the lighter side. Guarantees a
 /// side-weight difference of at most the largest node weight.
@@ -688,6 +704,42 @@ fn greedy_weighted_bisection<R: Rng + ?Sized>(graph: &Hypergraph, rng: &mut R) -
     let mut weight = [0.0f64; 2];
     for &v in &order {
         let side = if weight[0] <= weight[1] { Side::A } else { Side::B };
+        sides[v] = side;
+        weight[side.index()] += graph.node_weight(prop_netlist::NodeId::new(v));
+    }
+    Bipartition::from_sides(sides)
+}
+
+/// The budgeted variant of [`greedy_weighted_bisection`]: heaviest
+/// nodes first onto the side with the most *remaining capacity*, so an
+/// asymmetric `(cap_a, cap_b)` window gets a start near its capacity
+/// split rather than near 50/50. The same RNG draws are consumed, and
+/// any overflow is bounded by the largest node weight (the balance
+/// constraint's pass slack).
+fn greedy_budgeted_bisection<R: Rng + ?Sized>(
+    graph: &Hypergraph,
+    rng: &mut R,
+    caps: [f64; 2],
+) -> Bipartition {
+    let n = graph.num_nodes();
+    let mut order: Vec<usize> = (0..n).collect();
+    for i in (1..n).rev() {
+        order.swap(i, rng.gen_range(0..=i));
+    }
+    order.sort_by(|&a, &b| {
+        graph
+            .node_weight(prop_netlist::NodeId::new(b))
+            .partial_cmp(&graph.node_weight(prop_netlist::NodeId::new(a)))
+            .expect("finite node weights")
+    });
+    let mut sides = vec![Side::A; n];
+    let mut weight = [0.0f64; 2];
+    for &v in &order {
+        let side = if caps[0] - weight[0] >= caps[1] - weight[1] {
+            Side::A
+        } else {
+            Side::B
+        };
         sides[v] = side;
         weight[side.index()] += graph.node_weight(prop_netlist::NodeId::new(v));
     }

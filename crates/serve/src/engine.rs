@@ -9,8 +9,8 @@
 //! direct library call byte for byte (the round-trip test pins this).
 
 use prop_core::{
-    BalanceConstraint, CancelToken, MultiRunReport, ParallelPolicy, PartitionError, Partitioner,
-    Prop, PropConfig, Side,
+    partition_kway_cancellable, BalanceConstraint, CancelToken, KwayConfig, KwayReport,
+    MultiRunReport, ParallelPolicy, PartitionError, Partitioner, Prop, PropConfig, Side,
 };
 use prop_fm::{FmBucket, FmTree};
 use prop_multilevel::{Multilevel, MultilevelConfig};
@@ -138,6 +138,49 @@ pub fn execute_with(
     p.run_multi_cancellable(graph, balance, runs, seed, ParallelPolicy::Sequential, token)
 }
 
+/// Runs `kind` through the recursive k-way driver under `token`.
+///
+/// The 2-way engine underneath each bisection is exactly the one
+/// [`execute_with`] dispatches, and the driver's sequential run policy
+/// matches it, so a `k = 2` uniform job through this path is
+/// bit-identical to the bipartition path at the same seed.
+///
+/// # Errors
+///
+/// Propagates [`PartitionError`] from the driver — including the typed
+/// `InfeasibleBudgets` for budget vectors that admit no packing.
+#[allow(clippy::too_many_arguments)] // a flat job descriptor
+pub fn execute_kway(
+    kind: EngineKind,
+    graph: &Hypergraph,
+    k: usize,
+    budgets: Option<Vec<f64>>,
+    r1: f64,
+    r2: f64,
+    runs: usize,
+    seed: u64,
+    token: &CancelToken,
+    ml: MultilevelConfig,
+) -> Result<KwayReport, PartitionError> {
+    let p: Box<dyn Partitioner> = match kind {
+        EngineKind::Prop => Box::new(Prop::new(PropConfig::calibrated())),
+        EngineKind::PropPaper => Box::new(Prop::new(PropConfig::default())),
+        EngineKind::Fm => Box::new(FmBucket::default()),
+        EngineKind::FmTree => Box::new(FmTree::default()),
+        EngineKind::Ml => Box::new(Multilevel::standard(MultilevelConfig { seed, ..ml })),
+    };
+    let config = KwayConfig {
+        k,
+        budgets,
+        runs,
+        seed,
+        r1,
+        r2,
+        policy: ParallelPolicy::Sequential,
+    };
+    partition_kway_cancellable(graph, p.as_ref(), &config, token)
+}
+
 /// FNV-1a 64 over the node→side assignment (one byte per node, `0` for
 /// side A, `1` for side B). Clients compare this against a locally
 /// computed hash to confirm bit-identical placement without shipping the
@@ -146,6 +189,19 @@ pub fn assignment_hash(sides: &[Side]) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     for &s in sides {
         hash ^= u64::from(s == Side::B);
+        hash = hash.wrapping_mul(0x100_0000_01b3);
+    }
+    hash
+}
+
+/// FNV-1a 64 over a k-way `node → part` assignment. The per-node word is
+/// the part number, so for parts `{0, 1}` this equals
+/// [`assignment_hash`] over the matching side vector — a `k = 2` k-way
+/// job hashes identically to the bipartition path it reduces to.
+pub fn kway_assignment_hash(assignment: &[u32]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &part in assignment {
+        hash ^= u64::from(part);
         hash = hash.wrapping_mul(0x100_0000_01b3);
     }
     hash

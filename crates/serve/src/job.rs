@@ -87,6 +87,14 @@ pub struct JobOutcome {
     pub started_runs: usize,
     /// Worker wall-clock for the job, in milliseconds.
     pub wall_ms: u64,
+    /// Part count of a k-way job; `None` for the classic bipartition
+    /// path (which reports through `sides`).
+    pub k: Option<u32>,
+    /// Per-part node weights of a k-way job, in part order.
+    pub part_weights: Vec<f64>,
+    /// Connectivity (λ − 1) objective of a k-way job; `cut` carries the
+    /// hyperedge-cut objective.
+    pub connectivity: Option<f64>,
 }
 
 impl JobOutcome {
@@ -102,6 +110,9 @@ impl JobOutcome {
             assignment_hash: None,
             started_runs: 0,
             wall_ms,
+            k: None,
+            part_weights: Vec::new(),
+            connectivity: None,
         }
     }
 }

@@ -82,6 +82,8 @@ pub struct Metrics {
     pub timed_out: AtomicU64,
     /// Jobs that returned an engine error or panicked.
     pub failed: AtomicU64,
+    /// Jobs that ran the recursive k-way driver (`k > 2` or budgeted).
+    pub kway: AtomicU64,
     /// Worker panics contained by the pool (a subset of `failed`).
     pub worker_panics: AtomicU64,
     /// Connections accepted since start.
@@ -137,6 +139,7 @@ impl Metrics {
             ("cancelled", get(&self.cancelled)),
             ("timed_out", get(&self.timed_out)),
             ("failed", get(&self.failed)),
+            ("kway", get(&self.kway)),
             ("worker_panics", get(&self.worker_panics)),
         ]);
         let queue = json::obj(vec![

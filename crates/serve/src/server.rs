@@ -31,7 +31,7 @@ use std::io::{BufReader, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -586,13 +586,24 @@ fn view_json(id: u64, view: &JobView) -> Json {
         if let Some(cut) = outcome.cut {
             fields.push(("cut", json::num(cut)));
         }
-        fields.push((
-            "sides",
-            Json::Arr(vec![
-                json::uint(outcome.sides.0 as u64),
-                json::uint(outcome.sides.1 as u64),
-            ]),
-        ));
+        if let Some(k) = outcome.k {
+            fields.push(("k", json::uint(u64::from(k))));
+            fields.push((
+                "part_weights",
+                Json::Arr(outcome.part_weights.iter().map(|&w| json::num(w)).collect()),
+            ));
+            if let Some(connectivity) = outcome.connectivity {
+                fields.push(("connectivity", json::num(connectivity)));
+            }
+        } else {
+            fields.push((
+                "sides",
+                Json::Arr(vec![
+                    json::uint(outcome.sides.0 as u64),
+                    json::uint(outcome.sides.1 as u64),
+                ]),
+            ));
+        }
         fields.push(("passes", json::uint(outcome.passes as u64)));
         fields.push((
             "run_cuts",
@@ -624,24 +635,30 @@ fn worker_loop(shared: &Arc<Shared>) {
         let wall_ms = u64::try_from(start.elapsed().as_millis()).unwrap_or(u64::MAX);
 
         let outcome = match ran {
-            Ok(Ok((kind, report))) => {
+            Ok(Ok((kind, JobDone::Kway { status, cut, connectivity, k, part_weights, passes, hash }))) => {
                 shared.metrics.record_latency(kind, wall_ms);
-                let status = match report.status {
-                    RunStatus::Completed => JobStatus::Completed,
-                    // The token trips for both explicit cancels and
-                    // deadlines; the table knows which one it was.
-                    RunStatus::Cancelled if shared.jobs.cancel_requested(id) => {
-                        JobStatus::Cancelled
-                    }
-                    RunStatus::Cancelled => JobStatus::TimedOut,
-                };
-                let counter = match status {
-                    JobStatus::Completed => &shared.metrics.completed,
-                    JobStatus::Cancelled => &shared.metrics.cancelled,
-                    JobStatus::TimedOut => &shared.metrics.timed_out,
-                    JobStatus::Failed => &shared.metrics.failed,
-                };
-                counter.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.kway.fetch_add(1, Ordering::Relaxed);
+                let status = job_status(status, shared, id);
+                status_counter(status, shared).fetch_add(1, Ordering::Relaxed);
+                JobOutcome {
+                    status,
+                    error: None,
+                    cut: Some(cut),
+                    sides: (0, 0),
+                    passes,
+                    run_cuts: Vec::new(),
+                    assignment_hash: Some(hash),
+                    started_runs: 0,
+                    wall_ms,
+                    k: Some(k),
+                    part_weights,
+                    connectivity: Some(connectivity),
+                }
+            }
+            Ok(Ok((kind, JobDone::TwoWay(report)))) => {
+                shared.metrics.record_latency(kind, wall_ms);
+                let status = job_status(report.status, shared, id);
+                status_counter(status, shared).fetch_add(1, Ordering::Relaxed);
                 let result = report.result;
                 JobOutcome {
                     status,
@@ -656,6 +673,9 @@ fn worker_loop(shared: &Arc<Shared>) {
                     assignment_hash: Some(engine::assignment_hash(result.partition.sides())),
                     started_runs: report.started_runs,
                     wall_ms,
+                    k: None,
+                    part_weights: Vec::new(),
+                    connectivity: None,
                 }
             }
             Ok(Err(message)) => {
@@ -680,11 +700,47 @@ fn worker_loop(shared: &Arc<Shared>) {
     }
 }
 
+/// What a worker produced: the classic bipartition report, or a k-way
+/// summary precomputed while the graph was still in scope.
+enum JobDone {
+    TwoWay(prop_core::MultiRunReport),
+    Kway {
+        status: RunStatus,
+        cut: f64,
+        connectivity: f64,
+        k: u32,
+        part_weights: Vec<f64>,
+        passes: usize,
+        hash: u64,
+    },
+}
+
+/// Maps an engine's run status to the job's terminal status: the token
+/// trips for both explicit cancels and deadlines; the table knows which
+/// one it was.
+fn job_status(status: RunStatus, shared: &Arc<Shared>, id: u64) -> JobStatus {
+    match status {
+        RunStatus::Completed => JobStatus::Completed,
+        RunStatus::Cancelled if shared.jobs.cancel_requested(id) => JobStatus::Cancelled,
+        RunStatus::Cancelled => JobStatus::TimedOut,
+    }
+}
+
+/// The metrics counter a terminal status increments.
+fn status_counter(status: JobStatus, shared: &Arc<Shared>) -> &AtomicU64 {
+    match status {
+        JobStatus::Completed => &shared.metrics.completed,
+        JobStatus::Cancelled => &shared.metrics.cancelled,
+        JobStatus::TimedOut => &shared.metrics.timed_out,
+        JobStatus::Failed => &shared.metrics.failed,
+    }
+}
+
 fn run_job(
     work: &SubmitRequest,
     token: &CancelToken,
     store: Option<&CircuitStore>,
-) -> Result<(EngineKind, prop_core::MultiRunReport), String> {
+) -> Result<(EngineKind, JobDone), String> {
     let kind = EngineKind::from_name(&work.engine)
         .ok_or_else(|| format!("unknown engine {:?}", work.engine))?;
     // A stored circuit is shared by every job of a sweep through one
@@ -698,6 +754,35 @@ fn run_job(
             .map_err(|e| e.to_string())?
     };
     let graph = &*graph;
+    // `k > 2` (or any budget vector) routes through the recursive k-way
+    // driver; the default `k = 2` uniform job keeps the classic
+    // bipartition path bit-for-bit.
+    if work.k > 2 || !work.budgets.is_empty() {
+        let budgets = (!work.budgets.is_empty()).then(|| work.budgets.clone());
+        let report = engine::execute_kway(
+            kind,
+            graph,
+            work.k,
+            budgets,
+            work.r1,
+            work.r2,
+            work.runs,
+            work.seed,
+            token,
+            work.ml_config(),
+        )
+        .map_err(|e| e.to_string())?;
+        let done = JobDone::Kway {
+            status: report.status,
+            cut: report.partition.cut_cost(graph),
+            connectivity: report.partition.connectivity_cost(graph),
+            k: u32::try_from(work.k).map_err(|_| "k overflows u32".to_string())?,
+            part_weights: report.partition.part_weights().to_vec(),
+            passes: report.total_passes,
+            hash: engine::kway_assignment_hash(report.partition.assignment()),
+        };
+        return Ok((kind, done));
+    }
     let balance =
         BalanceConstraint::weighted(work.r1, work.r2, graph).map_err(|e| e.to_string())?;
     engine::execute_with(
@@ -709,7 +794,7 @@ fn run_job(
         token,
         work.ml_config(),
     )
-    .map(|report| (kind, report))
+    .map(|report| (kind, JobDone::TwoWay(report)))
     .map_err(|e| e.to_string())
 }
 

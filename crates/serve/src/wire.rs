@@ -172,6 +172,13 @@ pub struct SubmitRequest {
     pub ml_flow: u8,
     /// Multilevel knob: corridor node cap per side for the flow pass.
     pub ml_flow_corridor: usize,
+    /// Number of parts. `2` (the default) runs the classic bipartition
+    /// path; `k > 2` (or any budget vector) routes the job through the
+    /// recursive k-way driver.
+    pub k: usize,
+    /// Per-part area budgets for the k-way driver; empty = uniform mode.
+    /// When non-empty the arity must equal `k`.
+    pub budgets: Vec<f64>,
 }
 
 impl Default for SubmitRequest {
@@ -197,6 +204,8 @@ impl Default for SubmitRequest {
             ml_threads: 0,
             ml_flow: 0,
             ml_flow_corridor: ml.flow.corridor_nodes,
+            k: 2,
+            budgets: Vec::new(),
         }
     }
 }
@@ -211,10 +220,16 @@ impl SubmitRequest {
         } else {
             format!("circuit_id={}", self.circuit_id)
         };
+        let budgets = if self.budgets.is_empty() {
+            String::new()
+        } else {
+            let list: Vec<String> = self.budgets.iter().map(f64::to_string).collect();
+            format!(" budgets={}", list.join(","))
+        };
         format!(
             "submit engine={} runs={} seed={} r1={} r2={} timeout_ms={} priority={} wait={} \
              ml_coarsest={} ml_starts={} ml_max_net={} ml_refine_passes={} ml_polish={} \
-             ml_threads={} ml_flow={} ml_flow_corridor={} fmt={} {source}",
+             ml_threads={} ml_flow={} ml_flow_corridor={} k={}{budgets} fmt={} {source}",
             self.engine,
             self.runs,
             self.seed,
@@ -231,6 +246,7 @@ impl SubmitRequest {
             self.ml_threads,
             self.ml_flow,
             self.ml_flow_corridor,
+            self.k,
             self.fmt,
         )
     }
@@ -575,6 +591,18 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
             "ml_threads" => req.ml_threads = val(k, v)?,
             "ml_flow" => req.ml_flow = val(k, v)?,
             "ml_flow_corridor" => req.ml_flow_corridor = val(k, v)?,
+            "k" => req.k = val(k, v)?,
+            "budgets" => {
+                req.budgets = v
+                    .split(',')
+                    .map(|b| val::<f64>(k, b.trim()))
+                    .collect::<Result<Vec<f64>, WireError>>()?;
+                if req.budgets.is_empty() {
+                    return Err(WireError::Malformed(
+                        "budgets needs a comma-separated list of positive areas".into(),
+                    ));
+                }
+            }
             "payload" => {
                 req.payload = percent_decode(v)?;
                 has_payload = true;
@@ -595,6 +623,21 @@ fn parse_submit(fields: &[(&str, &str)]) -> Result<SubmitRequest, WireError> {
     }
     if req.runs == 0 {
         return Err(WireError::Malformed("runs must be at least 1".into()));
+    }
+    if req.k < 2 {
+        return Err(WireError::Malformed("k must be at least 2".into()));
+    }
+    if !req.budgets.is_empty() && req.budgets.len() != req.k {
+        return Err(WireError::Malformed(format!(
+            "{} budgets supplied for k={} parts",
+            req.budgets.len(),
+            req.k
+        )));
+    }
+    if req.budgets.iter().any(|b| !b.is_finite() || *b <= 0.0) {
+        return Err(WireError::Malformed(
+            "budgets must be finite and positive".into(),
+        ));
     }
     Ok(req)
 }
@@ -643,9 +686,41 @@ mod tests {
             ml_threads: 4,
             ml_flow: 1,
             ml_flow_corridor: 800,
+            k: 2,
+            budgets: Vec::new(),
         };
         let parsed = parse_request(&req.render()).unwrap();
         assert_eq!(parsed, Request::Submit(req));
+    }
+
+    #[test]
+    fn kway_fields_roundtrip_and_validate() {
+        let req = SubmitRequest {
+            engine: "ml".into(),
+            circuit_id: "golem3".into(),
+            k: 4,
+            budgets: vec![1200.0, 600.5, 600.5, 400.0],
+            ..SubmitRequest::default()
+        };
+        let line = req.render();
+        assert!(line.contains("k=4"));
+        assert!(line.contains("budgets=1200,600.5,600.5,400"));
+        assert_eq!(parse_request(&line).unwrap(), Request::Submit(req));
+
+        // Uniform k-way renders no budgets field at all.
+        let req = SubmitRequest {
+            k: 8,
+            payload: "x".into(),
+            ..SubmitRequest::default()
+        };
+        assert!(!req.render().contains("budgets="));
+        assert_eq!(parse_request(&req.render()).unwrap(), Request::Submit(req));
+
+        // Arity, positivity, and k floor are wire-level errors.
+        assert!(parse_request("submit payload=a k=1").is_err());
+        assert!(parse_request("submit payload=a k=3 budgets=1,2").is_err());
+        assert!(parse_request("submit payload=a k=2 budgets=1,-2").is_err());
+        assert!(parse_request("submit payload=a k=2 budgets=").is_err());
     }
 
     #[test]

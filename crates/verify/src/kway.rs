@@ -1,0 +1,209 @@
+//! Naive from-scratch k-way oracles.
+//!
+//! The recursive k-way driver in `prop-core` assembles its result —
+//! assignment, per-part weights, and cut under two objectives — from
+//! incremental bookkeeping spread across a recursion tree. These oracles
+//! recompute each quantity by direct evaluation over the whole
+//! hypergraph and a flat `node → part` assignment, with no knowledge of
+//! how the assignment was produced. The driver's acceptance criterion is
+//! bit-for-bit agreement with them.
+//!
+//! Weight sums accumulate in node order and cut sums in net order — the
+//! same orders the driver uses — so agreement is exact equality, not
+//! tolerance-based.
+
+use prop_netlist::Hypergraph;
+
+/// Tolerance for budget-feasibility comparisons, mirroring the
+/// `WEIGHT_EPS` slack of `prop_core::BalanceConstraint`: weight sums on
+/// both sides of the comparison are built from the same inputs, so only
+/// accumulated rounding — not real imbalance — can separate them.
+pub const KWAY_WEIGHT_EPS: f64 = 1e-9;
+
+/// The number of distinct parts among the pins of one net (its
+/// connectivity λ), counted directly. Nets with no pins have λ = 0.
+fn net_lambda(graph: &Hypergraph, assignment: &[u32], net: prop_netlist::NetId, k: u32) -> u32 {
+    let mut seen = vec![false; k as usize];
+    let mut lambda = 0;
+    for &x in graph.pins_of(net) {
+        let part = assignment[x.index()];
+        if !seen[part as usize] {
+            seen[part as usize] = true;
+            lambda += 1;
+        }
+    }
+    lambda
+}
+
+/// Hyperedge-cut objective recomputed from scratch: the sum of weights
+/// of nets whose pins touch two or more parts, accumulated in net order.
+/// For `k = 2` this is exactly the bipartition cut of
+/// [`crate::oracle::naive_cut`].
+///
+/// # Panics
+///
+/// Panics if any assignment entry is `>= k` or the assignment length
+/// differs from the node count.
+pub fn kway_cut(graph: &Hypergraph, assignment: &[u32], k: u32) -> f64 {
+    check_assignment(graph, assignment, k);
+    let mut cost = 0.0;
+    for net in graph.nets() {
+        if net_lambda(graph, assignment, net, k) >= 2 {
+            cost += graph.net_weight(net);
+        }
+    }
+    cost
+}
+
+/// Connectivity (λ − 1) objective recomputed from scratch: the sum over
+/// nets of `(λ(net) − 1) · w(net)` where λ is the number of distinct
+/// parts the net touches, accumulated in net order. For `k = 2` the two
+/// objectives coincide.
+///
+/// # Panics
+///
+/// Panics if any assignment entry is `>= k` or the assignment length
+/// differs from the node count.
+pub fn kway_connectivity(graph: &Hypergraph, assignment: &[u32], k: u32) -> f64 {
+    check_assignment(graph, assignment, k);
+    let mut cost = 0.0;
+    for net in graph.nets() {
+        let lambda = net_lambda(graph, assignment, net, k);
+        if lambda >= 2 {
+            cost += f64::from(lambda - 1) * graph.net_weight(net);
+        }
+    }
+    cost
+}
+
+/// Per-part node weights recomputed from scratch in node order (the
+/// order the driver's assembly pass uses, so sums agree bit-for-bit).
+///
+/// # Panics
+///
+/// Panics if any assignment entry is `>= k` or the assignment length
+/// differs from the node count.
+pub fn part_weights(graph: &Hypergraph, assignment: &[u32], k: u32) -> Vec<f64> {
+    check_assignment(graph, assignment, k);
+    let mut weights = vec![0.0; k as usize];
+    for v in graph.nodes() {
+        weights[assignment[v.index()] as usize] += graph.node_weight(v);
+    }
+    weights
+}
+
+/// Whether every part's weight is within its budget, up to
+/// [`KWAY_WEIGHT_EPS`]. Lengths must match; a weight vector of the wrong
+/// arity is never feasible.
+pub fn check_budgets(weights: &[f64], budgets: &[f64]) -> bool {
+    weights.len() == budgets.len()
+        && weights
+            .iter()
+            .zip(budgets)
+            .all(|(w, b)| *w <= b + KWAY_WEIGHT_EPS)
+}
+
+fn check_assignment(graph: &Hypergraph, assignment: &[u32], k: u32) {
+    assert_eq!(
+        assignment.len(),
+        graph.num_nodes(),
+        "assignment length must equal the node count"
+    );
+    assert!(
+        assignment.iter().all(|&p| p < k),
+        "every node must be assigned a part < k"
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use prop_netlist::HypergraphBuilder;
+
+    /// Six nodes in three parts of two: parts {0,1}, {2,3}, {4,5}.
+    ///
+    /// Nets (unit weight unless noted):
+    ///   n0 = {0,1}      internal to part 0     λ=1
+    ///   n1 = {2,3,4}    parts 1,2              λ=2
+    ///   n2 = {0,2,4}    parts 0,1,2            λ=3
+    ///   n3 = {4,5}      internal to part 2     λ=1
+    ///   n4 = {1,3} w=2.5  parts 0,1            λ=2
+    ///
+    /// Hand-computed: net-cut = 1 + 1 + 2.5 = 4.5;
+    /// λ−1 = 1·1 + 2·1 + 1·2.5 = 5.5.
+    fn three_part_example() -> (prop_netlist::Hypergraph, Vec<u32>) {
+        let mut b = HypergraphBuilder::new(6);
+        b.add_net(1.0, [0, 1]).unwrap();
+        b.add_net(1.0, [2, 3, 4]).unwrap();
+        b.add_net(1.0, [0, 2, 4]).unwrap();
+        b.add_net(1.0, [4, 5]).unwrap();
+        b.add_net(2.5, [1, 3]).unwrap();
+        (b.build().unwrap(), vec![0, 0, 1, 1, 2, 2])
+    }
+
+    #[test]
+    fn hand_computed_three_part_cuts() {
+        let (g, assignment) = three_part_example();
+        assert_eq!(kway_cut(&g, &assignment, 3), 4.5);
+        assert_eq!(kway_connectivity(&g, &assignment, 3), 5.5);
+    }
+
+    #[test]
+    fn objectives_coincide_for_two_parts() {
+        let (g, _) = three_part_example();
+        let two_way = vec![0, 0, 0, 1, 1, 1];
+        // Nets crossing {0,1,2}|{3,4,5}: n1 (2,3,4), n2 (0,2,4), n3 is
+        // internal to B, n4 (1,3). Cut = 1 + 1 + 2.5 = 4.5.
+        assert_eq!(kway_cut(&g, &two_way, 2), 4.5);
+        assert_eq!(kway_connectivity(&g, &two_way, 2), 4.5);
+        // And both match the bipartition oracle on the same split.
+        let sides: Vec<prop_core::Side> = two_way
+            .iter()
+            .map(|&p| if p == 0 { prop_core::Side::A } else { prop_core::Side::B })
+            .collect();
+        let bip = prop_core::Bipartition::from_sides(sides);
+        assert_eq!(kway_cut(&g, &two_way, 2), crate::oracle::naive_cut(&g, &bip));
+    }
+
+    #[test]
+    fn connectivity_dominates_net_cut() {
+        let (g, assignment) = three_part_example();
+        // λ−1 ≥ net-cut always (each cut net contributes ≥ 1 · w).
+        assert!(kway_connectivity(&g, &assignment, 3) >= kway_cut(&g, &assignment, 3));
+        // One part per node: every multi-pin net is maximally cut.
+        let spread = vec![0, 1, 2, 3, 4, 5];
+        assert_eq!(kway_cut(&g, &spread, 6), 6.5);
+        assert_eq!(kway_connectivity(&g, &spread, 6), 1.0 + 2.0 + 2.0 + 1.0 + 2.5);
+    }
+
+    #[test]
+    fn single_part_has_no_cut() {
+        let (g, _) = three_part_example();
+        let all_zero = vec![0; 6];
+        assert_eq!(kway_cut(&g, &all_zero, 1), 0.0);
+        assert_eq!(kway_connectivity(&g, &all_zero, 1), 0.0);
+        assert_eq!(part_weights(&g, &all_zero, 1), vec![6.0]);
+    }
+
+    #[test]
+    fn part_weights_recount_weighted_nodes() {
+        let mut b = HypergraphBuilder::new(4);
+        b.set_node_weights(vec![1.5, 2.0, 0.5, 3.0]).unwrap();
+        b.add_net(1.0, [0, 1, 2, 3]).unwrap();
+        let g = b.build().unwrap();
+        let assignment = vec![0, 2, 0, 1];
+        assert_eq!(part_weights(&g, &assignment, 3), vec![2.0, 3.0, 2.0]);
+        // An empty part keeps weight zero.
+        assert_eq!(part_weights(&g, &assignment, 4), vec![2.0, 3.0, 2.0, 0.0]);
+    }
+
+    #[test]
+    fn budget_check_is_per_part_with_epsilon() {
+        assert!(check_budgets(&[2.0, 3.0], &[2.0, 3.0]));
+        assert!(check_budgets(&[2.0 + 1e-12, 3.0], &[2.0, 3.0]));
+        assert!(!check_budgets(&[2.1, 3.0], &[2.0, 3.0]));
+        // Arity mismatches are never feasible.
+        assert!(!check_budgets(&[1.0], &[2.0, 3.0]));
+        assert!(check_budgets(&[], &[]));
+    }
+}

@@ -13,6 +13,10 @@
 //! * [`flow`] — a naive Edmonds–Karp max-flow reference and an
 //!   independent certificate checker for the Dinic kernel in
 //!   `prop-flow` (capacity, conservation, cut capacity = flow value).
+//! * [`kway`] — from-scratch k-way oracles for the recursive driver:
+//!   both cut objectives (hyperedge cut and connectivity λ−1), per-part
+//!   weight recounts, and budget-feasibility checks over a flat
+//!   `node → part` assignment.
 //! * [`OracleAuditor`] — an implementation of `prop_core::audit::Auditor`
 //!   that checks every hook record an engine emits against those oracles
 //!   and panics on the first violation. [`RecordingAuditor`] logs
@@ -48,6 +52,7 @@
 
 mod audit;
 pub mod flow;
+pub mod kway;
 pub mod oracle;
 mod reference;
 

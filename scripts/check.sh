@@ -29,6 +29,15 @@
 #                                   # flow crate's own tests, and a CLI
 #                                   # bench asserting cut(ml --ml-flow) <=
 #                                   # cut(ml) on every suite circuit
+#   scripts/check.sh --kway         # also run the recursive k-way gate:
+#                                   # the k-way oracle + e2e test file, a
+#                                   # CLI k=4 sweep over the suite whose
+#                                   # parts/weights are sanity-checked and
+#                                   # whose budgeted rerun must respect the
+#                                   # caps, and a daemon round-trip whose
+#                                   # k=4 submit twice in a row must be
+#                                   # bit-identical (cut + connectivity +
+#                                   # part_weights + assignment_hash)
 #   scripts/check.sh --cluster      # also run the cluster gate: two worker
 #                                   # daemons plus a coordinator, a golem3
 #                                   # seed-sweep batch with one worker
@@ -56,6 +65,7 @@ par=0
 flow=0
 io=0
 cluster=0
+kway=0
 for arg in "$@"; do
   case "$arg" in
     --audit) audit=1 ;;
@@ -66,6 +76,7 @@ for arg in "$@"; do
     --flow) flow=1 ;;
     --io) io=1 ;;
     --cluster) cluster=1 ;;
+    --kway) kway=1 ;;
     *) echo "check.sh: unknown argument '$arg'" >&2; exit 2 ;;
   esac
 done
@@ -293,6 +304,78 @@ if [[ "$io" -eq 1 ]]; then
   echo "check.sh: io gate passed (round-trip + fuzz + 10x loader + million-node CLI/daemon)"
 fi
 
+if [[ "$kway" -eq 1 ]]; then
+  # Recursive k-way gate. The oracle-first test surface: the verify
+  # crate's k-way oracles, then the full e2e file (oracle exactness for
+  # k in {2,3,4,8}, budget respect, thread-count bit-identity,
+  # cancellation totality, typed infeasibility).
+  cargo test -q -p prop-verify kway
+  cargo test -q --test kway
+
+  kway_dir="$(mktemp -d)"
+  trap 'rm -rf "$kway_dir"' EXIT
+  # The CLI surface: a uniform k=4 sweep over the suite. The result line
+  # must report k=4, four part sizes, and the budgeted rerun (every cap
+  # at 30% of the node count, feasible but tight) must keep every part
+  # weight inside its budget.
+  for circuit in balu struct p2; do
+    ./target/release/prop generate --circuit "$circuit" --out "$kway_dir/$circuit.hgr" >/dev/null
+    line="$(./target/release/prop partition "$kway_dir/$circuit.hgr" --method ml --k 4 --runs 2)"
+    echo "check.sh: $circuit $line"
+    if [[ "$line" != *"k=4"* || "$line" != *"connectivity="* ]]; then
+      echo "check.sh: malformed k-way result line for $circuit: $line" >&2
+      exit 1
+    fi
+    parts="$(sed -n 's|.*parts=\([0-9/]*\).*|\1|p' <<<"$line")"
+    if [[ "$(tr '/' '\n' <<<"$parts" | wc -l)" -ne 4 ]]; then
+      echo "check.sh: expected 4 parts for $circuit, got parts=$parts" >&2
+      exit 1
+    fi
+    nodes="$(./target/release/prop stats "$kway_dir/$circuit.hgr" | sed -n 's/^n=\([0-9]*\).*/\1/p')"
+    cap="$(awk -v n="$nodes" 'BEGIN { printf "%.1f", n * 0.3 }')"
+    budget_line="$(./target/release/prop partition "$kway_dir/$circuit.hgr" --method ml --k 4       --runs 2 --budgets "$cap,$cap,$cap,$cap")"
+    weights="$(sed -n 's/.*weights=\([0-9.,]*\).*/\1/p' <<<"$budget_line")"
+    if ! awk -v w="$weights" -v c="$cap" 'BEGIN {
+        n = split(w, a, ","); if (n != 4) exit 1;
+        for (i = 1; i <= n; i++) if (a[i] > c + 1e-9) exit 1; }'; then
+      echo "check.sh: budgeted k-way violated its caps on $circuit" >&2
+      echo "  $budget_line (cap $cap)" >&2
+      exit 1
+    fi
+    echo "check.sh: $circuit budgeted weights=$weights inside cap=$cap"
+  done
+
+  # The daemon surface: the same k=4 job submitted twice over the wire
+  # must be bit-identical in every k-way result field.
+  kway_addr="127.0.0.1:7377"
+  ./target/release/prop serve --addr "$kway_addr" --workers 2 --queue-cap 8     > "$kway_dir/serve.log" 2>&1 &
+  kway_serve_pid=$!
+  trap 'kill "$kway_serve_pid" 2>/dev/null || true; rm -rf "$kway_dir"' EXIT
+  for _ in $(seq 1 50); do
+    ./target/release/prop ctl ping --addr "$kway_addr" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  first="$(./target/release/prop submit "$kway_dir/struct.hgr" --engine ml --runs 2 --k 4     --addr "$kway_addr")"
+  second="$(./target/release/prop submit "$kway_dir/struct.hgr" --engine ml --runs 2 --k 4     --addr "$kway_addr")"
+  extract() { sed -n "s/.*\"$2\":\($3\).*/\1/p" <<<"$1"; }
+  for field_pat in 'cut [0-9.eE+-]*' 'connectivity [0-9.eE+-]*' 'k [0-9]*'                    'part_weights \[[^]]*\]' 'assignment_hash "[0-9a-f]*"'; do
+    field="${field_pat%% *}"
+    pat="${field_pat#* }"
+    first_v="$(extract "$first" "$field" "$pat")"
+    second_v="$(extract "$second" "$field" "$pat")"
+    if [[ -z "$first_v" || "$first_v" != "$second_v" ]]; then
+      echo "check.sh: repeated k-way submits diverged on $field" >&2
+      echo "  first:  $first" >&2
+      echo "  second: $second" >&2
+      exit 1
+    fi
+  done
+  echo "check.sh: daemon k-way submit is deterministic (cut + connectivity + part_weights + hash)"
+  ./target/release/prop ctl shutdown --addr "$kway_addr" >/dev/null
+  wait "$kway_serve_pid" 2>/dev/null || true
+  echo "check.sh: kway gate passed (oracles + e2e + CLI budgets + daemon round-trip)"
+fi
+
 if [[ "$cluster" -eq 1 ]]; then
   # Cluster gate: two worker daemons plus a coordinator sharding a golem3
   # seed sweep across them, with one worker SIGKILLed mid-batch. The
@@ -380,4 +463,5 @@ gates="build+test+clippy"
 [[ "$flow" -eq 1 ]] && gates="$gates flow"
 [[ "$io" -eq 1 ]] && gates="$gates io"
 [[ "$cluster" -eq 1 ]] && gates="$gates cluster"
+[[ "$kway" -eq 1 ]] && gates="$gates kway"
 echo "check.sh: all gates passed ($gates)"

@@ -19,7 +19,9 @@
 //!
 //! and update the table alongside the differential-oracle mirrors.
 
-use prop_suite::core::{cut_cost, BalanceConstraint, Partitioner, Prop, PropConfig};
+use prop_suite::core::{
+    cut_cost, partition_kway, BalanceConstraint, KwayConfig, Partitioner, Prop, PropConfig,
+};
 use prop_suite::fm::FmBucket;
 use prop_suite::multilevel::{FlowConfig, Multilevel, MultilevelConfig};
 use prop_suite::netlist::suite;
@@ -83,6 +85,46 @@ fn snapshot_circuit_cuts_are_pinned() {
     assert!(
         failures.is_empty(),
         "golden cuts diverged (regenerate only if the change is intended):\n{}",
+        failures.join("\n")
+    );
+}
+
+/// (circuit, k, runs, expected hyperedge cut, expected connectivity
+/// lambda-1) for the recursive k-way driver over the standard V-cycle,
+/// uniform budgets, snapshot balance, base seed 0.
+const KWAY_GOLDEN: [(&str, usize, usize, f64, f64); 3] = [
+    ("balu", 4, 2, 43.0, 48.0),
+    ("struct", 4, 2, 64.0, 68.0),
+    ("p2", 4, 2, 143.0, 162.0),
+];
+
+#[test]
+fn kway_snapshot_cuts_are_pinned() {
+    let ml = Multilevel::standard(MultilevelConfig::default());
+    let mut failures = Vec::new();
+    for (circuit, k, runs, cut, connectivity) in KWAY_GOLDEN {
+        let graph = suite::by_name(circuit)
+            .expect("snapshot circuit")
+            .instantiate()
+            .expect("valid Table-1 spec");
+        let config = KwayConfig {
+            runs,
+            ..KwayConfig::new(k)
+        };
+        let report = partition_kway(&graph, &ml, &config).expect("k-way succeeds");
+        let got_cut = report.partition.cut_cost(&graph);
+        let got_conn = report.partition.connectivity_cost(&graph);
+        println!("(\"{circuit}\", {k}, {runs}, {got_cut:.1}, {got_conn:.1}),");
+        if got_cut != cut || got_conn != connectivity {
+            failures.push(format!(
+                "{circuit}/ML k={k} ({runs} runs): got cut {got_cut} lambda {got_conn}, \
+                 pinned {cut}/{connectivity}"
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden k-way cuts diverged (regenerate only if the change is intended):\n{}",
         failures.join("\n")
     );
 }

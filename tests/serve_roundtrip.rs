@@ -161,3 +161,109 @@ fn repeat_submissions_are_deterministic_across_connections() {
     client.shutdown().unwrap();
     handle.join();
 }
+
+/// Submits a k-way job (optionally budgeted) and returns the wire-side
+/// summary: (cut, connectivity, k, part_weights, assignment hash).
+fn submit_kway_via_daemon(
+    addr: std::net::SocketAddr,
+    engine_name: &str,
+    payload: &str,
+    k: usize,
+    budgets: Vec<f64>,
+) -> (f64, f64, u64, Vec<f64>, u64) {
+    let mut client = Client::connect(addr).unwrap();
+    let response = client
+        .submit(&SubmitRequest {
+            engine: engine_name.into(),
+            runs: RUNS,
+            seed: SEED,
+            payload: payload.into(),
+            wait: true,
+            k,
+            budgets,
+            ..SubmitRequest::default()
+        })
+        .unwrap();
+    assert_eq!(
+        response.get("ok").and_then(Json::as_bool),
+        Some(true),
+        "{engine_name}: {}",
+        response.render()
+    );
+    let cut = response.get("cut").and_then(Json::as_f64).unwrap();
+    let connectivity = response.get("connectivity").and_then(Json::as_f64).unwrap();
+    let k_out = response.get("k").and_then(Json::as_u64).unwrap();
+    let part_weights: Vec<f64> = response
+        .get("part_weights")
+        .and_then(Json::as_arr)
+        .unwrap()
+        .iter()
+        .map(|w| w.as_f64().unwrap())
+        .collect();
+    let hash = response
+        .get("assignment_hash")
+        .and_then(Json::as_str)
+        .and_then(prop_serve::json::parse_hex64)
+        .unwrap();
+    (cut, connectivity, k_out, part_weights, hash)
+}
+
+#[test]
+fn kway_submissions_are_bit_identical_to_the_direct_driver() {
+    let handle = server::start(&ServerConfig {
+        workers: 2,
+        queue_cap: 8,
+        ..ServerConfig::default()
+    })
+    .unwrap();
+    let graph = test_graph(5);
+    let payload = format::write_hgr(&graph);
+    let total: f64 = graph.nodes().map(|v| graph.node_weight(v)).sum();
+    let budgets = vec![total * 0.4, total * 0.25, total * 0.25, total * 0.2];
+
+    for (engine_name, budget_set) in [("ml", Vec::new()), ("prop", budgets.clone())] {
+        let served =
+            submit_kway_via_daemon(handle.addr(), engine_name, &payload, 4, budget_set.clone());
+        let kind = engine::EngineKind::from_name(engine_name).unwrap();
+        let token = prop_core::CancelToken::new();
+        let report = engine::execute_kway(
+            kind,
+            &graph,
+            4,
+            (!budget_set.is_empty()).then(|| budget_set.clone()),
+            0.45,
+            0.55,
+            RUNS,
+            SEED,
+            &token,
+            MultilevelConfig::default(),
+        )
+        .unwrap();
+        let expect = (
+            report.partition.cut_cost(&graph),
+            report.partition.connectivity_cost(&graph),
+            4u64,
+            report.partition.part_weights().to_vec(),
+            engine::kway_assignment_hash(report.partition.assignment()),
+        );
+        assert_eq!(
+            served, expect,
+            "daemon k-way diverged from the direct driver for {engine_name}"
+        );
+        if !budget_set.is_empty() {
+            for (w, b) in served.3.iter().zip(&budget_set) {
+                assert!(w <= b, "served part weight {w} exceeds budget {b}");
+            }
+        }
+    }
+
+    // A `k=2` uniform submission takes the classic bipartition path; the
+    // k-way hash function is bit-compatible, so a direct 2-way run must
+    // produce the same assignment hash the daemon reports.
+    let served2 = submit_via_daemon(handle.addr(), "prop", &payload);
+    assert_eq!(served2, direct_expectation("prop", &graph));
+
+    let mut client = Client::connect(handle.addr()).unwrap();
+    client.shutdown().unwrap();
+    handle.join();
+}
